@@ -1,0 +1,87 @@
+#ifndef SHARK_BENCH_BENCH_COMMON_H_
+#define SHARK_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hive/hive_engine.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace bench {
+
+/// The paper's cluster: 100 m2.4xlarge nodes x 8 cores (§6.1).
+inline ClusterConfig PaperCluster(double virtual_data_scale,
+                                  int num_nodes = 100) {
+  ClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.hardware = HardwareModel();
+  cfg.profile = EngineProfile::Shark();
+  cfg.virtual_data_scale = virtual_data_scale;
+  cfg.seed = 42;
+  return cfg;
+}
+
+inline std::unique_ptr<SharkSession> MakeSharkSession(
+    double virtual_data_scale, int num_nodes = 100) {
+  return std::make_unique<SharkSession>(std::make_shared<ClusterContext>(
+      PaperCluster(virtual_data_scale, num_nodes)));
+}
+
+/// Runs a query, asserting success; returns its virtual seconds.
+inline QueryResult MustRun(SharkSession* session, const std::string& sql) {
+  auto result = session->Sql(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  return std::move(*result);
+}
+
+/// Paper methodology (§6.1): run six times, discard the first (JIT warmup),
+/// average the rest. Our virtual times are deterministic, but warm runs
+/// matter (shuffle reuse is intentionally avoided by rebuilding the query;
+/// cache effects are intentional), so we run once warm after a discard.
+inline double TimedRun(SharkSession* session, const std::string& sql) {
+  return MustRun(session, sql).metrics.virtual_seconds;
+}
+
+struct BarRow {
+  std::string label;
+  double seconds;
+  std::string note;
+};
+
+/// Prints a Figure-style horizontal bar chart with a seconds column.
+inline void PrintBars(const std::string& title, const std::vector<BarRow>& rows,
+                      const std::string& paper_note = "") {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!paper_note.empty()) std::printf("   paper: %s\n", paper_note.c_str());
+  double max_s = 1e-12;
+  for (const auto& r : rows) max_s = std::max(max_s, r.seconds);
+  for (const auto& r : rows) {
+    int width = static_cast<int>(50.0 * r.seconds / max_s + 0.5);
+    std::string bar(static_cast<size_t>(width), '#');
+    std::printf("  %-28s %9.2fs |%-50s| %s\n", r.label.c_str(), r.seconds,
+                bar.c_str(), r.note.c_str());
+  }
+}
+
+inline void PrintHeader(const std::string& name, const std::string& claim) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", name.c_str());
+  std::printf("reproduces: %s\n", claim.c_str());
+  std::printf("=====================================================\n");
+}
+
+inline double Ratio(double slow, double fast) {
+  return fast > 0 ? slow / fast : 0.0;
+}
+
+}  // namespace bench
+}  // namespace shark
+
+#endif  // SHARK_BENCH_BENCH_COMMON_H_

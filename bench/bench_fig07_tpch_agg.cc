@@ -1,0 +1,76 @@
+// Reproduces Figure 7: TPC-H lineitem group-by sweep (no group / 7 groups /
+// ~2500 groups / per-order-key groups) at two scale points, comparing Shark
+// (memory), Shark (disk), hand-tuned Hive and default-heuristic Hive. The
+// paper's headline: 80x over Hive for few groups, ~20x when the shuffle
+// dominates, and a catastrophic Hive default reducer count.
+#include "bench/bench_common.h"
+#include "workloads/tpch.h"
+
+using namespace shark;        // NOLINT(build/namespaces)
+using namespace shark::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+struct ScalePoint {
+  const char* name;
+  double paper_rows;
+};
+
+void RunScale(const ScalePoint& scale) {
+  TpchConfig data;
+  double vscale = data.VirtualScaleFor(scale.paper_rows);
+  auto session = MakeSharkSession(vscale);
+  if (!GenerateTpchTables(session.get(), data).ok()) std::exit(1);
+  auto hive_default_r = MakeHiveSession(session.get());
+  auto hive_tuned_r = MakeHiveSession(session.get(), HiveConfig{800, 0});
+  if (!hive_default_r.ok() || !hive_tuned_r.ok()) std::exit(1);
+  auto hive_default = std::move(*hive_default_r);
+  auto hive_tuned = std::move(*hive_tuned_r);
+
+  struct QueryPoint {
+    const char* label;
+    std::string column;
+  };
+  const QueryPoint queries[] = {
+      {"1 group (COUNT(*))", ""},
+      {"7 groups (SHIPMODE)", "L_SHIPMODE"},
+      {"~2.5K groups (RECEIPTDATE)", "L_RECEIPTDATE"},
+      {"per-order groups (ORDERKEY)", "L_ORDERKEY"},
+  };
+
+  std::printf("\n---- TPC-H %s (lineitem %lld rows, virtual scale x%.0f) ----\n",
+              scale.name, static_cast<long long>(data.lineitem_rows), vscale);
+
+  // Disk runs first, then cache lineitem for the in-memory runs.
+  double disk[4];
+  for (int q = 0; q < 4; ++q) {
+    disk[q] = TimedRun(session.get(), TpchAggregationQuery(queries[q].column));
+  }
+  if (!session->CacheTable("lineitem").ok()) std::exit(1);
+  for (int q = 0; q < 4; ++q) {
+    const std::string sql = TpchAggregationQuery(queries[q].column);
+    double mem = TimedRun(session.get(), sql);
+    double tuned = TimedRun(hive_tuned.get(), sql);
+    double untuned = TimedRun(hive_default.get(), sql);
+    PrintBars(std::string(scale.name) + " " + queries[q].label,
+              {{"Shark", mem, ""},
+               {"Shark (disk)", disk[q], ""},
+               {"Hive (tuned)", tuned, ""},
+               {"Hive", untuned, ""}});
+    std::printf("   speedup vs tuned Hive: %.1fx (mem), %.1fx (disk); "
+                "untuned/tuned Hive: %.1fx\n",
+                Ratio(tuned, mem), Ratio(tuned, disk[q]),
+                Ratio(untuned, tuned));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7 - TPC-H aggregation sweep",
+              "Shark 20-80x over tuned Hive; Hive's default reducer "
+              "heuristic can be far worse than hand tuning");
+  RunScale({"100GB", 600e6});
+  RunScale({"1TB", 6e9});
+  return 0;
+}

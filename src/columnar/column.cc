@@ -1,0 +1,472 @@
+#include "columnar/column.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "columnar/compression.h"
+#include "common/logging.h"
+
+namespace shark {
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kGeneric:
+      return "GENERIC";
+    case Encoding::kPlain:
+      return "PLAIN";
+    case Encoding::kRunLength:
+      return "RLE";
+    case Encoding::kDictionary:
+      return "DICT";
+    case Encoding::kBitPacked:
+      return "BITPACK";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStats
+// ---------------------------------------------------------------------------
+
+void ColumnStats::Update(const Value& v) {
+  ++num_values;
+  if (v.is_null()) {
+    ++null_count;
+    return;
+  }
+  if (!has_range) {
+    min = v;
+    max = v;
+    has_range = true;
+  } else {
+    if (v.Compare(min) < 0) min = v;
+    if (v.Compare(max) > 0) max = v;
+  }
+  if (!distinct_overflowed) {
+    bool found = false;
+    for (const Value& d : distinct) {
+      if (d == v) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (distinct.size() >= kMaxDistinct) {
+        distinct_overflowed = true;
+        distinct.clear();
+      } else {
+        distinct.push_back(v);
+      }
+    }
+  }
+}
+
+bool ColumnStats::MayEqual(const Value& v) const {
+  if (v.is_null()) return null_count > 0;
+  if (!has_range) return false;  // all-NULL partition
+  if (v.Compare(min) < 0 || v.Compare(max) > 0) return false;
+  if (!distinct_overflowed) {
+    for (const Value& d : distinct) {
+      if (d == v) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ColumnStats::MayIntersect(const Value* lo, const Value* hi) const {
+  if (!has_range) return false;
+  if (lo != nullptr && !lo->is_null() && max.Compare(*lo) < 0) return false;
+  if (hi != nullptr && !hi->is_null() && min.Compare(*hi) > 0) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk implementations
+// ---------------------------------------------------------------------------
+
+void ColumnChunk::Decode(std::vector<Value>* out) const {
+  for (size_t i = 0; i < size(); ++i) out->push_back(GetValue(i));
+}
+
+namespace {
+
+/// Fallback: one Value object per cell (the "cache on-heap objects" baseline
+/// the paper contrasts the columnar store against).
+class GenericChunk final : public ColumnChunk {
+ public:
+  GenericChunk(TypeKind type, std::vector<Value> values)
+      : type_(type), values_(std::move(values)) {}
+
+  TypeKind type() const override { return type_; }
+  Encoding encoding() const override { return Encoding::kGeneric; }
+  size_t size() const override { return values_.size(); }
+
+  uint64_t MemoryBytes() const override {
+    uint64_t total = 24;
+    // Per-element object overhead mirrors a JVM boxed representation
+    // (§3.2: 12-16 bytes of header per object).
+    for (const Value& v : values_) total += ApproxSizeOf(v) + 16;
+    return total;
+  }
+
+  Value GetValue(size_t i) const override { return values_[i]; }
+
+  void Decode(std::vector<Value>* out) const override {
+    out->insert(out->end(), values_.begin(), values_.end());
+  }
+
+ private:
+  TypeKind type_;
+  std::vector<Value> values_;
+};
+
+/// Plain primitive array for BIGINT/DATE (one flat array per column: a
+/// single "object", §3.2).
+class Int64PlainChunk final : public ColumnChunk {
+ public:
+  Int64PlainChunk(TypeKind type, std::vector<int64_t> values)
+      : type_(type), values_(std::move(values)) {}
+
+  TypeKind type() const override { return type_; }
+  Encoding encoding() const override { return Encoding::kPlain; }
+  size_t size() const override { return values_.size(); }
+  uint64_t MemoryBytes() const override { return 24 + values_.size() * 8; }
+
+  Value GetValue(size_t i) const override { return Make(values_[i]); }
+
+  void Decode(std::vector<Value>* out) const override {
+    for (int64_t v : values_) out->push_back(Make(v));
+  }
+
+ private:
+  Value Make(int64_t v) const {
+    return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
+  }
+
+  TypeKind type_;
+  std::vector<int64_t> values_;
+};
+
+class DoublePlainChunk final : public ColumnChunk {
+ public:
+  explicit DoublePlainChunk(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  TypeKind type() const override { return TypeKind::kDouble; }
+  Encoding encoding() const override { return Encoding::kPlain; }
+  size_t size() const override { return values_.size(); }
+  uint64_t MemoryBytes() const override { return 24 + values_.size() * 8; }
+
+  Value GetValue(size_t i) const override { return Value::Double(values_[i]); }
+
+  void Decode(std::vector<Value>* out) const override {
+    for (double v : values_) out->push_back(Value::Double(v));
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Strings as one concatenated byte buffer plus offsets (§3.2: complex/varlen
+/// data "serialized and concatenated into a single byte array").
+class StringPlainChunk final : public ColumnChunk {
+ public:
+  explicit StringPlainChunk(const std::vector<Value>& values) {
+    offsets_.reserve(values.size() + 1);
+    offsets_.push_back(0);
+    for (const Value& v : values) {
+      buffer_.append(v.str());
+      offsets_.push_back(static_cast<uint32_t>(buffer_.size()));
+    }
+  }
+
+  TypeKind type() const override { return TypeKind::kString; }
+  Encoding encoding() const override { return Encoding::kPlain; }
+  size_t size() const override { return offsets_.size() - 1; }
+  uint64_t MemoryBytes() const override {
+    return 48 + buffer_.size() + offsets_.size() * 4;
+  }
+
+  Value GetValue(size_t i) const override {
+    return Value::String(
+        buffer_.substr(offsets_[i], offsets_[i + 1] - offsets_[i]));
+  }
+
+ private:
+  std::string buffer_;
+  std::vector<uint32_t> offsets_;
+};
+
+class BoolBitChunk final : public ColumnChunk {
+ public:
+  explicit BoolBitChunk(const std::vector<Value>& values) : bits_(1) {
+    for (const Value& v : values) bits_.Append(v.bool_v() ? 1 : 0);
+  }
+
+  TypeKind type() const override { return TypeKind::kBool; }
+  Encoding encoding() const override { return Encoding::kBitPacked; }
+  size_t size() const override { return bits_.size(); }
+  uint64_t MemoryBytes() const override { return bits_.MemoryBytes(); }
+
+  Value GetValue(size_t i) const override {
+    return Value::Bool(bits_.Get(i) != 0);
+  }
+
+ private:
+  BitPackedArray bits_;
+};
+
+/// Run-length encoding for BIGINT/DATE; random access via binary search over
+/// run start offsets.
+class Int64RleChunk final : public ColumnChunk {
+ public:
+  Int64RleChunk(TypeKind type, const std::vector<Value>& values)
+      : type_(type), size_(values.size()) {
+    size_t i = 0;
+    while (i < values.size()) {
+      int64_t v = values[i].int64_v();
+      size_t j = i;
+      while (j < values.size() && values[j].int64_v() == v) ++j;
+      run_values_.push_back(v);
+      run_starts_.push_back(static_cast<uint32_t>(i));
+      i = j;
+    }
+  }
+
+  TypeKind type() const override { return type_; }
+  Encoding encoding() const override { return Encoding::kRunLength; }
+  size_t size() const override { return size_; }
+  uint64_t MemoryBytes() const override {
+    return 48 + run_values_.size() * 8 + run_starts_.size() * 4;
+  }
+  size_t num_runs() const { return run_values_.size(); }
+
+  Value GetValue(size_t i) const override {
+    auto it = std::upper_bound(run_starts_.begin(), run_starts_.end(),
+                               static_cast<uint32_t>(i));
+    size_t run = static_cast<size_t>(it - run_starts_.begin()) - 1;
+    return Make(run_values_[run]);
+  }
+
+  void Decode(std::vector<Value>* out) const override {
+    for (size_t r = 0; r < run_values_.size(); ++r) {
+      size_t end = r + 1 < run_starts_.size() ? run_starts_[r + 1] : size_;
+      for (size_t i = run_starts_[r]; i < end; ++i) {
+        out->push_back(Make(run_values_[r]));
+      }
+    }
+  }
+
+ private:
+  Value Make(int64_t v) const {
+    return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
+  }
+
+  TypeKind type_;
+  size_t size_;
+  std::vector<int64_t> run_values_;
+  std::vector<uint32_t> run_starts_;
+};
+
+/// Dictionary encoding for strings: distinct values stored once, cells are
+/// bit-packed codes.
+class DictStringChunk final : public ColumnChunk {
+ public:
+  /// Caller guarantees distinct count <= kMaxDict.
+  static constexpr size_t kMaxDict = 4096;
+
+  explicit DictStringChunk(const std::vector<Value>& values)
+      : codes_(BuildCodes(values)) {}
+
+  TypeKind type() const override { return TypeKind::kString; }
+  Encoding encoding() const override { return Encoding::kDictionary; }
+  size_t size() const override { return codes_.size(); }
+
+  uint64_t MemoryBytes() const override {
+    uint64_t dict_bytes = 24;
+    for (const std::string& s : dict_) dict_bytes += 24 + s.size();
+    return dict_bytes + codes_.MemoryBytes();
+  }
+
+  Value GetValue(size_t i) const override {
+    return Value::String(dict_[codes_.Get(i)]);
+  }
+
+  size_t dict_size() const { return dict_.size(); }
+
+ private:
+  BitPackedArray BuildCodes(const std::vector<Value>& values) {
+    std::unordered_map<std::string, uint32_t> index;
+    std::vector<uint32_t> raw;
+    raw.reserve(values.size());
+    for (const Value& v : values) {
+      auto [it, inserted] =
+          index.emplace(v.str(), static_cast<uint32_t>(dict_.size()));
+      if (inserted) dict_.push_back(v.str());
+      raw.push_back(it->second);
+    }
+    SHARK_CHECK(dict_.size() <= kMaxDict);
+    int width = BitPackedArray::WidthFor(dict_.empty() ? 1 : dict_.size() - 1);
+    BitPackedArray codes(width);
+    for (uint32_t c : raw) codes.Append(c);
+    return codes;
+  }
+
+  std::vector<std::string> dict_;
+  BitPackedArray codes_;
+};
+
+/// Bit packing for BIGINT with a small value range: base + packed offsets.
+class Int64BitPackedChunk final : public ColumnChunk {
+ public:
+  Int64BitPackedChunk(TypeKind type, const std::vector<Value>& values,
+                      int64_t base, int width)
+      : type_(type), base_(base), packed_(width) {
+    for (const Value& v : values) {
+      packed_.Append(static_cast<uint64_t>(v.int64_v() - base));
+    }
+  }
+
+  TypeKind type() const override { return type_; }
+  Encoding encoding() const override { return Encoding::kBitPacked; }
+  size_t size() const override { return packed_.size(); }
+  uint64_t MemoryBytes() const override { return 32 + packed_.MemoryBytes(); }
+
+  Value GetValue(size_t i) const override {
+    int64_t v = base_ + static_cast<int64_t>(packed_.Get(i));
+    return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
+  }
+
+ private:
+  TypeKind type_;
+  int64_t base_;
+  BitPackedArray packed_;
+};
+
+bool HasNulls(const std::vector<Value>& values) {
+  for (const Value& v : values) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoder entry points
+// ---------------------------------------------------------------------------
+
+Encoding ChooseEncoding(TypeKind type, const std::vector<Value>& values) {
+  if (values.empty() || HasNulls(values)) return Encoding::kGeneric;
+  switch (type) {
+    case TypeKind::kBool:
+      return Encoding::kBitPacked;
+    case TypeKind::kInt64:
+    case TypeKind::kDate: {
+      size_t runs = 1;
+      int64_t lo = values[0].int64_v();
+      int64_t hi = lo;
+      for (size_t i = 1; i < values.size(); ++i) {
+        int64_t v = values[i].int64_v();
+        if (v != values[i - 1].int64_v()) ++runs;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      // RLE pays off when average run length >= 4.
+      if (runs * 4 <= values.size()) return Encoding::kRunLength;
+      uint64_t range = static_cast<uint64_t>(hi - lo);
+      int width = BitPackedArray::WidthFor(range == 0 ? 1 : range);
+      if (width <= 24) return Encoding::kBitPacked;
+      return Encoding::kPlain;
+    }
+    case TypeKind::kDouble:
+      return Encoding::kPlain;
+    case TypeKind::kString: {
+      std::unordered_set<std::string_view> distinct;
+      for (const Value& v : values) {
+        distinct.insert(v.str());
+        if (distinct.size() > DictStringChunk::kMaxDict) {
+          return Encoding::kPlain;
+        }
+      }
+      // Dictionary pays off when values repeat.
+      if (distinct.size() * 2 <= values.size()) return Encoding::kDictionary;
+      return Encoding::kPlain;
+    }
+    case TypeKind::kNull:
+      return Encoding::kGeneric;
+  }
+  return Encoding::kGeneric;
+}
+
+std::unique_ptr<ColumnChunk> EncodeColumn(TypeKind type,
+                                          const std::vector<Value>& values,
+                                          Encoding encoding) {
+  if (encoding != Encoding::kGeneric && (values.empty() || HasNulls(values))) {
+    encoding = Encoding::kGeneric;
+  }
+  switch (encoding) {
+    case Encoding::kGeneric:
+      return std::make_unique<GenericChunk>(type, values);
+    case Encoding::kPlain:
+      switch (type) {
+        case TypeKind::kInt64:
+        case TypeKind::kDate: {
+          std::vector<int64_t> raw;
+          raw.reserve(values.size());
+          for (const Value& v : values) raw.push_back(v.int64_v());
+          return std::make_unique<Int64PlainChunk>(type, std::move(raw));
+        }
+        case TypeKind::kDouble: {
+          std::vector<double> raw;
+          raw.reserve(values.size());
+          for (const Value& v : values) raw.push_back(v.double_v());
+          return std::make_unique<DoublePlainChunk>(std::move(raw));
+        }
+        case TypeKind::kString:
+          return std::make_unique<StringPlainChunk>(values);
+        default:
+          return std::make_unique<GenericChunk>(type, values);
+      }
+    case Encoding::kRunLength:
+      if (type == TypeKind::kInt64 || type == TypeKind::kDate) {
+        return std::make_unique<Int64RleChunk>(type, values);
+      }
+      return std::make_unique<GenericChunk>(type, values);
+    case Encoding::kDictionary:
+      if (type == TypeKind::kString) {
+        return std::make_unique<DictStringChunk>(values);
+      }
+      return std::make_unique<GenericChunk>(type, values);
+    case Encoding::kBitPacked:
+      if (type == TypeKind::kBool) {
+        return std::make_unique<BoolBitChunk>(values);
+      }
+      if (type == TypeKind::kInt64 || type == TypeKind::kDate) {
+        int64_t lo = values[0].int64_v();
+        int64_t hi = lo;
+        for (const Value& v : values) {
+          lo = std::min(lo, v.int64_v());
+          hi = std::max(hi, v.int64_v());
+        }
+        uint64_t range = static_cast<uint64_t>(hi - lo);
+        int width = BitPackedArray::WidthFor(range == 0 ? 1 : range);
+        return std::make_unique<Int64BitPackedChunk>(type, values, lo, width);
+      }
+      return std::make_unique<GenericChunk>(type, values);
+  }
+  return std::make_unique<GenericChunk>(type, values);
+}
+
+std::unique_ptr<ColumnChunk> EncodeColumnAuto(TypeKind type,
+                                              const std::vector<Value>& values,
+                                              ColumnStats* stats) {
+  if (stats != nullptr) {
+    for (const Value& v : values) stats->Update(v);
+  }
+  return EncodeColumn(type, values, ChooseEncoding(type, values));
+}
+
+}  // namespace shark

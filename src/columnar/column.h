@@ -1,0 +1,90 @@
+#ifndef SHARK_COLUMNAR_COLUMN_H_
+#define SHARK_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace shark {
+
+/// Physical encodings of a column chunk (§3.2: "CPU-efficient compression
+/// schemes such as dictionary encoding, run-length encoding, and bit
+/// packing"). kGeneric is the uncompressed object-per-value fallback used
+/// when a column contains NULLs or mixed types; it also serves as the
+/// "deserialized JVM objects" baseline in the memory-footprint experiments.
+enum class Encoding : uint8_t {
+  kGeneric = 0,
+  kPlain,
+  kRunLength,
+  kDictionary,
+  kBitPacked,
+};
+
+const char* EncodingName(Encoding e);
+
+/// Per-partition, per-column statistics collected while loading, used by map
+/// pruning (§3.5): value range plus the distinct set when small (enum-like
+/// columns).
+struct ColumnStats {
+  Value min;
+  Value max;
+  bool has_range = false;
+  uint64_t null_count = 0;
+  uint64_t num_values = 0;
+
+  /// Distinct values if their count stayed <= kMaxDistinct.
+  static constexpr size_t kMaxDistinct = 64;
+  std::vector<Value> distinct;
+  bool distinct_overflowed = false;
+
+  void Update(const Value& v);
+
+  /// Conservative: false only if no row can equal v.
+  bool MayEqual(const Value& v) const;
+
+  /// Conservative: false only if no row can lie in [lo, hi] (null bounds are
+  /// unbounded ends).
+  bool MayIntersect(const Value* lo, const Value* hi) const;
+};
+
+/// Immutable encoded column of one table partition.
+class ColumnChunk {
+ public:
+  virtual ~ColumnChunk() = default;
+
+  virtual TypeKind type() const = 0;
+  virtual Encoding encoding() const = 0;
+  virtual size_t size() const = 0;
+
+  /// Approximate in-memory footprint in bytes.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Random access (may be O(log runs) for RLE).
+  virtual Value GetValue(size_t i) const = 0;
+
+  /// Sequential decode of the whole chunk into `out` (appended).
+  virtual void Decode(std::vector<Value>* out) const;
+};
+
+/// Encodes `values` (all of `type`, or NULL) with the given encoding.
+/// Falls back to kGeneric when the encoding cannot represent the data
+/// (e.g. NULLs present, or dictionary overflow).
+std::unique_ptr<ColumnChunk> EncodeColumn(TypeKind type,
+                                          const std::vector<Value>& values,
+                                          Encoding encoding);
+
+/// Per-partition local choice of the best encoding (§3.3: each loading task
+/// picks per-column schemes from its own data, no global coordination).
+Encoding ChooseEncoding(TypeKind type, const std::vector<Value>& values);
+
+/// ChooseEncoding + EncodeColumn, also filling `stats` if non-null.
+std::unique_ptr<ColumnChunk> EncodeColumnAuto(TypeKind type,
+                                              const std::vector<Value>& values,
+                                              ColumnStats* stats);
+
+}  // namespace shark
+
+#endif  // SHARK_COLUMNAR_COLUMN_H_

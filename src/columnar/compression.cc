@@ -1,0 +1,48 @@
+#include "columnar/compression.h"
+
+#include "common/logging.h"
+
+namespace shark {
+
+BitPackedArray::BitPackedArray(int width) : width_(width) {
+  SHARK_CHECK(width >= 1 && width <= 64);
+}
+
+void BitPackedArray::Append(uint64_t v) {
+  size_t bit_pos = size_ * static_cast<size_t>(width_);
+  size_t word = bit_pos / 64;
+  int offset = static_cast<int>(bit_pos % 64);
+  while (words_.size() <= word + 1) words_.push_back(0);
+  if (width_ < 64) {
+    SHARK_CHECK(v < (1ULL << width_));
+  }
+  words_[word] |= v << offset;
+  int spill = offset + width_ - 64;
+  if (spill > 0) {
+    words_[word + 1] |= v >> (width_ - spill);
+  }
+  ++size_;
+}
+
+uint64_t BitPackedArray::Get(size_t i) const {
+  size_t bit_pos = i * static_cast<size_t>(width_);
+  size_t word = bit_pos / 64;
+  int offset = static_cast<int>(bit_pos % 64);
+  uint64_t v = words_[word] >> offset;
+  int spill = offset + width_ - 64;
+  if (spill > 0) {
+    v |= words_[word + 1] << (width_ - spill);
+  }
+  if (width_ < 64) {
+    v &= (1ULL << width_) - 1;
+  }
+  return v;
+}
+
+int BitPackedArray::WidthFor(uint64_t max_value) {
+  int w = 1;
+  while (w < 64 && (max_value >> w) != 0) ++w;
+  return w;
+}
+
+}  // namespace shark

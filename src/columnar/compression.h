@@ -1,0 +1,36 @@
+#ifndef SHARK_COLUMNAR_COMPRESSION_H_
+#define SHARK_COLUMNAR_COMPRESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shark {
+
+/// Fixed-width bit-packed array of unsigned integers; the storage primitive
+/// behind boolean columns, dictionary codes and bit-packed integer columns.
+class BitPackedArray {
+ public:
+  /// width in [1, 64].
+  explicit BitPackedArray(int width);
+
+  int width() const { return width_; }
+  size_t size() const { return size_; }
+
+  void Append(uint64_t v);
+  uint64_t Get(size_t i) const;
+
+  uint64_t MemoryBytes() const { return 24 + words_.size() * 8; }
+
+  /// Minimum width able to represent `max_value` (>=1).
+  static int WidthFor(uint64_t max_value);
+
+ private:
+  int width_;
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_COLUMNAR_COMPRESSION_H_

@@ -1,0 +1,60 @@
+#include "columnar/table_partition.h"
+
+#include "common/logging.h"
+
+namespace shark {
+
+std::shared_ptr<const TablePartition> TablePartition::FromRows(
+    const Schema& schema, const std::vector<Row>& rows) {
+  auto part = std::shared_ptr<TablePartition>(new TablePartition());
+  part->num_rows_ = rows.size();
+  int ncols = schema.num_fields();
+  part->stats_.resize(static_cast<size_t>(ncols));
+  part->columns_.reserve(static_cast<size_t>(ncols));
+  std::vector<Value> column;
+  column.reserve(rows.size());
+  for (int c = 0; c < ncols; ++c) {
+    column.clear();
+    for (const Row& r : rows) {
+      SHARK_CHECK(r.size() == ncols);
+      column.push_back(r.Get(c));
+    }
+    part->columns_.push_back(EncodeColumnAuto(
+        schema.field(c).type, column, &part->stats_[static_cast<size_t>(c)]));
+  }
+  return part;
+}
+
+uint64_t TablePartition::MemoryBytes() const {
+  uint64_t total = 64;
+  for (const auto& c : columns_) total += c->MemoryBytes();
+  return total;
+}
+
+std::vector<Row> TablePartition::ToRows(const std::vector<int>* wanted) const {
+  std::vector<Row> rows(num_rows_);
+  for (auto& r : rows) r.fields.resize(columns_.size());
+  auto decode_column = [&](int c) {
+    std::vector<Value> values;
+    values.reserve(num_rows_);
+    columns_[static_cast<size_t>(c)]->Decode(&values);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      rows[i].fields[static_cast<size_t>(c)] = std::move(values[i]);
+    }
+  };
+  if (wanted == nullptr) {
+    for (int c = 0; c < num_columns(); ++c) decode_column(c);
+  } else {
+    for (int c : *wanted) decode_column(c);
+  }
+  return rows;
+}
+
+Row TablePartition::GetRow(size_t i) const {
+  Row r;
+  r.fields.reserve(columns_.size());
+  for (const auto& c : columns_) r.fields.push_back(c->GetValue(i));
+  return r;
+}
+
+}  // namespace shark

@@ -1,0 +1,60 @@
+#ifndef SHARK_COLUMNAR_TABLE_PARTITION_H_
+#define SHARK_COLUMNAR_TABLE_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "columnar/column.h"
+#include "relation/row.h"
+#include "relation/types.h"
+
+namespace shark {
+
+/// One partition of a cached table in Shark's columnar memory store (§3.2):
+/// every column encoded independently (per-partition scheme choice, §3.3)
+/// plus the per-column statistics map pruning consults (§3.5).
+class TablePartition {
+ public:
+  /// Marshals rows into columnar form, choosing encodings per column.
+  static std::shared_ptr<const TablePartition> FromRows(
+      const Schema& schema, const std::vector<Row>& rows);
+
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const ColumnChunk& column(int i) const { return *columns_[static_cast<size_t>(i)]; }
+  const ColumnStats& stats(int i) const { return stats_[static_cast<size_t>(i)]; }
+
+  /// Total footprint of the partition.
+  uint64_t MemoryBytes() const;
+  /// Footprint of a single column (drives column-pruned scan costs).
+  uint64_t ColumnBytes(int i) const {
+    return columns_[static_cast<size_t>(i)]->MemoryBytes();
+  }
+
+  /// Materializes rows. If `wanted` is non-null, only those column indices
+  /// are decoded; the rest are NULL (column pruning keeps row arity stable
+  /// so expression slot bindings stay valid).
+  std::vector<Row> ToRows(const std::vector<int>* wanted) const;
+
+  Row GetRow(size_t i) const;
+
+ private:
+  TablePartition() = default;
+
+  size_t num_rows_ = 0;
+  std::vector<std::unique_ptr<ColumnChunk>> columns_;
+  std::vector<ColumnStats> stats_;
+};
+
+/// Shared handle used as the RDD element type for cached tables.
+using TablePartitionPtr = std::shared_ptr<const TablePartition>;
+
+inline uint64_t ApproxSizeOf(const TablePartitionPtr& p) {
+  return p == nullptr ? 8 : p->MemoryBytes();
+}
+
+}  // namespace shark
+
+#endif  // SHARK_COLUMNAR_TABLE_PARTITION_H_

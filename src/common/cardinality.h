@@ -1,0 +1,96 @@
+#ifndef SHARK_COMMON_CARDINALITY_H_
+#define SHARK_COMMON_CARDINALITY_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace shark {
+
+/// Estimates how a distinct-value count grows when a sample of `n` draws
+/// (which contained `d` distinct values) is scaled to `n * scale` draws from
+/// the same key population.
+///
+/// Used to translate scaled-down benchmark runs into paper-sized virtual
+/// costs at aggregation boundaries: a map-side combiner's output is bounded
+/// by the number of distinct keys its task sees, which saturates — it does
+/// NOT grow linearly with the input rows. Under a uniform-draw model the
+/// expected distinct count from a population of K keys is
+///   d(n) = K * (1 - exp(-n / K)),
+/// so we invert that for K from the observed (n, d) (a birthday-paradox
+/// estimate) and evaluate d(n * scale) / d(n).
+///
+/// Returns a factor in [1, scale]. Degenerate inputs (no data, scale <= 1,
+/// d == n with no observed collisions) fall back to the linear answer.
+inline double DistinctGrowthFactor(double n, double d, double scale) {
+  if (scale <= 1.0 || n <= 0.0 || d <= 0.0) return std::max(scale, 1.0);
+  d = std::min(d, n);
+  // No collisions observed: the sample gives no evidence of saturation.
+  if (n - d < 0.5) return scale;
+  // Solve d = K (1 - exp(-n/K)) for K by bisection on K in [d, huge].
+  double lo = d;             // K >= d always
+  double hi = n * n / (2.0 * (n - d)) * 4.0 + d;  // beyond the Taylor estimate
+  for (int iter = 0; iter < 60; ++iter) {
+    double k = 0.5 * (lo + hi);
+    double expected = k * (1.0 - std::exp(-n / k));
+    if (expected < d) {
+      lo = k;
+    } else {
+      hi = k;
+    }
+  }
+  double k = 0.5 * (lo + hi);
+  double d_virtual = k * (1.0 - std::exp(-(n * scale) / k));
+  double factor = d_virtual / d;
+  return std::clamp(factor, 1.0, scale);
+}
+
+/// Distinct statistics of a key sample, split into its first and second half
+/// in arrival order. The halves discriminate two populations that plain
+/// collision counting cannot tell apart:
+///   - fixed population (country codes, ship modes, a bounded set of IPs):
+///     the halves share keys roughly as independent draws would;
+///   - growing population (order keys, session ids — cardinality
+///     proportional to data size, usually arriving clustered): the halves
+///     are nearly disjoint even though each key repeats locally.
+struct SampleCardinality {
+  double n = 0;        // sample size
+  double d = 0;        // distinct keys overall
+  double d_first = 0;  // distinct keys in the first half
+  double d_second = 0; // distinct keys in the second half
+  double overlap = 0;  // keys present in both halves
+};
+
+/// DistinctGrowthFactor refined with the split-overlap test: if a fixed-K
+/// population fitted to the collision rate would predict far more overlap
+/// between the halves than observed, the key population is segmented /
+/// growing — extrapolate with the observed power law d(n) ~ n^alpha instead
+/// of the saturating fixed-K curve. Returns a factor in [1, scale].
+inline double DistinctGrowthFactorSplit(const SampleCardinality& s,
+                                        double scale) {
+  if (scale <= 1.0 || s.n <= 0.0 || s.d <= 0.0) return std::max(scale, 1.0);
+  double fixed_k = DistinctGrowthFactor(s.n, s.d, scale);
+  // Fit K to the collision rate, then predict the overlap two independent
+  // halves of a fixed-K population would show.
+  double n = s.n, d = std::min(s.d, s.n);
+  if (n - d >= 0.5 && s.d_first > 0 && s.d_second > 0) {
+    double lo = d, hi = n * n / (2.0 * (n - d)) * 4.0 + d;
+    for (int iter = 0; iter < 60; ++iter) {
+      double k = 0.5 * (lo + hi);
+      (k * (1.0 - std::exp(-n / k)) < d ? lo : hi) = k;
+    }
+    double k_hat = 0.5 * (lo + hi);
+    double expected_overlap = s.d_first * s.d_second / k_hat;
+    if (expected_overlap >= 4.0 && s.overlap < 0.25 * expected_overlap) {
+      // Segmented population: d grows like n^alpha with
+      // alpha = log2(d(n) / d(n/2)).
+      double r = s.d / std::max(std::max(s.d_first, s.d_second), 1.0);
+      double alpha = std::clamp(std::log2(std::max(r, 1.0)), 0.0, 1.0);
+      return std::clamp(std::pow(scale, alpha), 1.0, scale);
+    }
+  }
+  return fixed_k;
+}
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_CARDINALITY_H_

@@ -1,0 +1,55 @@
+#ifndef SHARK_COMMON_HASH_H_
+#define SHARK_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace shark {
+
+/// 64-bit FNV-1a. Used for shuffle partitioning and hash joins; stable across
+/// runs and platforms, which keeps partition assignment deterministic (a
+/// requirement for lineage-based recovery: a recomputed map task must send the
+/// same records to the same reducers).
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+inline uint64_t HashInt64(int64_t v) {
+  // Finalizer from MurmurHash3: good avalanche for sequential keys.
+  uint64_t h = static_cast<uint64_t>(v);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline uint64_t HashDouble(double v) {
+  if (v == 0.0) v = 0.0;  // normalize -0.0
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashInt64(static_cast<int64_t>(bits));
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_HASH_H_

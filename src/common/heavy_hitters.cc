@@ -1,0 +1,75 @@
+#include "common/heavy_hitters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace shark {
+
+HeavyHitters::HeavyHitters(size_t capacity) : capacity_(capacity) {
+  SHARK_CHECK(capacity >= 1);
+}
+
+void HeavyHitters::Add(uint64_t key, uint64_t weight) {
+  total_ += weight;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.first += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, std::make_pair(weight, uint64_t{0}));
+    return;
+  }
+  EvictAndInsert(key, weight);
+}
+
+void HeavyHitters::EvictAndInsert(uint64_t key, uint64_t weight) {
+  // SpaceSaving: replace the minimum-count entry; the newcomer inherits the
+  // evicted count as its error bound.
+  auto min_it = counts_.begin();
+  for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+    if (it->second.first < min_it->second.first) min_it = it;
+  }
+  uint64_t min_count = min_it->second.first;
+  counts_.erase(min_it);
+  counts_.emplace(key, std::make_pair(min_count + weight, min_count));
+}
+
+void HeavyHitters::Merge(const HeavyHitters& other) {
+  for (const auto& [key, ce] : other.counts_) {
+    auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      it->second.first += ce.first;
+      it->second.second += ce.second;
+    } else if (counts_.size() < capacity_) {
+      counts_.emplace(key, ce);
+    } else {
+      EvictAndInsert(key, ce.first);
+    }
+  }
+  total_ += other.total_;
+}
+
+std::vector<HeavyHitters::Entry> HeavyHitters::TopK(size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [key, ce] : counts_) {
+    entries.push_back(Entry{key, ce.first, ce.second});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+uint64_t HeavyHitters::LowerBound(uint64_t key) const {
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return 0;
+  uint64_t count = it->second.first;
+  uint64_t error = it->second.second;
+  return count > error ? count - error : 0;
+}
+
+}  // namespace shark

@@ -1,0 +1,163 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace shark {
+
+ApproxHistogram::ApproxHistogram(int bucket_count)
+    : target_buckets_(bucket_count),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  SHARK_CHECK(bucket_count >= 2);
+}
+
+void ApproxHistogram::Add(double v) {
+  ++count_;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  if (!built_) {
+    buffer_.push_back(v);
+    if (buffer_.size() > static_cast<size_t>(2 * target_buckets_)) Build();
+    return;
+  }
+  if (v < lo_ || v >= lo_ + width_ * static_cast<double>(buckets_.size())) {
+    ExpandToInclude(v);
+  }
+  AddToBuckets(v, 1);
+}
+
+void ApproxHistogram::Build() {
+  built_ = true;
+  buckets_.assign(static_cast<size_t>(target_buckets_), 0);
+  double span = max_ - min_;
+  if (span <= 0.0) span = 1.0;
+  lo_ = min_;
+  width_ = span / static_cast<double>(target_buckets_) * (1.0 + 1e-9);
+  for (double v : buffer_) AddToBuckets(v, 1);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+void ApproxHistogram::AddToBuckets(double v, uint64_t weight) {
+  double idx = (v - lo_) / width_;
+  auto i = static_cast<long>(idx);
+  if (i < 0) i = 0;
+  if (i >= static_cast<long>(buckets_.size())) {
+    i = static_cast<long>(buckets_.size()) - 1;
+  }
+  buckets_[static_cast<size_t>(i)] += weight;
+}
+
+void ApproxHistogram::ExpandToInclude(double v) {
+  // Double the bucket width (merging pairs) until v fits, growing toward the
+  // needed side by shifting lo_ when expanding left.
+  while (v < lo_ || v >= lo_ + width_ * static_cast<double>(buckets_.size())) {
+    std::vector<uint64_t> merged(buckets_.size(), 0);
+    bool grow_left = v < lo_;
+    double new_lo = grow_left
+                        ? lo_ - width_ * static_cast<double>(buckets_.size())
+                        : lo_;
+    double new_width = width_ * 2.0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      double center = BucketLow(i) + width_ * 0.5;
+      double idx = (center - new_lo) / new_width;
+      auto j = static_cast<long>(idx);
+      if (j < 0) j = 0;
+      if (j >= static_cast<long>(merged.size())) {
+        j = static_cast<long>(merged.size()) - 1;
+      }
+      merged[static_cast<size_t>(j)] += buckets_[i];
+    }
+    buckets_ = std::move(merged);
+    lo_ = new_lo;
+    width_ = new_width;
+  }
+}
+
+void ApproxHistogram::Merge(const ApproxHistogram& other) {
+  if (other.count_ == 0) return;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  if (!other.built_) {
+    for (double v : other.buffer_) {
+      // count_/min_/max_ already merged above; insert value weightlessly.
+      if (!built_) {
+        buffer_.push_back(v);
+        if (buffer_.size() > static_cast<size_t>(2 * target_buckets_)) Build();
+      } else {
+        if (v < lo_ ||
+            v >= lo_ + width_ * static_cast<double>(buckets_.size())) {
+          ExpandToInclude(v);
+        }
+        AddToBuckets(v, 1);
+      }
+    }
+    return;
+  }
+  if (!built_) Build();
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i] == 0) continue;
+    double center = other.BucketLow(i) + other.width_ * 0.5;
+    if (center < lo_ ||
+        center >= lo_ + width_ * static_cast<double>(buckets_.size())) {
+      ExpandToInclude(center);
+    }
+    AddToBuckets(center, other.buckets_[i]);
+  }
+}
+
+double ApproxHistogram::EstimateRank(double v) const {
+  if (count_ == 0) return 0.0;
+  if (!built_) {
+    double below = 0;
+    for (double x : buffer_) {
+      if (x <= v) below += 1.0;
+    }
+    return below;
+  }
+  double rank = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double blo = BucketLow(i);
+    double bhi = blo + width_;
+    if (v >= bhi) {
+      rank += static_cast<double>(buckets_[i]);
+    } else if (v > blo) {
+      rank += static_cast<double>(buckets_[i]) * (v - blo) / width_;
+    }
+  }
+  return rank;
+}
+
+double ApproxHistogram::EstimateQuantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (!built_) {
+    std::vector<double> sorted(buffer_);
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+  double target = q * static_cast<double>(count_);
+  double acc = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double b = static_cast<double>(buckets_[i]);
+    if (acc + b >= target) {
+      double frac = b > 0 ? (target - acc) / b : 0.0;
+      return BucketLow(i) + frac * width_;
+    }
+    acc += b;
+  }
+  return max_;
+}
+
+double ApproxHistogram::EstimateRangeCount(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  return EstimateRank(hi) - EstimateRank(lo);
+}
+
+}  // namespace shark

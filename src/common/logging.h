@@ -1,0 +1,69 @@
+#ifndef SHARK_COMMON_LOGGING_H_
+#define SHARK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace shark {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction. Used via the SHARK_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts the process. Used by SHARK_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace shark
+
+#define SHARK_LOG(level)                                              \
+  if (::shark::LogLevel::level >= ::shark::GetLogLevel())             \
+  ::shark::internal_logging::LogMessage(::shark::LogLevel::level,     \
+                                        __FILE__, __LINE__)
+
+/// Invariant check; always on (used for internal invariants, not user input).
+#define SHARK_CHECK(cond)                                                  \
+  if (!(cond))                                                             \
+  ::shark::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#endif  // SHARK_COMMON_LOGGING_H_

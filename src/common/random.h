@@ -1,0 +1,81 @@
+#ifndef SHARK_COMMON_RANDOM_H_
+#define SHARK_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace shark {
+
+/// Deterministic, fast pseudo-random generator (xorshift128+). Every workload
+/// generator and the cluster simulator take an explicit seed so that test and
+/// benchmark runs are reproducible bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t NextUint64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed value in [0, n): rank drawn with probability ~ 1/rank^s
+  /// using inverse-CDF approximation; adequate for skew-injection workloads.
+  uint64_t Zipf(uint64_t n, double s) {
+    // Approximate inverse CDF of a Zipf(s) distribution over [1, n].
+    double u = NextDouble();
+    if (s == 1.0) s = 1.0000001;
+    double t = (__builtin_pow(static_cast<double>(n), 1.0 - s) - 1.0) * u + 1.0;
+    double rank = __builtin_pow(t, 1.0 / (1.0 - s));
+    uint64_t r = static_cast<uint64_t>(rank);
+    if (r >= n) r = n - 1;
+    return r;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_RANDOM_H_

@@ -1,0 +1,29 @@
+#include "common/size_encoding.h"
+
+#include <cmath>
+
+namespace shark {
+
+namespace {
+// base^254 = kMaxSize  =>  base = kMaxSize^(1/254) ~= 1.103.
+const double kLogBase = std::log(static_cast<double>(SizeEncoding::kMaxSize)) / 254.0;
+}  // namespace
+
+uint8_t SizeEncoding::Encode(uint64_t bytes) {
+  if (bytes == 0) return 0;
+  if (bytes >= kMaxSize) return 255;
+  // code-1 = ln(bytes)/kLogBase, rounded to the nearest code.
+  double code = std::log(static_cast<double>(bytes)) / kLogBase + 1.0;
+  long rounded = std::lround(code);
+  if (rounded < 1) rounded = 1;
+  if (rounded > 255) rounded = 255;
+  return static_cast<uint8_t>(rounded);
+}
+
+uint64_t SizeEncoding::Decode(uint8_t code) {
+  if (code == 0) return 0;
+  double v = std::exp(kLogBase * static_cast<double>(code - 1));
+  return static_cast<uint64_t>(std::llround(v));
+}
+
+}  // namespace shark

@@ -1,0 +1,127 @@
+#ifndef SHARK_COMMON_STATUS_H_
+#define SHARK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace shark {
+
+/// Error codes used across the library. Follows the RocksDB/Arrow convention of
+/// returning a Status (or Result<T>) instead of throwing exceptions across
+/// module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kAnalysisError,
+  kExecutionError,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+};
+
+/// A lightweight success/error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a (non-OK) Status keeps call sites
+  /// terse: `return value;` or `return Status::ParseError(...)`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace shark
+
+/// Propagates a non-OK Status from an expression producing a Status.
+#define SHARK_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::shark::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates an expression producing Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define SHARK_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value();
+
+#define SHARK_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define SHARK_ASSIGN_OR_RETURN_CONCAT(x, y) SHARK_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define SHARK_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  SHARK_ASSIGN_OR_RETURN_IMPL(                                                \
+      SHARK_ASSIGN_OR_RETURN_CONCAT(_shark_result_, __LINE__), lhs, rexpr)
+
+#endif  // SHARK_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef SHARK_COMMON_STRING_UTIL_H_
+#define SHARK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shark {
+
+/// Splits `s` on `delim`; keeps empty fields (CSV-style semantics).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords / identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Parses a full string as int64/double; returns false on trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Human-readable byte count, e.g. "1.5 GB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-precision double formatting (printf "%.*f").
+std::string FormatDouble(double v, int precision);
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,65 @@
+#include "hive/hive_engine.h"
+
+namespace shark {
+
+ClusterConfig HadoopClusterConfig(const ClusterConfig& shark_config) {
+  ClusterConfig cfg = shark_config;
+  cfg.profile = EngineProfile::Hadoop();
+  return cfg;
+}
+
+void ApplyHiveOptions(SharkSession* session, const HiveConfig& config) {
+  ExecOptions& opts = session->options();
+  opts.pde = false;
+  opts.join_opt = JoinOptimization::kStatic;
+  opts.map_pruning = false;     // no memory store, no partition statistics
+  opts.use_copartition = false;  // HDFS is schema-agnostic (§3.4)
+  if (config.num_reducers > 0) {
+    opts.static_reducers = config.num_reducers;
+    opts.bytes_per_reducer = 0;
+  } else {
+    opts.static_reducers = 0;
+    opts.bytes_per_reducer = config.bytes_per_reducer;
+  }
+  // Hive never broadcasts without statistics; keep a conservative threshold
+  // so only tiny catalog-known tables map-join.
+  opts.broadcast_threshold_bytes = 32ULL * 1024 * 1024;
+}
+
+int HiveReducerHeuristic(uint64_t input_virtual_bytes,
+                         uint64_t bytes_per_reducer) {
+  if (bytes_per_reducer == 0) return 1;
+  uint64_t reducers =
+      (input_virtual_bytes + bytes_per_reducer - 1) / bytes_per_reducer;
+  return reducers < 1 ? 1 : static_cast<int>(reducers);
+}
+
+Status MirrorDfsTables(SharkSession* src, SharkSession* dst) {
+  for (const std::string& name : src->catalog().TableNames()) {
+    SHARK_ASSIGN_OR_RETURN(const TableInfo* info, src->catalog().Get(name));
+    if (info->dfs_file.empty()) continue;  // memory-only tables don't mirror
+    if (dst->catalog().Exists(name)) continue;
+    TableInfo copy;
+    copy.name = info->name;
+    copy.schema = info->schema;
+    copy.dfs_file = info->dfs_file;
+    copy.format = info->format;
+    copy.approx_rows = info->approx_rows;
+    copy.approx_bytes = info->approx_bytes;
+    SHARK_RETURN_NOT_OK(dst->catalog().CreateTable(std::move(copy)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SharkSession>> MakeHiveSession(
+    SharkSession* shark_session, const HiveConfig& config) {
+  ClusterConfig cfg = HadoopClusterConfig(shark_session->context().config());
+  auto ctx = std::make_shared<ClusterContext>(
+      cfg, shark_session->shared_context()->shared_dfs());
+  auto session = std::make_unique<SharkSession>(std::move(ctx));
+  ApplyHiveOptions(session.get(), config);
+  SHARK_RETURN_NOT_OK(MirrorDfsTables(shark_session, session.get()));
+  return session;
+}
+
+}  // namespace shark

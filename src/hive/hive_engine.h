@@ -1,0 +1,50 @@
+#ifndef SHARK_HIVE_HIVE_ENGINE_H_
+#define SHARK_HIVE_HIVE_ENGINE_H_
+
+#include <memory>
+
+#include "sql/session.h"
+
+namespace shark {
+
+/// Configuration of the Hive/Hadoop baseline (§6.1): Hive compiles the same
+/// logical plans into MapReduce job chains; here that means the Hadoop
+/// engine profile (large task launch overhead, heartbeat scheduling, sorted
+/// on-disk shuffles, per-stage DFS materialization, no memory store, no PDE)
+/// plus Hive's static reducer-count heuristic.
+struct HiveConfig {
+  /// Hand-tuned reducer count ("Hive (tuned)" in Fig 7); 0 = use the
+  /// bytes-per-reducer heuristic, which the paper observes frequently picks
+  /// catastrophically few reducers.
+  int num_reducers = 0;
+
+  /// hive.exec.reducers.bytes.per.reducer (1 GB default in Hive 0.9).
+  uint64_t bytes_per_reducer = 1ULL << 30;
+};
+
+/// Builds the Hadoop-profile cluster configuration corresponding to a Shark
+/// cluster configuration (same hardware, nodes and data scale).
+ClusterConfig HadoopClusterConfig(const ClusterConfig& shark_config);
+
+/// Creates a Hive session running on its own Hadoop-profile cluster but
+/// sharing the DFS with `shark_session`, with all of the Shark catalog's
+/// DFS-backed tables mirrored so both engines query the same warehouse.
+Result<std::unique_ptr<SharkSession>> MakeHiveSession(
+    SharkSession* shark_session, const HiveConfig& config = HiveConfig());
+
+/// Applies Hive execution options (static join/reducer selection; the
+/// reducer heuristic) to a session. Exposed separately for tests.
+void ApplyHiveOptions(SharkSession* session, const HiveConfig& config);
+
+/// Hive's reducer heuristic: ceil(input_bytes / bytes_per_reducer),
+/// clamped to >= 1.
+int HiveReducerHeuristic(uint64_t input_virtual_bytes,
+                         uint64_t bytes_per_reducer);
+
+/// Copies every DFS-backed table definition from `src`'s catalog into
+/// `dst`'s (cached state is not mirrored; Hive has no memory store).
+Status MirrorDfsTables(SharkSession* src, SharkSession* dst);
+
+}  // namespace shark
+
+#endif  // SHARK_HIVE_HIVE_ENGINE_H_

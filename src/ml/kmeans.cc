@@ -1,0 +1,103 @@
+#include "ml/kmeans.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace shark {
+
+int KMeans::Assign(const std::vector<MlVector>& centroids, const MlVector& x) {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double d = SquaredDistance(centroids[c], x);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+Result<KMeans::Model> KMeans::Train(ClusterContext* ctx,
+                                    const RddPtr<MlVector>& points,
+                                    int dimensions, const Options& options) {
+  SHARK_CHECK(options.k >= 1);
+  Model model;
+  Random rng(options.seed);
+  model.centroids.resize(static_cast<size_t>(options.k));
+  for (auto& c : model.centroids) {
+    c.resize(static_cast<size_t>(dimensions));
+    for (double& v : c) v = rng.NextDouble();
+  }
+
+  struct ClusterPartial {
+    MlVector sum;
+    uint64_t count = 0;
+    double inertia = 0.0;
+  };
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double t0 = ctx->now();
+    std::vector<MlVector> centroids = model.centroids;
+    int k = options.k;
+    auto partials = points->MapPartitions(
+        [centroids, dimensions, k](int, const std::vector<MlVector>& in,
+                                   TaskContext* tctx) {
+          // Flattened per-cluster (sum, count, inertia): one row of
+          // (k*(D+2)) doubles per partition keeps the shuffle tiny.
+          std::vector<MlVector> acc(static_cast<size_t>(k));
+          std::vector<uint64_t> counts(static_cast<size_t>(k), 0);
+          double inertia = 0.0;
+          for (auto& a : acc) a.assign(static_cast<size_t>(dimensions), 0.0);
+          for (const MlVector& x : in) {
+            int c = KMeans::Assign(centroids, x);
+            AddInPlace(&acc[static_cast<size_t>(c)], x);
+            counts[static_cast<size_t>(c)] += 1;
+            inertia += SquaredDistance(centroids[static_cast<size_t>(c)], x);
+          }
+          // k distance evaluations (3 flops per dim) plus the accumulate.
+          tctx->work().flops += in.size() *
+                                static_cast<uint64_t>(k) *
+                                static_cast<uint64_t>(dimensions) * 3;
+          tctx->work().rows_processed += in.size();
+          std::vector<MlVector> out;
+          for (int c = 0; c < k; ++c) {
+            MlVector row = acc[static_cast<size_t>(c)];
+            row.push_back(static_cast<double>(counts[static_cast<size_t>(c)]));
+            row.push_back(c == 0 ? inertia : 0.0);
+            out.push_back(std::move(row));
+          }
+          return out;
+        },
+        "kmeansAssign");
+    SHARK_ASSIGN_OR_RETURN(std::vector<MlVector> rows, ctx->Collect(partials));
+
+    std::vector<ClusterPartial> merged(static_cast<size_t>(options.k));
+    for (auto& m : merged) m.sum.assign(static_cast<size_t>(dimensions), 0.0);
+    double inertia = 0.0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      size_t c = i % static_cast<size_t>(options.k);
+      const MlVector& row = rows[i];
+      SHARK_CHECK(row.size() == static_cast<size_t>(dimensions) + 2);
+      for (int d = 0; d < dimensions; ++d) {
+        merged[c].sum[static_cast<size_t>(d)] += row[static_cast<size_t>(d)];
+      }
+      merged[c].count += static_cast<uint64_t>(row[static_cast<size_t>(dimensions)]);
+      inertia += row[static_cast<size_t>(dimensions) + 1];
+    }
+    for (int c = 0; c < options.k; ++c) {
+      if (merged[static_cast<size_t>(c)].count == 0) continue;  // keep old centroid
+      MlVector next = merged[static_cast<size_t>(c)].sum;
+      ScaleInPlace(&next,
+                   1.0 / static_cast<double>(merged[static_cast<size_t>(c)].count));
+      model.centroids[static_cast<size_t>(c)] = std::move(next);
+    }
+    model.inertia = inertia;
+    model.iteration_seconds.push_back(ctx->now() - t0);
+  }
+  return model;
+}
+
+}  // namespace shark

@@ -1,0 +1,40 @@
+#ifndef SHARK_ML_KMEANS_H_
+#define SHARK_ML_KMEANS_H_
+
+#include <vector>
+
+#include "ml/vector_ops.h"
+#include "rdd/context.h"
+
+namespace shark {
+
+/// Lloyd's k-means over an RDD of points (§6.5): each iteration assigns
+/// points to the nearest centroid and emits per-cluster partial sums; the
+/// driver recomputes centroids. More CPU-bound than logistic regression
+/// (k x D distance evaluations per point), which is why the paper sees a
+/// smaller (but still ~30x) speedup over Hadoop.
+class KMeans {
+ public:
+  struct Options {
+    int k = 10;
+    int iterations = 10;
+    uint64_t seed = 42;
+  };
+
+  struct Model {
+    std::vector<MlVector> centroids;
+    double inertia = 0.0;  // sum of squared distances at the last iteration
+    std::vector<double> iteration_seconds;
+  };
+
+  static Result<Model> Train(ClusterContext* ctx,
+                             const RddPtr<MlVector>& points, int dimensions,
+                             const Options& options);
+
+  /// Index of the nearest centroid.
+  static int Assign(const std::vector<MlVector>& centroids, const MlVector& x);
+};
+
+}  // namespace shark
+
+#endif  // SHARK_ML_KMEANS_H_

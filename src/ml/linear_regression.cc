@@ -1,0 +1,51 @@
+#include "ml/linear_regression.h"
+
+#include "common/random.h"
+
+namespace shark {
+
+Result<LinearRegression::Model> LinearRegression::Train(
+    ClusterContext* ctx, const RddPtr<LabeledPoint>& points, int dimensions,
+    const Options& options) {
+  Model model;
+  Random rng(options.seed);
+  model.weights.assign(static_cast<size_t>(dimensions), 0.0);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double t0 = ctx->now();
+    MlVector w = model.weights;
+    auto partials = points->MapPartitions(
+        [w, dimensions](int, const std::vector<LabeledPoint>& in,
+                        TaskContext* tctx) {
+          MlVector grad(static_cast<size_t>(dimensions), 0.0);
+          uint64_t count = 0;
+          for (const LabeledPoint& p : in) {
+            double err = Dot(w, p.x) - p.y;
+            Axpy(err, p.x, &grad);
+            ++count;
+          }
+          tctx->work().flops +=
+              in.size() * static_cast<uint64_t>(dimensions) * 4;
+          tctx->work().rows_processed += in.size();
+          grad.push_back(static_cast<double>(count));
+          return std::vector<MlVector>{grad};
+        },
+        "linregGradient");
+    SHARK_ASSIGN_OR_RETURN(std::vector<MlVector> grads, ctx->Collect(partials));
+    MlVector total(static_cast<size_t>(dimensions), 0.0);
+    double n = 0.0;
+    for (const MlVector& g : grads) {
+      for (int d = 0; d < dimensions; ++d) {
+        total[static_cast<size_t>(d)] += g[static_cast<size_t>(d)];
+      }
+      n += g[static_cast<size_t>(dimensions)];
+    }
+    if (n > 0) {
+      Axpy(-options.learning_rate / n, total, &model.weights);
+    }
+    model.iteration_seconds.push_back(ctx->now() - t0);
+  }
+  return model;
+}
+
+}  // namespace shark

@@ -1,0 +1,38 @@
+#ifndef SHARK_ML_LINEAR_REGRESSION_H_
+#define SHARK_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/vector_ops.h"
+#include "rdd/context.h"
+
+namespace shark {
+
+/// Least-squares linear regression by batch gradient descent over an RDD of
+/// labeled points (one of the "basic machine learning algorithms" Shark
+/// ships, §4.1).
+class LinearRegression {
+ public:
+  struct Options {
+    int iterations = 10;
+    double learning_rate = 0.1;
+    uint64_t seed = 42;
+  };
+
+  struct Model {
+    MlVector weights;
+    std::vector<double> iteration_seconds;
+  };
+
+  static Result<Model> Train(ClusterContext* ctx,
+                             const RddPtr<LabeledPoint>& points, int dimensions,
+                             const Options& options);
+
+  static double Predict(const MlVector& weights, const MlVector& x) {
+    return Dot(weights, x);
+  }
+};
+
+}  // namespace shark
+
+#endif  // SHARK_ML_LINEAR_REGRESSION_H_

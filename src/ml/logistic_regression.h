@@ -1,0 +1,41 @@
+#ifndef SHARK_ML_LOGISTIC_REGRESSION_H_
+#define SHARK_ML_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/vector_ops.h"
+#include "rdd/context.h"
+
+namespace shark {
+
+/// Batch-gradient-descent logistic regression over an RDD of labeled points
+/// (§4, Listing 1): each iteration maps a gradient contribution over every
+/// point and reduces the sum on the driver, then updates the weights. When
+/// the input RDD is cached, iterations after the first run at memory speed —
+/// the core of the Fig 11 comparison.
+class LogisticRegression {
+ public:
+  struct Options {
+    int iterations = 10;
+    double learning_rate = 1.0;
+    uint64_t seed = 42;
+  };
+
+  struct Model {
+    MlVector weights;
+    /// Virtual seconds per iteration.
+    std::vector<double> iteration_seconds;
+  };
+
+  /// Labels must be +1/-1.
+  static Result<Model> Train(ClusterContext* ctx,
+                             const RddPtr<LabeledPoint>& points, int dimensions,
+                             const Options& options);
+
+  /// P(y=+1 | x) under the model.
+  static double Predict(const MlVector& weights, const MlVector& x);
+};
+
+}  // namespace shark
+
+#endif  // SHARK_ML_LOGISTIC_REGRESSION_H_

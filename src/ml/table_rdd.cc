@@ -1,0 +1,61 @@
+#include "ml/table_rdd.h"
+
+namespace shark {
+
+RddPtr<MlVector> MapRows(const TableRdd& table,
+                         std::function<MlVector(const Row&)> fn) {
+  return table.rdd->Map([fn](const Row& r) { return fn(r); }, "mapRows");
+}
+
+namespace {
+
+Result<std::vector<int>> ResolveColumns(const Schema& schema,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> out;
+  for (const std::string& name : names) {
+    int idx = schema.FieldIndex(name);
+    if (idx < 0) return Status::AnalysisError("unknown column: " + name);
+    if (!IsNumericLike(schema.field(idx).type)) {
+      return Status::AnalysisError("column is not numeric: " + name);
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RddPtr<LabeledPoint>> RowsToLabeledPoints(
+    const TableRdd& table, const std::string& label_column,
+    const std::vector<std::string>& feature_columns) {
+  SHARK_ASSIGN_OR_RETURN(std::vector<int> features,
+                         ResolveColumns(table.schema, feature_columns));
+  SHARK_ASSIGN_OR_RETURN(std::vector<int> label,
+                         ResolveColumns(table.schema, {label_column}));
+  int label_idx = label[0];
+  return RddPtr<LabeledPoint>(table.rdd->Map(
+      [features, label_idx](const Row& r) {
+        LabeledPoint p;
+        p.x.reserve(features.size());
+        for (int c : features) p.x.push_back(r.Get(c).AsDouble());
+        p.y = r.Get(label_idx).AsDouble();
+        return p;
+      },
+      "toLabeledPoints"));
+}
+
+Result<RddPtr<MlVector>> RowsToVectors(
+    const TableRdd& table, const std::vector<std::string>& feature_columns) {
+  SHARK_ASSIGN_OR_RETURN(std::vector<int> features,
+                         ResolveColumns(table.schema, feature_columns));
+  return RddPtr<MlVector>(table.rdd->Map(
+      [features](const Row& r) {
+        MlVector x;
+        x.reserve(features.size());
+        for (int c : features) x.push_back(r.Get(c).AsDouble());
+        return x;
+      },
+      "toVectors"));
+}
+
+}  // namespace shark

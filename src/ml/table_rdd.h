@@ -1,0 +1,31 @@
+#ifndef SHARK_ML_TABLE_RDD_H_
+#define SHARK_ML_TABLE_RDD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/vector_ops.h"
+#include "sql/session.h"
+
+namespace shark {
+
+/// The mapRows bridge from Listing 1 of the paper: feature extraction over a
+/// SQL query's distributed result, staying in the same lineage graph so the
+/// whole SQL+ML pipeline shares workers, caching and fault recovery (§4.2).
+RddPtr<MlVector> MapRows(const TableRdd& table,
+                         std::function<MlVector(const Row&)> fn);
+
+/// Convenience: extracts LabeledPoint{features, label} from named columns.
+/// Every column must be numeric; missing columns fail.
+Result<RddPtr<LabeledPoint>> RowsToLabeledPoints(
+    const TableRdd& table, const std::string& label_column,
+    const std::vector<std::string>& feature_columns);
+
+/// Extracts plain feature vectors (k-means input).
+Result<RddPtr<MlVector>> RowsToVectors(
+    const TableRdd& table, const std::vector<std::string>& feature_columns);
+
+}  // namespace shark
+
+#endif  // SHARK_ML_TABLE_RDD_H_

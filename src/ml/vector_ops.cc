@@ -1,0 +1,42 @@
+#include "ml/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace shark {
+
+double Dot(const MlVector& a, const MlVector& b) {
+  SHARK_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void AddInPlace(MlVector* a, const MlVector& b) {
+  SHARK_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += b[i];
+}
+
+void ScaleInPlace(MlVector* a, double s) {
+  for (double& v : *a) v *= s;
+}
+
+void Axpy(double s, const MlVector& b, MlVector* a) {
+  SHARK_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+double SquaredDistance(const MlVector& a, const MlVector& b) {
+  SHARK_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Norm2(const MlVector& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace shark

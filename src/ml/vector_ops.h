@@ -1,0 +1,32 @@
+#ifndef SHARK_ML_VECTOR_OPS_H_
+#define SHARK_ML_VECTOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shark {
+
+/// Dense feature vector (the elements of the paper's 1B x 10 feature matrix).
+using MlVector = std::vector<double>;
+
+/// A training example for classification/regression.
+struct LabeledPoint {
+  MlVector x;
+  double y = 0.0;
+};
+
+inline uint64_t ApproxSizeOf(const LabeledPoint& p) {
+  return 32 + p.x.size() * 8;
+}
+
+double Dot(const MlVector& a, const MlVector& b);
+void AddInPlace(MlVector* a, const MlVector& b);
+void ScaleInPlace(MlVector* a, double s);
+/// a += s * b
+void Axpy(double s, const MlVector& b, MlVector* a);
+double SquaredDistance(const MlVector& a, const MlVector& b);
+double Norm2(const MlVector& a);
+
+}  // namespace shark
+
+#endif  // SHARK_ML_VECTOR_OPS_H_

@@ -1,0 +1,113 @@
+#include "rdd/block_manager.h"
+
+#include "common/logging.h"
+
+namespace shark {
+
+BlockManager::BlockManager(int num_nodes, uint64_t capacity_bytes_per_node)
+    : capacity_per_node_(capacity_bytes_per_node),
+      used_(static_cast<size_t>(num_nodes), 0),
+      lru_(static_cast<size_t>(num_nodes)) {
+  SHARK_CHECK(num_nodes > 0);
+}
+
+const CachedBlock* BlockManager::Get(int rdd_id, int partition) {
+  auto it = blocks_.find(BlockKey{rdd_id, partition});
+  if (it == blocks_.end()) return nullptr;
+  Entry& e = it->second;
+  auto& node_lru = lru_[static_cast<size_t>(e.block.node)];
+  node_lru.splice(node_lru.begin(), node_lru, e.lru_pos);
+  return &e.block;
+}
+
+int BlockManager::Location(int rdd_id, int partition) const {
+  auto it = blocks_.find(BlockKey{rdd_id, partition});
+  return it == blocks_.end() ? -1 : it->second.block.node;
+}
+
+bool BlockManager::Put(int rdd_id, int partition, BlockData data,
+                       uint64_t bytes, int node) {
+  if (bytes > capacity_per_node_) return false;
+  BlockKey key{rdd_id, partition};
+  auto existing = blocks_.find(key);
+  if (existing != blocks_.end()) {
+    // Replace in place (e.g. recomputed after failure on a new node).
+    int old_node = existing->second.block.node;
+    used_[static_cast<size_t>(old_node)] -= existing->second.block.bytes;
+    lru_[static_cast<size_t>(old_node)].erase(existing->second.lru_pos);
+    blocks_.erase(existing);
+  }
+  uint64_t& node_used = used_[static_cast<size_t>(node)];
+  if (node_used + bytes > capacity_per_node_) {
+    Evict(node, node_used + bytes - capacity_per_node_);
+  }
+  auto& node_lru = lru_[static_cast<size_t>(node)];
+  node_lru.push_front(key);
+  Entry entry;
+  entry.block = CachedBlock{std::move(data), bytes, node};
+  entry.lru_pos = node_lru.begin();
+  blocks_.emplace(key, std::move(entry));
+  node_used += bytes;
+  return true;
+}
+
+void BlockManager::Evict(int node, uint64_t needed) {
+  auto& node_lru = lru_[static_cast<size_t>(node)];
+  uint64_t freed = 0;
+  while (freed < needed && !node_lru.empty()) {
+    BlockKey victim = node_lru.back();
+    node_lru.pop_back();
+    auto it = blocks_.find(victim);
+    SHARK_CHECK(it != blocks_.end());
+    freed += it->second.block.bytes;
+    used_[static_cast<size_t>(node)] -= it->second.block.bytes;
+    blocks_.erase(it);
+  }
+}
+
+void BlockManager::DropNode(int node) {
+  auto& node_lru = lru_[static_cast<size_t>(node)];
+  for (const BlockKey& key : node_lru) blocks_.erase(key);
+  node_lru.clear();
+  used_[static_cast<size_t>(node)] = 0;
+}
+
+void BlockManager::DropRdd(int rdd_id) {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->first.rdd_id == rdd_id) {
+      int node = it->second.block.node;
+      used_[static_cast<size_t>(node)] -= it->second.block.bytes;
+      lru_[static_cast<size_t>(node)].erase(it->second.lru_pos);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockManager::Clear() {
+  blocks_.clear();
+  for (auto& l : lru_) l.clear();
+  for (auto& u : used_) u = 0;
+}
+
+uint64_t BlockManager::UsedBytes(int node) const {
+  return used_[static_cast<size_t>(node)];
+}
+
+uint64_t BlockManager::TotalUsedBytes() const {
+  uint64_t total = 0;
+  for (uint64_t u : used_) total += u;
+  return total;
+}
+
+std::vector<int> BlockManager::CachedPartitions(int rdd_id) const {
+  std::vector<int> out;
+  for (auto it = blocks_.lower_bound(BlockKey{rdd_id, 0});
+       it != blocks_.end() && it->first.rdd_id == rdd_id; ++it) {
+    out.push_back(it->first.partition);
+  }
+  return out;
+}
+
+}  // namespace shark

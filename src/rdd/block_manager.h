@@ -1,0 +1,85 @@
+#ifndef SHARK_RDD_BLOCK_MANAGER_H_
+#define SHARK_RDD_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/dfs.h"
+
+namespace shark {
+
+/// Key of a cached RDD partition.
+struct BlockKey {
+  int rdd_id;
+  int partition;
+  bool operator<(const BlockKey& other) const {
+    return rdd_id != other.rdd_id ? rdd_id < other.rdd_id
+                                  : partition < other.partition;
+  }
+  bool operator==(const BlockKey& other) const {
+    return rdd_id == other.rdd_id && partition == other.partition;
+  }
+};
+
+/// A cached block and its (virtual) location.
+struct CachedBlock {
+  BlockData data;
+  uint64_t bytes = 0;  // virtual in-memory footprint
+  int node = 0;
+};
+
+/// Cluster-wide view of the per-node RDD caches (Spark's block manager).
+/// Exactly one copy of each partition is kept (§2.2: lineage makes
+/// replication unnecessary); per-node capacity is enforced with LRU
+/// eviction. Dropping a node discards its blocks — they are recomputed from
+/// lineage on next access.
+class BlockManager {
+ public:
+  BlockManager(int num_nodes, uint64_t capacity_bytes_per_node);
+
+  /// Looks up a block; touches LRU. Returns nullptr if absent.
+  const CachedBlock* Get(int rdd_id, int partition);
+
+  /// Location lookup without LRU side effects (used by the scheduler for
+  /// locality-aware placement). Returns -1 if absent.
+  int Location(int rdd_id, int partition) const;
+
+  /// Inserts a block on `node`, evicting LRU blocks on that node as needed.
+  /// Returns false (and does not insert) if `bytes` exceeds node capacity.
+  bool Put(int rdd_id, int partition, BlockData data, uint64_t bytes, int node);
+
+  /// Drops every block cached on a failed node.
+  void DropNode(int node);
+
+  /// Drops all partitions of an RDD (uncache / unpersist).
+  void DropRdd(int rdd_id);
+
+  void Clear();
+
+  uint64_t UsedBytes(int node) const;
+  uint64_t TotalUsedBytes() const;
+  size_t NumBlocks() const { return blocks_.size(); }
+
+  /// Partitions of `rdd_id` currently cached (sorted).
+  std::vector<int> CachedPartitions(int rdd_id) const;
+
+ private:
+  struct Entry {
+    CachedBlock block;
+    std::list<BlockKey>::iterator lru_pos;
+  };
+
+  void Evict(int node, uint64_t needed);
+
+  uint64_t capacity_per_node_;
+  std::vector<uint64_t> used_;
+  std::vector<std::list<BlockKey>> lru_;  // per node, front = most recent
+  std::map<BlockKey, Entry> blocks_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_BLOCK_MANAGER_H_

@@ -1,0 +1,56 @@
+#ifndef SHARK_RDD_BROADCAST_H_
+#define SHARK_RDD_BROADCAST_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/dfs.h"
+
+namespace shark {
+
+/// Master-held broadcast variables (used by map/broadcast joins and the ML
+/// driver). The first task on a node pays the network fetch; later tasks on
+/// that node read it locally.
+class BroadcastRegistry {
+ public:
+  struct Entry {
+    BlockData data;
+    uint64_t bytes = 0;
+    std::set<int> nodes_with;
+  };
+
+  /// Registers a broadcast value; returns its id.
+  int Register(BlockData data, uint64_t bytes) {
+    entries_.push_back(Entry{std::move(data), bytes, {}});
+    return static_cast<int>(entries_.size()) - 1;
+  }
+
+  const Entry& entry(int id) const { return entries_[static_cast<size_t>(id)]; }
+
+  /// Fetches the value on `node`; sets *fetch_bytes to the network bytes this
+  /// access must pay (0 if already resident).
+  BlockData Fetch(int id, int node, uint64_t* fetch_bytes) {
+    Entry& e = entries_[static_cast<size_t>(id)];
+    if (e.nodes_with.insert(node).second) {
+      *fetch_bytes = e.bytes;
+    } else {
+      *fetch_bytes = 0;
+    }
+    return e.data;
+  }
+
+  /// A failed node loses its copy and would refetch.
+  void DropNode(int node) {
+    for (auto& e : entries_) e.nodes_with.erase(node);
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_BROADCAST_H_

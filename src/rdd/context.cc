@@ -1,0 +1,123 @@
+#include "rdd/context.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shark {
+
+// ---------------------------------------------------------------------------
+// RddBase (non-template parts live here so rdd.h can keep ClusterContext
+// incomplete).
+// ---------------------------------------------------------------------------
+
+RddBase::RddBase(ClusterContext* ctx, std::string label)
+    : ctx_(ctx), id_(ctx->NextRddId()), label_(std::move(label)) {}
+
+RddBase::~RddBase() = default;
+
+void RddBase::Uncache() {
+  cached_ = false;
+  ctx_->block_manager().DropRdd(id_);
+}
+
+BlockManager* RddBase::block_manager_ptr() const {
+  return &ctx_->block_manager();
+}
+
+ShuffleManager* RddBase::shuffle_manager_ptr() const {
+  return &ctx_->shuffle_manager();
+}
+
+std::vector<int> RddBase::PreferredNodes(int p) const {
+  if (cached_) {
+    int loc = ctx_->block_manager().Location(id_, p);
+    if (loc >= 0) return {loc};
+  }
+  if (preferred_hint_) {
+    std::vector<int> hint = preferred_hint_(p);
+    if (!hint.empty()) return hint;
+  }
+  return ComputePreferredNodes(p);
+}
+
+BlockData RddBase::GetOrComputeErased(int p, TaskContext* tctx) const {
+  if (cached_) {
+    BlockManager& bm = ctx_->block_manager();
+    if (const CachedBlock* cb = bm.Get(id_, p)) {
+      if (!free_cache_reads_) {
+        if (cb->node == tctx->node()) {
+          tctx->work().mem_read_bytes += cb->bytes;
+        } else {
+          tctx->work().net_read_bytes += cb->bytes;
+        }
+      } else if (cb->node != tctx->node()) {
+        tctx->work().net_read_bytes += cb->bytes;  // remote reads always pay
+      }
+      return cb->data;
+    }
+  }
+  BlockData block = ComputeErased(p, tctx);
+  if (cached_ && !tctx->HasMissingInput() && tctx->profile().memory_store) {
+    uint64_t bytes = BlockBytes(block);
+    ctx_->block_manager().Put(id_, p, block, bytes, tctx->node());
+  }
+  return block;
+}
+
+std::vector<int> RddBase::ComputePreferredNodes(int p) const {
+  // Default: follow the first narrow parent (pipelined in the same task).
+  for (const Dependency& d : deps_) {
+    if (d.narrow_parent != nullptr) return d.narrow_parent->PreferredNodes(p);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleDependency registration
+// ---------------------------------------------------------------------------
+
+ShuffleDependency::ShuffleDependency(std::shared_ptr<RddBase> parent,
+                                     int num_buckets)
+    : parent_(std::move(parent)), num_buckets_(num_buckets) {
+  SHARK_CHECK(num_buckets > 0);
+  shuffle_id_ = parent_->context()->shuffle_manager().RegisterShuffle(
+      parent_->num_partitions(), num_buckets);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterContext
+// ---------------------------------------------------------------------------
+
+ClusterContext::ClusterContext(ClusterConfig config,
+                               std::shared_ptr<Dfs> shared_dfs)
+    : config_(config) {
+  if (shared_dfs != nullptr) {
+    dfs_ = std::move(shared_dfs);
+  } else {
+    dfs_ = std::make_shared<Dfs>(config_.num_nodes, config_.profile.dfs_replication,
+                                 config_.seed);
+  }
+  cluster_ = std::make_unique<Cluster>(config_.num_nodes,
+                                       config_.hardware.cores_per_node);
+  cost_model_ = std::make_unique<CostModel>(config_.hardware);
+  // Cached block sizes are tracked in real bytes while node capacity is a
+  // virtual quantity; dividing capacity by the data scale makes a scaled-down
+  // dataset occupy the same *fraction* of memory it would at full size.
+  uint64_t real_capacity = static_cast<uint64_t>(
+      static_cast<double>(config_.hardware.mem_bytes_per_node) /
+      std::max(1.0, config_.virtual_data_scale));
+  block_manager_ =
+      std::make_unique<BlockManager>(config_.num_nodes, real_capacity);
+  shuffle_manager_ = std::make_unique<ShuffleManager>();
+  scheduler_ = std::make_unique<DagScheduler>(this);
+}
+
+ClusterContext::~ClusterContext() = default;
+
+void ClusterContext::ResetClock() {
+  cluster_->Reset();
+  now_ = 0.0;
+}
+
+}  // namespace shark

@@ -1,0 +1,497 @@
+#ifndef SHARK_RDD_PAIR_RDD_H_
+#define SHARK_RDD_PAIR_RDD_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/cardinality.h"
+#include "rdd/rdd.h"
+
+namespace shark {
+
+// ---------------------------------------------------------------------------
+// Map-side shuffle dependencies
+// ---------------------------------------------------------------------------
+
+namespace internal_shuffle {
+
+/// Charges the engine-profile-dependent cost of materializing map output
+/// (§5 "Memory-based Shuffle": Shark keeps map outputs in memory; Hadoop
+/// serializes, sorts and writes them to local disk).
+inline void ChargeMapOutputWrite(uint64_t bytes, uint64_t records,
+                                 uint64_t input_records, TaskContext* tctx) {
+  if (tctx->profile().sort_before_shuffle) {
+    tctx->work().sort_records +=
+        tctx->profile().sort_full_map_input ? input_records : records;
+  }
+  if (tctx->profile().shuffle_through_disk) {
+    tctx->work().ser_bytes += bytes;
+    tctx->work().disk_write_bytes += bytes;
+  }
+}
+
+/// MapReduce job chains materialize every reduce output to the replicated
+/// DFS and read it back in the next job's map phase (§7 "Intermediate
+/// Outputs"); general-DAG engines skip this entirely.
+inline void ChargeStageMaterialization(uint64_t bytes, TaskContext* tctx) {
+  if (!tctx->profile().materialize_stages_to_dfs || bytes == 0) return;
+  tctx->work().ser_bytes += bytes;
+  tctx->work().dfs_write_bytes += bytes;
+  tctx->work().disk_read_bytes += bytes;
+  tctx->work().binary_deser_bytes += bytes;
+}
+
+template <typename K>
+void AddKeyToStats(const K& key, HeavyHitters* hh, ApproxHistogram* hist) {
+  hh->Add(KeyHash(key));
+  if constexpr (std::is_arithmetic_v<K>) {
+    hist->Add(static_cast<double>(key));
+  }
+}
+
+}  // namespace internal_shuffle
+
+/// Hash-partitions elements into buckets with a caller-supplied bucket
+/// function; no map-side combining. Used for DISTRIBUTE BY, co-partitioned
+/// loading, co-group (join) inputs and PDE pre-shuffles.
+template <typename T>
+class PlainShuffleDep final : public ShuffleDependency {
+ public:
+  using BucketFn = std::function<int(const T&)>;
+  using StatsFn = std::function<void(const T&, HeavyHitters*, ApproxHistogram*)>;
+
+  PlainShuffleDep(RddPtr<T> parent, int num_buckets, BucketFn bucket_fn,
+                  StatsFn stats_fn = nullptr)
+      : ShuffleDependency(parent, num_buckets),
+        typed_parent_(parent),
+        bucket_fn_(std::move(bucket_fn)),
+        stats_fn_(std::move(stats_fn)) {}
+
+  MapOutput PartitionBlock(const BlockData& block,
+                           TaskContext* tctx) const override {
+    const auto& in = *std::static_pointer_cast<const std::vector<T>>(block);
+    std::vector<std::vector<T>> buckets(static_cast<size_t>(num_buckets_));
+    for (const T& x : in) {
+      int b = bucket_fn_(x);
+      buckets[static_cast<size_t>(b)].push_back(x);
+    }
+    tctx->work().rows_processed += in.size();
+    internal_shuffle::ChargeMapOutputWrite(ApproxSizeOfRange(in), in.size(),
+                                           in.size(), tctx);
+    MapOutput out;
+    out.buckets.reserve(buckets.size());
+    for (auto& b : buckets) {
+      // Plain repartitioning scales linearly with the input: no adjustment.
+      out.bucket_bytes.push_back(ApproxSizeOfRange(b));
+      out.bucket_records.push_back(b.size());
+      out.buckets.push_back(std::make_shared<const std::vector<T>>(std::move(b)));
+    }
+    return out;
+  }
+
+  void CollectKeyStats(const BlockData& bucket, HeavyHitters* hh,
+                       ApproxHistogram* hist) const override {
+    if (!stats_fn_) return;
+    const auto& in = *std::static_pointer_cast<const std::vector<T>>(bucket);
+    for (const T& x : in) stats_fn_(x, hh, hist);
+  }
+
+  const RddPtr<T>& typed_parent() const { return typed_parent_; }
+
+ private:
+  RddPtr<T> typed_parent_;
+  BucketFn bucket_fn_;
+  StatsFn stats_fn_;
+};
+
+/// Convenience: hash-partition a key-value RDD by key.
+template <typename K, typename V>
+std::shared_ptr<PlainShuffleDep<std::pair<K, V>>> MakeHashPartitionDep(
+    RddPtr<std::pair<K, V>> parent, int num_buckets) {
+  using P = std::pair<K, V>;
+  return std::make_shared<PlainShuffleDep<P>>(
+      parent, num_buckets,
+      [num_buckets](const P& p) {
+        return static_cast<int>(KeyHash(p.first) %
+                                static_cast<uint64_t>(num_buckets));
+      },
+      [](const P& p, HeavyHitters* hh, ApproxHistogram* hist) {
+        internal_shuffle::AddKeyToStats(p.first, hh, hist);
+      });
+}
+
+/// Hash-partitions (K,V) pairs by key with map-side combining into combiner
+/// type C (Spark's combineByKey); this is what makes large-group-count
+/// aggregations shuffle only one record per (task, group).
+template <typename K, typename V, typename C>
+class CombiningShuffleDep final : public ShuffleDependency {
+ public:
+  using CreateFn = std::function<C(const V&)>;
+  using MergeValueFn = std::function<void(C&, const V&)>;
+
+  CombiningShuffleDep(RddPtr<std::pair<K, V>> parent, int num_buckets,
+                      CreateFn create, MergeValueFn merge_value)
+      : ShuffleDependency(parent, num_buckets),
+        typed_parent_(parent),
+        create_(std::move(create)),
+        merge_value_(std::move(merge_value)) {}
+
+  MapOutput PartitionBlock(const BlockData& block,
+                           TaskContext* tctx) const override {
+    const auto& in =
+        *std::static_pointer_cast<const std::vector<std::pair<K, V>>>(block);
+    // Combine across the whole task first, THEN split into buckets: the map
+    // task ships at most one record per distinct key regardless of how
+    // fine-grained the bucket count is.
+    std::unordered_map<K, C, KeyHasher<K>> combined;
+    for (const auto& [k, v] : in) {
+      auto it = combined.find(k);
+      if (it == combined.end()) {
+        combined.emplace(k, create_(v));
+      } else {
+        merge_value_(it->second, v);
+      }
+    }
+    tctx->work().rows_processed += in.size();
+    tctx->work().hash_records += in.size();
+    // The combiner's output is bounded by the distinct keys the task sees.
+    // Fixed key populations saturate (shuffle volume stays flat at virtual
+    // scale); growing populations (unique-id-like keys) keep scaling. The
+    // split-overlap statistics distinguish the two; pre-divide the reported
+    // bytes so the cost model's uniform scaling yields faithful volumes.
+    SampleCardinality sample;
+    sample.n = static_cast<double>(in.size());
+    sample.d = static_cast<double>(combined.size());
+    {
+      std::unordered_set<uint64_t> first_half;
+      std::unordered_set<uint64_t> second_half;
+      size_t half = in.size() / 2;
+      for (size_t i = 0; i < in.size(); ++i) {
+        (i < half ? first_half : second_half).insert(KeyHash(in[i].first));
+      }
+      sample.d_first = static_cast<double>(first_half.size());
+      sample.d_second = static_cast<double>(second_half.size());
+      for (uint64_t k : first_half) {
+        if (second_half.count(k) > 0) sample.overlap += 1.0;
+      }
+    }
+    double growth = DistinctGrowthFactorSplit(sample, tctx->virtual_scale());
+    double byte_adjust = growth / std::max(tctx->virtual_scale(), 1.0);
+
+    std::vector<std::vector<std::pair<K, C>>> buckets(
+        static_cast<size_t>(num_buckets_));
+    for (auto& [k, c] : combined) {
+      auto b = static_cast<size_t>(KeyHash(k) %
+                                   static_cast<uint64_t>(num_buckets_));
+      buckets[b].emplace_back(k, std::move(c));
+    }
+    MapOutput out;
+    out.buckets.reserve(buckets.size());
+    uint64_t out_bytes = 0;
+    uint64_t out_records = 0;
+    for (auto& bucket : buckets) {
+      uint64_t adjusted = static_cast<uint64_t>(
+          static_cast<double>(ApproxSizeOfRange(bucket)) * byte_adjust);
+      out_records += bucket.size();
+      out_bytes += adjusted;
+      out.bucket_bytes.push_back(adjusted);
+      out.bucket_records.push_back(bucket.size());
+      out.bucket_cost_scale.push_back(byte_adjust);
+      out.buckets.push_back(
+          std::make_shared<const std::vector<std::pair<K, C>>>(std::move(bucket)));
+    }
+    internal_shuffle::ChargeMapOutputWrite(out_bytes, out_records, in.size(),
+                                           tctx);
+    return out;
+  }
+
+  void CollectKeyStats(const BlockData& bucket, HeavyHitters* hh,
+                       ApproxHistogram* hist) const override {
+    const auto& in =
+        *std::static_pointer_cast<const std::vector<std::pair<K, C>>>(bucket);
+    for (const auto& [k, c] : in) {
+      internal_shuffle::AddKeyToStats(k, hh, hist);
+    }
+  }
+
+ private:
+  RddPtr<std::pair<K, V>> typed_parent_;
+  CreateFn create_;
+  MergeValueFn merge_value_;
+};
+
+// ---------------------------------------------------------------------------
+// Reduce-side RDDs
+// ---------------------------------------------------------------------------
+
+/// Reduce partition -> set of fine-grained buckets it is responsible for.
+/// Identity (one bucket per reducer) unless PDE coalesced buckets via
+/// bin-packing (§3.1.2).
+using BucketAssignment = std::vector<std::vector<int>>;
+
+inline BucketAssignment IdentityAssignment(int num_buckets) {
+  BucketAssignment a(static_cast<size_t>(num_buckets));
+  for (int i = 0; i < num_buckets; ++i) a[static_cast<size_t>(i)] = {i};
+  return a;
+}
+
+/// Final merge of map-side combiners: one output record per key.
+template <typename K, typename C>
+class ShuffledReduceRdd final : public TypedRdd<std::pair<K, C>> {
+ public:
+  using MergeCombinersFn = std::function<void(C&, C&&)>;
+
+  ShuffledReduceRdd(ClusterContext* ctx,
+                    std::shared_ptr<ShuffleDependency> dep,
+                    MergeCombinersFn merge, BucketAssignment assignment,
+                    std::string label = "shuffledReduce")
+      : TypedRdd<std::pair<K, C>>(ctx, std::move(label)),
+        dep_(dep),
+        merge_(std::move(merge)),
+        assignment_(std::move(assignment)) {
+    this->deps_.push_back(Dependency{nullptr, dep});
+  }
+
+  int num_partitions() const override {
+    return static_cast<int>(assignment_.size());
+  }
+
+  typename TypedRdd<std::pair<K, C>>::Block Compute(
+      int p, TaskContext* tctx) const override {
+    double effective_records = 0.0;
+    std::vector<BlockData> buckets = tctx->FetchShuffleBuckets(
+        dep_->shuffle_id(), assignment_[static_cast<size_t>(p)],
+        &effective_records);
+    std::unordered_map<K, C, KeyHasher<K>> merged;
+    uint64_t records_in = 0;
+    // Per-record reduce charges use the cardinality-adjusted record count so
+    // that the cost model's uniform scaling stays faithful.
+    tctx->work().hash_records += static_cast<uint64_t>(effective_records);
+    tctx->work().rows_processed += static_cast<uint64_t>(effective_records);
+    for (const BlockData& b : buckets) {
+      auto vec = std::static_pointer_cast<const std::vector<std::pair<K, C>>>(b);
+      records_in += vec->size();
+      for (const auto& [k, c] : *vec) {
+        auto it = merged.find(k);
+        if (it == merged.end()) {
+          merged.emplace(k, c);
+        } else {
+          merge_(it->second, C(c));
+        }
+      }
+    }
+    typename TypedRdd<std::pair<K, C>>::Block out;
+    out.reserve(merged.size());
+    for (auto& [k, c] : merged) out.emplace_back(k, std::move(c));
+    // The reduce output is one record per key — cardinality-bounded, so its
+    // materialization bytes get the same distinct-growth adjustment as the
+    // map-side combiner outputs.
+    double adjust = DistinctGrowthFactor(static_cast<double>(records_in),
+                                         static_cast<double>(out.size()),
+                                         tctx->virtual_scale()) /
+                    std::max(tctx->virtual_scale(), 1.0);
+    internal_shuffle::ChargeStageMaterialization(
+        static_cast<uint64_t>(static_cast<double>(ApproxSizeOfRange(out)) * adjust),
+        tctx);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<ShuffleDependency> dep_;
+  MergeCombinersFn merge_;
+  BucketAssignment assignment_;
+};
+
+/// Group-by-key: one (key, all values) record per key.
+template <typename K, typename V>
+class ShuffledGroupRdd final
+    : public TypedRdd<std::pair<K, std::vector<V>>> {
+ public:
+  ShuffledGroupRdd(ClusterContext* ctx, std::shared_ptr<ShuffleDependency> dep,
+                   BucketAssignment assignment, std::string label = "groupBy")
+      : TypedRdd<std::pair<K, std::vector<V>>>(ctx, std::move(label)),
+        dep_(dep),
+        assignment_(std::move(assignment)) {
+    this->deps_.push_back(Dependency{nullptr, dep});
+  }
+
+  int num_partitions() const override {
+    return static_cast<int>(assignment_.size());
+  }
+
+  typename TypedRdd<std::pair<K, std::vector<V>>>::Block Compute(
+      int p, TaskContext* tctx) const override {
+    std::vector<BlockData> buckets = tctx->FetchShuffleBuckets(
+        dep_->shuffle_id(), assignment_[static_cast<size_t>(p)]);
+    std::unordered_map<K, std::vector<V>, KeyHasher<K>> groups;
+    for (const BlockData& b : buckets) {
+      auto vec = std::static_pointer_cast<const std::vector<std::pair<K, V>>>(b);
+      tctx->work().hash_records += vec->size();
+      tctx->work().rows_processed += vec->size();
+      for (const auto& [k, v] : *vec) groups[k].push_back(v);
+    }
+    typename TypedRdd<std::pair<K, std::vector<V>>>::Block out;
+    out.reserve(groups.size());
+    for (auto& [k, vs] : groups) out.emplace_back(k, std::move(vs));
+    internal_shuffle::ChargeStageMaterialization(ApproxSizeOfRange(out), tctx);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<ShuffleDependency> dep_;
+  BucketAssignment assignment_;
+};
+
+/// Shuffle (co-group) join input: for each key, the values from both sides.
+template <typename K, typename V, typename W>
+class CoGroupedRdd final
+    : public TypedRdd<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> {
+ public:
+  using Element = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+
+  CoGroupedRdd(ClusterContext* ctx, std::shared_ptr<ShuffleDependency> left,
+               std::shared_ptr<ShuffleDependency> right,
+               BucketAssignment assignment, std::string label = "cogroup")
+      : TypedRdd<Element>(ctx, std::move(label)),
+        left_(left),
+        right_(right),
+        assignment_(std::move(assignment)) {
+    SHARK_CHECK(left->num_buckets() == right->num_buckets());
+    this->deps_.push_back(Dependency{nullptr, left});
+    this->deps_.push_back(Dependency{nullptr, right});
+  }
+
+  int num_partitions() const override {
+    return static_cast<int>(assignment_.size());
+  }
+
+  typename TypedRdd<Element>::Block Compute(int p,
+                                            TaskContext* tctx) const override {
+    const auto& my_buckets = assignment_[static_cast<size_t>(p)];
+    std::vector<BlockData> lbs =
+        tctx->FetchShuffleBuckets(left_->shuffle_id(), my_buckets);
+    std::vector<BlockData> rbs =
+        tctx->FetchShuffleBuckets(right_->shuffle_id(), my_buckets);
+    // Local join algorithm selection (§3.1.1): build the hash table over the
+    // smaller input, stream the other. Costs are hash-record charges; the
+    // output is identical either way.
+    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
+                       KeyHasher<K>>
+        table;
+    for (const BlockData& b : lbs) {
+      auto vec = std::static_pointer_cast<const std::vector<std::pair<K, V>>>(b);
+      tctx->work().hash_records += vec->size();
+      tctx->work().rows_processed += vec->size();
+      for (const auto& [k, v] : *vec) table[k].first.push_back(v);
+    }
+    for (const BlockData& b : rbs) {
+      auto vec = std::static_pointer_cast<const std::vector<std::pair<K, W>>>(b);
+      tctx->work().hash_records += vec->size();
+      tctx->work().rows_processed += vec->size();
+      for (const auto& [k, w] : *vec) table[k].second.push_back(w);
+    }
+    typename TypedRdd<Element>::Block out;
+    out.reserve(table.size());
+    for (auto& [k, vw] : table) out.emplace_back(k, std::move(vw));
+    internal_shuffle::ChargeStageMaterialization(ApproxSizeOfRange(out), tctx);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<ShuffleDependency> left_;
+  std::shared_ptr<ShuffleDependency> right_;
+  BucketAssignment assignment_;
+};
+
+/// Reduce side of a plain repartition: concatenates assigned buckets.
+template <typename T>
+class RepartitionedRdd final : public TypedRdd<T> {
+ public:
+  RepartitionedRdd(ClusterContext* ctx, std::shared_ptr<ShuffleDependency> dep,
+                   BucketAssignment assignment, std::string label = "repartition")
+      : TypedRdd<T>(ctx, std::move(label)),
+        dep_(dep),
+        assignment_(std::move(assignment)) {
+    this->deps_.push_back(Dependency{nullptr, dep});
+  }
+
+  int num_partitions() const override {
+    return static_cast<int>(assignment_.size());
+  }
+
+  typename TypedRdd<T>::Block Compute(int p, TaskContext* tctx) const override {
+    std::vector<BlockData> buckets = tctx->FetchShuffleBuckets(
+        dep_->shuffle_id(), assignment_[static_cast<size_t>(p)]);
+    typename TypedRdd<T>::Block out;
+    for (const BlockData& b : buckets) {
+      auto vec = std::static_pointer_cast<const std::vector<T>>(b);
+      out.insert(out.end(), vec->begin(), vec->end());
+    }
+    tctx->work().rows_processed += out.size();
+    internal_shuffle::ChargeStageMaterialization(ApproxSizeOfRange(out), tctx);
+    return out;
+  }
+
+ private:
+  std::shared_ptr<ShuffleDependency> dep_;
+  BucketAssignment assignment_;
+};
+
+// ---------------------------------------------------------------------------
+// Convenience factories
+// ---------------------------------------------------------------------------
+
+/// reduceByKey with map-side combining; one shuffle, `num_buckets` reducers.
+template <typename K, typename V, typename MergeFn>
+RddPtr<std::pair<K, V>> ReduceByKey(RddPtr<std::pair<K, V>> rdd, MergeFn merge,
+                                    int num_buckets) {
+  auto merge_value = [merge](V& acc, const V& v) { acc = merge(acc, v); };
+  auto dep = std::make_shared<CombiningShuffleDep<K, V, V>>(
+      rdd, num_buckets, [](const V& v) { return v; }, merge_value);
+  return std::make_shared<ShuffledReduceRdd<K, V>>(
+      rdd->context(), dep,
+      [merge](V& acc, V&& v) { acc = merge(acc, std::move(v)); },
+      IdentityAssignment(num_buckets), "reduceByKey");
+}
+
+/// groupByKey without combining.
+template <typename K, typename V>
+RddPtr<std::pair<K, std::vector<V>>> GroupByKey(RddPtr<std::pair<K, V>> rdd,
+                                                int num_buckets) {
+  auto dep = MakeHashPartitionDep<K, V>(rdd, num_buckets);
+  return std::make_shared<ShuffledGroupRdd<K, V>>(
+      rdd->context(), dep, IdentityAssignment(num_buckets));
+}
+
+/// Inner equi-join via co-group (the "shuffle join" of Fig 4).
+template <typename K, typename V, typename W>
+RddPtr<std::pair<K, std::pair<V, W>>> ShuffleJoin(RddPtr<std::pair<K, V>> left,
+                                                  RddPtr<std::pair<K, W>> right,
+                                                  int num_buckets) {
+  auto ldep = MakeHashPartitionDep<K, V>(left, num_buckets);
+  auto rdep = MakeHashPartitionDep<K, W>(right, num_buckets);
+  auto cogrouped = std::make_shared<CoGroupedRdd<K, V, W>>(
+      left->context(), ldep, rdep, IdentityAssignment(num_buckets), "shuffleJoin");
+  using CoElem = typename CoGroupedRdd<K, V, W>::Element;
+  using Out = std::pair<K, std::pair<V, W>>;
+  return cogrouped->FlatMap(
+      [](const CoElem& e) {
+        std::vector<Out> out;
+        for (const V& v : e.second.first) {
+          for (const W& w : e.second.second) {
+            out.push_back(Out{e.first, {v, w}});
+          }
+        }
+        return out;
+      },
+      "joinOutput");
+}
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_PAIR_RDD_H_

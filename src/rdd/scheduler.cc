@@ -1,0 +1,431 @@
+#include "rdd/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "rdd/context.h"
+
+namespace shark {
+
+namespace {
+
+constexpr int kMaxTaskRetries = 64;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class TaskState { kPending, kRunning, kCommitted };
+
+}  // namespace
+
+Result<std::vector<BlockData>> DagScheduler::RunJob(
+    const std::shared_ptr<RddBase>& rdd) {
+  std::vector<int> parts(static_cast<size_t>(rdd->num_partitions()));
+  std::iota(parts.begin(), parts.end(), 0);
+  return RunJobOnPartitions(rdd, parts);
+}
+
+Result<std::vector<BlockData>> DagScheduler::RunJobOnPartitions(
+    const std::shared_ptr<RddBase>& rdd, const std::vector<int>& partitions) {
+  JobMetrics metrics;
+  metrics.start_time = ctx_->now();
+
+  Status st = EnsureAncestorShuffles(rdd, &metrics);
+  if (!st.ok()) return st;
+
+  std::vector<BlockData> results(partitions.size());
+  std::vector<int> result_nodes(partitions.size(), -1);
+
+  std::vector<int> task_ids(partitions.size());
+  std::iota(task_ids.begin(), task_ids.end(), 0);
+
+  auto preferred = [&](int i) {
+    return rdd->PreferredNodes(partitions[static_cast<size_t>(i)]);
+  };
+  auto body = [&](int i, TaskContext* tctx) {
+    TaskOutcome o;
+    o.block = rdd->GetOrComputeErased(partitions[static_cast<size_t>(i)], tctx);
+    return o;
+  };
+  auto commit = [&](int i, TaskOutcome&& o, int node) {
+    results[static_cast<size_t>(i)] = std::move(o.block);
+    result_nodes[static_cast<size_t>(i)] = node;
+  };
+  auto lost = [](int) { return std::vector<int>{}; };  // driver holds results
+
+  if (!partitions.empty()) {
+    metrics.stages += 1;
+    st = ExecuteTaskSet(task_ids, preferred, body, commit, lost, &metrics);
+    if (!st.ok()) return st;
+  }
+
+  metrics.end_time = ctx_->now();
+  metrics.result_nodes = std::move(result_nodes);
+  last_job_ = std::move(metrics);
+  return results;
+}
+
+Result<ShuffleStats> DagScheduler::EnsureShuffle(
+    const std::shared_ptr<ShuffleDependency>& dep) {
+  JobMetrics metrics;
+  metrics.start_time = ctx_->now();
+  ShuffleManager& sm = ctx_->shuffle_manager();
+  if (!sm.IsComplete(dep->shuffle_id())) {
+    SHARK_RETURN_NOT_OK(EnsureAncestorShuffles(dep->parent(), &metrics));
+    SHARK_RETURN_NOT_OK(RunMapTasks(
+        dep, sm.MissingMapPartitions(dep->shuffle_id()), &metrics));
+  } else {
+    shuffle_registry_[dep->shuffle_id()] = dep;
+  }
+  metrics.end_time = ctx_->now();
+  last_job_ = std::move(metrics);
+  return sm.Stats(dep->shuffle_id());
+}
+
+Status DagScheduler::EnsureAncestorShuffles(const std::shared_ptr<RddBase>& rdd,
+                                            JobMetrics* metrics) {
+  std::set<int> visited;
+  std::function<Status(const std::shared_ptr<RddBase>&)> walk =
+      [&](const std::shared_ptr<RddBase>& r) -> Status {
+    if (!visited.insert(r->id()).second) return Status::OK();
+    for (const Dependency& d : r->dependencies()) {
+      if (d.narrow_parent != nullptr) {
+        SHARK_RETURN_NOT_OK(walk(d.narrow_parent));
+      }
+      if (d.shuffle != nullptr) {
+        shuffle_registry_[d.shuffle->shuffle_id()] = d.shuffle;
+        ShuffleManager& sm = ctx_->shuffle_manager();
+        if (!sm.IsComplete(d.shuffle->shuffle_id())) {
+          SHARK_RETURN_NOT_OK(walk(d.shuffle->parent()));
+          SHARK_RETURN_NOT_OK(RunMapTasks(
+              d.shuffle, sm.MissingMapPartitions(d.shuffle->shuffle_id()),
+              metrics));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  return walk(rdd);
+}
+
+Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
+                                 const std::vector<int>& map_partitions,
+                                 JobMetrics* metrics) {
+  if (map_partitions.empty()) return Status::OK();
+  shuffle_registry_[dep->shuffle_id()] = dep;
+  ShuffleManager& sm = ctx_->shuffle_manager();
+  const int shuffle_id = dep->shuffle_id();
+
+  std::vector<int> task_ids(map_partitions.size());
+  std::iota(task_ids.begin(), task_ids.end(), 0);
+
+  auto preferred = [&](int i) {
+    return dep->parent()->PreferredNodes(map_partitions[static_cast<size_t>(i)]);
+  };
+  auto body = [&](int i, TaskContext* tctx) {
+    int p = map_partitions[static_cast<size_t>(i)];
+    TaskOutcome o;
+    BlockData parent_block = dep->parent()->GetOrComputeErased(p, tctx);
+    o.map_output = dep->PartitionBlock(parent_block, tctx);
+    return o;
+  };
+  auto commit = [&](int i, TaskOutcome&& o, int node) {
+    int p = map_partitions[static_cast<size_t>(i)];
+    o.map_output.node = node;
+    if (!sm.StatsRecorded(shuffle_id, p)) {
+      ShuffleStats* stats = sm.MutableStats(shuffle_id);
+      for (const BlockData& b : o.map_output.buckets) {
+        dep->CollectKeyStats(b, &stats->heavy_hitters, &stats->key_histogram);
+      }
+    }
+    sm.PutMapOutput(shuffle_id, p, std::move(o.map_output));
+  };
+  auto lost = [&](int /*node*/) {
+    // After a node death, any of this set's committed outputs that the
+    // ShuffleManager now reports lost must be recomputed.
+    std::vector<int> out;
+    for (size_t i = 0; i < map_partitions.size(); ++i) {
+      const MapOutput* mo = sm.GetMapOutput(shuffle_id, map_partitions[i]);
+      if (mo != nullptr && !mo->present) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  };
+
+  metrics->stages += 1;
+  return ExecuteTaskSet(task_ids, preferred, body, commit, lost, metrics);
+}
+
+Status DagScheduler::RecoverMissing(
+    const std::vector<std::pair<int, int>>& missing, JobMetrics* metrics) {
+  // Group lost map outputs by shuffle, skipping any already recovered by a
+  // concurrent task's recovery.
+  std::map<int, std::set<int>> by_shuffle;
+  ShuffleManager& sm = ctx_->shuffle_manager();
+  for (const auto& [shuffle_id, map_part] : missing) {
+    const MapOutput* mo = sm.GetMapOutput(shuffle_id, map_part);
+    if (mo == nullptr || !mo->present) by_shuffle[shuffle_id].insert(map_part);
+  }
+  for (const auto& [shuffle_id, parts] : by_shuffle) {
+    auto it = shuffle_registry_.find(shuffle_id);
+    if (it == shuffle_registry_.end()) {
+      return Status::Internal("unknown shuffle in recovery");
+    }
+    std::shared_ptr<ShuffleDependency> dep = it->second.lock();
+    if (dep == nullptr) {
+      return Status::Internal("shuffle dependency expired during recovery");
+    }
+    std::vector<int> vec(parts.begin(), parts.end());
+    metrics->map_tasks_recovered += static_cast<int>(vec.size());
+    SHARK_RETURN_NOT_OK(RunMapTasks(dep, vec, metrics));
+  }
+  return Status::OK();
+}
+
+void DagScheduler::HandleNodeDeath(int node) {
+  ctx_->block_manager().DropNode(node);
+  ctx_->shuffle_manager().DropNode(node);
+  ctx_->broadcasts().DropNode(node);
+}
+
+Status DagScheduler::ExecuteTaskSet(
+    const std::vector<int>& partitions,
+    const std::function<std::vector<int>(int)>& preferred, const TaskBody& body,
+    const CommitFn& commit, const LostOutputFn& lost_outputs,
+    JobMetrics* metrics) {
+  const size_t n = partitions.size();
+  if (n == 0) return Status::OK();
+
+  Cluster& cluster = ctx_->cluster();
+  const ClusterConfig& cfg = ctx_->config();
+  const EngineProfile& profile = ctx_->profile();
+  const double hb = profile.heartbeat_interval_sec;
+
+  struct Inflight {
+    int task;
+    int node;
+    int core;
+    double start;
+    double finish;
+    TaskOutcome outcome;
+    bool speculative;
+  };
+
+  std::vector<TaskState> state(n, TaskState::kPending);
+  std::vector<int> retries(n, 0);
+  std::vector<char> has_duplicate(n, 0);
+  std::deque<int> pending;
+  for (size_t i = 0; i < n; ++i) pending.push_back(static_cast<int>(i));
+  std::vector<Inflight> inflight;
+  std::vector<double> committed_durations;
+  size_t committed = 0;
+  const double stage_start = ctx_->now();
+  double stage_end = stage_start;
+
+  // Launches `task` on (node, core) available at `avail`; appends Inflight.
+  auto launch = [&](int task, int node, int core, double avail,
+                    bool speculative) -> Status {
+    double start_exec = avail;
+    if (hb > 0.0) {
+      // Tasks start on heartbeat ticks, at most tasks_per_heartbeat new
+      // tasks per node per tick (Hadoop's assignment model, §7).
+      long tick = static_cast<long>(std::ceil(avail / hb - 1e-9));
+      while (heartbeat_slots_[{node, tick}] >= cfg.tasks_per_heartbeat) ++tick;
+      heartbeat_slots_[{node, tick}] += 1;
+      start_exec = static_cast<double>(tick) * hb;
+    }
+    TaskContext tctx(node, partitions[static_cast<size_t>(task)], &profile,
+                     &ctx_->block_manager(), &ctx_->shuffle_manager(),
+                     &ctx_->broadcasts(), ctx_->virtual_scale());
+    TaskOutcome outcome = body(task, &tctx);
+    outcome.work = tctx.work();
+    outcome.missing_inputs.assign(tctx.missing_inputs().begin(),
+                                  tctx.missing_inputs().end());
+    metrics->total_work.Add(outcome.work);
+
+    double work_sec = ctx_->cost_model().WorkSeconds(outcome.work, profile,
+                                                     ctx_->virtual_scale());
+    double finish = start_exec + profile.task_launch_overhead_sec +
+                    work_sec * cluster.slowdown(node);
+    cluster.OccupyCore(node, core, finish);
+    inflight.push_back(Inflight{task, node, core, start_exec, finish,
+                                std::move(outcome), speculative});
+    if (!speculative) state[static_cast<size_t>(task)] = TaskState::kRunning;
+    metrics->tasks_launched += 1;
+    if (speculative) metrics->speculative_tasks += 1;
+    return Status::OK();
+  };
+
+  auto process_deaths = [&](const std::vector<int>& killed) {
+    for (int node : killed) {
+      HandleNodeDeath(node);
+      // Abort in-flight tasks on the dead node.
+      for (size_t i = 0; i < inflight.size();) {
+        if (inflight[i].node == node) {
+          int task = inflight[i].task;
+          inflight.erase(inflight.begin() + static_cast<long>(i));
+          metrics->tasks_failed += 1;
+          // Requeue unless a duplicate still runs or it already committed.
+          bool still_running = false;
+          for (const Inflight& f : inflight) {
+            if (f.task == task) still_running = true;
+          }
+          if (state[static_cast<size_t>(task)] != TaskState::kCommitted &&
+              !still_running) {
+            state[static_cast<size_t>(task)] = TaskState::kPending;
+            retries[static_cast<size_t>(task)] += 1;
+            pending.push_back(task);
+          }
+        } else {
+          ++i;
+        }
+      }
+      // Requeue committed tasks whose outputs died with the node.
+      for (int t : lost_outputs(node)) {
+        if (state[static_cast<size_t>(t)] == TaskState::kCommitted) {
+          state[static_cast<size_t>(t)] = TaskState::kPending;
+          retries[static_cast<size_t>(t)] += 1;
+          pending.push_back(t);
+          committed -= 1;
+        }
+      }
+    }
+  };
+
+  while (committed < n) {
+    double assign_t = kInf;
+    int free_node = -1;
+    int free_core = -1;
+    bool have_core =
+        cluster.EarliestFreeCore(stage_start, &assign_t, &free_node, &free_core);
+    if (!have_core) return Status::ExecutionError("all cluster nodes failed");
+
+    double next_completion = kInf;
+    size_t completion_idx = 0;
+    for (size_t i = 0; i < inflight.size(); ++i) {
+      if (inflight[i].finish < next_completion) {
+        next_completion = inflight[i].finish;
+        completion_idx = i;
+      }
+    }
+
+    // Prefer assignment when a core frees up before the next completion.
+    if (!pending.empty() && assign_t <= next_completion) {
+      std::vector<int> killed = cluster.ApplyFaultsUpTo(assign_t);
+      if (!killed.empty()) {
+        process_deaths(killed);
+        continue;
+      }
+      // Delay scheduling (Zaharia et al., used by Spark): place a task on
+      // one of its preferred nodes if a core there frees up within the
+      // locality wait, even if some other node has an earlier free core —
+      // cached partitions and DFS replicas are then read locally. Falls
+      // back to the oldest pending task on the globally earliest core.
+      constexpr size_t kLocalityScanLimit = 256;
+      size_t pick = 0;
+      int pick_node = free_node;
+      int pick_core = free_core;
+      double pick_time = assign_t;
+      double best_local = assign_t + cfg.locality_wait_sec + 1e-12;
+      bool found_local = false;
+      size_t scan = std::min(pending.size(), kLocalityScanLimit);
+      for (size_t i = 0; i < scan; ++i) {
+        for (int node : preferred(pending[i])) {
+          if (node < 0 || node >= cluster.num_nodes() || !cluster.alive(node)) {
+            continue;
+          }
+          int core = 0;
+          double avail =
+              std::max(stage_start, cluster.EarliestFreeCoreOnNode(node, &core));
+          if (avail < best_local) {
+            best_local = avail;
+            pick = i;
+            pick_node = node;
+            pick_core = core;
+            pick_time = avail;
+            found_local = true;
+          }
+        }
+        // A preferred core already free now cannot be beaten; stop early.
+        if (found_local && best_local <= assign_t + 1e-12) break;
+      }
+      if (!found_local) pick_time = assign_t;
+      int task = pending[pick];
+      pending.erase(pending.begin() + static_cast<long>(pick));
+      if (retries[static_cast<size_t>(task)] > kMaxTaskRetries) {
+        return Status::ExecutionError("task exceeded retry limit");
+      }
+      SHARK_RETURN_NOT_OK(launch(task, pick_node, pick_core, pick_time, false));
+      continue;
+    }
+
+    // Straggler mitigation (§2.3): with no pending work but cores idle,
+    // duplicate the slowest running task if it lags well behind typical
+    // committed durations.
+    if (pending.empty() && cfg.speculation && assign_t < next_completion &&
+        committed_durations.size() >= 3) {
+      std::vector<double> durs = committed_durations;
+      std::nth_element(durs.begin(), durs.begin() + static_cast<long>(durs.size() / 2),
+                       durs.end());
+      double median = durs[durs.size() / 2];
+      int candidate = -1;
+      double worst_remaining = cfg.speculation_multiplier * median;
+      for (const Inflight& f : inflight) {
+        if (f.speculative || has_duplicate[static_cast<size_t>(f.task)]) continue;
+        double remaining = f.finish - assign_t;
+        if (remaining > worst_remaining) {
+          worst_remaining = remaining;
+          candidate = f.task;
+        }
+      }
+      if (candidate >= 0) {
+        has_duplicate[static_cast<size_t>(candidate)] = 1;
+        SHARK_RETURN_NOT_OK(
+            launch(candidate, free_node, free_core, assign_t, true));
+        continue;
+      }
+    }
+
+    if (inflight.empty()) {
+      return Status::Internal("scheduler stalled with no runnable tasks");
+    }
+
+    // Handle the earliest completion (applying any earlier faults first).
+    double t = next_completion;
+    std::vector<int> killed = cluster.ApplyFaultsUpTo(t);
+    if (!killed.empty()) {
+      process_deaths(killed);
+      continue;
+    }
+    Inflight done = std::move(inflight[completion_idx]);
+    inflight.erase(inflight.begin() + static_cast<long>(completion_idx));
+
+    if (state[static_cast<size_t>(done.task)] == TaskState::kCommitted) {
+      continue;  // a speculative duplicate already won
+    }
+    if (!done.outcome.missing_inputs.empty()) {
+      // Shuffle inputs were lost: recompute them from lineage, then re-run.
+      metrics->tasks_rerun_missing += 1;
+      retries[static_cast<size_t>(done.task)] += 1;
+      if (retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
+        return Status::ExecutionError("task exceeded retry limit (recovery)");
+      }
+      SHARK_RETURN_NOT_OK(RecoverMissing(done.outcome.missing_inputs, metrics));
+      state[static_cast<size_t>(done.task)] = TaskState::kPending;
+      pending.push_back(done.task);
+      continue;
+    }
+    commit(done.task, std::move(done.outcome), done.node);
+    state[static_cast<size_t>(done.task)] = TaskState::kCommitted;
+    committed += 1;
+    stage_end = std::max(stage_end, done.finish);
+    committed_durations.push_back(done.finish - done.start);
+  }
+
+  ctx_->AdvanceTo(stage_end);
+  return Status::OK();
+}
+
+}  // namespace shark

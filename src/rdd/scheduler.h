@@ -1,0 +1,112 @@
+#ifndef SHARK_RDD_SCHEDULER_H_
+#define SHARK_RDD_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "rdd/rdd.h"
+#include "rdd/shuffle.h"
+
+namespace shark {
+
+class ClusterContext;
+
+/// Aggregate metrics of one job (action) execution.
+struct JobMetrics {
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double duration() const { return end_time - start_time; }
+
+  int stages = 0;
+  int tasks_launched = 0;
+  int tasks_failed = 0;       // aborted by node failure
+  int tasks_rerun_missing = 0;  // re-run after missing shuffle input
+  int map_tasks_recovered = 0;  // lineage recomputation of lost map outputs
+  int speculative_tasks = 0;
+  TaskWork total_work;
+  /// Node that produced each result partition (result stage only).
+  std::vector<int> result_nodes;
+};
+
+/// Runs RDD actions on the simulated cluster: builds stages at shuffle
+/// boundaries, schedules tasks with data locality, and recovers from node
+/// failures by lineage recomputation (§2.3). Deterministic given the
+/// context's seed and fault schedule.
+class DagScheduler {
+ public:
+  explicit DagScheduler(ClusterContext* ctx) : ctx_(ctx) {}
+
+  DagScheduler(const DagScheduler&) = delete;
+  DagScheduler& operator=(const DagScheduler&) = delete;
+
+  /// Computes all partitions of `rdd`, returning blocks in partition order.
+  /// Ancestor shuffle stages are materialized first (and reused if already
+  /// materialized by a previous job — the basis of partial DAG execution).
+  Result<std::vector<BlockData>> RunJob(const std::shared_ptr<RddBase>& rdd);
+
+  /// Computes only the given partitions (map pruning launches no tasks for
+  /// pruned partitions).
+  Result<std::vector<BlockData>> RunJobOnPartitions(
+      const std::shared_ptr<RddBase>& rdd, const std::vector<int>& partitions);
+
+  /// Materializes a shuffle's map stage (if not already) and returns the
+  /// statistics observed by the master — the PDE entry point (§3.1).
+  Result<ShuffleStats> EnsureShuffle(
+      const std::shared_ptr<ShuffleDependency>& dep);
+
+  /// Metrics of the most recent job.
+  const JobMetrics& last_job() const { return last_job_; }
+
+ private:
+  struct TaskOutcome {
+    BlockData block;                  // result-stage payload
+    MapOutput map_output;             // map-stage payload
+    TaskWork work;
+    std::vector<std::pair<int, int>> missing_inputs;
+  };
+
+  using TaskBody = std::function<TaskOutcome(int partition, TaskContext*)>;
+  // Returns false if the committed output was immediately invalidated.
+  using CommitFn = std::function<void(int partition, TaskOutcome&&, int node)>;
+  // Partitions of the current task set whose committed output lives on a
+  // node; used to re-run map tasks whose outputs die with their node.
+  using LostOutputFn = std::function<std::vector<int>(int node)>;
+
+  /// Event-driven execution of one set of tasks (one stage, or a recovery
+  /// sub-stage). Handles locality, heartbeat quantization, failures,
+  /// missing-input recovery and speculation.
+  Status ExecuteTaskSet(const std::vector<int>& partitions,
+                        const std::function<std::vector<int>(int)>& preferred,
+                        const TaskBody& body, const CommitFn& commit,
+                        const LostOutputFn& lost_outputs, JobMetrics* metrics);
+
+  /// Registers dep in the id registry and runs its map tasks for the given
+  /// parent partitions (lineage recomputation path).
+  Status RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
+                     const std::vector<int>& map_partitions,
+                     JobMetrics* metrics);
+
+  /// Walks the lineage graph and materializes every incomplete ancestor
+  /// shuffle, parents first.
+  Status EnsureAncestorShuffles(const std::shared_ptr<RddBase>& rdd,
+                                JobMetrics* metrics);
+
+  /// Recomputes lost map outputs reported by a reduce task.
+  Status RecoverMissing(const std::vector<std::pair<int, int>>& missing,
+                        JobMetrics* metrics);
+
+  void HandleNodeDeath(int node);
+
+  ClusterContext* ctx_;
+  JobMetrics last_job_;
+  std::map<int, std::weak_ptr<ShuffleDependency>> shuffle_registry_;
+  // (node, heartbeat tick) -> tasks already started in that tick.
+  std::map<std::pair<int, long>, int> heartbeat_slots_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_SCHEDULER_H_

@@ -1,0 +1,99 @@
+#ifndef SHARK_RDD_SHUFFLE_H_
+#define SHARK_RDD_SHUFFLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/heavy_hitters.h"
+#include "common/histogram.h"
+#include "sim/dfs.h"
+
+namespace shark {
+
+/// Statistics the master aggregates from map tasks at a shuffle boundary —
+/// the raw material for Partial DAG Execution (§3.1). Bucket byte sizes pass
+/// through the 1-byte lossy logarithmic encoding before aggregation, exactly
+/// as the paper bounds per-task statistics reports to 1-2 KB.
+struct ShuffleStats {
+  std::vector<uint64_t> bucket_bytes;    // per fine-grained reduce bucket
+  std::vector<uint64_t> bucket_records;
+  uint64_t total_bytes = 0;
+  uint64_t total_records = 0;
+  HeavyHitters heavy_hitters{64};
+  ApproxHistogram key_histogram{64};
+};
+
+/// Output of one map task of a shuffle: one bucket per fine-grained reduce
+/// partition, resident on the node that ran the map task (in memory for
+/// Shark, on local disk for Hadoop — the profile decides the fetch cost).
+struct MapOutput {
+  bool present = false;
+  int node = -1;
+  std::vector<BlockData> buckets;
+  std::vector<uint64_t> bucket_bytes;
+  std::vector<uint64_t> bucket_records;
+  /// Multiplier translating real per-record reduce-side charges into
+  /// faithful virtual charges for cardinality-bounded (combined) outputs;
+  /// empty means 1.0 (linear scaling is already correct).
+  std::vector<double> bucket_cost_scale;
+};
+
+/// Tracks materialized map outputs per shuffle. Lost outputs (node failure)
+/// are detected by reduce-side fetches and recomputed from lineage by the
+/// scheduler.
+class ShuffleManager {
+ public:
+  /// Registers a shuffle; returns its id.
+  int RegisterShuffle(int num_map_partitions, int num_buckets);
+
+  bool IsRegistered(int shuffle_id) const;
+  int NumBuckets(int shuffle_id) const;
+  int NumMapPartitions(int shuffle_id) const;
+
+  /// Stores one map task's output and folds its sizes into the stats.
+  void PutMapOutput(int shuffle_id, int map_partition, MapOutput output);
+
+  /// nullptr if never computed; !present if lost to a failure.
+  const MapOutput* GetMapOutput(int shuffle_id, int map_partition) const;
+
+  /// True once every map partition has a present output.
+  bool IsComplete(int shuffle_id) const;
+
+  /// Map partitions whose output is missing or lost.
+  std::vector<int> MissingMapPartitions(int shuffle_id) const;
+
+  const ShuffleStats& Stats(int shuffle_id) const;
+
+  /// Whether map partition `p`'s statistics were already folded in (guards
+  /// sketch double-counting on recomputation).
+  bool StatsRecorded(int shuffle_id, int map_partition) const;
+
+  /// Mutable stats for the scheduler's sketch aggregation.
+  ShuffleStats* MutableStats(int shuffle_id);
+
+  /// Marks outputs on a failed node as lost.
+  void DropNode(int node);
+
+  void DropShuffle(int shuffle_id);
+  void Clear();
+
+ private:
+  struct ShuffleState {
+    int num_buckets = 0;
+    std::vector<MapOutput> outputs;  // indexed by map partition
+    // Whether a map partition's sizes were already folded into stats; a
+    // recomputation after failure must not double count.
+    std::vector<char> stats_recorded;
+    ShuffleStats stats;
+  };
+
+  const ShuffleState& GetState(int shuffle_id) const;
+
+  int next_id_ = 0;
+  std::map<int, ShuffleState> shuffles_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_SHUFFLE_H_

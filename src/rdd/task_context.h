@@ -1,0 +1,127 @@
+#ifndef SHARK_RDD_TASK_CONTEXT_H_
+#define SHARK_RDD_TASK_CONTEXT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rdd/block_manager.h"
+#include "rdd/broadcast.h"
+#include "rdd/shuffle.h"
+#include "sim/cost_model.h"
+
+namespace shark {
+
+/// Execution context handed to a task. Carries the work counters the cost
+/// model converts into virtual time, and gives compute functions access to
+/// the cache, shuffle outputs and broadcasts with their access costs charged
+/// automatically.
+///
+/// Error model: reduce-side fetches of shuffle outputs lost to node failures
+/// do not abort the task; they record the missing (shuffle, map partition)
+/// pairs and return what is available. The scheduler inspects
+/// `missing_inputs` after the task body runs, discards the result, recomputes
+/// the lost parents from lineage, and re-runs the task — mirroring Spark's
+/// FetchFailed handling without using exceptions.
+class TaskContext {
+ public:
+  TaskContext(int node, int partition, const EngineProfile* profile,
+              BlockManager* block_manager, ShuffleManager* shuffle_manager,
+              BroadcastRegistry* broadcasts, double virtual_scale = 1.0)
+      : node_(node),
+        partition_(partition),
+        profile_(profile),
+        block_manager_(block_manager),
+        shuffle_manager_(shuffle_manager),
+        broadcasts_(broadcasts),
+        virtual_scale_(virtual_scale) {}
+
+  int node() const { return node_; }
+  /// The context-wide virtual data multiplier (see ClusterConfig); shuffle
+  /// boundaries use it with the distinct-growth estimator to avoid scaling
+  /// cardinality-bounded outputs linearly.
+  double virtual_scale() const { return virtual_scale_; }
+  int partition() const { return partition_; }
+  const EngineProfile& profile() const { return *profile_; }
+  BlockManager* block_manager() { return block_manager_; }
+  ShuffleManager* shuffle_manager() { return shuffle_manager_; }
+
+  TaskWork& work() { return work_; }
+  const TaskWork& work() const { return work_; }
+
+  bool HasMissingInput() const { return !missing_inputs_.empty(); }
+  const std::vector<std::pair<int, int>>& missing_inputs() const {
+    return missing_inputs_;
+  }
+
+  /// Fetches the given fine-grained buckets of every map output of a
+  /// shuffle, charging transfer costs (memory/disk/network according to the
+  /// engine profile and output locality). Missing map outputs are recorded
+  /// in missing_inputs().
+  std::vector<BlockData> FetchShuffleBuckets(int shuffle_id,
+                                             const std::vector<int>& buckets,
+                                             double* effective_records = nullptr) {
+    std::vector<BlockData> out;
+    int num_maps = shuffle_manager_->NumMapPartitions(shuffle_id);
+    for (int m = 0; m < num_maps; ++m) {
+      const MapOutput* mo = shuffle_manager_->GetMapOutput(shuffle_id, m);
+      if (mo == nullptr || !mo->present) {
+        missing_inputs_.emplace_back(shuffle_id, m);
+        continue;
+      }
+      uint64_t bytes = 0;
+      for (int b : buckets) {
+        const auto bi = static_cast<size_t>(b);
+        if (mo->buckets[bi] != nullptr && mo->bucket_records[bi] > 0) {
+          out.push_back(mo->buckets[bi]);
+        }
+        bytes += mo->bucket_bytes[bi];
+        if (effective_records != nullptr) {
+          double cost_scale = mo->bucket_cost_scale.empty()
+                                  ? 1.0
+                                  : mo->bucket_cost_scale[bi];
+          *effective_records +=
+              static_cast<double>(mo->bucket_records[bi]) * cost_scale;
+        }
+      }
+      if (bytes == 0) continue;
+      if (profile_->shuffle_through_disk) {
+        // The serving side reads its spilled map output from disk (one seek
+        // per map output consulted), then ships it if remote.
+        work_.disk_read_bytes += bytes;
+        work_.disk_seeks += 1;
+        if (mo->node != node_) work_.net_read_bytes += bytes;
+      } else {
+        if (mo->node == node_) {
+          work_.mem_read_bytes += bytes;
+        } else {
+          work_.net_read_bytes += bytes;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Fetches a broadcast value, charging the one-time per-node transfer.
+  BlockData FetchBroadcast(int id) {
+    uint64_t fetch_bytes = 0;
+    BlockData data = broadcasts_->Fetch(id, node_, &fetch_bytes);
+    work_.net_read_bytes += fetch_bytes;
+    return data;
+  }
+
+ private:
+  int node_;
+  int partition_;
+  const EngineProfile* profile_;
+  BlockManager* block_manager_;
+  ShuffleManager* shuffle_manager_;
+  BroadcastRegistry* broadcasts_;
+  double virtual_scale_;
+  TaskWork work_;
+  std::vector<std::pair<int, int>> missing_inputs_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_TASK_CONTEXT_H_

@@ -1,0 +1,89 @@
+#include "relation/row.h"
+
+namespace shark {
+
+namespace {
+
+uint64_t DecimalWidth(int64_t v) {
+  uint64_t w = v < 0 ? 1 : 0;
+  uint64_t a = v < 0 ? static_cast<uint64_t>(-(v + 1)) + 1 : static_cast<uint64_t>(v);
+  do {
+    ++w;
+    a /= 10;
+  } while (a > 0);
+  return w;
+}
+
+}  // namespace
+
+std::string Row::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += "|";
+    out += fields[i].ToString();
+  }
+  return out;
+}
+
+uint64_t KeyHash(const Row& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row.fields) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t ApproxSizeOf(const Row& row) {
+  uint64_t total = 24;
+  for (const Value& v : row.fields) total += ApproxSizeOf(v);
+  return total;
+}
+
+uint64_t SerializedSizeOf(const Row& row, DfsFormat format) {
+  uint64_t total = 0;
+  if (format == DfsFormat::kText) {
+    for (const Value& v : row.fields) {
+      switch (v.kind()) {
+        case TypeKind::kNull:
+          total += 2;  // \N
+          break;
+        case TypeKind::kBool:
+          total += 1;
+          break;
+        case TypeKind::kInt64:
+          total += DecimalWidth(v.int64_v());
+          break;
+        case TypeKind::kDouble:
+          total += 12;  // typical "%.4f"-ish rendering
+          break;
+        case TypeKind::kString:
+          total += v.str().size();
+          break;
+        case TypeKind::kDate:
+          total += 10;  // YYYY-MM-DD
+          break;
+      }
+      total += 1;  // field delimiter / trailing newline
+    }
+  } else {
+    for (const Value& v : row.fields) {
+      switch (v.kind()) {
+        case TypeKind::kNull:
+          total += 1;
+          break;
+        case TypeKind::kBool:
+          total += 1;
+          break;
+        case TypeKind::kInt64:
+        case TypeKind::kDouble:
+        case TypeKind::kDate:
+          total += 8;
+          break;
+        case TypeKind::kString:
+          total += 4 + v.str().size();
+          break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace shark

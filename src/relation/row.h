@@ -1,0 +1,42 @@
+#ifndef SHARK_RELATION_ROW_H_
+#define SHARK_RELATION_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relation/value.h"
+#include "sim/dfs.h"
+
+namespace shark {
+
+/// A tuple of SQL values. Rows are the exchange format between SQL operators
+/// (Shark, like Hive, runs row-oriented operators over columnar storage).
+struct Row {
+  std::vector<Value> fields;
+
+  Row() = default;
+  explicit Row(std::vector<Value> f) : fields(std::move(f)) {}
+
+  int size() const { return static_cast<int>(fields.size()); }
+  const Value& Get(int i) const { return fields[static_cast<size_t>(i)]; }
+  Value& Get(int i) { return fields[static_cast<size_t>(i)]; }
+
+  bool operator==(const Row& other) const { return fields == other.fields; }
+
+  /// Pipe-separated rendering for result display and tests.
+  std::string ToString() const;
+};
+
+uint64_t KeyHash(const Row& row);
+uint64_t ApproxSizeOf(const Row& row);
+
+/// Serialized on-disk size: text uses the rendered field widths plus
+/// delimiters; binary uses a compact fixed/length-prefixed layout. Drives
+/// the simulated DFS byte accounting.
+uint64_t SerializedSizeOf(const Row& row, DfsFormat format);
+
+}  // namespace shark
+
+#endif  // SHARK_RELATION_ROW_H_

@@ -1,0 +1,57 @@
+#include "relation/types.h"
+
+#include "common/string_util.h"
+
+namespace shark {
+
+const char* TypeName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBool:
+      return "BOOLEAN";
+    case TypeKind::kInt64:
+      return "BIGINT";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+bool IsNumericLike(TypeKind kind) {
+  return kind == TypeKind::kBool || kind == TypeKind::kInt64 ||
+         kind == TypeKind::kDouble || kind == TypeKind::kDate;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddField(Field field) {
+  if (FieldIndex(field.name) >= 0) {
+    return Status::AlreadyExists("duplicate column name: " + field.name);
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += TypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace shark

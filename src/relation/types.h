@@ -1,0 +1,66 @@
+#ifndef SHARK_RELATION_TYPES_H_
+#define SHARK_RELATION_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shark {
+
+/// SQL column types supported by the engine. DATE is day-precision (days
+/// since 1970-01-01) with its own kind so that DATE literals and BETWEEN
+/// semantics match the paper's queries.
+enum class TypeKind : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Human-readable type name ("BIGINT", "DOUBLE", ...).
+const char* TypeName(TypeKind kind);
+
+/// True for INT64, DOUBLE, DATE and BOOL (orderable/arithmetic-coercible).
+bool IsNumericLike(TypeKind kind);
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  TypeKind type = TypeKind::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given (case-insensitive) name; -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Fails on duplicate names.
+  Status AddField(Field field);
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RELATION_TYPES_H_

@@ -1,0 +1,101 @@
+#ifndef SHARK_RELATION_VALUE_H_
+#define SHARK_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "relation/types.h"
+
+namespace shark {
+
+/// A single SQL value: NULL, BOOLEAN, BIGINT, DOUBLE, STRING or DATE.
+/// Comparison and arithmetic coerce BIGINT<->DOUBLE; NULL compares with SQL
+/// three-valued logic at the expression layer (here NULL simply sorts first
+/// and equals only NULL).
+class Value {
+ public:
+  Value() : kind_(TypeKind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) {
+    Value x;
+    x.kind_ = TypeKind::kBool;
+    x.i_ = v ? 1 : 0;
+    return x;
+  }
+  static Value Int64(int64_t v) {
+    Value x;
+    x.kind_ = TypeKind::kInt64;
+    x.i_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.kind_ = TypeKind::kDouble;
+    x.d_ = v;
+    return x;
+  }
+  static Value String(std::string v) {
+    Value x;
+    x.kind_ = TypeKind::kString;
+    x.s_ = std::move(v);
+    return x;
+  }
+  static Value Date(int64_t days) {
+    Value x;
+    x.kind_ = TypeKind::kDate;
+    x.i_ = days;
+    return x;
+  }
+
+  /// Parses "YYYY-MM-DD" into a DATE value.
+  static Result<Value> ParseDate(const std::string& text);
+
+  TypeKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == TypeKind::kNull; }
+
+  bool bool_v() const { return i_ != 0; }
+  int64_t int64_v() const { return i_; }  // BIGINT, BOOLEAN and DATE payload
+  double double_v() const { return d_; }
+  const std::string& str() const { return s_; }
+
+  /// Numeric coercion (BOOL/INT64/DATE -> double); 0.0 for NULL/STRING.
+  double AsDouble() const;
+  /// Integer coercion (DOUBLE truncates).
+  int64_t AsInt64() const;
+
+  /// SQL equality: NULL == NULL here (used for grouping, not predicates).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting: NULL < numerics (coerced) < strings.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  /// SQL-style text rendering (also used for CSV serialization sizing).
+  std::string ToString() const;
+
+  /// Days since epoch rendered as "YYYY-MM-DD".
+  static std::string FormatDate(int64_t days);
+
+ private:
+  TypeKind kind_;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+};
+
+inline uint64_t KeyHash(const Value& v) { return v.Hash(); }
+
+/// Approximate in-memory footprint (cache accounting).
+inline uint64_t ApproxSizeOf(const Value& v) {
+  return 16 + (v.kind() == TypeKind::kString ? v.str().size() : 0);
+}
+
+}  // namespace shark
+
+#endif  // SHARK_RELATION_VALUE_H_

@@ -1,0 +1,117 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace shark {
+
+Cluster::Cluster(int num_nodes, int cores_per_node)
+    : cores_per_node_(cores_per_node) {
+  SHARK_CHECK(num_nodes > 0 && cores_per_node > 0);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  for (auto& n : nodes_) {
+    n.core_free_at.assign(static_cast<size_t>(cores_per_node), 0.0);
+  }
+}
+
+void Cluster::InjectFault(const FaultEvent& event) {
+  pending_faults_.push_back(event);
+  std::stable_sort(pending_faults_.begin(), pending_faults_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::vector<int> Cluster::ApplyFaultsUpTo(double now) {
+  std::vector<int> killed;
+  size_t applied = 0;
+  for (const FaultEvent& e : pending_faults_) {
+    if (e.time > now) break;
+    ++applied;
+    auto& n = nodes_[static_cast<size_t>(e.node)];
+    switch (e.kind) {
+      case FaultEvent::Kind::kKill:
+        if (n.alive) {
+          n.alive = false;
+          killed.push_back(e.node);
+        }
+        break;
+      case FaultEvent::Kind::kSlowdown:
+        n.slowdown = e.slowdown_factor;
+        break;
+      case FaultEvent::Kind::kRecover:
+        n.alive = true;
+        n.slowdown = 1.0;
+        // A recovered node rejoins with free cores from now on.
+        for (double& t : n.core_free_at) t = std::max(t, e.time);
+        break;
+    }
+  }
+  pending_faults_.erase(pending_faults_.begin(),
+                        pending_faults_.begin() + static_cast<long>(applied));
+  return killed;
+}
+
+bool Cluster::EarliestFreeCore(double now, double* when, int* node,
+                               int* core) const {
+  double best = std::numeric_limits<double>::infinity();
+  int best_node = -1;
+  int best_core = -1;
+  for (int ni = 0; ni < num_nodes(); ++ni) {
+    const NodeState& n = nodes_[static_cast<size_t>(ni)];
+    if (!n.alive) continue;
+    for (int ci = 0; ci < cores_per_node_; ++ci) {
+      double t = std::max(now, n.core_free_at[static_cast<size_t>(ci)]);
+      if (t < best) {
+        best = t;
+        best_node = ni;
+        best_core = ci;
+      }
+    }
+  }
+  if (best_node < 0) return false;
+  *when = best;
+  *node = best_node;
+  *core = best_core;
+  return true;
+}
+
+double Cluster::EarliestFreeCoreOnNode(int node, int* core) const {
+  const NodeState& n = nodes_[static_cast<size_t>(node)];
+  SHARK_CHECK(n.alive);
+  double best = std::numeric_limits<double>::infinity();
+  int best_core = 0;
+  for (int ci = 0; ci < cores_per_node_; ++ci) {
+    double t = n.core_free_at[static_cast<size_t>(ci)];
+    if (t < best) {
+      best = t;
+      best_core = ci;
+    }
+  }
+  *core = best_core;
+  return best;
+}
+
+void Cluster::OccupyCore(int node, int core, double until) {
+  auto& n = nodes_[static_cast<size_t>(node)];
+  n.core_free_at[static_cast<size_t>(core)] = until;
+}
+
+void Cluster::Reset() {
+  pending_faults_.clear();
+  for (auto& n : nodes_) {
+    n.alive = true;
+    n.slowdown = 1.0;
+    std::fill(n.core_free_at.begin(), n.core_free_at.end(), 0.0);
+  }
+}
+
+int Cluster::AliveNodes() const {
+  int count = 0;
+  for (const auto& n : nodes_) count += n.alive ? 1 : 0;
+  return count;
+}
+
+}  // namespace shark

@@ -1,0 +1,77 @@
+#include "sim/dfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shark {
+
+uint64_t DfsFile::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : blocks) total += b.bytes;
+  return total;
+}
+
+uint64_t DfsFile::TotalRows() const {
+  uint64_t total = 0;
+  for (const auto& b : blocks) total += b.rows;
+  return total;
+}
+
+Dfs::Dfs(int num_nodes, int replication, uint64_t seed)
+    : num_nodes_(num_nodes),
+      replication_(std::min(replication, num_nodes)),
+      rng_(seed) {
+  SHARK_CHECK(num_nodes > 0 && replication > 0);
+}
+
+Status Dfs::CreateFile(const std::string& name, DfsFormat format,
+                       std::vector<DfsBlock> blocks) {
+  if (files_.count(name) > 0) {
+    return Status::AlreadyExists("dfs file exists: " + name);
+  }
+  // Assign replicas: first replica rotates round-robin for even spread, the
+  // rest are random distinct nodes (HDFS rack-unaware placement).
+  // A caller may pre-set the first replica (a writer stores one copy
+  // locally, HDFS-style); remaining replicas are assigned here.
+  size_t index = 0;
+  for (auto& block : blocks) {
+    if (block.replicas.empty()) {
+      int primary = static_cast<int>(
+          (rng_.Uniform(static_cast<uint64_t>(num_nodes_)) + index) %
+          static_cast<uint64_t>(num_nodes_));
+      block.replicas.push_back(primary);
+    }
+    while (static_cast<int>(block.replicas.size()) < replication_) {
+      int candidate = static_cast<int>(rng_.Uniform(static_cast<uint64_t>(num_nodes_)));
+      if (std::find(block.replicas.begin(), block.replicas.end(), candidate) ==
+          block.replicas.end()) {
+        block.replicas.push_back(candidate);
+      }
+    }
+    ++index;
+  }
+  DfsFile file;
+  file.name = name;
+  file.format = format;
+  file.blocks = std::move(blocks);
+  files_.emplace(name, std::move(file));
+  return Status::OK();
+}
+
+Result<const DfsFile*> Dfs::GetFile(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("dfs file not found: " + name);
+  return &it->second;
+}
+
+bool Dfs::Exists(const std::string& name) const { return files_.count(name) > 0; }
+
+Status Dfs::DeleteFile(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("dfs file not found: " + name);
+  files_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace shark

@@ -1,0 +1,73 @@
+#ifndef SHARK_SIM_DFS_H_
+#define SHARK_SIM_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace shark {
+
+/// Type-erased immutable data block. In the simulator, "on-disk" data lives
+/// in process memory; the byte counts recorded here drive the cost model.
+using BlockData = std::shared_ptr<const void>;
+
+/// Storage format of a DFS file, which determines the deserialization cost
+/// charged when scanning it (§3.2; Fig 11/12 compare text vs binary inputs).
+enum class DfsFormat { kText, kBinary };
+
+/// One block of a DFS file: payload plus its serialized size and replica
+/// placement (HDFS-style 3-way replication).
+struct DfsBlock {
+  BlockData data;
+  uint64_t bytes = 0;  // serialized size on disk
+  uint64_t rows = 0;
+  std::vector<int> replicas;
+};
+
+/// A file in the simulated distributed filesystem.
+struct DfsFile {
+  std::string name;
+  DfsFormat format = DfsFormat::kText;
+  std::vector<DfsBlock> blocks;
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalRows() const;
+};
+
+/// Simulated HDFS: named files of replicated blocks. Block placement is
+/// deterministic given the seed. The namenode (this object) lives on the
+/// master and is not subject to worker faults, matching the paper's setup.
+class Dfs {
+ public:
+  Dfs(int num_nodes, int replication, uint64_t seed = 7);
+
+  /// Creates a file; assigns `replication` replica nodes per block.
+  /// Fails if the name already exists.
+  Status CreateFile(const std::string& name, DfsFormat format,
+                    std::vector<DfsBlock> blocks);
+
+  /// Looks up a file.
+  Result<const DfsFile*> GetFile(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  Status DeleteFile(const std::string& name);
+
+  int replication() const { return replication_; }
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_;
+  int replication_;
+  Random rng_;
+  std::map<std::string, DfsFile> files_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SIM_DFS_H_

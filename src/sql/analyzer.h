@@ -1,0 +1,45 @@
+#ifndef SHARK_SQL_ANALYZER_H_
+#define SHARK_SQL_ANALYZER_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/expr.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+/// Turns a parsed SELECT into a bound logical plan: resolves tables against
+/// the catalog, binds column references to slots, extracts equi-join keys
+/// (from ON clauses and from WHERE conjuncts of comma joins), splits
+/// aggregates out of the select list, and type-checks expressions.
+class Analyzer {
+ public:
+  Analyzer(const Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  Result<PlanPtr> AnalyzeSelect(const SelectStmt& stmt) const;
+
+ private:
+  struct ScopeColumn {
+    std::string qualifier;  // table alias (lower-cased)
+    std::string name;       // column name
+    TypeKind type;
+  };
+  using Scope = std::vector<ScopeColumn>;
+
+  Result<PlanPtr> AnalyzeTableRef(const TableRef& ref, Scope* scope) const;
+
+  /// Clones `ast`, binding column refs to scope slots and inferring types.
+  Result<ExprPtr> BindExpr(const ExprPtr& ast, const Scope& scope) const;
+
+  Status BindInPlace(Expr* e, const Scope& scope) const;
+  Status InferType(Expr* e) const;
+
+  const Catalog* catalog_;
+  const UdfRegistry* udfs_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_ANALYZER_H_

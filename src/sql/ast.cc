@@ -1,0 +1,155 @@
+#include "sql/ast.h"
+
+namespace shark {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.kind() == TypeKind::kString ? "'" + literal.ToString() + "'"
+                                                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case ExprKind::kSlot:
+      return "$" + std::to_string(slot);
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNeg ? "-" : "NOT ") +
+             children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(binary_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kFuncCall:
+    case ExprKind::kAggCall: {
+      std::string out = name + "(";
+      if (star) out += "*";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return children[0]->ToString() + (negated ? " NOT" : "") + " BETWEEN " +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case ExprKind::kInList: {
+      std::string out = children[0]->ToString() + (negated ? " NOT" : "") + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + " IS " + (negated ? "NOT " : "") + "NULL";
+    case ExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT" : "") + " LIKE " +
+             children[1]->ToString();
+    case ExprKind::kCase:
+      return "CASE(...)";
+  }
+  return "?";
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind != other.kind || name != other.name || qualifier != other.qualifier ||
+      slot != other.slot || negated != other.negated ||
+      distinct != other.distinct || star != other.star ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (!(literal == other.literal) &&
+          !(literal.is_null() && other.literal.is_null())) {
+        return false;
+      }
+      break;
+    case ExprKind::kUnary:
+      if (unary_op != other.unary_op) return false;
+      break;
+    case ExprKind::kBinary:
+      if (binary_op != other.binary_op) return false;
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->Equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->type = v.kind();
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeSlot(int slot, TypeKind type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSlot;
+  e->slot = slot;
+  e->type = type;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+}  // namespace shark

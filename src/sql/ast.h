@@ -1,0 +1,155 @@
+#ifndef SHARK_SQL_AST_H_
+#define SHARK_SQL_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/types.h"
+#include "relation/value.h"
+
+namespace shark {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,  // unresolved name [qualifier.]name
+  kSlot,       // resolved reference to a child-output column
+  kUnary,
+  kBinary,
+  kFuncCall,  // scalar builtin or user-defined function
+  kAggCall,   // COUNT/SUM/AVG/MIN/MAX, optionally DISTINCT; star for COUNT(*)
+  kBetween,   // child0 BETWEEN child1 AND child2
+  kInList,    // child0 IN (child1..childN)
+  kIsNull,    // child0 IS [NOT] NULL
+  kLike,      // child0 LIKE child1 (literal pattern)
+  kCase,      // CASE WHEN c1 THEN v1 [WHEN..] [ELSE e] END: children alternate
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// A SQL expression node. One struct with a kind tag keeps the parser,
+/// analyzer (which rewrites kColumnRef into kSlot) and evaluator simple.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;               // kLiteral
+  std::string qualifier;       // kColumnRef: optional table alias
+  std::string name;            // kColumnRef column / kFuncCall,kAggCall name
+  int slot = -1;               // kSlot: index into the input row
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kEq;
+  bool negated = false;        // NOT BETWEEN / NOT IN / IS NOT NULL / NOT LIKE
+  bool distinct = false;       // COUNT(DISTINCT x)
+  bool star = false;           // COUNT(*)
+  std::vector<ExprPtr> children;
+
+  /// Result type, filled by the analyzer.
+  TypeKind type = TypeKind::kNull;
+
+  std::string ToString() const;
+
+  /// Structural equality (used to match GROUP BY expressions in the select
+  /// list and ORDER BY in aggregates).
+  bool Equals(const Expr& other) const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string name);
+ExprPtr MakeSlot(int slot, TypeKind type);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;            // '*' or qualifier.*
+  std::string star_qualifier;
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;
+  std::shared_ptr<SelectStmt> subquery;  // (SELECT ...) alias
+};
+
+enum class JoinType : uint8_t { kInner, kLeftOuter, kRightOuter };
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr condition;  // ON ...
+  JoinType type = JoinType::kInner;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;                // -1: none
+  std::string distribute_by;         // DISTRIBUTE BY column (co-partitioning)
+
+  /// UNION ALL chain: the next SELECT whose rows are appended to this one's.
+  std::shared_ptr<SelectStmt> union_all;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::map<std::string, std::string> properties;  // TBLPROPERTIES
+  std::shared_ptr<SelectStmt> select;             // CREATE TABLE .. AS SELECT
+  std::vector<Field> columns;                     // explicit schema form
+};
+
+struct DropTableStmt {
+  std::string name;
+  bool if_exists = false;
+};
+
+enum class StatementKind { kSelect, kCreateTable, kDropTable };
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::shared_ptr<SelectStmt> select;
+  std::shared_ptr<CreateTableStmt> create_table;
+  std::shared_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_AST_H_

@@ -1,0 +1,49 @@
+#include "sql/catalog.h"
+
+#include "common/string_util.h"
+
+namespace shark {
+
+Status Catalog::CreateTable(TableInfo info) {
+  std::string key = ToLower(info.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + info.name);
+  }
+  tables_.emplace(std::move(key), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table not found: " + name);
+  }
+  if (it->second.cached_rdd != nullptr) it->second.cached_rdd->Uncache();
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Result<TableInfo*> Catalog::Get(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return &it->second;
+}
+
+Result<const TableInfo*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return static_cast<const TableInfo*>(&it->second);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, info] : tables_) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace shark

@@ -1,0 +1,65 @@
+#ifndef SHARK_SQL_CATALOG_H_
+#define SHARK_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table_partition.h"
+#include "common/status.h"
+#include "rdd/rdd.h"
+#include "relation/types.h"
+#include "sim/dfs.h"
+
+namespace shark {
+
+/// Metastore entry for one table. A table lives on the DFS (`dfs_file`),
+/// in the columnar memory store (`cached_rdd` non-null), or both.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+
+  // On-DFS storage (empty dfs_file for memory-only tables).
+  std::string dfs_file;
+  DfsFormat format = DfsFormat::kText;
+
+  // Columnar memory store (§3.2). The RDD's elements are TablePartitionPtr;
+  // the RDD is marked cached so partitions live in the block manager and are
+  // recomputed from lineage after failures.
+  RddPtr<TablePartitionPtr> cached_rdd;
+
+  // Per-partition per-column statistics collected during load, kept by the
+  // master for map pruning (§3.5). Indexed [partition][column].
+  std::vector<std::vector<ColumnStats>> partition_stats;
+
+  // DISTRIBUTE BY column index (-1 if none) and the partition count used;
+  // co-partitioned joins require matching values (§3.4).
+  int distribute_key = -1;
+  int num_partitions = 0;
+  std::string copartitioned_with;
+
+  // Rough table-level statistics for the static optimizer's prior beliefs.
+  uint64_t approx_rows = 0;
+  uint64_t approx_bytes = 0;
+
+  bool is_cached() const { return cached_rdd != nullptr; }
+};
+
+/// The system catalog (Hive metastore analog). Lives on the master.
+class Catalog {
+ public:
+  Status CreateTable(TableInfo info);
+  Status DropTable(const std::string& name, bool if_exists);
+  bool Exists(const std::string& name) const;
+  Result<TableInfo*> Get(const std::string& name);
+  Result<const TableInfo*> Get(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableInfo> tables_;  // lower-cased names
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_CATALOG_H_

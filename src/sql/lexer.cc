@@ -1,0 +1,131 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace shark {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      t.kind = TokenKind::kIdentifier;
+      t.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      t.text = sql.substr(start, i - start);
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        if (!ParseDouble(t.text, &t.double_value)) {
+          return Status::ParseError("bad numeric literal: " + t.text);
+        }
+      } else {
+        t.kind = TokenKind::kInteger;
+        if (!ParseInt64(t.text, &t.int_value)) {
+          return Status::ParseError("bad integer literal: " + t.text);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == quote) {
+          // Doubled quote escapes itself.
+          if (i + 1 < n && sql[i + 1] == quote) {
+            text.push_back(quote);
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Two-character operators.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        t.kind = TokenKind::kSymbol;
+        t.text = two == "!=" ? "<>" : two;
+        tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.*+-/%=<>;").find(c) != std::string::npos) {
+      t.kind = TokenKind::kSymbol;
+      t.text = std::string(1, c);
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace shark

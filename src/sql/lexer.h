@@ -1,0 +1,33 @@
+#ifndef SHARK_SQL_LEXER_H_
+#define SHARK_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shark {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   // bare word (keywords are identifiers; parser matches them)
+  kInteger,
+  kFloat,
+  kString,       // 'quoted' or "quoted"
+  kSymbol,       // punctuation/operator: ( ) , . * + - / % = < > <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier text (original case) / symbol / literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes a SQL string. Comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_LEXER_H_

@@ -1,0 +1,120 @@
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+namespace {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kUnion:
+      return "UnionAll";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggCall::Fn fn) {
+  switch (fn) {
+    case AggCall::Fn::kCountStar:
+      return "COUNT(*)";
+    case AggCall::Fn::kCount:
+      return "COUNT";
+    case AggCall::Fn::kCountDistinct:
+      return "COUNT-DISTINCT";
+    case AggCall::Fn::kSum:
+      return "SUM";
+    case AggCall::Fn::kAvg:
+      return "AVG";
+    case AggCall::Fn::kMin:
+      return "MIN";
+    case AggCall::Fn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += " " + table;
+      if (scan_predicate != nullptr) {
+        out += " pushed=" + scan_predicate->ToString();
+      }
+      out += " cols=" + std::to_string(needed_columns.size());
+      break;
+    case PlanKind::kFilter:
+      out += " " + predicate->ToString();
+      break;
+    case PlanKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < project_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += project_exprs[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += " groups=[";
+      for (size_t i = 0; i < group_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_exprs[i]->ToString();
+      }
+      out += "] aggs=[";
+      for (size_t i = 0; i < agg_calls.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += AggFnName(agg_calls[i].fn);
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kJoin: {
+      if (join_type == JoinType::kLeftOuter) out += " LEFT";
+      if (join_type == JoinType::kRightOuter) out += " RIGHT";
+      out += " keys=[";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += left_keys[i]->ToString() + "=" + right_keys[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kSort:
+      out += " keys=" + std::to_string(sort_exprs.size());
+      if (limit >= 0) out += " limit=" + std::to_string(limit);
+      break;
+    case PlanKind::kLimit:
+      out += " " + std::to_string(limit);
+      break;
+    case PlanKind::kUnion:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+PlanPtr MakePlan(PlanKind kind) {
+  auto plan = std::make_shared<LogicalPlan>();
+  plan->kind = kind;
+  return plan;
+}
+
+}  // namespace shark

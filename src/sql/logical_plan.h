@@ -1,0 +1,98 @@
+#ifndef SHARK_SQL_LOGICAL_PLAN_H_
+#define SHARK_SQL_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relation/types.h"
+#include "sql/ast.h"
+
+namespace shark {
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kLimit,
+  kUnion,  // UNION ALL (bag semantics)
+};
+
+/// One aggregate call in an Aggregate node.
+struct AggCall {
+  enum class Fn : uint8_t {
+    kCountStar,
+    kCount,
+    kCountDistinct,
+    kSum,
+    kAvg,
+    kMin,
+    kMax,
+  };
+  Fn fn = Fn::kCountStar;
+  /// Argument expressions bound to the aggregate's input (empty for COUNT(*)).
+  /// COUNT(DISTINCT a, b) carries several.
+  std::vector<ExprPtr> args;
+  TypeKind out_type = TypeKind::kInt64;
+};
+
+struct LogicalPlan;
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+/// A bound logical plan node. Expressions attached to a node reference the
+/// output slots of its child(ren); a Join's residual predicate references the
+/// concatenation [left columns..., right columns...].
+///
+/// Scan keeps the full table arity in its output (columns outside
+/// `needed_columns` are decoded as NULL), so slot bindings equal table
+/// schema positions — the columnar store simply never touches pruned
+/// columns' bytes.
+struct LogicalPlan {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  /// Output columns of this node.
+  std::vector<Field> output;
+
+  // kScan
+  std::string table;
+  ExprPtr scan_predicate;           // pushed-down filter (may be null)
+  std::vector<int> needed_columns;  // columns actually read
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> project_exprs;
+
+  // kAggregate (output = group columns then aggregate results)
+  std::vector<ExprPtr> group_exprs;
+  std::vector<AggCall> agg_calls;
+
+  // kJoin (equi-join; kLeftOuter/kRightOuter null-extend the unmatched side)
+  JoinType join_type = JoinType::kInner;
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  ExprPtr join_residual;  // may be null
+
+  // kSort
+  std::vector<ExprPtr> sort_exprs;
+  std::vector<bool> sort_ascending;
+
+  // kSort fused limit / kLimit
+  int64_t limit = -1;
+
+  int num_output_columns() const { return static_cast<int>(output.size()); }
+
+  /// Indented plan rendering for tests and EXPLAIN-style debugging.
+  std::string ToString(int indent = 0) const;
+};
+
+PlanPtr MakePlan(PlanKind kind);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_LOGICAL_PLAN_H_

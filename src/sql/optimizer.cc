@@ -1,0 +1,277 @@
+#include "sql/optimizer.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace shark {
+
+namespace {
+
+bool IsFoldable(const Expr& e, const UdfRegistry* udfs) {
+  switch (e.kind) {
+    case ExprKind::kSlot:
+    case ExprKind::kColumnRef:
+    case ExprKind::kAggCall:
+      return false;
+    case ExprKind::kFuncCall:
+      // UDFs may be non-deterministic; only fold builtins.
+      if (udfs != nullptr && udfs->Lookup(e.name) != nullptr) return false;
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : e.children) {
+    if (!IsFoldable(*c, udfs)) return false;
+  }
+  return true;
+}
+
+ExprPtr FoldConstants(const ExprPtr& e, const UdfRegistry* udfs) {
+  if (e->kind == ExprKind::kLiteral) return e;
+  if (IsFoldable(*e, udfs)) {
+    Row empty;
+    Value v = EvalExpr(*e, empty, udfs);
+    ExprPtr lit = MakeLiteral(std::move(v));
+    lit->type = e->type;
+    return lit;
+  }
+  ExprPtr out = CloneExpr(*e);
+  for (auto& c : out->children) c = FoldConstants(c, udfs);
+  return out;
+}
+
+void FoldPlanConstants(LogicalPlan* plan, const UdfRegistry* udfs) {
+  auto fold = [&](ExprPtr& e) {
+    if (e != nullptr) e = FoldConstants(e, udfs);
+  };
+  fold(plan->scan_predicate);
+  fold(plan->predicate);
+  for (auto& e : plan->project_exprs) fold(e);
+  for (auto& e : plan->group_exprs) fold(e);
+  for (auto& call : plan->agg_calls) {
+    for (auto& e : call.args) fold(e);
+  }
+  for (auto& e : plan->left_keys) fold(e);
+  for (auto& e : plan->right_keys) fold(e);
+  fold(plan->join_residual);
+  for (auto& e : plan->sort_exprs) fold(e);
+  for (auto& c : plan->children) FoldPlanConstants(c.get(), udfs);
+}
+
+/// Maximum slot (exclusive) referenced by an expression; 0 if none.
+int MaxSlotBound(const Expr& e) {
+  std::set<int> slots;
+  CollectSlots(e, &slots);
+  return slots.empty() ? 0 : *slots.rbegin() + 1;
+}
+
+int MinSlot(const Expr& e) {
+  std::set<int> slots;
+  CollectSlots(e, &slots);
+  return slots.empty() ? 1 << 30 : *slots.begin();
+}
+
+/// Attempts to rewrite a conjunct over a Project's input: succeeds only when
+/// every referenced project expression is itself a plain slot.
+bool RewriteThroughProject(const ExprPtr& conj,
+                           const std::vector<ExprPtr>& project_exprs,
+                           ExprPtr* out) {
+  std::set<int> slots;
+  CollectSlots(*conj, &slots);
+  std::map<int, int> mapping;
+  for (int s : slots) {
+    if (s >= static_cast<int>(project_exprs.size())) return false;
+    const Expr& pe = *project_exprs[static_cast<size_t>(s)];
+    if (pe.kind != ExprKind::kSlot) return false;
+    mapping[s] = pe.slot;
+  }
+  *out = RemapSlots(*conj, mapping);
+  return true;
+}
+
+/// Pushes filter conjuncts as deep as they can go. `conjuncts` arrive bound
+/// to `plan`'s output; whatever cannot be pushed into `plan` is returned to
+/// the caller to re-wrap as a Filter above it.
+PlanPtr PushPredicates(PlanPtr plan, std::vector<ExprPtr> conjuncts);
+
+PlanPtr WrapFilter(PlanPtr plan, const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return plan;
+  PlanPtr filter = MakePlan(PlanKind::kFilter);
+  filter->children = {plan};
+  filter->output = plan->output;
+  filter->predicate = CombineConjuncts(conjuncts);
+  return filter;
+}
+
+PlanPtr PushPredicates(PlanPtr plan, std::vector<ExprPtr> conjuncts) {
+  switch (plan->kind) {
+    case PlanKind::kFilter: {
+      // Merge this filter's conjuncts with the incoming ones and push.
+      std::vector<ExprPtr> merged = SplitConjuncts(plan->predicate);
+      for (auto& c : conjuncts) merged.push_back(c);
+      return PushPredicates(plan->children[0], std::move(merged));
+    }
+    case PlanKind::kScan: {
+      std::vector<ExprPtr> all = SplitConjuncts(plan->scan_predicate);
+      for (auto& c : conjuncts) all.push_back(c);
+      plan->scan_predicate = CombineConjuncts(all);
+      return plan;
+    }
+    case PlanKind::kProject: {
+      std::vector<ExprPtr> pushable;
+      std::vector<ExprPtr> kept;
+      for (const ExprPtr& c : conjuncts) {
+        ExprPtr rewritten;
+        if (RewriteThroughProject(c, plan->project_exprs, &rewritten)) {
+          pushable.push_back(rewritten);
+        } else {
+          kept.push_back(c);
+        }
+      }
+      plan->children[0] = PushPredicates(plan->children[0], std::move(pushable));
+      return WrapFilter(plan, kept);
+    }
+    case PlanKind::kJoin: {
+      int left_width = plan->children[0]->num_output_columns();
+      // Pushing a predicate below an outer join's null-extended side would
+      // change results; only the preserved side accepts pushdown.
+      bool can_push_left = plan->join_type != JoinType::kRightOuter;
+      bool can_push_right = plan->join_type != JoinType::kLeftOuter;
+      std::vector<ExprPtr> left_push, right_push, kept;
+      for (const ExprPtr& c : conjuncts) {
+        int max_bound = MaxSlotBound(*c);
+        int min_slot = MinSlot(*c);
+        if (max_bound <= left_width && can_push_left) {
+          left_push.push_back(c);
+        } else if (min_slot >= left_width && can_push_right) {
+          std::map<int, int> shift;
+          for (int s = left_width; s < left_width + plan->children[1]->num_output_columns();
+               ++s) {
+            shift[s] = s - left_width;
+          }
+          right_push.push_back(RemapSlots(*c, shift));
+        } else {
+          kept.push_back(c);
+        }
+      }
+      plan->children[0] = PushPredicates(plan->children[0], std::move(left_push));
+      plan->children[1] = PushPredicates(plan->children[1], std::move(right_push));
+      return WrapFilter(plan, kept);
+    }
+    case PlanKind::kUnion: {
+      // A predicate over a UNION ALL applies to each branch.
+      for (auto& child : plan->children) {
+        std::vector<ExprPtr> copy;
+        for (const ExprPtr& c : conjuncts) copy.push_back(CloneExpr(*c));
+        child = PushPredicates(child, std::move(copy));
+      }
+      return plan;
+    }
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kLimit: {
+      // Predicates do not commute with limits; aggregate/having predicates
+      // stay above (group-key-only pushdown is a possible refinement).
+      plan->children[0] = PushPredicates(plan->children[0], {});
+      return WrapFilter(plan, conjuncts);
+    }
+  }
+  return WrapFilter(plan, conjuncts);
+}
+
+/// Column pruning: propagates the set of needed output slots down the tree;
+/// Scan nodes end up reading only the columns some ancestor touches.
+void PruneColumns(LogicalPlan* plan, const std::set<int>& needed) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      std::set<int> cols = needed;
+      if (plan->scan_predicate != nullptr) {
+        CollectSlots(*plan->scan_predicate, &cols);
+      }
+      plan->needed_columns.assign(cols.begin(), cols.end());
+      return;
+    }
+    case PlanKind::kFilter: {
+      std::set<int> child_needed = needed;
+      CollectSlots(*plan->predicate, &child_needed);
+      PruneColumns(plan->children[0].get(), child_needed);
+      return;
+    }
+    case PlanKind::kProject: {
+      std::set<int> child_needed;
+      for (int i : needed) {
+        if (i < static_cast<int>(plan->project_exprs.size())) {
+          CollectSlots(*plan->project_exprs[static_cast<size_t>(i)],
+                       &child_needed);
+        }
+      }
+      PruneColumns(plan->children[0].get(), child_needed);
+      return;
+    }
+    case PlanKind::kAggregate: {
+      std::set<int> child_needed;
+      for (const auto& g : plan->group_exprs) CollectSlots(*g, &child_needed);
+      for (const auto& call : plan->agg_calls) {
+        for (const auto& a : call.args) CollectSlots(*a, &child_needed);
+      }
+      PruneColumns(plan->children[0].get(), child_needed);
+      return;
+    }
+    case PlanKind::kJoin: {
+      int left_width = plan->children[0]->num_output_columns();
+      std::set<int> left_needed, right_needed;
+      auto add_slot = [&](int s) {
+        if (s < left_width) {
+          left_needed.insert(s);
+        } else {
+          right_needed.insert(s - left_width);
+        }
+      };
+      for (int s : needed) add_slot(s);
+      if (plan->join_residual != nullptr) {
+        std::set<int> rslots;
+        CollectSlots(*plan->join_residual, &rslots);
+        for (int s : rslots) add_slot(s);
+      }
+      for (const auto& k : plan->left_keys) {
+        std::set<int> s;
+        CollectSlots(*k, &s);
+        left_needed.insert(s.begin(), s.end());
+      }
+      for (const auto& k : plan->right_keys) {
+        std::set<int> s;
+        CollectSlots(*k, &s);
+        right_needed.insert(s.begin(), s.end());
+      }
+      PruneColumns(plan->children[0].get(), left_needed);
+      PruneColumns(plan->children[1].get(), right_needed);
+      return;
+    }
+    case PlanKind::kSort: {
+      std::set<int> child_needed = needed;
+      for (const auto& e : plan->sort_exprs) CollectSlots(*e, &child_needed);
+      PruneColumns(plan->children[0].get(), child_needed);
+      return;
+    }
+    case PlanKind::kLimit:
+      PruneColumns(plan->children[0].get(), needed);
+      return;
+    case PlanKind::kUnion:
+      for (auto& c : plan->children) PruneColumns(c.get(), needed);
+      return;
+  }
+}
+
+}  // namespace
+
+PlanPtr Optimize(PlanPtr plan, const UdfRegistry* udfs) {
+  FoldPlanConstants(plan.get(), udfs);
+  plan = PushPredicates(plan, {});
+  std::set<int> all;
+  for (int i = 0; i < plan->num_output_columns(); ++i) all.insert(i);
+  PruneColumns(plan.get(), all);
+  return plan;
+}
+
+}  // namespace shark

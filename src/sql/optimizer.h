@@ -1,0 +1,17 @@
+#ifndef SHARK_SQL_OPTIMIZER_H_
+#define SHARK_SQL_OPTIMIZER_H_
+
+#include "sql/expr.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+/// Rule-based logical optimization (the static half of Shark's optimizer,
+/// §2.4): constant folding, predicate pushdown (through projects and joins,
+/// into scans where map pruning consumes it), and column pruning (the scan
+/// reads only needed columns from the columnar store).
+PlanPtr Optimize(PlanPtr plan, const UdfRegistry* udfs);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_OPTIMIZER_H_

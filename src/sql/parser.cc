@@ -1,0 +1,602 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace shark {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatementTop() {
+    Statement stmt;
+    if (MatchKeyword("SELECT")) {
+      --pos_;  // ParseSelect expects SELECT
+      SHARK_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = select;
+    } else if (MatchKeyword("CREATE")) {
+      SHARK_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+      stmt.kind = StatementKind::kCreateTable;
+      stmt.create_table = create;
+    } else if (MatchKeyword("DROP")) {
+      SHARK_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
+      stmt.kind = StatementKind::kDropTable;
+      stmt.drop_table = drop;
+    } else {
+      return ErrorHere("expected SELECT, CREATE or DROP");
+    }
+    MatchSymbol(";");
+    if (!AtEnd()) return ErrorHere("trailing input after statement");
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExpressionTop() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) return ErrorHere("trailing input after expression");
+    return e;
+  }
+
+ private:
+  // -- token helpers --------------------------------------------------------
+
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+
+  bool MatchSymbol(const char* sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) {
+      return ErrorHere(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return ErrorHere(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected identifier near offset " +
+                                std::to_string(Peek().position));
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    return Status::ParseError(message + " near offset " +
+                              std::to_string(Peek().position) +
+                              (Peek().kind == TokenKind::kEnd
+                                   ? " (end of input)"
+                                   : " ('" + Peek().text + "')"));
+  }
+
+  bool IsReservedClauseKeyword(const std::string& word) const {
+    static const char* kReserved[] = {
+        "FROM",  "WHERE",  "GROUP",  "HAVING", "ORDER", "LIMIT",
+        "JOIN",  "ON",     "AS",     "AND",    "OR",    "NOT",
+        "UNION", "SELECT", "INNER",  "LEFT",   "RIGHT", "BY",
+        "ASC",   "DESC",   "DISTRIBUTE", "CLUSTER", "SORT", "BETWEEN",
+        "IN",    "LIKE",   "IS",     "NULL",   "CASE",  "WHEN",
+        "THEN",  "ELSE",   "END",    "DISTINCT", "INTO"};
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  Result<std::shared_ptr<SelectStmt>> ParseSelect() {
+    SHARK_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_shared<SelectStmt>();
+    // Hive's SELECT INTO Temp (Pavlo benchmark) — accepted and ignored.
+    if (MatchKeyword("INTO")) {
+      SHARK_RETURN_NOT_OK(ExpectIdentifier().status());
+    }
+    if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+    // Select list.
+    do {
+      SHARK_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+
+    SHARK_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    SHARK_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    // Comma-joins: FROM a, b WHERE a.x = b.y
+    while (MatchSymbol(",")) {
+      JoinClause j;
+      SHARK_ASSIGN_OR_RETURN(j.table, ParseTableRef());
+      j.condition = nullptr;  // keys recovered from WHERE by the analyzer
+      stmt->joins.push_back(std::move(j));
+    }
+    while (PeekKeyword("JOIN") || PeekKeyword("INNER") ||
+           PeekKeyword("LEFT") || PeekKeyword("RIGHT")) {
+      JoinClause j;
+      if (MatchKeyword("LEFT")) {
+        j.type = JoinType::kLeftOuter;
+        MatchKeyword("OUTER");
+      } else if (MatchKeyword("RIGHT")) {
+        j.type = JoinType::kRightOuter;
+        MatchKeyword("OUTER");
+      } else {
+        MatchKeyword("INNER");
+      }
+      SHARK_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      SHARK_ASSIGN_OR_RETURN(j.table, ParseTableRef());
+      SHARK_RETURN_NOT_OK(ExpectKeyword("ON"));
+      SHARK_ASSIGN_OR_RETURN(j.condition, ParseExpr());
+      stmt->joins.push_back(std::move(j));
+    }
+    if (MatchKeyword("WHERE")) {
+      SHARK_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("HAVING")) {
+      SHARK_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (MatchKeyword("DISTRIBUTE")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      SHARK_ASSIGN_OR_RETURN(stmt->distribute_by, ExpectIdentifier());
+    }
+    if (MatchKeyword("ORDER")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        SHARK_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Status::ParseError("LIMIT expects an integer");
+      }
+      stmt->limit = Peek().int_value;
+      ++pos_;
+    }
+    if (MatchKeyword("UNION")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("ALL"));
+      SHARK_ASSIGN_OR_RETURN(stmt->union_all, ParseSelect());
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (MatchSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    // qualifier.*
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "." &&
+        Peek(2).kind == TokenKind::kSymbol && Peek(2).text == "*") {
+      item.star = true;
+      item.star_qualifier = Peek().text;
+      pos_ += 3;
+      return item;
+    }
+    SHARK_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("AS")) {
+      SHARK_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsReservedClauseKeyword(Peek().text)) {
+      item.alias = Peek().text;
+      ++pos_;
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (MatchSymbol("(")) {
+      SHARK_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+      MatchKeyword("AS");
+      SHARK_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      return ref;
+    }
+    SHARK_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+    if (MatchKeyword("AS")) {
+      SHARK_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsReservedClauseKeyword(Peek().text)) {
+      ref.alias = Peek().text;
+      ++pos_;
+    }
+    return ref;
+  }
+
+  Result<std::shared_ptr<CreateTableStmt>> ParseCreateTable() {
+    SHARK_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_shared<CreateTableStmt>();
+    SHARK_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    // Explicit schema: CREATE TABLE t (a BIGINT, b STRING ...)
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "(") {
+      MatchSymbol("(");
+      do {
+        Field f;
+        SHARK_ASSIGN_OR_RETURN(f.name, ExpectIdentifier());
+        SHARK_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+        SHARK_ASSIGN_OR_RETURN(f.type, ParseTypeName(type_name));
+        stmt->columns.push_back(std::move(f));
+      } while (MatchSymbol(","));
+      SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    if (MatchKeyword("TBLPROPERTIES")) {
+      SHARK_RETURN_NOT_OK(ExpectSymbol("("));
+      do {
+        if (Peek().kind != TokenKind::kString) {
+          return ErrorHere("expected property name string");
+        }
+        std::string key = Peek().text;
+        ++pos_;
+        SHARK_RETURN_NOT_OK(ExpectSymbol("="));
+        std::string value;
+        if (Peek().kind == TokenKind::kString) {
+          value = Peek().text;
+          ++pos_;
+        } else if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+          value = ToLower(Peek().text);
+          ++pos_;
+        } else {
+          return ErrorHere("expected property value");
+        }
+        stmt->properties[key] = value;
+      } while (MatchSymbol(","));
+      SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    if (MatchKeyword("AS")) {
+      SHARK_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    }
+    if (stmt->select == nullptr && stmt->columns.empty()) {
+      return ErrorHere("CREATE TABLE needs a schema or AS SELECT");
+    }
+    return stmt;
+  }
+
+  Result<TypeKind> ParseTypeName(const std::string& name) {
+    if (EqualsIgnoreCase(name, "BIGINT") || EqualsIgnoreCase(name, "INT") ||
+        EqualsIgnoreCase(name, "INTEGER") || EqualsIgnoreCase(name, "LONG")) {
+      return TypeKind::kInt64;
+    }
+    if (EqualsIgnoreCase(name, "DOUBLE") || EqualsIgnoreCase(name, "FLOAT")) {
+      return TypeKind::kDouble;
+    }
+    if (EqualsIgnoreCase(name, "STRING") || EqualsIgnoreCase(name, "VARCHAR") ||
+        EqualsIgnoreCase(name, "TEXT")) {
+      return TypeKind::kString;
+    }
+    if (EqualsIgnoreCase(name, "BOOLEAN") || EqualsIgnoreCase(name, "BOOL")) {
+      return TypeKind::kBool;
+    }
+    if (EqualsIgnoreCase(name, "DATE")) return TypeKind::kDate;
+    return Status::ParseError("unknown type: " + name);
+  }
+
+  Result<std::shared_ptr<DropTableStmt>> ParseDropTable() {
+    SHARK_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_shared<DropTableStmt>();
+    if (MatchKeyword("IF")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    SHARK_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    return stmt;
+  }
+
+  // -- expressions (precedence climbing) ------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      MatchKeyword("AND");
+      SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      SHARK_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return MakeUnary(UnaryOp::kNot, child);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // BETWEEN / IN / LIKE / IS, optionally negated.
+    bool negated = false;
+    size_t save = pos_;
+    if (MatchKeyword("NOT")) {
+      if (PeekKeyword("BETWEEN") || PeekKeyword("IN") || PeekKeyword("LIKE")) {
+        negated = true;
+      } else {
+        pos_ = save;
+      }
+    }
+    if (MatchKeyword("BETWEEN")) {
+      SHARK_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      SHARK_RETURN_NOT_OK(ExpectKeyword("AND"));
+      SHARK_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children = {left, lo, hi};
+      return ExprPtr(e);
+    }
+    if (MatchKeyword("IN")) {
+      SHARK_RETURN_NOT_OK(ExpectSymbol("("));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(left);
+      do {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->children.push_back(std::move(item));
+      } while (MatchSymbol(","));
+      SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+      return ExprPtr(e);
+    }
+    if (MatchKeyword("LIKE")) {
+      SHARK_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kLike;
+      e->negated = negated;
+      e->children = {left, pattern};
+      return ExprPtr(e);
+    }
+    if (MatchKeyword("IS")) {
+      bool is_not = MatchKeyword("NOT");
+      SHARK_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = is_not;
+      e->children = {left};
+      return ExprPtr(e);
+    }
+    // Plain comparison operators.
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                 {"<>", BinaryOp::kNe}, {"=", BinaryOp::kEq},
+                                 {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& m : kOps) {
+      if (MatchSymbol(m.sym)) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(m.op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (MatchSymbol("+")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kAdd, left, right);
+      } else if (MatchSymbol("-")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kSub, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SHARK_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      if (MatchSymbol("*")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kMul, left, right);
+      } else if (MatchSymbol("/")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kDiv, left, right);
+      } else if (MatchSymbol("%")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kMod, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      SHARK_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, child);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        ++pos_;
+        return MakeLiteral(Value::Int64(t.int_value));
+      }
+      case TokenKind::kFloat: {
+        ++pos_;
+        return MakeLiteral(Value::Double(t.double_value));
+      }
+      case TokenKind::kString: {
+        ++pos_;
+        return MakeLiteral(Value::String(t.text));
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          ++pos_;
+          SHARK_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+          return e;
+        }
+        return ErrorHere("unexpected symbol in expression");
+      case TokenKind::kIdentifier:
+        break;
+      case TokenKind::kEnd:
+        return ErrorHere("unexpected end of expression");
+    }
+
+    // Keyword literals.
+    if (MatchKeyword("NULL")) return MakeLiteral(Value::Null());
+    if (MatchKeyword("TRUE")) return MakeLiteral(Value::Bool(true));
+    if (MatchKeyword("FALSE")) return MakeLiteral(Value::Bool(false));
+
+    // CASE WHEN ... THEN ... [ELSE ...] END
+    if (MatchKeyword("CASE")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kCase;
+      while (MatchKeyword("WHEN")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        SHARK_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        SHARK_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->children.push_back(std::move(cond));
+        e->children.push_back(std::move(then));
+      }
+      if (e->children.empty()) return ErrorHere("CASE needs at least one WHEN");
+      if (MatchKeyword("ELSE")) {
+        SHARK_ASSIGN_OR_RETURN(ExprPtr other, ParseExpr());
+        e->children.push_back(std::move(other));
+      }
+      SHARK_RETURN_NOT_OK(ExpectKeyword("END"));
+      return ExprPtr(e);
+    }
+
+    // DATE '...' / Date('...') literal.
+    if (PeekKeyword("DATE")) {
+      if (Peek(1).kind == TokenKind::kString) {
+        std::string text = Peek(1).text;
+        pos_ += 2;
+        SHARK_ASSIGN_OR_RETURN(Value v, Value::ParseDate(text));
+        return MakeLiteral(std::move(v));
+      }
+      if (Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "(" &&
+          Peek(2).kind == TokenKind::kString && Peek(3).kind == TokenKind::kSymbol &&
+          Peek(3).text == ")") {
+        std::string text = Peek(2).text;
+        pos_ += 4;
+        SHARK_ASSIGN_OR_RETURN(Value v, Value::ParseDate(text));
+        return MakeLiteral(std::move(v));
+      }
+    }
+
+    std::string first = t.text;
+    ++pos_;
+
+    // Function or aggregate call.
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "(") {
+      ++pos_;
+      auto e = std::make_shared<Expr>();
+      e->name = ToUpper(first);
+      bool is_agg = e->name == "COUNT" || e->name == "SUM" || e->name == "AVG" ||
+                    e->name == "MIN" || e->name == "MAX";
+      e->kind = is_agg ? ExprKind::kAggCall : ExprKind::kFuncCall;
+      if (is_agg && MatchSymbol("*")) {
+        e->star = true;
+        SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+        return ExprPtr(e);
+      }
+      if (is_agg && MatchKeyword("DISTINCT")) e->distinct = true;
+      if (!MatchSymbol(")")) {
+        do {
+          SHARK_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->children.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+        SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      return ExprPtr(e);
+    }
+
+    // Qualified or bare column reference.
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "." &&
+        Peek(1).kind == TokenKind::kIdentifier) {
+      std::string column = Peek(1).text;
+      pos_ += 2;
+      return MakeColumnRef(first, column);
+    }
+    return MakeColumnRef("", first);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  SHARK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SHARK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionTop();
+}
+
+}  // namespace shark

@@ -1,0 +1,21 @@
+#ifndef SHARK_SQL_PARSER_H_
+#define SHARK_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace shark {
+
+/// Parses one SQL statement (HiveQL subset: SELECT with JOIN/WHERE/GROUP BY/
+/// HAVING/ORDER BY/LIMIT/DISTRIBUTE BY, CREATE TABLE [AS SELECT] with
+/// TBLPROPERTIES, DROP TABLE).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a standalone scalar expression (testing convenience).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_PARSER_H_

@@ -1,0 +1,315 @@
+#include "sql/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rdd/pair_rdd.h"
+#include "common/string_util.h"
+#include "sql/analyzer.h"
+#include "sql/optimizer.h"
+
+namespace shark {
+
+SharkSession::SharkSession(std::shared_ptr<ClusterContext> ctx)
+    : ctx_(std::move(ctx)) {}
+
+Result<QueryResult> SharkSession::Sql(const std::string& query) {
+  SHARK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case StatementKind::kDropTable: {
+      SHARK_RETURN_NOT_OK(
+          catalog_.DropTable(stmt.drop_table->name, stmt.drop_table->if_exists));
+      return QueryResult{};
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> SharkSession::ExecuteSelect(const SelectStmt& stmt) {
+  Analyzer analyzer(&catalog_, &udfs_);
+  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(stmt));
+  plan = Optimize(plan, &udfs_);
+  Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
+  return executor.Execute(plan);
+}
+
+Result<TableRdd> SharkSession::Sql2Rdd(const std::string& query) {
+  SHARK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("sql2rdd expects a SELECT");
+  }
+  Analyzer analyzer(&catalog_, &udfs_);
+  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
+  plan = Optimize(plan, &udfs_);
+  Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
+  SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rdd, executor.BuildRdd(plan));
+  TableRdd out;
+  out.rdd = rdd;
+  out.schema = Schema(plan->output);
+  out.build_metrics = executor.metrics();
+  return out;
+}
+
+Result<std::string> SharkSession::Explain(const std::string& query) {
+  SHARK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN expects a SELECT");
+  }
+  Analyzer analyzer(&catalog_, &udfs_);
+  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
+  plan = Optimize(plan, &udfs_);
+  return plan->ToString();
+}
+
+Status SharkSession::CreateDfsTable(const std::string& name,
+                                    const Schema& schema,
+                                    const std::vector<Row>& rows,
+                                    int num_blocks, DfsFormat format) {
+  if (catalog_.Exists(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  SHARK_CHECK(num_blocks > 0);
+  std::string file_name = "warehouse/" + ToLower(name);
+  std::vector<DfsBlock> blocks(static_cast<size_t>(num_blocks));
+  std::vector<std::shared_ptr<std::vector<Row>>> payloads;
+  payloads.reserve(static_cast<size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    payloads.push_back(std::make_shared<std::vector<Row>>());
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    size_t b = i * static_cast<size_t>(num_blocks) / std::max<size_t>(rows.size(), 1);
+    payloads[b]->push_back(rows[i]);
+  }
+  uint64_t total_bytes = 0;
+  for (int b = 0; b < num_blocks; ++b) {
+    DfsBlock& blk = blocks[static_cast<size_t>(b)];
+    blk.rows = payloads[static_cast<size_t>(b)]->size();
+    for (const Row& r : *payloads[static_cast<size_t>(b)]) {
+      blk.bytes += SerializedSizeOf(r, format);
+    }
+    total_bytes += blk.bytes;
+    blk.data = payloads[static_cast<size_t>(b)];
+  }
+  SHARK_RETURN_NOT_OK(ctx_->dfs().CreateFile(file_name, format, std::move(blocks)));
+  TableInfo info;
+  info.name = name;
+  info.schema = schema;
+  info.dfs_file = file_name;
+  info.format = format;
+  info.approx_rows = rows.size();
+  info.approx_bytes = total_bytes;
+  return catalog_.CreateTable(std::move(info));
+}
+
+Status SharkSession::LoadRowsIntoMemstore(TableInfo* info, RddPtr<Row> rows,
+                                          int distribute_key,
+                                          int num_partitions,
+                                          const TableInfo* align_with) {
+  Schema schema = info->schema;
+  RddPtr<Row> partitioned = rows;
+  if (distribute_key >= 0) {
+    SHARK_CHECK(num_partitions > 0);
+    auto dep = std::make_shared<PlainShuffleDep<Row>>(
+        rows, num_partitions, [distribute_key, num_partitions](const Row& r) {
+          return static_cast<int>(KeyHash(r.Get(distribute_key)) %
+                                  static_cast<uint64_t>(num_partitions));
+        });
+    partitioned = std::make_shared<RepartitionedRdd<Row>>(
+        ctx_.get(), dep, IdentityAssignment(num_partitions),
+        "distributeBy:" + info->name);
+  }
+  // Marshal rows into columnar partitions (§3.3): each loading task picks
+  // its own compression schemes; no coordination.
+  auto marshal = partitioned->MapPartitions(
+      [schema](int, const std::vector<Row>& in, TaskContext* tctx) {
+        tctx->work().rows_processed += 2 * in.size();  // field extraction+encode
+        std::vector<TablePartitionPtr> out;
+        out.push_back(TablePartition::FromRows(schema, in));
+        return out;
+      },
+      "memstoreLoad:" + info->name);
+  marshal->Cache();
+  marshal->set_free_cache_reads(true);  // scans charge per decoded column
+  if (align_with != nullptr && align_with->cached_rdd != nullptr) {
+    // Place each partition where the co-partitioned partner's partition
+    // lives so their join is node-local (§3.4).
+    BlockManager* bm = &ctx_->block_manager();
+    int partner_id = align_with->cached_rdd->id();
+    marshal->set_preferred_hint([bm, partner_id](int p) {
+      int loc = bm->Location(partner_id, p);
+      return loc >= 0 ? std::vector<int>{loc} : std::vector<int>{};
+    });
+  }
+
+  // Materialize the cache and pull per-partition statistics to the master.
+  double start = ctx_->now();
+  auto blocks = ctx_->scheduler().RunJob(marshal);
+  SHARK_RETURN_NOT_OK(blocks.status());
+  last_load_metrics_ = QueryMetrics();
+  last_load_metrics_.AddJob(ctx_->scheduler().last_job());
+  last_load_metrics_.virtual_seconds = ctx_->now() - start;
+
+  info->cached_rdd = marshal;
+  info->partition_stats.clear();
+  info->num_partitions = marshal->num_partitions();
+  info->distribute_key = distribute_key;
+  uint64_t rows_total = 0;
+  for (const BlockData& b : *blocks) {
+    auto vec = std::static_pointer_cast<const std::vector<TablePartitionPtr>>(b);
+    std::vector<ColumnStats> stats;
+    if (!vec->empty() && (*vec)[0] != nullptr) {
+      const TablePartition& part = *(*vec)[0];
+      rows_total += part.num_rows();
+      for (int c = 0; c < part.num_columns(); ++c) {
+        stats.push_back(part.stats(c));
+      }
+    } else {
+      stats.resize(static_cast<size_t>(schema.num_fields()));
+    }
+    info->partition_stats.push_back(std::move(stats));
+  }
+  if (info->approx_rows == 0) info->approx_rows = rows_total;
+  return Status::OK();
+}
+
+Status SharkSession::CacheTable(const std::string& name,
+                                const std::string& distribute_column,
+                                const std::string& copartition_with) {
+  SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(name));
+  if (info->is_cached()) return Status::OK();
+  if (info->dfs_file.empty()) {
+    return Status::ExecutionError("table has no DFS storage to load: " + name);
+  }
+  SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rows, ctx_->FromDfs<Row>(info->dfs_file));
+
+  int distribute_key = -1;
+  int num_partitions = rows->num_partitions();
+  if (!distribute_column.empty()) {
+    distribute_key = info->schema.FieldIndex(distribute_column);
+    if (distribute_key < 0) {
+      return Status::AnalysisError("unknown DISTRIBUTE BY column: " +
+                                   distribute_column);
+    }
+  }
+  if (!copartition_with.empty()) {
+    SHARK_ASSIGN_OR_RETURN(TableInfo * partner, catalog_.Get(copartition_with));
+    if (!partner->is_cached() || partner->distribute_key < 0) {
+      return Status::ExecutionError(
+          "copartition partner must be cached with DISTRIBUTE BY: " +
+          copartition_with);
+    }
+    if (distribute_key < 0) {
+      return Status::AnalysisError(
+          "copartitioned table needs its own DISTRIBUTE BY column");
+    }
+    num_partitions = partner->num_partitions;
+    info->copartitioned_with = partner->name;
+    return LoadRowsIntoMemstore(info, rows, distribute_key, num_partitions,
+                                partner);
+  }
+  if (distribute_key >= 0) {
+    num_partitions = ctx_->cluster().total_cores();
+  }
+  return LoadRowsIntoMemstore(info, rows, distribute_key, num_partitions);
+}
+
+Status SharkSession::UncacheTable(const std::string& name) {
+  SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(name));
+  if (info->cached_rdd != nullptr) {
+    info->cached_rdd->Uncache();
+    info->cached_rdd = nullptr;
+    info->partition_stats.clear();
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> SharkSession::ExecuteCreateTable(
+    const CreateTableStmt& stmt) {
+  if (catalog_.Exists(stmt.name)) {
+    return Status::AlreadyExists("table exists: " + stmt.name);
+  }
+
+  bool cache = false;
+  auto cache_it = stmt.properties.find("shark.cache");
+  if (cache_it != stmt.properties.end()) {
+    cache = EqualsIgnoreCase(cache_it->second, "true");
+  }
+  std::string copartition;
+  auto copart_it = stmt.properties.find("copartition");
+  if (copart_it != stmt.properties.end()) copartition = copart_it->second;
+
+  // Explicit-schema form: register an empty DFS table.
+  if (stmt.select == nullptr) {
+    Schema schema;
+    for (const Field& f : stmt.columns) SHARK_RETURN_NOT_OK(schema.AddField(f));
+    SHARK_RETURN_NOT_OK(
+        CreateDfsTable(stmt.name, schema, {}, 1, DfsFormat::kText));
+    return QueryResult{};
+  }
+
+  // CTAS: build the select's RDD, then either cache it or write it to DFS.
+  Analyzer analyzer(&catalog_, &udfs_);
+  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
+  plan = Optimize(plan, &udfs_);
+  Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
+  SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rows, executor.BuildRdd(plan));
+
+  TableInfo info;
+  info.name = stmt.name;
+  info.schema = Schema(plan->output);
+  double start = ctx_->now();
+
+  if (cache) {
+    SHARK_RETURN_NOT_OK(catalog_.CreateTable(info));
+    SHARK_ASSIGN_OR_RETURN(TableInfo * stored, catalog_.Get(stmt.name));
+    int distribute_key = -1;
+    int num_partitions = rows->num_partitions();
+    if (!stmt.select->distribute_by.empty()) {
+      distribute_key = stored->schema.FieldIndex(stmt.select->distribute_by);
+      if (distribute_key < 0) {
+        return Status::AnalysisError("unknown DISTRIBUTE BY column: " +
+                                     stmt.select->distribute_by);
+      }
+      num_partitions = ctx_->cluster().total_cores();
+    }
+    const TableInfo* align_with = nullptr;
+    if (!copartition.empty()) {
+      SHARK_ASSIGN_OR_RETURN(TableInfo * partner, catalog_.Get(copartition));
+      if (!partner->is_cached() || partner->distribute_key < 0) {
+        return Status::ExecutionError(
+            "copartition partner must be cached with DISTRIBUTE BY: " +
+            copartition);
+      }
+      if (distribute_key < 0) {
+        return Status::AnalysisError(
+            "copartitioned table needs DISTRIBUTE BY");
+      }
+      num_partitions = partner->num_partitions;
+      stored->copartitioned_with = partner->name;
+      align_with = partner;
+    }
+    SHARK_RETURN_NOT_OK(LoadRowsIntoMemstore(stored, rows, distribute_key,
+                                             num_partitions, align_with));
+  } else {
+    std::string file_name = "warehouse/" + ToLower(stmt.name);
+    auto saved = ctx_->SaveToDfs(rows, file_name, DfsFormat::kText);
+    SHARK_RETURN_NOT_OK(saved.status());
+    info.dfs_file = file_name;
+    info.approx_bytes = (*saved)->TotalBytes();
+    info.approx_rows = (*saved)->TotalRows();
+    SHARK_RETURN_NOT_OK(catalog_.CreateTable(info));
+    last_load_metrics_ = QueryMetrics();
+    last_load_metrics_.AddJob(ctx_->scheduler().last_job());
+    last_load_metrics_.virtual_seconds = ctx_->now() - start;
+  }
+
+  QueryResult result;
+  result.metrics = last_load_metrics_;
+  return result;
+}
+
+}  // namespace shark

@@ -1,0 +1,35 @@
+#include "workloads/mldata.h"
+
+#include "common/random.h"
+
+namespace shark {
+
+std::vector<std::string> MlFeatureColumns(int dimensions) {
+  std::vector<std::string> names;
+  for (int d = 0; d < dimensions; ++d) names.push_back("f" + std::to_string(d));
+  return names;
+}
+
+Status GenerateMlTable(SharkSession* session, const MlDataConfig& config) {
+  Random rng(config.seed);
+  Schema schema;
+  SHARK_RETURN_NOT_OK(schema.AddField({"label", TypeKind::kInt64}));
+  for (const std::string& name : MlFeatureColumns(config.dimensions)) {
+    SHARK_RETURN_NOT_OK(schema.AddField({name, TypeKind::kDouble}));
+  }
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(config.rows));
+  for (int64_t i = 0; i < config.rows; ++i) {
+    int64_t label = rng.Bernoulli(0.5) ? 1 : -1;
+    Row r;
+    r.fields.push_back(Value::Int64(label));
+    for (int d = 0; d < config.dimensions; ++d) {
+      double center = static_cast<double>(label) * (0.5 + 0.1 * d);
+      r.fields.push_back(Value::Double(center + rng.NextGaussian()));
+    }
+    rows.push_back(std::move(r));
+  }
+  return session->CreateDfsTable("ml_points", schema, rows, config.blocks);
+}
+
+}  // namespace shark

@@ -1,0 +1,36 @@
+#ifndef SHARK_WORKLOADS_MLDATA_H_
+#define SHARK_WORKLOADS_MLDATA_H_
+
+#include <cstdint>
+
+#include "ml/vector_ops.h"
+#include "sql/session.h"
+
+namespace shark {
+
+/// Synthetic machine-learning dataset (§6.5): N rows of D features plus a
+/// +-1 label (two separable Gaussian clusters), stored as a SQL table so the
+/// SQL -> feature extraction -> iterative-algorithm pipeline of Listing 1
+/// can run end to end. Paper shape: 1B rows x 10 columns = 100 GB.
+struct MlDataConfig {
+  int64_t rows = 200000;
+  int dimensions = 10;
+  int blocks = 128;
+  uint64_t seed = 42;
+
+  static constexpr double kPaperRows = 1e9;
+
+  double VirtualScale() const {
+    return kPaperRows / static_cast<double>(rows);
+  }
+};
+
+/// Creates the DFS table `ml_points` with columns label, f0..f{D-1}.
+Status GenerateMlTable(SharkSession* session, const MlDataConfig& config);
+
+/// Feature column names f0..f{D-1}.
+std::vector<std::string> MlFeatureColumns(int dimensions);
+
+}  // namespace shark
+
+#endif  // SHARK_WORKLOADS_MLDATA_H_

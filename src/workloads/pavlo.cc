@@ -1,0 +1,107 @@
+#include "workloads/pavlo.h"
+
+#include "common/random.h"
+
+namespace shark {
+
+namespace {
+
+std::string MakeIp(Random* rng, int64_t distinct_ips) {
+  // First two octets are drawn from a 40x25=1000-prefix pool so that
+  // SUBSTR(sourceIP,1,7) yields ~1K groups (the coarse aggregate); the full
+  // IP is drawn from `distinct_ips` combinations.
+  int64_t id = static_cast<int64_t>(rng->Uniform(static_cast<uint64_t>(distinct_ips)));
+  int64_t prefix = id % 1000;
+  int o1 = 100 + static_cast<int>(prefix / 25);
+  int o2 = 10 + static_cast<int>(prefix % 25);
+  int o3 = static_cast<int>((id / 1000) % 250) + 1;
+  int o4 = static_cast<int>((id / 250000) % 250) + 1;
+  return std::to_string(o1) + "." + std::to_string(o2) + "." +
+         std::to_string(o3) + "." + std::to_string(o4);
+}
+
+const char* kAgents[] = {"Mozilla/5.0", "IE/6.0", "Safari/3.1", "Opera/9.5"};
+const char* kCountries[] = {"USA", "GBR", "DEU", "FRA", "JPN", "BRA", "IND",
+                            "CHN"};
+const char* kLanguages[] = {"EN", "DE", "FR", "JA", "PT", "HI", "ZH"};
+const char* kSearchWords[] = {"alpha", "bravo", "charlie", "delta", "echo",
+                              "foxtrot"};
+
+}  // namespace
+
+Status GeneratePavloTables(SharkSession* session, const PavloConfig& config) {
+  Random rng(config.seed);
+
+  Schema rankings_schema({{"pageURL", TypeKind::kString},
+                          {"pageRank", TypeKind::kInt64},
+                          {"avgDuration", TypeKind::kInt64}});
+  std::vector<Row> rankings;
+  rankings.reserve(static_cast<size_t>(config.rankings_rows));
+  for (int64_t i = 0; i < config.rankings_rows; ++i) {
+    // Zipf-ish page ranks: most pages low, few very high.
+    auto rank = static_cast<int64_t>(rng.Zipf(10000, 1.1));
+    rankings.push_back(Row({Value::String("url" + std::to_string(i)),
+                            Value::Int64(rank),
+                            Value::Int64(rng.UniformInt(1, 300))}));
+  }
+  SHARK_RETURN_NOT_OK(session->CreateDfsTable("rankings", rankings_schema,
+                                              rankings, config.rankings_blocks));
+
+  Schema visits_schema({{"sourceIP", TypeKind::kString},
+                        {"destURL", TypeKind::kString},
+                        {"visitDate", TypeKind::kDate},
+                        {"adRevenue", TypeKind::kDouble},
+                        {"userAgent", TypeKind::kString},
+                        {"countryCode", TypeKind::kString},
+                        {"languageCode", TypeKind::kString},
+                        {"searchWord", TypeKind::kString},
+                        {"duration", TypeKind::kInt64}});
+  int64_t distinct_ips =
+      config.distinct_ips > 0 ? config.distinct_ips : config.uservisits_rows / 6;
+  if (distinct_ips < 1) distinct_ips = 1;
+  int64_t year_start = Value::ParseDate("2000-01-01")->int64_v();
+  std::vector<Row> visits;
+  visits.reserve(static_cast<size_t>(config.uservisits_rows));
+  for (int64_t i = 0; i < config.uservisits_rows; ++i) {
+    // Destination URLs are drawn uniformly, like the original benchmark's
+    // generator (page popularity skew lives in pageRank, not in visit
+    // counts).
+    int64_t url_id = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(config.rankings_rows)));
+    visits.push_back(
+        Row({Value::String(MakeIp(&rng, distinct_ips)),
+             Value::String("url" + std::to_string(url_id)),
+             Value::Date(year_start + rng.UniformInt(0, 364)),
+             Value::Double(static_cast<double>(rng.UniformInt(1, 1000)) / 100.0),
+             Value::String(kAgents[rng.Uniform(4)]),
+             Value::String(kCountries[rng.Uniform(8)]),
+             Value::String(kLanguages[rng.Uniform(7)]),
+             Value::String(kSearchWords[rng.Uniform(6)]),
+             Value::Int64(rng.UniformInt(1, 600))}));
+  }
+  return session->CreateDfsTable("uservisits", visits_schema, visits,
+                                 config.uservisits_blocks);
+}
+
+std::string PavloSelectionQuery(int64_t min_page_rank) {
+  return "SELECT pageURL, pageRank FROM rankings WHERE pageRank > " +
+         std::to_string(min_page_rank);
+}
+
+std::string PavloAggregationFineQuery() {
+  return "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
+}
+
+std::string PavloAggregationCoarseQuery() {
+  return "SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) FROM uservisits "
+         "GROUP BY SUBSTR(sourceIP, 1, 7)";
+}
+
+std::string PavloJoinQuery() {
+  return "SELECT sourceIP, AVG(pageRank), SUM(adRevenue) as totalRevenue "
+         "FROM rankings AS R, uservisits AS UV "
+         "WHERE R.pageURL = UV.destURL AND UV.visitDate BETWEEN "
+         "Date('2000-01-15') AND Date('2000-01-22') GROUP BY UV.sourceIP";
+}
+
+}  // namespace shark

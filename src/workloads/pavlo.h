@@ -1,0 +1,45 @@
+#ifndef SHARK_WORKLOADS_PAVLO_H_
+#define SHARK_WORKLOADS_PAVLO_H_
+
+#include <cstdint>
+
+#include "sql/session.h"
+
+namespace shark {
+
+/// Generator for the Pavlo et al. benchmark tables (§6.2): a rankings table
+/// (pageURL, pageRank, avgDuration) and a wide uservisits table whose rows
+/// average ~155 bytes of text like the original's. Row counts default to a
+/// ~1/6000 scale-down of the paper's 1.8B/15.5B rows; `VirtualScale()`
+/// returns the multiplier that maps the scaled data back to paper size.
+struct PavloConfig {
+  int64_t rankings_rows = 300000;
+  int64_t uservisits_rows = 2000000;
+  int rankings_blocks = 800;    // ~128MB virtual blocks for 100GB
+  int uservisits_blocks = 1600; // 2TB in coarser ~1.25GB blocks
+  /// Distinct sourceIPs ~ rows/6 (paper: 2.5M groups from 15.5B rows would
+  /// be far sparser; this keeps the "many groups" aggregate many-grouped at
+  /// bench scale).
+  int64_t distinct_ips = 0;  // 0: uservisits_rows / 6
+  uint64_t seed = 42;
+
+  static constexpr double kPaperRankingsRows = 1.8e9;
+  static constexpr double kPaperUservisitsRows = 15.5e9;
+
+  double VirtualScale() const {
+    return kPaperUservisitsRows / static_cast<double>(uservisits_rows);
+  }
+};
+
+/// Creates DFS tables `rankings` and `uservisits` in the session's catalog.
+Status GeneratePavloTables(SharkSession* session, const PavloConfig& config);
+
+/// The benchmark's queries (§6.2.1-6.2.3).
+std::string PavloSelectionQuery(int64_t min_page_rank);
+std::string PavloAggregationFineQuery();    // GROUP BY sourceIP (many groups)
+std::string PavloAggregationCoarseQuery();  // GROUP BY SUBSTR(sourceIP,1,7)
+std::string PavloJoinQuery();               // rankings x uservisits w/ dates
+
+}  // namespace shark
+
+#endif  // SHARK_WORKLOADS_PAVLO_H_

@@ -1,0 +1,110 @@
+#include "workloads/tpch.h"
+
+#include "common/random.h"
+
+namespace shark {
+
+namespace {
+
+const char* kShipModes[] = {"AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR",
+                            "FOB"};
+const char* kNations[] = {"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+                          "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "JAPAN"};
+
+std::string RandomAddress(Random* rng) {
+  static const char* kStreets[] = {"Oak", "Pine", "Main", "Elm", "Lake",
+                                   "Hill", "Park", "Mill"};
+  return std::to_string(rng->UniformInt(1, 9999)) + " " +
+         kStreets[rng->Uniform(8)] + " St Suite " +
+         std::to_string(rng->UniformInt(1, 500));
+}
+
+}  // namespace
+
+Status GenerateTpchTables(SharkSession* session, const TpchConfig& config) {
+  Random rng(config.seed);
+
+  // -- lineitem ---------------------------------------------------------------
+  Schema lineitem_schema({{"L_ORDERKEY", TypeKind::kInt64},
+                          {"L_SUPPKEY", TypeKind::kInt64},
+                          {"L_QUANTITY", TypeKind::kInt64},
+                          {"L_EXTENDEDPRICE", TypeKind::kDouble},
+                          {"L_DISCOUNT", TypeKind::kDouble},
+                          {"L_TAX", TypeKind::kDouble},
+                          {"L_SHIPMODE", TypeKind::kString},
+                          {"L_SHIPDATE", TypeKind::kDate},
+                          {"L_RECEIPTDATE", TypeKind::kDate}});
+  int64_t epoch = Value::ParseDate("1995-01-01")->int64_v();
+  std::vector<Row> lineitem;
+  lineitem.reserve(static_cast<size_t>(config.lineitem_rows));
+  for (int64_t i = 0; i < config.lineitem_rows; ++i) {
+    // Order keys ascend (4 line items per order): naturally clustered, and
+    // receipt dates correlate with order keys (~2500 distinct days).
+    int64_t orderkey = i / 4;
+    int64_t day = (orderkey * 2500) /
+                      std::max<int64_t>(config.lineitem_rows / 4, 1) +
+                  rng.UniformInt(0, 6);
+    int64_t ship_day = day - rng.UniformInt(1, 30);
+    lineitem.push_back(Row(
+        {Value::Int64(orderkey),
+         Value::Int64(rng.UniformInt(0, config.supplier_rows - 1)),
+         Value::Int64(rng.UniformInt(1, 50)),
+         Value::Double(static_cast<double>(rng.UniformInt(90000, 10000000)) / 100.0),
+         Value::Double(static_cast<double>(rng.UniformInt(0, 10)) / 100.0),
+         Value::Double(static_cast<double>(rng.UniformInt(0, 8)) / 100.0),
+         Value::String(kShipModes[rng.Uniform(7)]),
+         Value::Date(epoch + ship_day), Value::Date(epoch + day)}));
+  }
+  SHARK_RETURN_NOT_OK(session->CreateDfsTable("lineitem", lineitem_schema,
+                                              lineitem, config.lineitem_blocks));
+
+  // -- supplier ---------------------------------------------------------------
+  Schema supplier_schema({{"S_SUPPKEY", TypeKind::kInt64},
+                          {"S_NAME", TypeKind::kString},
+                          {"S_ADDRESS", TypeKind::kString},
+                          {"S_NATIONKEY", TypeKind::kInt64},
+                          {"S_NATION", TypeKind::kString}});
+  std::vector<Row> supplier;
+  supplier.reserve(static_cast<size_t>(config.supplier_rows));
+  for (int64_t i = 0; i < config.supplier_rows; ++i) {
+    int64_t nation = rng.UniformInt(0, 9);
+    supplier.push_back(
+        Row({Value::Int64(i),
+             Value::String("Supplier#" + std::to_string(i)),
+             Value::String(RandomAddress(&rng)),
+             Value::Int64(nation), Value::String(kNations[nation])}));
+  }
+  SHARK_RETURN_NOT_OK(session->CreateDfsTable("supplier", supplier_schema,
+                                              supplier, config.supplier_blocks));
+
+  // -- orders -----------------------------------------------------------------
+  Schema orders_schema({{"O_ORDERKEY", TypeKind::kInt64},
+                        {"O_CUSTKEY", TypeKind::kInt64},
+                        {"O_TOTALPRICE", TypeKind::kDouble},
+                        {"O_ORDERDATE", TypeKind::kDate}});
+  std::vector<Row> orders;
+  orders.reserve(static_cast<size_t>(config.orders_rows));
+  for (int64_t i = 0; i < config.orders_rows; ++i) {
+    orders.push_back(Row(
+        {Value::Int64(i), Value::Int64(rng.UniformInt(0, config.orders_rows / 10)),
+         Value::Double(static_cast<double>(rng.UniformInt(1000, 500000)) / 100.0),
+         Value::Date(epoch + (i * 2500) / std::max<int64_t>(config.orders_rows, 1))}));
+  }
+  return session->CreateDfsTable("orders", orders_schema, orders,
+                                 config.orders_blocks);
+}
+
+std::string TpchAggregationQuery(const std::string& group_column) {
+  if (group_column.empty()) {
+    return "SELECT COUNT(*) FROM lineitem";
+  }
+  return "SELECT " + group_column + ", COUNT(*) FROM lineitem GROUP BY " +
+         group_column;
+}
+
+std::string TpchUdfJoinQuery() {
+  return "SELECT COUNT(*) FROM lineitem l JOIN supplier s "
+         "ON l.L_SUPPKEY = s.S_SUPPKEY WHERE SOME_UDF(s.S_ADDRESS)";
+}
+
+}  // namespace shark

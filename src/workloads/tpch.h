@@ -1,0 +1,44 @@
+#ifndef SHARK_WORKLOADS_TPCH_H_
+#define SHARK_WORKLOADS_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/session.h"
+
+namespace shark {
+
+/// TPC-H-style generator (§6.3): lineitem/supplier/orders subsets with the
+/// column cardinalities the micro-benchmarks depend on — a 7-value
+/// L_SHIPMODE, ~2500 distinct L_RECEIPTDATE days, and a high-cardinality
+/// L_ORDERKEY (rows/4 distinct, ascending — i.e. naturally clustered, which
+/// also exercises RLE compression and map pruning).
+struct TpchConfig {
+  int64_t lineitem_rows = 600000;   // paper 100GB point: 600M rows
+  int64_t supplier_rows = 20000;    // paper 1TB point: 10M suppliers
+  int64_t orders_rows = 150000;
+  int lineitem_blocks = 800;
+  int supplier_blocks = 16;
+  int orders_blocks = 100;
+  uint64_t seed = 42;
+
+  /// Maps the scaled lineitem back to the paper's row count for a given
+  /// scale point ("100GB" -> 600M rows, "1TB" -> 6B rows).
+  double VirtualScaleFor(double paper_rows) const {
+    return paper_rows / static_cast<double>(lineitem_rows);
+  }
+};
+
+/// Creates DFS tables `lineitem`, `supplier` and `orders`.
+Status GenerateTpchTables(SharkSession* session, const TpchConfig& config);
+
+/// Fig 7's group-by sweep: group_column in {"", "L_SHIPMODE",
+/// "L_RECEIPTDATE", "L_ORDERKEY"} ("" = plain COUNT(*)).
+std::string TpchAggregationQuery(const std::string& group_column);
+
+/// Fig 8's join: lineitem x supplier with a selective UDF on S_ADDRESS.
+std::string TpchUdfJoinQuery();
+
+}  // namespace shark
+
+#endif  // SHARK_WORKLOADS_TPCH_H_

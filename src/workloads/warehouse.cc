@@ -1,0 +1,126 @@
+#include "workloads/warehouse.h"
+
+#include "common/random.h"
+
+namespace shark {
+
+namespace {
+
+const char* kPlayers[] = {"flash", "html5", "ios", "android", "roku"};
+const char* kOses[] = {"windows", "macos", "linux", "ios", "android"};
+const char* kBrowsers[] = {"chrome", "firefox", "safari", "ie", "opera"};
+const char* kCdns[] = {"akamai", "level3", "limelight"};
+
+std::string CountryName(int i) { return "country" + std::to_string(i); }
+
+}  // namespace
+
+Status GenerateWarehouseTable(SharkSession* session,
+                              const WarehouseConfig& config) {
+  Random rng(config.seed);
+  Schema schema({{"session_id", TypeKind::kInt64},
+                 {"customer_id", TypeKind::kInt64},
+                 {"client_id", TypeKind::kInt64},
+                 {"datacenter", TypeKind::kInt64},
+                 {"country", TypeKind::kString},
+                 {"city", TypeKind::kString},
+                 {"day", TypeKind::kDate},
+                 {"hour", TypeKind::kInt64},
+                 {"duration", TypeKind::kInt64},
+                 {"buffering_ratio", TypeKind::kDouble},
+                 {"bitrate", TypeKind::kInt64},
+                 {"startup_ms", TypeKind::kInt64},
+                 {"bytes_sent", TypeKind::kInt64},
+                 {"bytes_recv", TypeKind::kInt64},
+                 {"player", TypeKind::kString},
+                 {"os", TypeKind::kString},
+                 {"browser", TypeKind::kString},
+                 {"cdn", TypeKind::kString},
+                 {"content_id", TypeKind::kInt64},
+                 {"is_live", TypeKind::kBool},
+                 {"error_count", TypeKind::kInt64},
+                 {"rebuffers", TypeKind::kInt64},
+                 {"avg_fps", TypeKind::kDouble},
+                 {"exit_code", TypeKind::kInt64}});
+
+  int64_t day0 = Value::ParseDate("2012-06-01")->int64_v();
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(config.rows));
+  // Rows are generated in (datacenter, day) order — logs land in the data
+  // center closest to the user and are append-only (§3.5) — giving each
+  // storage partition a tight (datacenter, day, country) footprint.
+  int64_t per_dc = config.rows / config.num_datacenters;
+  int64_t session_id = 0;
+  for (int dc = 0; dc < config.num_datacenters; ++dc) {
+    // Each datacenter serves a geographic slice of countries.
+    int countries_per_dc = config.num_countries / config.num_datacenters;
+    int country_base = dc * countries_per_dc;
+    for (int64_t i = 0; i < per_dc; ++i) {
+      int64_t day = (i * config.days) / std::max<int64_t>(per_dc, 1);
+      int country = country_base + static_cast<int>(rng.Uniform(
+                                       static_cast<uint64_t>(countries_per_dc)));
+      rows.push_back(Row({
+          Value::Int64(session_id++),
+          Value::Int64(rng.UniformInt(0, config.num_customers - 1)),
+          Value::Int64(rng.UniformInt(0, config.rows / 5)),
+          Value::Int64(dc),
+          Value::String(CountryName(country)),
+          Value::String("city" + std::to_string(country * 10 +
+                                                 rng.UniformInt(0, 9))),
+          Value::Date(day0 + day),
+          Value::Int64(rng.UniformInt(0, 23)),
+          Value::Int64(rng.UniformInt(5, 7200)),
+          Value::Double(static_cast<double>(rng.UniformInt(0, 300)) / 1000.0),
+          Value::Int64(rng.UniformInt(200, 6000)),
+          Value::Int64(rng.UniformInt(50, 9000)),
+          Value::Int64(rng.UniformInt(10000, 50000000)),
+          Value::Int64(rng.UniformInt(1000, 1000000)),
+          Value::String(kPlayers[rng.Uniform(5)]),
+          Value::String(kOses[rng.Uniform(5)]),
+          Value::String(kBrowsers[rng.Uniform(5)]),
+          Value::String(kCdns[rng.Uniform(3)]),
+          Value::Int64(static_cast<int64_t>(rng.Zipf(
+              static_cast<uint64_t>(config.num_contents), 1.1))),
+          Value::Bool(rng.Bernoulli(0.2)),
+          Value::Int64(rng.Bernoulli(0.05) ? rng.UniformInt(1, 5) : 0),
+          Value::Int64(rng.Bernoulli(0.3) ? rng.UniformInt(1, 20) : 0),
+          Value::Double(20.0 + 40.0 * rng.NextDouble()),
+          Value::Int64(rng.UniformInt(0, 3)),
+      }));
+    }
+  }
+  return session->CreateDfsTable("sessions", schema, rows, config.blocks);
+}
+
+std::string WarehouseQ1(int customer_id, const std::string& day) {
+  // 12-dimension summary for one customer on one day.
+  return "SELECT COUNT(*), AVG(duration), AVG(buffering_ratio), AVG(bitrate), "
+         "AVG(startup_ms), SUM(bytes_sent), SUM(bytes_recv), MAX(duration), "
+         "MIN(duration), AVG(rebuffers), AVG(error_count), AVG(avg_fps) "
+         "FROM sessions WHERE customer_id = " +
+         std::to_string(customer_id) + " AND day = DATE '" + day + "'";
+}
+
+std::string WarehouseQ2() {
+  // Sessions and distinct customer/client combinations by country, with
+  // filter predicates on eight columns.
+  return "SELECT country, COUNT(*), COUNT(DISTINCT customer_id, client_id) "
+         "FROM sessions WHERE duration > 60 AND buffering_ratio < 0.2 "
+         "AND bitrate > 500 AND startup_ms < 5000 AND error_count = 0 "
+         "AND is_live = FALSE AND exit_code = 0 AND rebuffers < 10 "
+         "GROUP BY country";
+}
+
+std::string WarehouseQ3() {
+  return "SELECT COUNT(*), COUNT(DISTINCT client_id) FROM sessions "
+         "WHERE country NOT IN ('country0', 'country1')";
+}
+
+std::string WarehouseQ4() {
+  return "SELECT content_id, COUNT(*) AS views, AVG(duration), "
+         "AVG(buffering_ratio), AVG(bitrate), AVG(startup_ms), "
+         "AVG(rebuffers), AVG(avg_fps) FROM sessions GROUP BY content_id "
+         "ORDER BY views DESC LIMIT 10";
+}
+
+}  // namespace shark

@@ -1,0 +1,49 @@
+#ifndef SHARK_WORKLOADS_WAREHOUSE_H_
+#define SHARK_WORKLOADS_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/session.h"
+
+namespace shark {
+
+/// Generator for the "real Hive warehouse" workload (§6.4): a single wide
+/// fact table of video session metrics whose rows arrive datacenter-by-
+/// datacenter in roughly chronological order — the natural clustering on
+/// (datacenter, day) that map pruning exploits (the paper measures a ~30x
+/// scan reduction on these queries).
+struct WarehouseConfig {
+  int64_t rows = 500000;  // paper: 1.7 TB over 30 days
+  int blocks = 800;
+  int days = 30;
+  int num_customers = 100;
+  int num_countries = 24;
+  int num_datacenters = 8;
+  int num_contents = 2000;
+  uint64_t seed = 42;
+
+  static constexpr double kPaperBytes = 1.7e12;
+
+  double VirtualScale(uint64_t generated_bytes) const {
+    return kPaperBytes / static_cast<double>(generated_bytes);
+  }
+};
+
+/// Creates the DFS table `sessions` (wide schema, naturally clustered).
+Status GenerateWarehouseTable(SharkSession* session,
+                              const WarehouseConfig& config);
+
+/// The four prototypical queries of §6.4. Q1 filters one customer on one
+/// day (12-dimension summary), Q2 groups by country under 8 filter
+/// predicates, Q3 counts sessions/users outside 2 countries, Q4 is a
+/// 7-dimension top-k grouped summary.
+std::string WarehouseQ1(int customer_id, const std::string& day);
+std::string WarehouseQ2();
+std::string WarehouseQ3();
+std::string WarehouseQ4();
+
+}  // namespace shark
+
+#endif  // SHARK_WORKLOADS_WAREHOUSE_H_

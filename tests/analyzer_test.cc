@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+
+namespace shark {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableInfo t1;
+    t1.name = "t1";
+    t1.schema = Schema({{"a", TypeKind::kInt64},
+                        {"b", TypeKind::kString},
+                        {"c", TypeKind::kDouble}});
+    t1.dfs_file = "f1";
+    ASSERT_TRUE(catalog_.CreateTable(t1).ok());
+    TableInfo t2;
+    t2.name = "t2";
+    t2.schema = Schema({{"a", TypeKind::kInt64}, {"d", TypeKind::kDate}});
+    t2.dfs_file = "f2";
+    ASSERT_TRUE(catalog_.CreateTable(t2).ok());
+  }
+
+  Result<PlanPtr> Analyze(const std::string& sql, bool optimize = false) {
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    Analyzer analyzer(&catalog_, &udfs_);
+    auto plan = analyzer.AnalyzeSelect(*stmt->select);
+    if (!plan.ok() || !optimize) return plan;
+    return Optimize(*plan, &udfs_);
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+};
+
+TEST_F(AnalyzerTest, BindsColumnsToSlots) {
+  auto plan = Analyze("SELECT a, c FROM t1 WHERE b = 'x'");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind, PlanKind::kProject);
+  EXPECT_EQ((*plan)->output[0].name, "a");
+  EXPECT_EQ((*plan)->output[0].type, TypeKind::kInt64);
+  EXPECT_EQ((*plan)->output[1].type, TypeKind::kDouble);
+}
+
+TEST_F(AnalyzerTest, TypeInference) {
+  auto plan = Analyze("SELECT a + 1, a / 2, a > 3, SUBSTR(b, 1, 2) FROM t1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->output[0].type, TypeKind::kInt64);
+  EXPECT_EQ((*plan)->output[1].type, TypeKind::kDouble);
+  EXPECT_EQ((*plan)->output[2].type, TypeKind::kBool);
+  EXPECT_EQ((*plan)->output[3].type, TypeKind::kString);
+}
+
+TEST_F(AnalyzerTest, AggregateSplitsCallsAndGroups) {
+  auto plan = Analyze(
+      "SELECT b, COUNT(*), SUM(a) + MIN(c) FROM t1 GROUP BY b");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalPlan* agg = (*plan)->children[0].get();
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->group_exprs.size(), 1u);
+  EXPECT_EQ(agg->agg_calls.size(), 3u);  // COUNT(*), SUM(a), MIN(c)
+}
+
+TEST_F(AnalyzerTest, DuplicateAggCallsShareOneSlot) {
+  auto plan = Analyze(
+      "SELECT SUM(a), SUM(a) * 2 FROM t1 GROUP BY b HAVING SUM(a) > 0");
+  ASSERT_TRUE(plan.ok());
+  // Filter(HAVING) above Aggregate; the aggregate computes SUM(a) once.
+  const LogicalPlan* node = (*plan)->children[0].get();
+  if (node->kind == PlanKind::kFilter) node = node->children[0].get();
+  ASSERT_EQ(node->kind, PlanKind::kAggregate);
+  EXPECT_EQ(node->agg_calls.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, NonGroupedColumnRejected) {
+  auto plan = Analyze("SELECT a, COUNT(*) FROM t1 GROUP BY b");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kAnalysisError);
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnRejected) {
+  auto plan = Analyze("SELECT a FROM t1 JOIN t2 ON t1.a = t2.a");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(AnalyzerTest, QualifiedColumnsDisambiguate) {
+  auto plan = Analyze("SELECT t1.a, t2.a FROM t1 JOIN t2 ON t1.a = t2.a");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalPlan* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->kind, PlanKind::kJoin);
+  EXPECT_EQ(join->left_keys.size(), 1u);
+  EXPECT_EQ(join->right_keys.size(), 1u);
+  // Right key is rebased to the right child's slots.
+  EXPECT_EQ(join->right_keys[0]->slot, 0);
+}
+
+TEST_F(AnalyzerTest, CommaJoinKeysRecoveredFromWhere) {
+  auto plan = Analyze(
+      "SELECT t1.b FROM t1, t2 WHERE t1.a = t2.a AND t1.c > 1.5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The equality became a join key; the residual filter remains.
+  std::string rendered = (*plan)->ToString();
+  EXPECT_NE(rendered.find("Join"), std::string::npos);
+  EXPECT_NE(rendered.find("keys=[$0=$0]"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, CrossJoinWithoutKeysRejected) {
+  EXPECT_FALSE(Analyze("SELECT t1.a FROM t1, t2 WHERE t1.c > 0").ok());
+  EXPECT_FALSE(Analyze("SELECT t1.a FROM t1 JOIN t2 ON t1.a > t2.a").ok());
+}
+
+TEST_F(AnalyzerTest, OrderByAliasAndUnderlyingColumn) {
+  EXPECT_TRUE(Analyze("SELECT a AS x FROM t1 ORDER BY x").ok());
+  EXPECT_TRUE(Analyze("SELECT a FROM t1 ORDER BY a").ok());
+  // ORDER BY on a non-projected expression matching a select item.
+  EXPECT_TRUE(
+      Analyze("SELECT SUM(a) FROM t1 GROUP BY b ORDER BY SUM(a)").ok());
+  EXPECT_FALSE(Analyze("SELECT a FROM t1 ORDER BY no_such").ok());
+}
+
+TEST_F(AnalyzerTest, SubqueryScopesByAlias) {
+  auto plan = Analyze(
+      "SELECT s.total FROM (SELECT b, SUM(a) AS total FROM t1 GROUP BY b) s "
+      "WHERE s.total > 10");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+// ---- Optimizer rules -------------------------------------------------------
+
+TEST_F(AnalyzerTest, PredicatePushdownReachesScan) {
+  auto plan = Analyze("SELECT a FROM t1 WHERE a > 5 AND b = 'x'", true);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = (*plan)->ToString();
+  EXPECT_NE(rendered.find("pushed="), std::string::npos);
+  EXPECT_EQ(rendered.find("Filter"), std::string::npos);  // fully absorbed
+}
+
+TEST_F(AnalyzerTest, PushdownSplitsAcrossJoinSides) {
+  auto plan = Analyze(
+      "SELECT t1.b FROM t1 JOIN t2 ON t1.a = t2.a "
+      "WHERE t1.c > 1.0 AND t2.d > DATE '2000-01-01'",
+      true);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = (*plan)->ToString();
+  // Both scans carry a pushed predicate.
+  size_t first = rendered.find("pushed=");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(rendered.find("pushed=", first + 1), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ColumnPruningNarrowsScan) {
+  auto plan = Analyze("SELECT a FROM t1 WHERE c > 0.5", true);
+  ASSERT_TRUE(plan.ok());
+  std::function<const LogicalPlan*(const LogicalPlan*)> find_scan =
+      [&](const LogicalPlan* p) -> const LogicalPlan* {
+    if (p->kind == PlanKind::kScan) return p;
+    for (const auto& c : p->children) {
+      if (const LogicalPlan* s = find_scan(c.get())) return s;
+    }
+    return nullptr;
+  };
+  const LogicalPlan* scan = find_scan(plan->get());
+  ASSERT_NE(scan, nullptr);
+  // Only a (slot 0) and c (slot 2) are needed; b is never read.
+  EXPECT_EQ(scan->needed_columns, (std::vector<int>{0, 2}));
+}
+
+TEST_F(AnalyzerTest, ConstantFolding) {
+  auto plan = Analyze("SELECT a + (1 + 2) * 3 FROM t1", true);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = (*plan)->ToString();
+  EXPECT_NE(rendered.find("9"), std::string::npos);
+  EXPECT_EQ(rendered.find("(1 + 2)"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, PushdownThroughProjectOfSlots) {
+  auto plan = Analyze(
+      "SELECT x FROM (SELECT a AS x, b AS y FROM t1) s WHERE x > 3", true);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = (*plan)->ToString();
+  // The x > 3 predicate reaches the t1 scan (x is a plain slot alias).
+  EXPECT_NE(rendered.find("pushed="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,301 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/column.h"
+#include "columnar/compression.h"
+#include "columnar/table_partition.h"
+#include "common/random.h"
+
+namespace shark {
+namespace {
+
+std::vector<Value> Ints(std::vector<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int64(x));
+  return out;
+}
+
+std::vector<Value> Strs(std::vector<std::string> xs) {
+  std::vector<Value> out;
+  for (auto& x : xs) out.push_back(Value::String(std::move(x)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BitPackedArray
+// ---------------------------------------------------------------------------
+
+TEST(BitPackedArrayTest, RoundTripVariousWidths) {
+  for (int width : {1, 3, 7, 13, 24, 33, 64}) {
+    BitPackedArray arr(width);
+    Random r(static_cast<uint64_t>(width));
+    std::vector<uint64_t> expected;
+    uint64_t mask = width == 64 ? ~0ULL : (1ULL << width) - 1;
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t v = r.NextUint64() & mask;
+      expected.push_back(v);
+      arr.Append(v);
+    }
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_EQ(arr.Get(static_cast<size_t>(i)), expected[static_cast<size_t>(i)])
+          << "width " << width << " idx " << i;
+    }
+  }
+}
+
+TEST(BitPackedArrayTest, WidthFor) {
+  EXPECT_EQ(BitPackedArray::WidthFor(0), 1);
+  EXPECT_EQ(BitPackedArray::WidthFor(1), 1);
+  EXPECT_EQ(BitPackedArray::WidthFor(2), 2);
+  EXPECT_EQ(BitPackedArray::WidthFor(255), 8);
+  EXPECT_EQ(BitPackedArray::WidthFor(256), 9);
+  EXPECT_EQ(BitPackedArray::WidthFor(~0ULL), 64);
+}
+
+TEST(BitPackedArrayTest, CompactFootprint) {
+  BitPackedArray arr(4);
+  for (int i = 0; i < 1600; ++i) arr.Append(static_cast<uint64_t>(i % 16));
+  // 1600 values * 4 bits = 800 bytes (+ slack)
+  EXPECT_LT(arr.MemoryBytes(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Encoding round trips (property: decode(encode(x)) == x)
+// ---------------------------------------------------------------------------
+
+class EncodingRoundTripTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(EncodingRoundTripTest, Int64RoundTrip) {
+  std::vector<Value> values = Ints({5, 5, 5, 9, 9, 1, 1, 1, 1, 30000});
+  auto chunk = EncodeColumn(TypeKind::kInt64, values, GetParam());
+  ASSERT_EQ(chunk->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(chunk->GetValue(i), values[i]) << "i=" << i;
+  }
+  std::vector<Value> decoded;
+  chunk->Decode(&decoded);
+  EXPECT_EQ(decoded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EncodingRoundTripTest,
+                         ::testing::Values(Encoding::kGeneric, Encoding::kPlain,
+                                           Encoding::kRunLength,
+                                           Encoding::kBitPacked));
+
+TEST(EncodingTest, StringDictRoundTrip) {
+  std::vector<Value> values =
+      Strs({"US", "UK", "US", "US", "DE", "UK", "US", "DE"});
+  auto chunk = EncodeColumn(TypeKind::kString, values, Encoding::kDictionary);
+  EXPECT_EQ(chunk->encoding(), Encoding::kDictionary);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(chunk->GetValue(i), values[i]);
+  }
+}
+
+TEST(EncodingTest, StringPlainRoundTrip) {
+  std::vector<Value> values = Strs({"alpha", "", "gamma", "d"});
+  auto chunk = EncodeColumn(TypeKind::kString, values, Encoding::kPlain);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(chunk->GetValue(i), values[i]);
+  }
+}
+
+TEST(EncodingTest, BoolBitPackedRoundTrip) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Bool(i % 3 == 0));
+  auto chunk = EncodeColumn(TypeKind::kBool, values, Encoding::kBitPacked);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(chunk->GetValue(i), values[i]);
+  }
+  EXPECT_LT(chunk->MemoryBytes(), 100u);
+}
+
+TEST(EncodingTest, NullsFallBackToGeneric) {
+  std::vector<Value> values = Ints({1, 2, 3});
+  values.push_back(Value::Null());
+  auto chunk = EncodeColumn(TypeKind::kInt64, values, Encoding::kPlain);
+  EXPECT_EQ(chunk->encoding(), Encoding::kGeneric);
+  EXPECT_TRUE(chunk->GetValue(3).is_null());
+}
+
+TEST(EncodingTest, DateRleRoundTrip) {
+  std::vector<Value> values;
+  for (int d = 0; d < 10; ++d) {
+    for (int i = 0; i < 20; ++i) values.push_back(Value::Date(10000 + d));
+  }
+  auto chunk = EncodeColumn(TypeKind::kDate, values, Encoding::kRunLength);
+  EXPECT_EQ(chunk->encoding(), Encoding::kRunLength);
+  EXPECT_EQ(chunk->GetValue(0), Value::Date(10000));
+  EXPECT_EQ(chunk->GetValue(199), Value::Date(10009));
+  EXPECT_LT(chunk->MemoryBytes(), 200u * 8u / 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Automatic encoding choice (§3.3 local decisions)
+// ---------------------------------------------------------------------------
+
+TEST(ChooseEncodingTest, LongRunsGetRle) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value::Int64(i / 100));
+  EXPECT_EQ(ChooseEncoding(TypeKind::kInt64, values), Encoding::kRunLength);
+}
+
+TEST(ChooseEncodingTest, SmallRangeGetsBitPacked) {
+  Random r(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(Value::Int64(static_cast<int64_t>(r.Uniform(128))));
+  }
+  EXPECT_EQ(ChooseEncoding(TypeKind::kInt64, values), Encoding::kBitPacked);
+}
+
+TEST(ChooseEncodingTest, WideRandomIntsStayPlain) {
+  Random r(2);
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(Value::Int64(static_cast<int64_t>(r.NextUint64() >> 1)));
+  }
+  EXPECT_EQ(ChooseEncoding(TypeKind::kInt64, values), Encoding::kPlain);
+}
+
+TEST(ChooseEncodingTest, LowCardinalityStringsGetDict) {
+  Random r(3);
+  std::vector<Value> values;
+  const char* countries[] = {"US", "UK", "DE", "FR", "JP"};
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(Value::String(countries[r.Uniform(5)]));
+  }
+  EXPECT_EQ(ChooseEncoding(TypeKind::kString, values), Encoding::kDictionary);
+}
+
+TEST(ChooseEncodingTest, UniqueStringsStayPlain) {
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(Value::String("url-" + std::to_string(i)));
+  }
+  EXPECT_EQ(ChooseEncoding(TypeKind::kString, values), Encoding::kPlain);
+}
+
+TEST(CompressionTest, CompressionShrinksTypicalColumns) {
+  // A dictionary-friendly column should compress far below generic storage.
+  Random r(4);
+  std::vector<Value> values;
+  const char* modes[] = {"AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR",
+                         "FOB"};
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(Value::String(modes[r.Uniform(7)]));
+  }
+  auto generic = EncodeColumn(TypeKind::kString, values, Encoding::kGeneric);
+  auto compressed = EncodeColumnAuto(TypeKind::kString, values, nullptr);
+  EXPECT_LT(compressed->MemoryBytes() * 5, generic->MemoryBytes());
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStats / map pruning support
+// ---------------------------------------------------------------------------
+
+TEST(ColumnStatsTest, RangeAndDistinct) {
+  ColumnStats stats;
+  for (int64_t v : {5, 1, 9, 5, 3}) stats.Update(Value::Int64(v));
+  EXPECT_EQ(stats.min, Value::Int64(1));
+  EXPECT_EQ(stats.max, Value::Int64(9));
+  EXPECT_EQ(stats.distinct.size(), 4u);
+  EXPECT_TRUE(stats.MayEqual(Value::Int64(3)));
+  EXPECT_FALSE(stats.MayEqual(Value::Int64(4)));   // in range but not distinct
+  EXPECT_FALSE(stats.MayEqual(Value::Int64(42)));  // out of range
+}
+
+TEST(ColumnStatsTest, DistinctOverflowKeepsRangeOnly) {
+  ColumnStats stats;
+  for (int64_t v = 0; v < 1000; ++v) stats.Update(Value::Int64(v));
+  EXPECT_TRUE(stats.distinct_overflowed);
+  EXPECT_TRUE(stats.MayEqual(Value::Int64(500)));
+  EXPECT_FALSE(stats.MayEqual(Value::Int64(5000)));
+}
+
+TEST(ColumnStatsTest, RangeIntersection) {
+  ColumnStats stats;
+  for (int64_t v = 100; v <= 200; ++v) stats.Update(Value::Int64(v));
+  Value lo = Value::Int64(150), hi = Value::Int64(300);
+  EXPECT_TRUE(stats.MayIntersect(&lo, &hi));
+  Value lo2 = Value::Int64(201);
+  EXPECT_FALSE(stats.MayIntersect(&lo2, nullptr));
+  Value hi2 = Value::Int64(99);
+  EXPECT_FALSE(stats.MayIntersect(nullptr, &hi2));
+}
+
+TEST(ColumnStatsTest, NullsTracked) {
+  ColumnStats stats;
+  stats.Update(Value::Null());
+  stats.Update(Value::Int64(1));
+  EXPECT_EQ(stats.null_count, 1u);
+  EXPECT_TRUE(stats.MayEqual(Value::Null()));
+}
+
+// ---------------------------------------------------------------------------
+// TablePartition
+// ---------------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"id", TypeKind::kInt64},
+                 {"country", TypeKind::kString},
+                 {"revenue", TypeKind::kDouble}});
+}
+
+std::vector<Row> TestRows(int n) {
+  const char* countries[] = {"US", "UK", "DE"};
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row({Value::Int64(i), Value::String(countries[i % 3]),
+                        Value::Double(i * 0.5)}));
+  }
+  return rows;
+}
+
+TEST(TablePartitionTest, RoundTripAllColumns) {
+  auto rows = TestRows(100);
+  auto part = TablePartition::FromRows(TestSchema(), rows);
+  EXPECT_EQ(part->num_rows(), 100u);
+  auto decoded = part->ToRows(nullptr);
+  EXPECT_EQ(decoded, rows);
+}
+
+TEST(TablePartitionTest, ColumnPrunedDecode) {
+  auto rows = TestRows(50);
+  auto part = TablePartition::FromRows(TestSchema(), rows);
+  std::vector<int> wanted = {0, 2};
+  auto decoded = part->ToRows(&wanted);
+  ASSERT_EQ(decoded.size(), 50u);
+  EXPECT_EQ(decoded[7].Get(0), Value::Int64(7));
+  EXPECT_TRUE(decoded[7].Get(1).is_null());  // pruned column
+  EXPECT_EQ(decoded[7].Get(2), Value::Double(3.5));
+}
+
+TEST(TablePartitionTest, StatsPerColumn) {
+  auto part = TablePartition::FromRows(TestSchema(), TestRows(100));
+  EXPECT_EQ(part->stats(0).min, Value::Int64(0));
+  EXPECT_EQ(part->stats(0).max, Value::Int64(99));
+  EXPECT_EQ(part->stats(1).distinct.size(), 3u);  // enum-like country column
+}
+
+TEST(TablePartitionTest, ColumnarSmallerThanGenericRows) {
+  auto rows = TestRows(5000);
+  auto part = TablePartition::FromRows(TestSchema(), rows);
+  uint64_t row_bytes = 0;
+  for (const Row& r : rows) row_bytes += ApproxSizeOf(r) + 16;
+  // §3.2: columnar representation is a multiple smaller than object rows.
+  EXPECT_LT(part->MemoryBytes() * 2, row_bytes);
+}
+
+TEST(TablePartitionTest, GetRowMatchesToRows) {
+  auto rows = TestRows(20);
+  auto part = TablePartition::FromRows(TestSchema(), rows);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(part->GetRow(i), rows[i]);
+  }
+}
+
+}  // namespace
+}  // namespace shark

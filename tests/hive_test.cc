@@ -1,0 +1,125 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "hive/hive_engine.h"
+#include "workloads/pavlo.h"
+
+namespace shark {
+namespace {
+
+class HiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.hardware.cores_per_node = 2;
+    cfg.virtual_data_scale = 100.0;
+    shark_ = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(cfg));
+
+    PavloConfig pavlo;
+    pavlo.rankings_rows = 2000;
+    pavlo.uservisits_rows = 6000;
+    pavlo.rankings_blocks = 8;
+    pavlo.uservisits_blocks = 16;
+    ASSERT_TRUE(GeneratePavloTables(shark_.get(), pavlo).ok());
+
+    auto hive = MakeHiveSession(shark_.get());
+    ASSERT_TRUE(hive.ok()) << hive.status().ToString();
+    hive_ = std::move(*hive);
+  }
+
+  std::unique_ptr<SharkSession> shark_;
+  std::unique_ptr<SharkSession> hive_;
+};
+
+TEST(HiveHeuristicTest, ReducerCounts) {
+  EXPECT_EQ(HiveReducerHeuristic(0, 1 << 30), 1);
+  EXPECT_EQ(HiveReducerHeuristic(1 << 30, 1 << 30), 1);
+  EXPECT_EQ(HiveReducerHeuristic((1ULL << 30) + 1, 1 << 30), 2);
+  EXPECT_EQ(HiveReducerHeuristic(100ULL << 30, 1 << 30), 100);
+}
+
+TEST_F(HiveTest, ProfileIsHadoop) {
+  EXPECT_EQ(hive_->context().profile().name, "hadoop");
+  EXPECT_TRUE(hive_->context().profile().shuffle_through_disk);
+  EXPECT_TRUE(hive_->context().profile().materialize_stages_to_dfs);
+  EXPECT_FALSE(hive_->context().profile().memory_store);
+  EXPECT_FALSE(hive_->options().pde);
+}
+
+TEST_F(HiveTest, SharedWarehouseMirrored) {
+  EXPECT_TRUE(hive_->catalog().Exists("rankings"));
+  EXPECT_TRUE(hive_->catalog().Exists("uservisits"));
+  // Same DFS object: both engines scan identical blocks.
+  EXPECT_EQ(&hive_->context().dfs(), &shark_->context().dfs());
+}
+
+TEST_F(HiveTest, SameAnswersAsShark) {
+  const std::string query = PavloAggregationCoarseQuery();
+  auto shark_result = shark_->Sql(query);
+  auto hive_result = hive_->Sql(query);
+  ASSERT_TRUE(shark_result.ok()) << shark_result.status().ToString();
+  ASSERT_TRUE(hive_result.ok()) << hive_result.status().ToString();
+  std::map<std::string, double> a, b;
+  for (const Row& r : shark_result->rows) {
+    a[r.Get(0).str()] = r.Get(1).double_v();
+  }
+  for (const Row& r : hive_result->rows) {
+    b[r.Get(0).str()] = r.Get(1).double_v();
+  }
+  EXPECT_EQ(a.size(), b.size());
+  for (const auto& [k, v] : a) {
+    ASSERT_TRUE(b.count(k) > 0) << k;
+    EXPECT_NEAR(v, b[k], 1e-9);
+  }
+}
+
+TEST_F(HiveTest, SharkIsMuchFasterOnSelection) {
+  const std::string query = PavloSelectionQuery(9000);
+  auto hive_result = hive_->Sql(query);
+  ASSERT_TRUE(hive_result.ok());
+  auto shark_disk = shark_->Sql(query);
+  ASSERT_TRUE(shark_disk.ok());
+  ASSERT_TRUE(shark_->CacheTable("rankings").ok());
+  auto shark_mem = shark_->Sql(query);
+  ASSERT_TRUE(shark_mem.ok());
+  // Paper Fig 5: Shark(mem) << Shark(disk) < Hive.
+  EXPECT_LT(shark_mem->metrics.virtual_seconds,
+            shark_disk->metrics.virtual_seconds);
+  EXPECT_LT(shark_disk->metrics.virtual_seconds,
+            hive_result->metrics.virtual_seconds);
+  EXPECT_GT(hive_result->metrics.virtual_seconds,
+            10 * shark_mem->metrics.virtual_seconds);
+}
+
+TEST_F(HiveTest, JoinQueryAgreesAcrossEngines) {
+  const std::string query = PavloJoinQuery();
+  auto shark_result = shark_->Sql(query);
+  auto hive_result = hive_->Sql(query);
+  ASSERT_TRUE(shark_result.ok()) << shark_result.status().ToString();
+  ASSERT_TRUE(hive_result.ok()) << hive_result.status().ToString();
+  EXPECT_EQ(shark_result->rows.size(), hive_result->rows.size());
+  EXPECT_GT(hive_result->metrics.virtual_seconds,
+            shark_result->metrics.virtual_seconds);
+}
+
+TEST_F(HiveTest, TunedReducersBeatDefaultHeuristic) {
+  // The heuristic picks very few reducers for a small virtual input; tuning
+  // to the cluster width should not be slower.
+  const std::string query = PavloAggregationFineQuery();
+  auto untuned = hive_->Sql(query);
+  ASSERT_TRUE(untuned.ok());
+
+  auto tuned_session = MakeHiveSession(shark_.get(), HiveConfig{8, 1ULL << 30});
+  ASSERT_TRUE(tuned_session.ok());
+  auto tuned = (*tuned_session)->Sql(query);
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_LE(tuned->metrics.virtual_seconds,
+            untuned->metrics.virtual_seconds * 1.05);
+  EXPECT_EQ(tuned->rows.size(), untuned->rows.size());
+}
+
+}  // namespace
+}  // namespace shark

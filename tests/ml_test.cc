@@ -1,0 +1,224 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/kmeans.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/table_rdd.h"
+#include "workloads/mldata.h"
+
+namespace shark {
+namespace {
+
+TEST(VectorOpsTest, Basics) {
+  MlVector a = {1, 2, 3};
+  MlVector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  AddInPlace(&a, b);
+  EXPECT_EQ(a, (MlVector{5, 7, 9}));
+  ScaleInPlace(&a, 2.0);
+  EXPECT_EQ(a, (MlVector{10, 14, 18}));
+  MlVector c = {0, 0, 0};
+  Axpy(2.0, b, &c);
+  EXPECT_EQ(c, (MlVector{8, 10, 12}));
+  EXPECT_DOUBLE_EQ(SquaredDistance(b, MlVector{4, 5, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(Norm2(MlVector{3, 4}), 5.0);
+}
+
+ClusterConfig MlClusterConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  return cfg;
+}
+
+std::vector<LabeledPoint> SeparablePoints(int n, int dims, uint64_t seed) {
+  Random rng(seed);
+  std::vector<LabeledPoint> points;
+  for (int i = 0; i < n; ++i) {
+    LabeledPoint p;
+    p.y = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    for (int d = 0; d < dims; ++d) {
+      p.x.push_back(p.y * 1.0 + 0.5 * rng.NextGaussian());
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  auto data = SeparablePoints(2000, 5, 11);
+  auto rdd = ctx->Parallelize(data, 8);
+  LogisticRegression::Options opts;
+  opts.iterations = 10;
+  opts.learning_rate = 0.001;
+  auto model = LogisticRegression::Train(ctx.get(), rdd, 5, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  int correct = 0;
+  for (const LabeledPoint& p : data) {
+    double prob = LogisticRegression::Predict(model->weights, p.x);
+    if ((prob > 0.5) == (p.y > 0)) ++correct;
+  }
+  EXPECT_GT(correct, 1800);  // > 90% accuracy on separable data
+  EXPECT_EQ(model->iteration_seconds.size(), 10u);
+  for (double t : model->iteration_seconds) EXPECT_GT(t, 0.0);
+}
+
+TEST(LinearRegressionTest, RecoversLinearRelationship) {
+  Random rng(3);
+  std::vector<LabeledPoint> data;
+  // y = 2*x0 - 1*x1 with small noise.
+  for (int i = 0; i < 2000; ++i) {
+    LabeledPoint p;
+    p.x = {rng.NextDouble(), rng.NextDouble()};
+    p.y = 2.0 * p.x[0] - 1.0 * p.x[1] + 0.01 * rng.NextGaussian();
+    data.push_back(std::move(p));
+  }
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  auto rdd = ctx->Parallelize(data, 8);
+  LinearRegression::Options opts;
+  opts.iterations = 200;
+  opts.learning_rate = 1.0;
+  auto model = LinearRegression::Train(ctx.get(), rdd, 2, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights[0], 2.0, 0.3);
+  EXPECT_NEAR(model->weights[1], -1.0, 0.3);
+}
+
+TEST(KMeansTest, FindsClusters) {
+  Random rng(5);
+  std::vector<MlVector> points;
+  // Three well-separated clusters around (0,0), (10,10), (-10,10).
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (int i = 0; i < 3000; ++i) {
+    int c = i % 3;
+    points.push_back(MlVector{centers[c][0] + rng.NextGaussian(),
+                              centers[c][1] + rng.NextGaussian()});
+  }
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  auto rdd = ctx->Parallelize(points, 8);
+  KMeans::Options opts;
+  opts.k = 3;
+  opts.iterations = 15;
+  opts.seed = 99;
+  auto model = KMeans::Train(ctx.get(), rdd, 2, opts);
+  ASSERT_TRUE(model.ok());
+  // Every true center must be near some learned centroid.
+  for (const auto& center : centers) {
+    double best = 1e18;
+    for (const MlVector& c : model->centroids) {
+      best = std::min(best, SquaredDistance(c, MlVector{center[0], center[1]}));
+    }
+    EXPECT_LT(best, 4.0);
+  }
+  // Inertia decreased vs a one-iteration run.
+  KMeans::Options one = opts;
+  one.iterations = 1;
+  auto first = KMeans::Train(ctx.get(), rdd, 2, one);
+  ASSERT_TRUE(first.ok());
+  EXPECT_LT(model->inertia, first->inertia);
+}
+
+TEST(SqlMlPipelineTest, Listing1EndToEnd) {
+  // The paper's Listing 1: sql2rdd -> feature extraction -> logistic
+  // regression, all in one lineage graph.
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  SharkSession session(ctx);
+  MlDataConfig data;
+  data.rows = 3000;
+  data.dimensions = 4;
+  data.blocks = 8;
+  ASSERT_TRUE(GenerateMlTable(&session, data).ok());
+
+  auto table = session.Sql2Rdd("SELECT * FROM ml_points WHERE label <> 0");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto points =
+      RowsToLabeledPoints(*table, "label", MlFeatureColumns(data.dimensions));
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  (*points)->Cache();
+
+  LogisticRegression::Options opts;
+  opts.iterations = 8;
+  opts.learning_rate = 0.001;
+  auto model =
+      LogisticRegression::Train(ctx.get(), *points, data.dimensions, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  // Caching: iterations after the first do not rescan the DFS, so they are
+  // no slower (and typically faster) than the first.
+  ASSERT_EQ(model->iteration_seconds.size(), 8u);
+  double first = model->iteration_seconds[0];
+  for (size_t i = 1; i < model->iteration_seconds.size(); ++i) {
+    EXPECT_LE(model->iteration_seconds[i], first * 1.01);
+  }
+}
+
+TEST(SqlMlPipelineTest, MapRowsExtractsFeatures) {
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  SharkSession session(ctx);
+  MlDataConfig data;
+  data.rows = 500;
+  data.dimensions = 3;
+  data.blocks = 4;
+  ASSERT_TRUE(GenerateMlTable(&session, data).ok());
+  auto table = session.Sql2Rdd("SELECT * FROM ml_points");
+  ASSERT_TRUE(table.ok());
+  auto vectors = MapRows(*table, [](const Row& r) {
+    return MlVector{r.Get(1).AsDouble() * 2.0};
+  });
+  auto collected = ctx->Collect(vectors);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected->size(), 500u);
+
+  auto bad = RowsToLabeledPoints(*table, "no_such", {"f0"});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SqlMlPipelineTest, RecoversFromFailureDuringTraining) {
+  auto ctx = std::make_shared<ClusterContext>(MlClusterConfig());
+  SharkSession session(ctx);
+  MlDataConfig data;
+  data.rows = 2000;
+  data.dimensions = 4;
+  data.blocks = 8;
+  ASSERT_TRUE(GenerateMlTable(&session, data).ok());
+  auto table = session.Sql2Rdd("SELECT * FROM ml_points");
+  ASSERT_TRUE(table.ok());
+  auto points =
+      RowsToLabeledPoints(*table, "label", MlFeatureColumns(data.dimensions));
+  ASSERT_TRUE(points.ok());
+  (*points)->Cache();
+
+  LogisticRegression::Options opts;
+  opts.iterations = 5;
+  opts.learning_rate = 0.001;
+  auto clean = LogisticRegression::Train(ctx.get(), *points, data.dimensions,
+                                         opts);
+  ASSERT_TRUE(clean.ok());
+
+  // Same training with a node killed mid-way must produce identical weights
+  // (deterministic lineage recomputation, §4.2).
+  auto ctx2 = std::make_shared<ClusterContext>(MlClusterConfig());
+  SharkSession session2(ctx2);
+  ASSERT_TRUE(GenerateMlTable(&session2, data).ok());
+  auto table2 = session2.Sql2Rdd("SELECT * FROM ml_points");
+  ASSERT_TRUE(table2.ok());
+  auto points2 =
+      RowsToLabeledPoints(*table2, "label", MlFeatureColumns(data.dimensions));
+  ASSERT_TRUE(points2.ok());
+  (*points2)->Cache();
+  ctx2->InjectFault(FaultEvent{FaultEvent::Kind::kKill, 0.01, 2, 1.0});
+  auto faulty = LogisticRegression::Train(ctx2.get(), *points2,
+                                          data.dimensions, opts);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  ASSERT_EQ(clean->weights.size(), faulty->weights.size());
+  for (size_t i = 0; i < clean->weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clean->weights[i], faulty->weights[i]);
+  }
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace shark {
+namespace {
+
+ExprPtr MustParseExpr(const std::string& text) {
+  auto r = ParseExpression(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << text;
+  return r.ok() ? *r : nullptr;
+}
+
+Statement MustParse(const std::string& sql) {
+  auto r = ParseStatement(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+  return r.ok() ? *r : Statement{};
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+TEST(ParserExprTest, Precedence) {
+  auto e = MustParseExpr("1 + 2 * 3");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ToString(), "(1 + (2 * 3))");
+  e = MustParseExpr("(1 + 2) * 3");
+  EXPECT_EQ(e->ToString(), "((1 + 2) * 3)");
+  e = MustParseExpr("a = 1 AND b = 2 OR c = 3");
+  EXPECT_EQ(e->ToString(), "(((a = 1) AND (b = 2)) OR (c = 3))");
+}
+
+TEST(ParserExprTest, ComparisonOperators) {
+  EXPECT_EQ(MustParseExpr("a <> 2")->binary_op, BinaryOp::kNe);
+  EXPECT_EQ(MustParseExpr("a != 2")->binary_op, BinaryOp::kNe);
+  EXPECT_EQ(MustParseExpr("a <= 2")->binary_op, BinaryOp::kLe);
+  EXPECT_EQ(MustParseExpr("a >= 2")->binary_op, BinaryOp::kGe);
+}
+
+TEST(ParserExprTest, BetweenInLikeIsNull) {
+  auto e = MustParseExpr("x BETWEEN 1 AND 10");
+  EXPECT_EQ(e->kind, ExprKind::kBetween);
+  e = MustParseExpr("x NOT BETWEEN 1 AND 10");
+  EXPECT_TRUE(e->negated);
+  e = MustParseExpr("c IN ('US', 'UK')");
+  EXPECT_EQ(e->kind, ExprKind::kInList);
+  EXPECT_EQ(e->children.size(), 3u);
+  e = MustParseExpr("url LIKE '%.html'");
+  EXPECT_EQ(e->kind, ExprKind::kLike);
+  e = MustParseExpr("x IS NOT NULL");
+  EXPECT_EQ(e->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(e->negated);
+}
+
+TEST(ParserExprTest, DateLiteralForms) {
+  auto e = MustParseExpr("Date('2000-01-15')");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->literal.kind(), TypeKind::kDate);
+  e = MustParseExpr("DATE '2000-01-15'");
+  EXPECT_EQ(e->literal.kind(), TypeKind::kDate);
+}
+
+TEST(ParserExprTest, FunctionAndAggCalls) {
+  auto e = MustParseExpr("SUBSTR(sourceIP, 1, 7)");
+  EXPECT_EQ(e->kind, ExprKind::kFuncCall);
+  EXPECT_EQ(e->name, "SUBSTR");
+  EXPECT_EQ(e->children.size(), 3u);
+
+  e = MustParseExpr("COUNT(*)");
+  EXPECT_EQ(e->kind, ExprKind::kAggCall);
+  EXPECT_TRUE(e->star);
+
+  e = MustParseExpr("COUNT(DISTINCT user, client)");
+  EXPECT_TRUE(e->distinct);
+  EXPECT_EQ(e->children.size(), 2u);
+
+  e = MustParseExpr("SUM(adRevenue)");
+  EXPECT_EQ(e->kind, ExprKind::kAggCall);
+}
+
+TEST(ParserExprTest, CaseWhen) {
+  auto e = MustParseExpr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END");
+  EXPECT_EQ(e->kind, ExprKind::kCase);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(ParserExprTest, QualifiedColumns) {
+  auto e = MustParseExpr("R.pageURL");
+  EXPECT_EQ(e->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(e->qualifier, "R");
+  EXPECT_EQ(e->name, "pageURL");
+}
+
+TEST(ParserExprTest, Errors) {
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1").ok());
+  EXPECT_FALSE(ParseExpression("'unterminated").ok());
+  EXPECT_FALSE(ParseExpression("a BETWEEN 1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+TEST(ParserStmtTest, SimpleSelect) {
+  Statement s = MustParse(
+      "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 10");
+  ASSERT_EQ(s.kind, StatementKind::kSelect);
+  EXPECT_EQ(s.select->items.size(), 2u);
+  EXPECT_EQ(s.select->from.name, "rankings");
+  ASSERT_NE(s.select->where, nullptr);
+}
+
+TEST(ParserStmtTest, SelectStarAndAliases) {
+  Statement s = MustParse("SELECT *, r.pageRank AS rank FROM rankings r");
+  EXPECT_TRUE(s.select->items[0].star);
+  EXPECT_EQ(s.select->items[1].alias, "rank");
+  EXPECT_EQ(s.select->from.alias, "r");
+}
+
+TEST(ParserStmtTest, GroupByHavingOrderLimit) {
+  Statement s = MustParse(
+      "SELECT sourceIP, SUM(adRevenue) AS rev FROM uservisits "
+      "GROUP BY sourceIP HAVING SUM(adRevenue) > 100 "
+      "ORDER BY rev DESC LIMIT 10");
+  EXPECT_EQ(s.select->group_by.size(), 1u);
+  ASSERT_NE(s.select->having, nullptr);
+  ASSERT_EQ(s.select->order_by.size(), 1u);
+  EXPECT_FALSE(s.select->order_by[0].ascending);
+  EXPECT_EQ(s.select->limit, 10);
+}
+
+TEST(ParserStmtTest, ExplicitJoin) {
+  Statement s = MustParse(
+      "SELECT * FROM lineitem l JOIN supplier s ON l.L_SUPPKEY = s.S_SUPPKEY");
+  ASSERT_EQ(s.select->joins.size(), 1u);
+  EXPECT_EQ(s.select->joins[0].table.alias, "s");
+  ASSERT_NE(s.select->joins[0].condition, nullptr);
+}
+
+TEST(ParserStmtTest, CommaJoinPavloStyle) {
+  Statement s = MustParse(
+      "SELECT INTO Temp sourceIP, AVG(pageRank), SUM(adRevenue) as "
+      "totalRevenue FROM rankings AS R, uservisits AS UV "
+      "WHERE R.pageURL = UV.destURL AND UV.visitDate BETWEEN "
+      "Date('2000-01-15') AND Date('2000-01-22') GROUP BY UV.sourceIP");
+  ASSERT_EQ(s.select->joins.size(), 1u);
+  EXPECT_EQ(s.select->joins[0].condition, nullptr);
+  EXPECT_EQ(s.select->joins[0].table.alias, "UV");
+  EXPECT_EQ(s.select->group_by.size(), 1u);
+}
+
+TEST(ParserStmtTest, SubqueryInFrom) {
+  Statement s = MustParse(
+      "SELECT cnt FROM (SELECT COUNT(*) AS cnt FROM t GROUP BY k) sub "
+      "WHERE cnt > 5");
+  EXPECT_NE(s.select->from.subquery, nullptr);
+  EXPECT_EQ(s.select->from.alias, "sub");
+}
+
+TEST(ParserStmtTest, CreateTableAsSelectWithProperties) {
+  Statement s = MustParse(
+      "CREATE TABLE latest_logs TBLPROPERTIES (\"shark.cache\"=true) "
+      "AS SELECT * FROM logs WHERE x > 3600");
+  ASSERT_EQ(s.kind, StatementKind::kCreateTable);
+  EXPECT_EQ(s.create_table->name, "latest_logs");
+  EXPECT_EQ(s.create_table->properties.at("shark.cache"), "true");
+  ASSERT_NE(s.create_table->select, nullptr);
+}
+
+TEST(ParserStmtTest, CreateTableDistributeByAndCopartition) {
+  Statement s = MustParse(
+      "CREATE TABLE o_mem TBLPROPERTIES (\"shark.cache\"=true, "
+      "\"copartition\"=\"l_mem\") AS SELECT * FROM orders DISTRIBUTE BY "
+      "O_ORDERKEY");
+  EXPECT_EQ(s.create_table->properties.at("copartition"), "l_mem");
+  EXPECT_EQ(s.create_table->select->distribute_by, "O_ORDERKEY");
+}
+
+TEST(ParserStmtTest, CreateTableExplicitSchema) {
+  Statement s = MustParse(
+      "CREATE TABLE t (id BIGINT, name STRING, score DOUBLE, d DATE, "
+      "flag BOOLEAN)");
+  ASSERT_EQ(s.create_table->columns.size(), 5u);
+  EXPECT_EQ(s.create_table->columns[0].type, TypeKind::kInt64);
+  EXPECT_EQ(s.create_table->columns[1].type, TypeKind::kString);
+  EXPECT_EQ(s.create_table->columns[2].type, TypeKind::kDouble);
+  EXPECT_EQ(s.create_table->columns[3].type, TypeKind::kDate);
+  EXPECT_EQ(s.create_table->columns[4].type, TypeKind::kBool);
+}
+
+TEST(ParserStmtTest, DropTable) {
+  Statement s = MustParse("DROP TABLE IF EXISTS foo");
+  ASSERT_EQ(s.kind, StatementKind::kDropTable);
+  EXPECT_TRUE(s.drop_table->if_exists);
+  EXPECT_EQ(s.drop_table->name, "foo");
+}
+
+TEST(ParserStmtTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t LIMIT abc").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t extra garbage !").ok());
+}
+
+TEST(ParserStmtTest, CommentsSkipped) {
+  Statement s = MustParse(
+      "SELECT * -- take everything\nFROM rankings -- the table\n");
+  EXPECT_EQ(s.select->from.name, "rankings");
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "relation/row.h"
+#include "relation/types.h"
+#include "relation/value.h"
+
+namespace shark {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).kind(), TypeKind::kBool);
+  EXPECT_EQ(Value::Int64(7).int64_v(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_v(), 2.5);
+  EXPECT_EQ(Value::String("x").str(), "x");
+  EXPECT_EQ(Value::Date(10).kind(), TypeKind::kDate);
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int64(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int64(3), Value::Double(3.5));
+  EXPECT_NE(Value::Int64(3), Value::String("3"));
+}
+
+TEST(ValueTest, HashConsistentWithCrossTypeEquality) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::String("a")), 0);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("a")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, DateParseFormatRoundTrip) {
+  auto d = Value::ParseDate("2000-01-15");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "2000-01-15");
+  auto d2 = Value::ParseDate("1970-01-01");
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->int64_v(), 0);
+  auto d3 = Value::ParseDate("2000-01-22");
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3->int64_v() - d->int64_v(), 7);
+}
+
+TEST(ValueTest, DateRejectsInvalid) {
+  EXPECT_FALSE(Value::ParseDate("2001-02-29").ok());
+  EXPECT_FALSE(Value::ParseDate("2000-13-01").ok());
+  EXPECT_FALSE(Value::ParseDate("hello").ok());
+  EXPECT_TRUE(Value::ParseDate("2000-02-29").ok());  // leap year
+}
+
+TEST(ValueTest, DateComparisons) {
+  auto a = *Value::ParseDate("2000-01-15");
+  auto b = *Value::ParseDate("2000-01-22");
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(SchemaTest, FieldIndexIsCaseInsensitive) {
+  Schema s({{"pageURL", TypeKind::kString}, {"pageRank", TypeKind::kInt64}});
+  EXPECT_EQ(s.FieldIndex("pagerank"), 1);
+  EXPECT_EQ(s.FieldIndex("PAGEURL"), 0);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"a", TypeKind::kInt64}).ok());
+  EXPECT_FALSE(s.AddField({"A", TypeKind::kString}).ok());
+}
+
+TEST(RowTest, EqualityAndHash) {
+  Row a({Value::Int64(1), Value::String("x")});
+  Row b({Value::Int64(1), Value::String("x")});
+  Row c({Value::Int64(2), Value::String("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(KeyHash(a), KeyHash(b));
+  EXPECT_NE(KeyHash(a), KeyHash(c));
+}
+
+TEST(RowTest, SerializedSizesDifferByFormat) {
+  Row r({Value::Int64(1234567), Value::String("hello"), Value::Double(1.5)});
+  uint64_t text = SerializedSizeOf(r, DfsFormat::kText);
+  uint64_t binary = SerializedSizeOf(r, DfsFormat::kBinary);
+  EXPECT_GT(text, 0u);
+  EXPECT_GT(binary, 0u);
+  // Binary is fixed-width for numerics; text charges digits + delimiters.
+  EXPECT_EQ(binary, 8u + (4u + 5u) + 8u);
+}
+
+TEST(RowTest, ToStringReadable) {
+  Row r({Value::Int64(1), Value::String("a")});
+  EXPECT_EQ(r.ToString(), "1|a");
+}
+
+}  // namespace
+}  // namespace shark

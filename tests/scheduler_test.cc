@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "rdd/context.h"
+#include "rdd/pair_rdd.h"
+#include "sim/cost_model.h"
+
+namespace shark {
+namespace {
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+TEST(CostModelTest, WorkTermsAdditive) {
+  CostModel model{HardwareModel()};
+  EngineProfile p = EngineProfile::Shark();
+  TaskWork w;
+  EXPECT_DOUBLE_EQ(model.WorkSeconds(w, p, 1.0), 0.0);
+  w.rows_processed = 10000000;  // 10M rows * 100ns = 1s
+  EXPECT_NEAR(model.WorkSeconds(w, p, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(model.WorkSeconds(w, p, 2.0), 2.0, 1e-9);  // scale doubles it
+}
+
+TEST(CostModelTest, HadoopCpuMultiplierApplies) {
+  CostModel model{HardwareModel()};
+  TaskWork w;
+  w.rows_processed = 10000000;
+  double shark = model.WorkSeconds(w, EngineProfile::Shark(), 1.0);
+  double hadoop = model.WorkSeconds(w, EngineProfile::Hadoop(), 1.0);
+  EXPECT_NEAR(hadoop, 2.0 * shark, 1e-9);
+}
+
+TEST(CostModelTest, DfsWritePaysReplication) {
+  CostModel model{HardwareModel()};
+  EngineProfile p = EngineProfile::Shark();
+  TaskWork w;
+  w.dfs_write_bytes = 100 * 1000 * 1000;
+  double with3 = model.WorkSeconds(w, p, 1.0);
+  p.dfs_replication = 1;
+  double with1 = model.WorkSeconds(w, p, 1.0);
+  EXPECT_GT(with3, with1);  // extra replicas go over the network
+}
+
+TEST(SchedulerTest, HeartbeatQuantizesStarts) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.hardware.cores_per_node = 2;
+  cfg.profile = EngineProfile::Shark();
+  cfg.profile.heartbeat_interval_sec = 3.0;
+  cfg.profile.task_launch_overhead_sec = 0.0;
+  cfg.tasks_per_heartbeat = 1;
+  ClusterContext ctx(cfg);
+  auto rdd = ctx.Parallelize(Iota(100), 8);
+  ASSERT_TRUE(ctx.Collect(rdd).ok());
+  // 8 tasks, 1 task per node per 3s tick, 2 nodes: last pair starts at the
+  // 4th tick (t=12 with the first at t=3... at least several ticks in).
+  EXPECT_GE(ctx.now(), 9.0);
+}
+
+TEST(SchedulerTest, LocalityKeepsCachedReadsLocal) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.hardware.cores_per_node = 2;
+  ClusterContext ctx(cfg);
+  std::vector<std::string> data;
+  for (int i = 0; i < 4000; ++i) data.push_back("payload-" + std::to_string(i));
+  auto rdd = ctx.Parallelize(data, 16);
+  rdd->Cache();
+  ASSERT_TRUE(ctx.Count(rdd).ok());  // populate cache
+  ASSERT_TRUE(ctx.Count(rdd).ok());  // read back
+  const TaskWork& w = ctx.scheduler().last_job().total_work;
+  // With locality-aware placement, cached partitions are read on their own
+  // node: memory reads dominate, network reads stay zero.
+  EXPECT_GT(w.mem_read_bytes, 0u);
+  EXPECT_EQ(w.net_read_bytes, 0u);
+}
+
+TEST(SchedulerTest, DfsWriteKeepsFirstReplicaLocal) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  ClusterContext ctx(cfg);
+  auto rdd = ctx.Parallelize(Iota(100), 4);
+  auto file = ctx.SaveToDfs(rdd, "out", DfsFormat::kBinary);
+  ASSERT_TRUE(file.ok());
+  const std::vector<int>& nodes = ctx.scheduler().last_job().result_nodes;
+  ASSERT_EQ(nodes.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*file)->blocks[i].replicas[0], nodes[i]);
+  }
+}
+
+TEST(SchedulerTest, MultiLevelLineageRecovery) {
+  // shuffle -> map -> shuffle chain; kill a node between materializations.
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e7;
+  ClusterContext ctx(cfg);
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 4000; ++i) data.emplace_back(i % 100, 1);
+  auto rdd = ctx.Parallelize(data, 8);
+  auto first = ReduceByKey(rdd, [](int64_t a, int64_t b) { return a + b; }, 6);
+  RddPtr<std::pair<int64_t, int64_t>> rekeyed =
+      first->Map([](const std::pair<int64_t, int64_t>& kv) {
+        return std::make_pair(kv.first % 10, kv.second);
+      });
+  auto second =
+      ReduceByKey(rekeyed, [](int64_t a, int64_t b) { return a + b; }, 4);
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kKill, 0.3, 2, 1.0});
+  auto result = ctx.Collect(second);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 10u);
+  int64_t total = 0;
+  for (const auto& [k, v] : *result) total += v;
+  EXPECT_EQ(total, 4000);
+}
+
+TEST(SchedulerTest, RecoveredNodeRejoins) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.hardware.cores_per_node = 2;
+  ClusterContext ctx(cfg);
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kKill, 0.0, 1, 1.0});
+  auto rdd = ctx.Parallelize(Iota(100), 6);
+  ASSERT_TRUE(ctx.Collect(rdd).ok());
+  EXPECT_EQ(ctx.cluster().AliveNodes(), 2);
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kRecover, ctx.now(), 1, 1.0});
+  auto rdd2 = ctx.Parallelize(Iota(100), 6);
+  ASSERT_TRUE(ctx.Collect(rdd2).ok());
+  EXPECT_EQ(ctx.cluster().AliveNodes(), 3);
+}
+
+TEST(SchedulerTest, ResetClockRestartsTime) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.hardware.cores_per_node = 1;
+  ClusterContext ctx(cfg);
+  auto rdd = ctx.Parallelize(Iota(100), 4);
+  ASSERT_TRUE(ctx.Collect(rdd).ok());
+  EXPECT_GT(ctx.now(), 0.0);
+  ctx.ResetClock();
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+}
+
+TEST(SchedulerTest, MapPruningLaunchesFewerTasks) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.hardware.cores_per_node = 2;
+  ClusterContext ctx(cfg);
+  auto rdd = ctx.Parallelize(Iota(1000), 10);
+  auto all = ctx.scheduler().RunJob(rdd);
+  ASSERT_TRUE(all.ok());
+  int all_tasks = ctx.scheduler().last_job().tasks_launched;
+  auto some = ctx.scheduler().RunJobOnPartitions(rdd, {0, 5});
+  ASSERT_TRUE(some.ok());
+  EXPECT_EQ(ctx.scheduler().last_job().tasks_launched, 2);
+  EXPECT_EQ(all_tasks, 10);
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,190 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "sim/dfs.h"
+
+namespace shark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, CoreAccounting) {
+  Cluster c(2, 2);
+  EXPECT_EQ(c.total_cores(), 4);
+  double when;
+  int node, core;
+  ASSERT_TRUE(c.EarliestFreeCore(0.0, &when, &node, &core));
+  EXPECT_DOUBLE_EQ(when, 0.0);
+  c.OccupyCore(node, core, 10.0);
+  ASSERT_TRUE(c.EarliestFreeCore(0.0, &when, &node, &core));
+  EXPECT_DOUBLE_EQ(when, 0.0);  // other cores still free
+  for (int n = 0; n < 2; ++n) {
+    for (int k = 0; k < 2; ++k) c.OccupyCore(n, k, 5.0 + n + k);
+  }
+  ASSERT_TRUE(c.EarliestFreeCore(0.0, &when, &node, &core));
+  EXPECT_DOUBLE_EQ(when, 5.0);
+  EXPECT_EQ(node, 0);
+}
+
+TEST(ClusterTest, FaultsApplyInTimeOrder) {
+  Cluster c(3, 1);
+  c.InjectFault({FaultEvent::Kind::kKill, 5.0, 1, 1.0});
+  c.InjectFault({FaultEvent::Kind::kKill, 2.0, 2, 1.0});
+  std::vector<int> killed = c.ApplyFaultsUpTo(3.0);
+  EXPECT_EQ(killed, std::vector<int>{2});
+  EXPECT_TRUE(c.alive(1));
+  killed = c.ApplyFaultsUpTo(10.0);
+  EXPECT_EQ(killed, std::vector<int>{1});
+  EXPECT_EQ(c.AliveNodes(), 1);
+}
+
+TEST(ClusterTest, SlowdownAndRecover) {
+  Cluster c(2, 1);
+  c.InjectFault({FaultEvent::Kind::kSlowdown, 1.0, 0, 4.0});
+  c.ApplyFaultsUpTo(2.0);
+  EXPECT_DOUBLE_EQ(c.slowdown(0), 4.0);
+  c.InjectFault({FaultEvent::Kind::kRecover, 3.0, 0, 1.0});
+  c.ApplyFaultsUpTo(4.0);
+  EXPECT_DOUBLE_EQ(c.slowdown(0), 1.0);
+}
+
+TEST(ClusterTest, KillingAllNodesLeavesNoFreeCore) {
+  Cluster c(2, 1);
+  c.InjectFault({FaultEvent::Kind::kKill, 0.0, 0, 1.0});
+  c.InjectFault({FaultEvent::Kind::kKill, 0.0, 1, 1.0});
+  c.ApplyFaultsUpTo(1.0);
+  double when;
+  int node, core;
+  EXPECT_FALSE(c.EarliestFreeCore(0.0, &when, &node, &core));
+}
+
+TEST(ClusterTest, ResetRestoresEverything) {
+  Cluster c(2, 2);
+  c.OccupyCore(0, 0, 99.0);
+  c.InjectFault({FaultEvent::Kind::kKill, 0.0, 1, 1.0});
+  c.ApplyFaultsUpTo(1.0);
+  c.Reset();
+  EXPECT_EQ(c.AliveNodes(), 2);
+  double when;
+  int node, core;
+  ASSERT_TRUE(c.EarliestFreeCore(0.0, &when, &node, &core));
+  EXPECT_DOUBLE_EQ(when, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DFS
+// ---------------------------------------------------------------------------
+
+DfsBlock MakeBlock(uint64_t bytes) {
+  DfsBlock b;
+  b.data = std::make_shared<const std::vector<int>>();
+  b.bytes = bytes;
+  b.rows = bytes / 10;
+  return b;
+}
+
+TEST(DfsTest, ReplicationAssignsDistinctNodes) {
+  Dfs dfs(10, 3);
+  std::vector<DfsBlock> blocks;
+  for (int i = 0; i < 20; ++i) blocks.push_back(MakeBlock(100));
+  ASSERT_TRUE(dfs.CreateFile("f", DfsFormat::kText, blocks).ok());
+  auto file = dfs.GetFile("f");
+  ASSERT_TRUE(file.ok());
+  for (const DfsBlock& b : (*file)->blocks) {
+    std::set<int> replicas(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(replicas.size(), 3u);
+    for (int r : replicas) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 10);
+    }
+  }
+  EXPECT_EQ((*file)->TotalBytes(), 2000u);
+  EXPECT_EQ((*file)->TotalRows(), 200u);
+}
+
+TEST(DfsTest, ReplicationClampedToClusterSize) {
+  Dfs dfs(2, 3);
+  ASSERT_TRUE(dfs.CreateFile("f", DfsFormat::kText, {MakeBlock(10)}).ok());
+  auto file = dfs.GetFile("f");
+  EXPECT_EQ((*file)->blocks[0].replicas.size(), 2u);
+}
+
+TEST(DfsTest, PresetPrimaryReplicaKept) {
+  Dfs dfs(5, 3);
+  DfsBlock b = MakeBlock(10);
+  b.replicas.push_back(4);
+  ASSERT_TRUE(dfs.CreateFile("f", DfsFormat::kText, {b}).ok());
+  auto file = dfs.GetFile("f");
+  EXPECT_EQ((*file)->blocks[0].replicas[0], 4);
+  EXPECT_EQ((*file)->blocks[0].replicas.size(), 3u);
+}
+
+TEST(DfsTest, NamesAreUniqueAndDeletable) {
+  Dfs dfs(3, 2);
+  ASSERT_TRUE(dfs.CreateFile("f", DfsFormat::kText, {MakeBlock(1)}).ok());
+  EXPECT_FALSE(dfs.CreateFile("f", DfsFormat::kText, {MakeBlock(1)}).ok());
+  EXPECT_TRUE(dfs.Exists("f"));
+  EXPECT_TRUE(dfs.DeleteFile("f").ok());
+  EXPECT_FALSE(dfs.Exists("f"));
+  EXPECT_FALSE(dfs.DeleteFile("f").ok());
+  EXPECT_FALSE(dfs.GetFile("f").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cost model details
+// ---------------------------------------------------------------------------
+
+TEST(CostModelDetailTest, DiskAndNetworkAreFairShared) {
+  HardwareModel hw;
+  CostModel model(hw);
+  EngineProfile p = EngineProfile::Shark();
+  TaskWork w;
+  w.disk_read_bytes = static_cast<uint64_t>(hw.disk_bw_bytes_per_sec);
+  // One node-second of disk traffic takes cores_per_node task-seconds under
+  // fair sharing.
+  EXPECT_NEAR(model.WorkSeconds(w, p, 1.0), hw.cores_per_node, 1e-9);
+}
+
+TEST(CostModelDetailTest, TextSlowerThanBinarySlowerThanMemory) {
+  HardwareModel hw;
+  CostModel model(hw);
+  EngineProfile p = EngineProfile::Shark();
+  TaskWork text, binary, mem;
+  text.text_deser_bytes = 1 << 30;
+  binary.binary_deser_bytes = 1 << 30;
+  mem.mem_read_bytes = 1 << 30;
+  double t = model.WorkSeconds(text, p, 1.0);
+  double b = model.WorkSeconds(binary, p, 1.0);
+  double m = model.WorkSeconds(mem, p, 1.0);
+  EXPECT_GT(t, b);
+  EXPECT_GT(b, m);
+  EXPECT_GT(t / m, 9.0);  // §3.2: memory ~10x the deserialization path
+}
+
+TEST(CostModelDetailTest, SortIsSuperlinear) {
+  CostModel model{HardwareModel()};
+  EngineProfile p = EngineProfile::Shark();
+  TaskWork small, large;
+  small.sort_records = 1 << 20;
+  large.sort_records = 1 << 24;
+  // 16x records -> more than 16x time (n log n).
+  EXPECT_GT(model.WorkSeconds(large, p, 1.0),
+            16.0 * model.WorkSeconds(small, p, 1.0));
+}
+
+TEST(CostModelDetailTest, FlopsCharge) {
+  HardwareModel hw;
+  CostModel model(hw);
+  TaskWork w;
+  w.flops = 1000000000;
+  EXPECT_NEAR(model.WorkSeconds(w, EngineProfile::Shark(), 1.0),
+              1e9 * hw.flop_sec, 1e-9);
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,170 @@
+// Tests for the extended SQL surface: outer joins, UNION ALL, and the wider
+// builtin function set.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+class SqlExtendedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.hardware.cores_per_node = 2;
+    session_ = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(cfg));
+
+    Schema users({{"uid", TypeKind::kInt64}, {"name", TypeKind::kString}});
+    std::vector<Row> urows;
+    for (int i = 0; i < 10; ++i) {
+      urows.push_back(
+          Row({Value::Int64(i), Value::String("user" + std::to_string(i))}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("users", users, urows, 2).ok());
+
+    // Orders only for users 0..4; user 3 has two orders.
+    Schema orders({{"uid", TypeKind::kInt64}, {"amount", TypeKind::kDouble}});
+    std::vector<Row> orows;
+    for (int i = 0; i < 5; ++i) {
+      orows.push_back(Row({Value::Int64(i), Value::Double(i * 10.0)}));
+    }
+    orows.push_back(Row({Value::Int64(3), Value::Double(99.0)}));
+    ASSERT_TRUE(session_->CreateDfsTable("orders", orders, orows, 2).ok());
+  }
+
+  QueryResult MustQuery(const std::string& sql) {
+    auto r = session_->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(SqlExtendedTest, LeftOuterJoinNullExtends) {
+  QueryResult r = MustQuery(
+      "SELECT u.uid, o.amount FROM users u LEFT OUTER JOIN orders o "
+      "ON u.uid = o.uid");
+  // 6 matched rows (user 3 twice) + 5 unmatched users (5..9).
+  EXPECT_EQ(r.rows.size(), 11u);
+  int nulls = 0;
+  for (const Row& row : r.rows) {
+    if (row.Get(1).is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 5);
+}
+
+TEST_F(SqlExtendedTest, LeftJoinWithoutOuterKeyword) {
+  QueryResult r = MustQuery(
+      "SELECT COUNT(*) FROM users u LEFT JOIN orders o ON u.uid = o.uid");
+  EXPECT_EQ(r.rows[0].Get(0), Value::Int64(11));
+}
+
+TEST_F(SqlExtendedTest, RightOuterJoin) {
+  QueryResult r = MustQuery(
+      "SELECT u.name, o.amount FROM orders o RIGHT OUTER JOIN users u "
+      "ON o.uid = u.uid");
+  EXPECT_EQ(r.rows.size(), 11u);
+  // Output arity: name, amount — name side always present.
+  for (const Row& row : r.rows) {
+    EXPECT_FALSE(row.Get(0).is_null());
+  }
+}
+
+TEST_F(SqlExtendedTest, OuterJoinAggregatesOverNulls) {
+  QueryResult r = MustQuery(
+      "SELECT u.uid, COUNT(o.amount) FROM users u LEFT JOIN orders o "
+      "ON u.uid = o.uid GROUP BY u.uid");
+  ASSERT_EQ(r.rows.size(), 10u);
+  std::map<int64_t, int64_t> counts;
+  for (const Row& row : r.rows) {
+    counts[row.Get(0).int64_v()] = row.Get(1).int64_v();
+  }
+  EXPECT_EQ(counts[3], 2);  // two orders
+  EXPECT_EQ(counts[7], 0);  // COUNT of NULL amounts = 0
+}
+
+TEST_F(SqlExtendedTest, OuterJoinPredicateOnNullSideNotPushed) {
+  // WHERE o.amount IS NULL finds exactly the unmatched users — this breaks
+  // if the optimizer pushes the predicate below the join.
+  QueryResult r = MustQuery(
+      "SELECT u.uid FROM users u LEFT JOIN orders o ON u.uid = o.uid "
+      "WHERE o.amount IS NULL");
+  EXPECT_EQ(r.rows.size(), 5u);
+  for (const Row& row : r.rows) {
+    EXPECT_GE(row.Get(0).int64_v(), 5);
+  }
+}
+
+TEST_F(SqlExtendedTest, UnionAll) {
+  QueryResult r = MustQuery(
+      "SELECT uid FROM users WHERE uid < 2 UNION ALL "
+      "SELECT uid FROM orders WHERE amount > 15.0");
+  // users: 0,1; orders: uid 2,3,4 (20,30,40) + uid 3 (99) = 4 rows.
+  EXPECT_EQ(r.rows.size(), 6u);
+}
+
+TEST_F(SqlExtendedTest, UnionAllKeepsDuplicates) {
+  QueryResult r = MustQuery(
+      "SELECT uid FROM users UNION ALL SELECT uid FROM users");
+  EXPECT_EQ(r.rows.size(), 20u);
+}
+
+TEST_F(SqlExtendedTest, UnionAllArityMismatchRejected) {
+  auto r = session_->Sql(
+      "SELECT uid FROM users UNION ALL SELECT uid, name FROM users");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlExtendedTest, UnionAllWithAggregateOnTop) {
+  QueryResult r = MustQuery(
+      "SELECT COUNT(*) FROM (SELECT uid FROM users UNION ALL "
+      "SELECT uid FROM orders) t");
+  EXPECT_EQ(r.rows[0].Get(0), Value::Int64(16));
+}
+
+TEST_F(SqlExtendedTest, NewBuiltins) {
+  QueryResult r = MustQuery(
+      "SELECT COALESCE(NULL, 5), IF(TRUE, 'a', 'b'), FLOOR(2.7), CEIL(2.1), "
+      "SQRT(16.0), POW(2, 10), TRIM('  x  '), MONTH(DATE '2000-03-15'), "
+      "DAY(DATE '2000-03-15') FROM users LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  const Row& row = r.rows[0];
+  EXPECT_EQ(row.Get(0), Value::Int64(5));
+  EXPECT_EQ(row.Get(1), Value::String("a"));
+  EXPECT_EQ(row.Get(2), Value::Int64(2));
+  EXPECT_EQ(row.Get(3), Value::Int64(3));
+  EXPECT_DOUBLE_EQ(row.Get(4).double_v(), 4.0);
+  EXPECT_DOUBLE_EQ(row.Get(5).double_v(), 1024.0);
+  EXPECT_EQ(row.Get(6), Value::String("x"));
+  EXPECT_EQ(row.Get(7), Value::Int64(3));
+  EXPECT_EQ(row.Get(8), Value::Int64(15));
+}
+
+TEST_F(SqlExtendedTest, CoalesceWithOuterJoin) {
+  QueryResult r = MustQuery(
+      "SELECT SUM(COALESCE(o.amount, 0.0)) FROM users u LEFT JOIN orders o "
+      "ON u.uid = o.uid");
+  // 0+10+20+30+40+99 = 199.
+  EXPECT_DOUBLE_EQ(r.rows[0].Get(0).double_v(), 199.0);
+}
+
+TEST_F(SqlExtendedTest, OuterJoinStrategiesConsistent) {
+  const std::string q =
+      "SELECT COUNT(*) FROM users u LEFT JOIN orders o ON u.uid = o.uid";
+  for (auto mode : {JoinOptimization::kStatic, JoinOptimization::kAdaptive,
+                    JoinOptimization::kStaticAdaptive}) {
+    session_->options().join_opt = mode;
+    QueryResult r = MustQuery(q);
+    EXPECT_EQ(r.rows[0].Get(0), Value::Int64(11));
+    EXPECT_EQ(r.metrics.join_strategy, "shuffle join (outer)");
+  }
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,187 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/mldata.h"
+#include "workloads/pavlo.h"
+#include "workloads/tpch.h"
+#include "workloads/warehouse.h"
+
+namespace shark {
+namespace {
+
+std::unique_ptr<SharkSession> SmallSession() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  return std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+}
+
+TEST(PavloWorkloadTest, TablesAndQueriesWork) {
+  auto session = SmallSession();
+  PavloConfig cfg;
+  cfg.rankings_rows = 1000;
+  cfg.uservisits_rows = 3000;
+  cfg.rankings_blocks = 4;
+  cfg.uservisits_blocks = 8;
+  cfg.distinct_ips = 2000;  // fine aggregate must out-group the 1K prefixes
+  ASSERT_TRUE(GeneratePavloTables(session.get(), cfg).ok());
+
+  auto count = session->Sql("SELECT COUNT(*) FROM uservisits");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0].Get(0), Value::Int64(3000));
+
+  auto sel = session->Sql(PavloSelectionQuery(5000));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_LT(sel->rows.size(), 1000u);  // selective
+
+  auto coarse = session->Sql(PavloAggregationCoarseQuery());
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LE(coarse->rows.size(), 1000u);  // ~1K prefixes by construction
+  EXPECT_GT(coarse->rows.size(), 100u);
+
+  auto fine = session->Sql(PavloAggregationFineQuery());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(fine->rows.size(), coarse->rows.size());
+
+  auto join = session->Sql(PavloJoinQuery());
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_GT(join->rows.size(), 0u);
+}
+
+TEST(PavloWorkloadTest, VirtualScaleMapsToPaperSize) {
+  PavloConfig cfg;
+  cfg.uservisits_rows = 2000000;
+  EXPECT_NEAR(cfg.VirtualScale(), 7750.0, 1.0);
+}
+
+TEST(TpchWorkloadTest, CardinalitiesMatchPaperShape) {
+  auto session = SmallSession();
+  TpchConfig cfg;
+  cfg.lineitem_rows = 10000;
+  cfg.supplier_rows = 500;
+  cfg.orders_rows = 2000;
+  cfg.lineitem_blocks = 8;
+  cfg.supplier_blocks = 2;
+  cfg.orders_blocks = 4;
+  ASSERT_TRUE(GenerateTpchTables(session.get(), cfg).ok());
+
+  auto modes = session->Sql("SELECT COUNT(DISTINCT L_SHIPMODE) FROM lineitem");
+  ASSERT_TRUE(modes.ok());
+  EXPECT_EQ(modes->rows[0].Get(0), Value::Int64(7));
+
+  auto dates =
+      session->Sql("SELECT COUNT(DISTINCT L_RECEIPTDATE) FROM lineitem");
+  ASSERT_TRUE(dates.ok());
+  // ~2500 distinct receipt days at full scale; bounded by rows/4 here.
+  EXPECT_GT(dates->rows[0].Get(0).int64_v(), 1000);
+
+  auto orders = session->Sql("SELECT COUNT(DISTINCT L_ORDERKEY) FROM lineitem");
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(orders->rows[0].Get(0), Value::Int64(2500));  // rows/4
+
+  for (const std::string& col :
+       {std::string(""), std::string("L_SHIPMODE"), std::string("L_RECEIPTDATE"),
+        std::string("L_ORDERKEY")}) {
+    auto r = session->Sql(TpchAggregationQuery(col));
+    EXPECT_TRUE(r.ok()) << col << ": " << r.status().ToString();
+  }
+}
+
+TEST(TpchWorkloadTest, UdfJoinQueryRuns) {
+  auto session = SmallSession();
+  TpchConfig cfg;
+  cfg.lineitem_rows = 4000;
+  cfg.supplier_rows = 200;
+  cfg.orders_rows = 1000;
+  cfg.lineitem_blocks = 8;
+  cfg.supplier_blocks = 2;
+  cfg.orders_blocks = 2;
+  ASSERT_TRUE(GenerateTpchTables(session.get(), cfg).ok());
+  // The selective UDF of §6.3.2 (here: address hash selects ~1/10).
+  ASSERT_TRUE(session->udfs()
+                  .Register("SOME_UDF",
+                            {[](const std::vector<Value>& args) {
+                               return Value::Bool(args[0].Hash() % 10 == 0);
+                             },
+                             TypeKind::kBool, 6.0})
+                  .ok());
+  auto r = session->Sql(TpchUdfJoinQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int64_t matched = r->rows[0].Get(0).int64_v();
+  EXPECT_GT(matched, 0);
+  EXPECT_LT(matched, 4000);
+}
+
+TEST(WarehouseWorkloadTest, ClusteringEnablesMapPruning) {
+  auto session = SmallSession();
+  WarehouseConfig cfg;
+  cfg.rows = 20000;
+  cfg.blocks = 64;
+  ASSERT_TRUE(GenerateWarehouseTable(session.get(), cfg).ok());
+  ASSERT_TRUE(session->CacheTable("sessions").ok());
+
+  auto q1 = session->Sql(WarehouseQ1(3, "2012-06-05"));
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  // The day predicate falls in a narrow slice of each datacenter's
+  // chronological data: most partitions prune.
+  EXPECT_GT(q1->metrics.partitions_pruned, q1->metrics.partitions_scanned);
+
+  for (const std::string& q : {WarehouseQ2(), WarehouseQ3(), WarehouseQ4()}) {
+    auto r = session->Sql(q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+  }
+
+  auto q4 = session->Sql(WarehouseQ4());
+  ASSERT_TRUE(q4.ok());
+  EXPECT_EQ(q4->rows.size(), 10u);
+  // Top-k by views descending.
+  for (size_t i = 1; i < q4->rows.size(); ++i) {
+    EXPECT_GE(q4->rows[i - 1].Get(1).int64_v(), q4->rows[i].Get(1).int64_v());
+  }
+}
+
+TEST(WarehouseWorkloadTest, CountryFilterPrunesByDatacenter) {
+  auto session = SmallSession();
+  WarehouseConfig cfg;
+  cfg.rows = 16000;
+  cfg.blocks = 32;
+  ASSERT_TRUE(GenerateWarehouseTable(session.get(), cfg).ok());
+  ASSERT_TRUE(session->CacheTable("sessions").ok());
+  // country5 lives in exactly one datacenter's slice of the table.
+  auto r = session->Sql(
+      "SELECT COUNT(*) FROM sessions WHERE country = 'country5'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows[0].Get(0).int64_v(), 0);
+  EXPECT_GT(r->metrics.partitions_pruned, 0);
+}
+
+TEST(MlDataWorkloadTest, TableShape) {
+  auto session = SmallSession();
+  MlDataConfig cfg;
+  cfg.rows = 1000;
+  cfg.dimensions = 6;
+  cfg.blocks = 4;
+  ASSERT_TRUE(GenerateMlTable(session.get(), cfg).ok());
+  auto r = session->Sql("SELECT label, COUNT(*) FROM ml_points GROUP BY label");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  auto cols = MlFeatureColumns(6);
+  EXPECT_EQ(cols.size(), 6u);
+  EXPECT_EQ(cols[5], "f5");
+  auto mean = session->Sql("SELECT label, AVG(f0) FROM ml_points GROUP BY label");
+  ASSERT_TRUE(mean.ok());
+  // Cluster means separate by label sign.
+  double pos = 0, neg = 0;
+  for (const Row& row : mean->rows) {
+    if (row.Get(0).int64_v() > 0) {
+      pos = row.Get(1).double_v();
+    } else {
+      neg = row.Get(1).double_v();
+    }
+  }
+  EXPECT_GT(pos, neg);
+}
+
+}  // namespace
+}  // namespace shark
