@@ -1,6 +1,7 @@
 #ifndef SHARK_BENCH_BENCH_COMMON_H_
 #define SHARK_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -41,6 +42,21 @@ inline QueryResult MustRun(SharkSession* session, const std::string& sql) {
   return std::move(*result);
 }
 
+/// Host wall-clock stopwatch — measures how long the bench process actually
+/// took, as opposed to the simulator's virtual seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Paper methodology (§6.1): run six times, discard the first (JIT warmup),
 /// average the rest. Our virtual times are deterministic, but warm runs
 /// matter (shuffle reuse is intentionally avoided by rebuilding the query;
@@ -49,13 +65,27 @@ inline double TimedRun(SharkSession* session, const std::string& sql) {
   return MustRun(session, sql).metrics.virtual_seconds;
 }
 
+/// Virtual seconds plus host wall-clock milliseconds of one query.
+struct TimedResult {
+  double virtual_seconds = 0.0;
+  double host_ms = 0.0;
+};
+
+inline TimedResult TimedRunWall(SharkSession* session, const std::string& sql) {
+  WallTimer timer;
+  QueryResult result = MustRun(session, sql);
+  return {result.metrics.virtual_seconds, timer.ElapsedMs()};
+}
+
 struct BarRow {
   std::string label;
   double seconds;
   std::string note;
+  double host_ms = -1.0;  // < 0: not measured / not shown
 };
 
-/// Prints a Figure-style horizontal bar chart with a seconds column.
+/// Prints a Figure-style horizontal bar chart with a virtual-seconds column,
+/// plus the host wall-clock per row when measured.
 inline void PrintBars(const std::string& title, const std::vector<BarRow>& rows,
                       const std::string& paper_note = "") {
   std::printf("\n== %s ==\n", title.c_str());
@@ -65,9 +95,27 @@ inline void PrintBars(const std::string& title, const std::vector<BarRow>& rows,
   for (const auto& r : rows) {
     int width = static_cast<int>(50.0 * r.seconds / max_s + 0.5);
     std::string bar(static_cast<size_t>(width), '#');
-    std::printf("  %-28s %9.2fs |%-50s| %s\n", r.label.c_str(), r.seconds,
-                bar.c_str(), r.note.c_str());
+    if (r.host_ms >= 0.0) {
+      std::printf("  %-28s %9.2fs |%-50s| host %8.1fms %s\n", r.label.c_str(),
+                  r.seconds, bar.c_str(), r.host_ms, r.note.c_str());
+    } else {
+      std::printf("  %-28s %9.2fs |%-50s| %s\n", r.label.c_str(), r.seconds,
+                  bar.c_str(), r.note.c_str());
+    }
   }
+}
+
+/// Machine-readable perf-trajectory line, one JSON object per measurement:
+///   BENCH_parallel.json {"bench":...,"label":...,"host_threads":N,
+///                        "host_ms":...,"virtual_seconds":...}
+/// host_threads is the *configured* value (0 = all hardware threads).
+inline void EmitParallelJson(const std::string& bench, const std::string& label,
+                             int host_threads, double host_ms,
+                             double virtual_seconds) {
+  std::printf(
+      "BENCH_parallel.json {\"bench\":\"%s\",\"label\":\"%s\","
+      "\"host_threads\":%d,\"host_ms\":%.3f,\"virtual_seconds\":%.6f}\n",
+      bench.c_str(), label.c_str(), host_threads, host_ms, virtual_seconds);
 }
 
 inline void PrintHeader(const std::string& name, const std::string& claim) {

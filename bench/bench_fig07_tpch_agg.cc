@@ -64,6 +64,51 @@ void RunScale(const ScalePoint& scale) {
   }
 }
 
+/// Runs the 100GB cached aggregation sweep under a fixed host-thread count
+/// and reports the host wall-clock of the query loop plus every query's
+/// virtual seconds (which must not depend on host_threads).
+double RunAggsWithHostThreads(int host_threads, std::vector<double>* virt) {
+  TpchConfig data;
+  double vscale = data.VirtualScaleFor(600e6);
+  auto session = MakeSharkSession(vscale);
+  session->context().set_host_threads(host_threads);
+  if (!GenerateTpchTables(session.get(), data).ok()) std::exit(1);
+  if (!session->CacheTable("lineitem").ok()) std::exit(1);
+  const std::string columns[] = {"", "L_SHIPMODE", "L_RECEIPTDATE",
+                                 "L_ORDERKEY"};
+  WallTimer timer;
+  for (const std::string& col : columns) {
+    virt->push_back(TimedRun(session.get(), TpchAggregationQuery(col)));
+  }
+  return timer.ElapsedMs();
+}
+
+/// Host-parallel execution: same virtual results, less wall-clock. Compares
+/// the serial reference path (host_threads=1) against the work-stealing pool
+/// (host_threads=0, one worker per hardware thread).
+void RunHostParallel() {
+  std::printf("\n---- host-parallel task execution (100GB cached aggs) ----\n");
+  std::vector<double> virt_serial, virt_pool;
+  double ms_serial = RunAggsWithHostThreads(1, &virt_serial);
+  double ms_pool = RunAggsWithHostThreads(0, &virt_pool);
+  double vsum_serial = 0, vsum_pool = 0;
+  for (double v : virt_serial) vsum_serial += v;
+  for (double v : virt_pool) vsum_pool += v;
+  bool identical = virt_serial == virt_pool;
+  EmitParallelJson("fig07_tpch_agg", "agg4_cached_100GB", 1, ms_serial,
+                   vsum_serial);
+  EmitParallelJson("fig07_tpch_agg", "agg4_cached_100GB", 0, ms_pool,
+                   vsum_pool);
+  std::printf("  host_threads=1: %8.1fms host, %.4fs virtual\n", ms_serial,
+              vsum_serial);
+  std::printf("  host_threads=0: %8.1fms host, %.4fs virtual\n", ms_pool,
+              vsum_pool);
+  std::printf("  host speedup: %.2fx; virtual times %s\n",
+              Ratio(ms_serial, ms_pool),
+              identical ? "bit-for-bit identical" : "DIVERGED (BUG)");
+  if (!identical) std::exit(1);
+}
+
 }  // namespace
 
 int main() {
@@ -72,5 +117,6 @@ int main() {
               "heuristic can be far worse than hand tuning");
   RunScale({"100GB", 600e6});
   RunScale({"1TB", 6e9});
+  RunHostParallel();
   return 0;
 }

@@ -32,6 +32,53 @@ Result<RddPtr<LabeledPoint>> PointsOf(SharkSession* session,
   return points;
 }
 
+/// Trains the cached-Shark model under a fixed host-thread count, returning
+/// the host wall-clock of training and the model (weights and per-iteration
+/// virtual seconds must not depend on host_threads).
+double TrainWithHostThreads(int host_threads, const MlDataConfig& data,
+                            const LogisticRegression::Options& opts,
+                            LogisticRegression::Model* model) {
+  auto session = MakeSharkSession(data.VirtualScale());
+  session->context().set_host_threads(host_threads);
+  if (!GenerateMlTable(session.get(), data).ok()) std::exit(1);
+  auto points = PointsOf(session.get(), "ml_points", data.dimensions,
+                         /*cache=*/true);
+  if (!points.ok()) std::exit(1);
+  WallTimer timer;
+  auto trained = LogisticRegression::Train(&session->context(), *points,
+                                           data.dimensions, opts);
+  if (!trained.ok()) std::exit(1);
+  *model = std::move(*trained);
+  return timer.ElapsedMs();
+}
+
+/// Host-parallel execution: serial reference path (host_threads=1) vs the
+/// work-stealing pool (host_threads=0). Weights and virtual iteration times
+/// must match bit-for-bit; only host wall-clock may differ.
+void RunHostParallel(const MlDataConfig& data,
+                     const LogisticRegression::Options& opts) {
+  std::printf("\n---- host-parallel task execution (cached logreg) ----\n");
+  LogisticRegression::Model serial, pooled;
+  double ms_serial = TrainWithHostThreads(1, data, opts, &serial);
+  double ms_pool = TrainWithHostThreads(0, data, opts, &pooled);
+  double vsum_serial = 0, vsum_pool = 0;
+  for (double v : serial.iteration_seconds) vsum_serial += v;
+  for (double v : pooled.iteration_seconds) vsum_pool += v;
+  bool identical = serial.weights == pooled.weights &&
+                   serial.iteration_seconds == pooled.iteration_seconds;
+  EmitParallelJson("fig11_logreg", "train10_cached", 1, ms_serial,
+                   vsum_serial);
+  EmitParallelJson("fig11_logreg", "train10_cached", 0, ms_pool, vsum_pool);
+  std::printf("  host_threads=1: %8.1fms host, %.4fs virtual\n", ms_serial,
+              vsum_serial);
+  std::printf("  host_threads=0: %8.1fms host, %.4fs virtual\n", ms_pool,
+              vsum_pool);
+  std::printf("  host speedup: %.2fx; weights & virtual times %s\n",
+              Ratio(ms_serial, ms_pool),
+              identical ? "bit-for-bit identical" : "DIVERGED (BUG)");
+  if (!identical) std::exit(1);
+}
+
 }  // namespace
 
 int main() {
@@ -98,5 +145,6 @@ int main() {
               "speedups: %.0fx vs text, %.0fx vs binary (paper ~100x)\n",
               shark_model->iteration_seconds[0], Ratio(text_iter, shark_iter),
               Ratio(bin_iter, shark_iter));
+  RunHostParallel(data, opts);
   return 0;
 }

@@ -1,0 +1,216 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shark {
+
+ThreadPool::ThreadPool(int num_workers) {
+  SHARK_CHECK(num_workers >= 1);
+  queues_.resize(static_cast<size_t>(num_workers));
+  run_counts_.assign(static_cast<size_t>(num_workers) + 1, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::vector<uint64_t> ThreadPool::RunCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_counts_;
+}
+
+uint64_t ThreadPool::Steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+ThreadPool::Job* ThreadPool::ClaimJobLocked(int worker) {
+  // Own deque first, oldest job first. Entries whose job already left the
+  // pending state were claimed directly by a waiting thread; discard them.
+  auto pop_pending = [](std::deque<Job*>* q, bool from_front) -> Job* {
+    while (!q->empty()) {
+      Job* j;
+      if (from_front) {
+        j = q->front();
+        q->pop_front();
+      } else {
+        j = q->back();
+        q->pop_back();
+      }
+      if (j->batch->states_[j->index] == TaskBatch::JobState::kPending) {
+        return j;
+      }
+    }
+    return nullptr;
+  };
+
+  Job* job = nullptr;
+  if (worker >= 0) {
+    job = pop_pending(&queues_[static_cast<size_t>(worker)], true);
+  }
+  if (job == nullptr) {
+    // Steal from the back of the most loaded peer.
+    size_t victim = queues_.size();
+    size_t victim_size = 0;
+    for (size_t q = 0; q < queues_.size(); ++q) {
+      if (static_cast<int>(q) == worker) continue;
+      if (queues_[q].size() > victim_size) {
+        victim_size = queues_[q].size();
+        victim = q;
+      }
+    }
+    // The longest queue may hold only stale entries; fall through the rest.
+    for (size_t step = 0; job == nullptr && step < queues_.size(); ++step) {
+      size_t q = (victim + step) % queues_.size();
+      if (static_cast<int>(q) == worker) continue;
+      job = pop_pending(&queues_[q], false);
+    }
+  }
+  if (job != nullptr) {
+    job->batch->states_[job->index] = TaskBatch::JobState::kRunning;
+  }
+  return job;
+}
+
+void ThreadPool::RunClaimedJob(Job* job, std::unique_lock<std::mutex>* lock,
+                               int worker) {
+  TaskBatch* batch = job->batch;
+  const size_t index = job->index;
+  lock->unlock();
+  std::exception_ptr error;
+  try {
+    job->fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock->lock();
+  batch->states_[index] = TaskBatch::JobState::kDone;
+  batch->errors_[index] = error;
+  size_t slot = worker < 0 ? queues_.size() : static_cast<size_t>(worker);
+  run_counts_[slot] += 1;
+  if (worker < 0 || worker != job->home_queue) steals_ += 1;
+  batch->done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    Job* job = ClaimJobLocked(worker);
+    if (job != nullptr) {
+      RunClaimedJob(job, &lock, worker);
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+size_t TaskBatch::Submit(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    size_t index = jobs_.size();
+    jobs_.push_back(ThreadPool::Job{std::move(fn), this, index, 0});
+    states_.push_back(JobState::kPending);
+    errors_.emplace_back();
+    return index;
+  }
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  size_t index = jobs_.size();
+  int queue = static_cast<int>(pool_->next_queue_ % pool_->queues_.size());
+  pool_->next_queue_ += 1;
+  jobs_.push_back(ThreadPool::Job{std::move(fn), this, index, queue});
+  states_.push_back(JobState::kPending);
+  errors_.emplace_back();
+  pool_->queues_[static_cast<size_t>(queue)].push_back(&jobs_.back());
+  pool_->work_cv_.notify_one();
+  return index;
+}
+
+bool TaskBatch::Wait(size_t index) {
+  SHARK_CHECK(index < jobs_.size());
+  if (pool_ == nullptr) {
+    if (states_[index] == JobState::kPending) {
+      states_[index] = JobState::kRunning;
+      try {
+        jobs_[index].fn();
+        errors_[index] = nullptr;
+      } catch (...) {
+        errors_[index] = std::current_exception();
+      }
+      states_[index] = JobState::kDone;
+    }
+    if (errors_[index]) std::rethrow_exception(errors_[index]);
+    return states_[index] == JobState::kDone;
+  }
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  while (true) {
+    JobState s = states_[index];
+    if (s == JobState::kDone) {
+      if (errors_[index]) {
+        std::exception_ptr error = errors_[index];
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
+      return true;
+    }
+    if (s == JobState::kCancelled) return false;
+    if (s == JobState::kPending) {
+      // Claim the target directly; its (now stale) queue entry is skipped
+      // when a worker eventually pops it.
+      states_[index] = JobState::kRunning;
+      pool_->RunClaimedJob(&jobs_[index], &lock, -1);
+      continue;
+    }
+    // Target is running on another thread: help with other pending work.
+    ThreadPool::Job* other = pool_->ClaimJobLocked(-1);
+    if (other != nullptr) {
+      pool_->RunClaimedJob(other, &lock, -1);
+      continue;
+    }
+    done_cv_.wait(lock);
+  }
+}
+
+bool TaskBatch::AnyRunningLocked() const {
+  for (JobState s : states_) {
+    if (s == JobState::kRunning) return true;
+  }
+  return false;
+}
+
+void TaskBatch::CancelAndDrain() {
+  if (pool_ == nullptr) {
+    for (JobState& s : states_) {
+      if (s == JobState::kPending) s = JobState::kCancelled;
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  for (auto& queue : pool_->queues_) {
+    std::erase_if(queue,
+                  [this](ThreadPool::Job* j) { return j->batch == this; });
+  }
+  for (JobState& s : states_) {
+    if (s == JobState::kPending) s = JobState::kCancelled;
+  }
+  done_cv_.wait(lock, [this] { return !AnyRunningLocked(); });
+}
+
+bool TaskBatch::Ran(size_t index) const {
+  SHARK_CHECK(index < jobs_.size());
+  if (pool_ == nullptr) return states_[index] == JobState::kDone;
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  return states_[index] == JobState::kDone;
+}
+
+}  // namespace shark

@@ -1,0 +1,121 @@
+#ifndef SHARK_COMMON_THREAD_POOL_H_
+#define SHARK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shark {
+
+class TaskBatch;
+
+/// A work-stealing pool of host worker threads. Jobs are submitted through a
+/// TaskBatch and round-robined across per-worker deques; an idle worker first
+/// drains its own deque (oldest first), then steals the oldest job from the
+/// most loaded peer. A thread blocked in TaskBatch::Wait helps by claiming its
+/// target job (or any other pending job) itself, so the waiting thread is a
+/// full-fledged extra worker rather than a spectator.
+///
+/// All coordination happens under one mutex: job bodies run outside the lock,
+/// and the per-job state machine (pending -> running -> done/cancelled) is
+/// only ever read or written with the lock held. That keeps the pool clean
+/// under ThreadSanitizer by construction — there are no atomics whose
+/// orderings need separate justification.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (>= 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Jobs executed per worker; the extra trailing slot counts jobs run by
+  /// threads helping from TaskBatch::Wait (introspection for tests).
+  std::vector<uint64_t> RunCounts() const;
+
+  /// Jobs executed by a thread other than the worker whose deque they were
+  /// queued on (includes helper-thread claims).
+  uint64_t Steals() const;
+
+ private:
+  friend class TaskBatch;
+
+  struct Job {
+    std::function<void()> fn;
+    TaskBatch* batch;
+    size_t index;    // index within the batch
+    int home_queue;  // deque the job was submitted to
+  };
+
+  void WorkerLoop(int worker);
+  /// Pops the next runnable job for `worker` (-1 = helping external thread).
+  /// Marks it running. Caller must hold mu_. Returns nullptr if none pending.
+  Job* ClaimJobLocked(int worker);
+  /// Runs a claimed job outside the lock, then records completion under it.
+  void RunClaimedJob(Job* job, std::unique_lock<std::mutex>* lock, int worker);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;       // workers wait for work/shutdown
+  bool shutdown_ = false;
+  std::vector<std::deque<Job*>> queues_;  // per worker; Jobs owned by batches
+  size_t next_queue_ = 0;                 // round-robin submission cursor
+  std::vector<uint64_t> run_counts_;      // per worker + 1 helper slot
+  uint64_t steals_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+/// One stage's worth of jobs on a ThreadPool. With a null pool the batch
+/// degrades to lazy inline execution inside Wait — the serial reference path
+/// uses exactly the same call sequence as the parallel one.
+///
+/// The destructor cancels whatever has not started and drains running jobs,
+/// so aborting a stage mid-flight can never leave a worker writing into
+/// freed caller state. Job bodies must not call back into their own batch.
+class TaskBatch {
+ public:
+  explicit TaskBatch(ThreadPool* pool) : pool_(pool) {}
+  ~TaskBatch() { CancelAndDrain(); }
+
+  TaskBatch(const TaskBatch&) = delete;
+  TaskBatch& operator=(const TaskBatch&) = delete;
+
+  /// Enqueues fn; returns the job's index within this batch.
+  size_t Submit(std::function<void()> fn);
+
+  /// Blocks until job `index` finished, running pending jobs (its target
+  /// first) while it waits. Rethrows the job's exception, if any, on the
+  /// calling thread. Returns false if the job was cancelled before running.
+  bool Wait(size_t index);
+
+  /// Cancels jobs that have not started and waits out the running ones.
+  void CancelAndDrain();
+
+  /// Whether the job ran to completion (false while pending/running, or if
+  /// cancelled).
+  bool Ran(size_t index) const;
+
+ private:
+  friend class ThreadPool;
+
+  enum class JobState : uint8_t { kPending, kRunning, kDone, kCancelled };
+
+  bool AnyRunningLocked() const;
+
+  ThreadPool* pool_;
+  std::deque<ThreadPool::Job> jobs_;  // deque: stable element addresses
+  std::vector<JobState> states_;
+  std::vector<std::exception_ptr> errors_;
+  std::condition_variable done_cv_;  // completion signals for Wait/drain
+};
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_THREAD_POOL_H_

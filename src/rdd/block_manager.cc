@@ -20,6 +20,15 @@ const CachedBlock* BlockManager::Get(int rdd_id, int partition) {
   return &e.block;
 }
 
+const CachedBlock* BlockManager::Peek(int rdd_id, int partition) const {
+  auto it = blocks_.find(BlockKey{rdd_id, partition});
+  return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+void BlockManager::Touch(int rdd_id, int partition) {
+  Get(rdd_id, partition);
+}
+
 int BlockManager::Location(int rdd_id, int partition) const {
   auto it = blocks_.find(BlockKey{rdd_id, partition});
   return it == blocks_.end() ? -1 : it->second.block.node;

@@ -43,6 +43,19 @@ class BlockManager {
   /// Looks up a block; touches LRU. Returns nullptr if absent.
   const CachedBlock* Get(int rdd_id, int partition);
 
+  /// Side-effect-free lookup (no LRU touch). Safe to call from concurrent
+  /// host threads while no thread mutates the manager — task bodies read the
+  /// stage-start snapshot through this and log their accesses; the scheduler
+  /// replays committed logs (Touch/Put) on the main thread.
+  const CachedBlock* Peek(int rdd_id, int partition) const;
+
+  /// Replays the LRU effect of a Get (no-op if the block is absent, e.g.
+  /// evicted or dropped between the logged access and the replay).
+  void Touch(int rdd_id, int partition);
+
+  /// Whether a block of `bytes` can ever fit on a node.
+  bool Fits(uint64_t bytes) const { return bytes <= capacity_per_node_; }
+
   /// Location lookup without LRU side effects (used by the scheduler for
   /// locality-aware placement). Returns -1 if absent.
   int Location(int rdd_id, int partition) const;

@@ -28,6 +28,20 @@ class BroadcastRegistry {
 
   const Entry& entry(int id) const { return entries_[static_cast<size_t>(id)]; }
 
+  /// Read-only access to the value — safe from concurrent task bodies (the
+  /// data pointer is immutable after Register; the per-node paid-set is only
+  /// mutated by the scheduler via ChargeFetch/DropNode on the main thread).
+  const BlockData& data(int id) const {
+    return entries_[static_cast<size_t>(id)].data;
+  }
+
+  /// Charges the one-time per-node transfer at task-launch time: returns the
+  /// network bytes this launch must pay (0 if the node already holds it).
+  uint64_t ChargeFetch(int id, int node) {
+    Entry& e = entries_[static_cast<size_t>(id)];
+    return e.nodes_with.insert(node).second ? e.bytes : 0;
+  }
+
   /// Fetches the value on `node`; sets *fetch_bytes to the network bytes this
   /// access must pay (0 if already resident).
   BlockData Fetch(int id, int node, uint64_t* fetch_bytes) {

@@ -1,8 +1,10 @@
 #include "rdd/context.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace shark {
 
@@ -43,24 +45,11 @@ std::vector<int> RddBase::PreferredNodes(int p) const {
 
 BlockData RddBase::GetOrComputeErased(int p, TaskContext* tctx) const {
   if (cached_) {
-    BlockManager& bm = ctx_->block_manager();
-    if (const CachedBlock* cb = bm.Get(id_, p)) {
-      if (!free_cache_reads_) {
-        if (cb->node == tctx->node()) {
-          tctx->work().mem_read_bytes += cb->bytes;
-        } else {
-          tctx->work().net_read_bytes += cb->bytes;
-        }
-      } else if (cb->node != tctx->node()) {
-        tctx->work().net_read_bytes += cb->bytes;  // remote reads always pay
-      }
-      return cb->data;
-    }
+    if (BlockData hit = tctx->CacheGet(id_, p, free_cache_reads_)) return hit;
   }
   BlockData block = ComputeErased(p, tctx);
   if (cached_ && !tctx->HasMissingInput() && tctx->profile().memory_store) {
-    uint64_t bytes = BlockBytes(block);
-    ctx_->block_manager().Put(id_, p, block, bytes, tctx->node());
+    tctx->CachePut(id_, p, block, BlockBytes(block));
   }
   return block;
 }
@@ -118,6 +107,31 @@ ClusterContext::~ClusterContext() = default;
 void ClusterContext::ResetClock() {
   cluster_->Reset();
   now_ = 0.0;
+}
+
+int ClusterContext::effective_host_threads() const {
+  int threads = config_.host_threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, threads);
+}
+
+ThreadPool* ClusterContext::thread_pool() {
+  int effective = effective_host_threads();
+  // The scheduler's main thread helps while it waits, so it counts as one of
+  // the configured host threads.
+  int workers = effective - 1;
+  if (workers < 1) return nullptr;
+  if (thread_pool_ == nullptr || thread_pool_->num_workers() != workers) {
+    thread_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return thread_pool_.get();
+}
+
+void ClusterContext::set_host_threads(int host_threads) {
+  config_.host_threads = host_threads;
 }
 
 }  // namespace shark

@@ -18,6 +18,8 @@
 
 namespace shark {
 
+class ThreadPool;
+
 /// Serialized on-DFS size customization point (text vs binary SerDe). The
 /// default assumes the in-memory footprint; Row provides an overload.
 template <typename T>
@@ -38,6 +40,13 @@ struct ClusterConfig {
   double virtual_data_scale = 1.0;
 
   uint64_t seed = 42;
+
+  /// Host threads that compute task bodies (real scans, joins, gradients).
+  /// 0 = one per hardware thread; 1 = fully serial (the reference oracle).
+  /// Virtual-time results are bit-for-bit identical for every setting — the
+  /// discrete-event scheduler stays single-threaded and only the pure task
+  /// bodies are computed ahead on workers (see DESIGN.md §8).
+  int host_threads = 0;
 
   /// Straggler mitigation: launch backup copies of slow tasks (§2.3).
   bool speculation = true;
@@ -79,6 +88,15 @@ class ClusterContext {
   DagScheduler& scheduler() { return *scheduler_; }
   const CostModel& cost_model() const { return *cost_model_; }
   double virtual_scale() const { return config_.virtual_data_scale; }
+
+  /// The worker pool task bodies are computed on, created lazily; nullptr
+  /// when execution is effectively serial (host_threads resolves to 1).
+  ThreadPool* thread_pool();
+  /// Overrides config().host_threads (0 = hardware concurrency, 1 = serial);
+  /// takes effect on the next job.
+  void set_host_threads(int host_threads);
+  /// host_threads with 0 resolved to the hardware concurrency.
+  int effective_host_threads() const;
 
   /// Virtual clock.
   double now() const { return now_; }
@@ -201,6 +219,7 @@ class ClusterContext {
   std::unique_ptr<BlockManager> block_manager_;
   std::unique_ptr<ShuffleManager> shuffle_manager_;
   std::unique_ptr<DagScheduler> scheduler_;
+  std::unique_ptr<ThreadPool> thread_pool_;
   BroadcastRegistry broadcasts_;
   double now_ = 0.0;
   int next_rdd_id_ = 0;

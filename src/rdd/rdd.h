@@ -332,13 +332,9 @@ class DfsRdd final : public TypedRdd<T> {
   std::shared_ptr<const typename TypedRdd<T>::Block> ComputeShared(
       int p, TaskContext* tctx) const override {
     const DfsBlock& block = file_->blocks[static_cast<size_t>(p)];
-    bool local = false;
-    for (int r : block.replicas) {
-      if (r == tctx->node()) local = true;
-    }
     tctx->work().disk_read_bytes += block.bytes;
     tctx->work().disk_seeks += 1;
-    if (!local) tctx->work().net_read_bytes += block.bytes;
+    tctx->ChargeNetUnlessLocal(block.replicas, block.bytes);
     if (file_->format == DfsFormat::kText) {
       tctx->work().text_deser_bytes += block.bytes;
     } else {

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <exception>
 #include <limits>
 #include <numeric>
 #include <set>
+#include <string>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "rdd/context.h"
 
 namespace shark {
@@ -202,6 +206,7 @@ Status DagScheduler::ExecuteTaskSet(
   const ClusterConfig& cfg = ctx_->config();
   const EngineProfile& profile = ctx_->profile();
   const double hb = profile.heartbeat_interval_sec;
+  const uint64_t stage_seq = next_stage_seq_++;
 
   struct Inflight {
     int task;
@@ -224,6 +229,115 @@ Status DagScheduler::ExecuteTaskSet(
   const double stage_start = ctx_->now();
   double stage_end = stage_start;
 
+  // ---- Host-parallel task computation -------------------------------------
+  //
+  // Task bodies are pure functions of (partition, shared state frozen at
+  // stage start, per-task rng seed), so they can be computed on worker
+  // threads ahead of virtual-time placement. The event loop below stays
+  // single-threaded and consumes precomputed outcomes at launch, resolving
+  // everything placement-dependent there; simulated timings are therefore
+  // bit-for-bit identical regardless of host interleaving (or host_threads).
+  //
+  // The frozen-state epoch advances whenever shared state mutates mid-set
+  // (node death, lineage recovery, cache-log flush). Outcomes computed under
+  // an older epoch are discarded and recomputed inline at launch — the same
+  // lazy path the serial (host_threads=1) reference oracle always takes.
+  struct TaskSlot {
+    TaskOutcome outcome;
+    std::exception_ptr error;
+    long epoch = -1;  // epoch the outcome reflects; -1 = not yet computed
+    size_t batch_index = 0;
+    bool submitted = false;
+  };
+  std::vector<TaskSlot> slots(n);
+  long epoch = 0;
+  // Cache accesses of committed tasks, in commit order, awaiting replay.
+  std::vector<CacheOp> replay_log;
+
+  auto compute_slot = [&](int task, long at_epoch) {
+    TaskSlot& slot = slots[static_cast<size_t>(task)];
+    slot.error = nullptr;
+    try {
+      TaskContext tctx(partitions[static_cast<size_t>(task)], &profile,
+                       &ctx_->block_manager(), &ctx_->shuffle_manager(),
+                       &ctx_->broadcasts(), ctx_->virtual_scale(),
+                       HashCombine(HashCombine(HashInt64(static_cast<int64_t>(
+                                                   cfg.seed)),
+                                               HashInt64(static_cast<int64_t>(
+                                                   stage_seq))),
+                                   HashInt64(task)));
+      TaskOutcome o = body(task, &tctx);
+      o.work = tctx.work();
+      o.missing_inputs.assign(tctx.missing_inputs().begin(),
+                              tctx.missing_inputs().end());
+      o.charges = tctx.TakeDeferredCharges();
+      o.broadcast_fetches = tctx.TakeBroadcastFetches();
+      o.cache_log = tctx.TakeCacheLog();
+      slot.outcome = std::move(o);
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+    slot.epoch = at_epoch;
+  };
+
+  // Declared after `slots`/`compute_slot`: the batch destructor drains
+  // workers before anything they write into goes away.
+  ThreadPool* pool = ctx_->thread_pool();
+  TaskBatch batch(pool);
+  if (pool != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      int task = static_cast<int>(i);
+      slots[i].batch_index =
+          batch.Submit([&compute_slot, task] { compute_slot(task, 0); });
+      slots[i].submitted = true;
+    }
+  }
+
+  // Applies committed tasks' cache accesses to the shared BlockManager, in
+  // commit order. Must run before any mutation of the cache (node death) and
+  // only while no worker is reading it (after a batch drain / at set end).
+  auto flush_replay = [&]() {
+    BlockManager& bm = ctx_->block_manager();
+    for (CacheOp& op : replay_log) {
+      if (op.is_put) {
+        bm.Put(op.rdd_id, op.partition, std::move(op.data), op.bytes, op.node);
+      } else {
+        bm.Touch(op.rdd_id, op.partition);
+      }
+    }
+    replay_log.clear();
+  };
+
+  // Shared state is about to change: stop the presses. Cancels/awaits any
+  // outstanding precomputation, applies pending cache effects, and advances
+  // the epoch so remaining precomputed outcomes are recomputed at launch.
+  auto bump_epoch = [&]() {
+    batch.CancelAndDrain();
+    flush_replay();
+    epoch += 1;
+  };
+
+  // Produces `task`'s outcome: the precomputed one if still current, else
+  // computed inline right now (serial mode, or stale after an epoch bump).
+  // Copies out so a speculative duplicate can consume it again.
+  auto obtain = [&](int task, TaskOutcome* out) -> Status {
+    TaskSlot& slot = slots[static_cast<size_t>(task)];
+    if (slot.submitted) batch.Wait(slot.batch_index);
+    if (slot.epoch != epoch) compute_slot(task, epoch);
+    if (slot.error != nullptr) {
+      try {
+        std::rethrow_exception(slot.error);
+      } catch (const std::exception& e) {
+        return Status::ExecutionError(std::string("task body threw: ") +
+                                      e.what());
+      } catch (...) {
+        return Status::ExecutionError("task body threw");
+      }
+    }
+    *out = slot.outcome;
+    return Status::OK();
+  };
+
   // Launches `task` on (node, core) available at `avail`; appends Inflight.
   auto launch = [&](int task, int node, int core, double avail,
                     bool speculative) -> Status {
@@ -236,13 +350,15 @@ Status DagScheduler::ExecuteTaskSet(
       heartbeat_slots_[{node, tick}] += 1;
       start_exec = static_cast<double>(tick) * hb;
     }
-    TaskContext tctx(node, partitions[static_cast<size_t>(task)], &profile,
-                     &ctx_->block_manager(), &ctx_->shuffle_manager(),
-                     &ctx_->broadcasts(), ctx_->virtual_scale());
-    TaskOutcome outcome = body(task, &tctx);
-    outcome.work = tctx.work();
-    outcome.missing_inputs.assign(tctx.missing_inputs().begin(),
-                                  tctx.missing_inputs().end());
+    TaskOutcome outcome;
+    SHARK_RETURN_NOT_OK(obtain(task, &outcome));
+    // Placement-dependent costs resolve now that the node is known: the
+    // body's conditional reads, and the one-time per-node broadcast fetches
+    // (consulted and updated in deterministic launch order).
+    ResolveDeferredCharges(outcome.charges, node, &outcome.work);
+    for (int id : outcome.broadcast_fetches) {
+      outcome.work.net_read_bytes += ctx_->broadcasts().ChargeFetch(id, node);
+    }
     metrics->total_work.Add(outcome.work);
 
     double work_sec = ctx_->cost_model().WorkSeconds(outcome.work, profile,
@@ -259,6 +375,9 @@ Status DagScheduler::ExecuteTaskSet(
   };
 
   auto process_deaths = [&](const std::vector<int>& killed) {
+    // Committed cache effects must land before the dead node's blocks are
+    // dropped (and workers must stop reading the soon-to-mutate state).
+    bump_epoch();
     for (int node : killed) {
       HandleNodeDeath(node);
       // Abort in-flight tasks on the dead node.
@@ -412,11 +531,22 @@ Status DagScheduler::ExecuteTaskSet(
       if (retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
         return Status::ExecutionError("task exceeded retry limit (recovery)");
       }
+      // The recovery sub-stage mutates shuffle state and the cache; quiesce
+      // precomputation and apply pending cache effects first.
+      bump_epoch();
       SHARK_RETURN_NOT_OK(RecoverMissing(done.outcome.missing_inputs, metrics));
+      epoch += 1;  // recovery refreshed shared state
       state[static_cast<size_t>(done.task)] = TaskState::kPending;
       pending.push_back(done.task);
       continue;
     }
+    // The winning launch's cache accesses take effect (at the next flush) in
+    // commit order, attributed to the node the task actually ran on.
+    for (CacheOp& op : done.outcome.cache_log) {
+      op.node = done.node;
+      replay_log.push_back(std::move(op));
+    }
+    done.outcome.cache_log.clear();
     commit(done.task, std::move(done.outcome), done.node);
     state[static_cast<size_t>(done.task)] = TaskState::kCommitted;
     committed += 1;
@@ -424,6 +554,8 @@ Status DagScheduler::ExecuteTaskSet(
     committed_durations.push_back(done.finish - done.start);
   }
 
+  batch.CancelAndDrain();
+  flush_replay();
   ctx_->AdvanceTo(stage_end);
   return Status::OK();
 }

@@ -61,11 +61,21 @@ class DagScheduler {
   const JobMetrics& last_job() const { return last_job_; }
 
  private:
+  /// A task body's result. Bodies are pure functions of (partition, shared
+  /// state frozen at stage start), so outcomes can be computed ahead of
+  /// placement on any host thread; everything that depends on the eventual
+  /// (node, launch order) — conditional read costs, the per-node broadcast
+  /// paid-set, and cache mutations — is carried alongside and resolved by
+  /// the scheduler at launch/commit time. Copyable: a speculative duplicate
+  /// launch reuses the same outcome under different placement.
   struct TaskOutcome {
     BlockData block;                  // result-stage payload
     MapOutput map_output;             // map-stage payload
-    TaskWork work;
+    TaskWork work;                    // node-independent work counters
     std::vector<std::pair<int, int>> missing_inputs;
+    std::vector<DeferredCharge> charges;   // resolved per launch
+    std::vector<int> broadcast_fetches;    // charged per launch, per node
+    std::vector<CacheOp> cache_log;        // replayed if the task commits
   };
 
   using TaskBody = std::function<TaskOutcome(int partition, TaskContext*)>;
@@ -105,6 +115,9 @@ class DagScheduler {
   std::map<int, std::weak_ptr<ShuffleDependency>> shuffle_registry_;
   // (node, heartbeat tick) -> tasks already started in that tick.
   std::map<std::pair<int, long>, int> heartbeat_slots_;
+  // Monotonic task-set counter; seeds each task's private rng so results do
+  // not depend on host-thread interleaving.
+  uint64_t next_stage_seq_ = 0;
 };
 
 }  // namespace shark

@@ -2,9 +2,12 @@
 #define SHARK_RDD_TASK_CONTEXT_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "rdd/block_manager.h"
 #include "rdd/broadcast.h"
 #include "rdd/shuffle.h"
@@ -12,10 +15,76 @@
 
 namespace shark {
 
+/// A cost charge whose amount depends on which node the task eventually runs
+/// on. Task bodies are *pure*: they may execute on any host thread before the
+/// scheduler has picked a node, so location-dependent reads are recorded as
+/// conditional charges and resolved by the scheduler at launch time, when the
+/// (node, core) placement is known.
+struct DeferredCharge {
+  enum class Kind : uint8_t {
+    kMemOrNet,       // memory read if run on `home`, else network read
+    kNetIfRemote,    // network read only if not run on `home`
+    kNetIfNoReplica  // network read only if no replica is local
+  };
+  Kind kind = Kind::kMemOrNet;
+  uint64_t bytes = 0;
+  int home = -1;              // kMemOrNet / kNetIfRemote
+  std::vector<int> replicas;  // kNetIfNoReplica
+};
+
+/// Applies the launch-node-dependent part of a task's cost to `work`.
+inline void ResolveDeferredCharges(const std::vector<DeferredCharge>& charges,
+                                   int node, TaskWork* work) {
+  for (const DeferredCharge& c : charges) {
+    switch (c.kind) {
+      case DeferredCharge::Kind::kMemOrNet:
+        if (c.home == node) {
+          work->mem_read_bytes += c.bytes;
+        } else {
+          work->net_read_bytes += c.bytes;
+        }
+        break;
+      case DeferredCharge::Kind::kNetIfRemote:
+        if (c.home != node) work->net_read_bytes += c.bytes;
+        break;
+      case DeferredCharge::Kind::kNetIfNoReplica: {
+        bool local = false;
+        for (int r : c.replicas) {
+          if (r == node) local = true;
+        }
+        if (!local) work->net_read_bytes += c.bytes;
+        break;
+      }
+    }
+  }
+}
+
+/// One logged block-cache access. Task bodies never mutate the shared
+/// BlockManager (other host threads are concurrently reading it); they log
+/// their accesses, and the scheduler replays the logs of *committed* tasks in
+/// commit order — so the cache evolves exactly as if the committed tasks had
+/// run one after another.
+struct CacheOp {
+  bool is_put = false;
+  int rdd_id = 0;
+  int partition = 0;
+  BlockData data;      // put only
+  uint64_t bytes = 0;  // put only
+  int node = -1;       // filled in by the scheduler at commit time
+};
+
 /// Execution context handed to a task. Carries the work counters the cost
 /// model converts into virtual time, and gives compute functions access to
 /// the cache, shuffle outputs and broadcasts with their access costs charged
 /// automatically.
+///
+/// Purity contract (host-parallel execution): a task body may run on any host
+/// thread, at any wall-clock moment between stage start and its virtual-time
+/// launch. It must therefore be a pure function of (partition, the shared
+/// state frozen at stage start, its private rng()). The context enforces this
+/// by construction: shared structures are only read (BlockManager::Peek,
+/// broadcast data), own writes go to a task-local overlay plus a log, and
+/// location-dependent costs become DeferredCharges resolved at launch.
 ///
 /// Error model: reduce-side fetches of shuffle outputs lost to node failures
 /// do not abort the task; they record the missing (shuffle, map partition)
@@ -25,26 +94,34 @@ namespace shark {
 /// FetchFailed handling without using exceptions.
 class TaskContext {
  public:
-  TaskContext(int node, int partition, const EngineProfile* profile,
-              BlockManager* block_manager, ShuffleManager* shuffle_manager,
-              BroadcastRegistry* broadcasts, double virtual_scale = 1.0)
-      : node_(node),
-        partition_(partition),
+  TaskContext(int partition, const EngineProfile* profile,
+              const BlockManager* block_manager,
+              const ShuffleManager* shuffle_manager,
+              const BroadcastRegistry* broadcasts, double virtual_scale = 1.0,
+              uint64_t rng_seed = 0)
+      : partition_(partition),
         profile_(profile),
         block_manager_(block_manager),
         shuffle_manager_(shuffle_manager),
         broadcasts_(broadcasts),
-        virtual_scale_(virtual_scale) {}
+        virtual_scale_(virtual_scale),
+        rng_seed_(rng_seed) {}
 
-  int node() const { return node_; }
   /// The context-wide virtual data multiplier (see ClusterConfig); shuffle
   /// boundaries use it with the distinct-growth estimator to avoid scaling
   /// cardinality-bounded outputs linearly.
   double virtual_scale() const { return virtual_scale_; }
   int partition() const { return partition_; }
   const EngineProfile& profile() const { return *profile_; }
-  BlockManager* block_manager() { return block_manager_; }
-  ShuffleManager* shuffle_manager() { return shuffle_manager_; }
+
+  /// Deterministic per-task generator, seeded by the scheduler from
+  /// (config seed, stage sequence number, task index). Task bodies needing
+  /// randomness must use this — never a shared generator — so results do not
+  /// depend on which host thread ran the body first.
+  Random& rng() {
+    if (!rng_) rng_.emplace(rng_seed_);
+    return *rng_;
+  }
 
   TaskWork& work() { return work_; }
   const TaskWork& work() const { return work_; }
@@ -54,10 +131,50 @@ class TaskContext {
     return missing_inputs_;
   }
 
+  // -- Block cache (read-only view + task-local overlay) --------------------
+
+  /// Looks up a cached partition: this task's own puts first, then the
+  /// stage-start snapshot of the shared cache. Charges the read (memory if
+  /// the task lands on the caching node, network otherwise; with
+  /// `free_reads`, local reads are free because the consumer charges its own
+  /// finer-grained cost). Returns nullptr if absent.
+  BlockData CacheGet(int rdd_id, int partition, bool free_reads) {
+    auto it = overlay_.find({rdd_id, partition});
+    if (it != overlay_.end()) {
+      // Own put: the block will live on this task's node, so the re-read is
+      // local by definition.
+      if (!free_reads) work_.mem_read_bytes += it->second.second;
+      cache_log_.push_back(CacheOp{false, rdd_id, partition, nullptr, 0, -1});
+      return it->second.first;
+    }
+    const CachedBlock* cb = block_manager_->Peek(rdd_id, partition);
+    if (cb == nullptr) return nullptr;
+    DeferredCharge charge;
+    charge.kind = free_reads ? DeferredCharge::Kind::kNetIfRemote
+                             : DeferredCharge::Kind::kMemOrNet;
+    charge.bytes = cb->bytes;
+    charge.home = cb->node;
+    deferred_charges_.push_back(std::move(charge));
+    cache_log_.push_back(CacheOp{false, rdd_id, partition, nullptr, 0, -1});
+    return cb->data;
+  }
+
+  /// Records a block for caching. Visible to this task immediately; becomes
+  /// visible to others only if the task commits (the scheduler replays the
+  /// log). Oversized blocks are dropped, matching BlockManager::Put.
+  void CachePut(int rdd_id, int partition, BlockData data, uint64_t bytes) {
+    if (!block_manager_->Fits(bytes)) return;
+    overlay_[{rdd_id, partition}] = {data, bytes};
+    cache_log_.push_back(
+        CacheOp{true, rdd_id, partition, std::move(data), bytes, -1});
+  }
+
+  // -- Shuffle fetch --------------------------------------------------------
+
   /// Fetches the given fine-grained buckets of every map output of a
   /// shuffle, charging transfer costs (memory/disk/network according to the
-  /// engine profile and output locality). Missing map outputs are recorded
-  /// in missing_inputs().
+  /// engine profile and output locality; locality-dependent parts are
+  /// deferred). Missing map outputs are recorded in missing_inputs().
   std::vector<BlockData> FetchShuffleBuckets(int shuffle_id,
                                              const std::vector<int>& buckets,
                                              double* effective_records = nullptr) {
@@ -90,36 +207,60 @@ class TaskContext {
         // per map output consulted), then ships it if remote.
         work_.disk_read_bytes += bytes;
         work_.disk_seeks += 1;
-        if (mo->node != node_) work_.net_read_bytes += bytes;
+        deferred_charges_.push_back(DeferredCharge{
+            DeferredCharge::Kind::kNetIfRemote, bytes, mo->node, {}});
       } else {
-        if (mo->node == node_) {
-          work_.mem_read_bytes += bytes;
-        } else {
-          work_.net_read_bytes += bytes;
-        }
+        deferred_charges_.push_back(DeferredCharge{
+            DeferredCharge::Kind::kMemOrNet, bytes, mo->node, {}});
       }
     }
     return out;
   }
 
-  /// Fetches a broadcast value, charging the one-time per-node transfer.
+  // -- Broadcasts -----------------------------------------------------------
+
+  /// Fetches a broadcast value. The one-time per-node transfer cannot be
+  /// charged here (the node is unknown and the paid-set is shared state);
+  /// the fetch is recorded and the scheduler charges it at launch.
   BlockData FetchBroadcast(int id) {
-    uint64_t fetch_bytes = 0;
-    BlockData data = broadcasts_->Fetch(id, node_, &fetch_bytes);
-    work_.net_read_bytes += fetch_bytes;
-    return data;
+    broadcast_fetches_.push_back(id);
+    return broadcasts_->data(id);
   }
 
+  // -- DFS locality ---------------------------------------------------------
+
+  /// Charges `bytes` as a network read unless the task lands on one of
+  /// `replicas` (resolved at launch).
+  void ChargeNetUnlessLocal(const std::vector<int>& replicas, uint64_t bytes) {
+    deferred_charges_.push_back(DeferredCharge{
+        DeferredCharge::Kind::kNetIfNoReplica, bytes, -1, replicas});
+  }
+
+  // -- Scheduler take-out ---------------------------------------------------
+
+  std::vector<DeferredCharge> TakeDeferredCharges() {
+    return std::move(deferred_charges_);
+  }
+  std::vector<int> TakeBroadcastFetches() {
+    return std::move(broadcast_fetches_);
+  }
+  std::vector<CacheOp> TakeCacheLog() { return std::move(cache_log_); }
+
  private:
-  int node_;
   int partition_;
   const EngineProfile* profile_;
-  BlockManager* block_manager_;
-  ShuffleManager* shuffle_manager_;
-  BroadcastRegistry* broadcasts_;
+  const BlockManager* block_manager_;
+  const ShuffleManager* shuffle_manager_;
+  const BroadcastRegistry* broadcasts_;
   double virtual_scale_;
+  uint64_t rng_seed_;
+  std::optional<Random> rng_;
   TaskWork work_;
   std::vector<std::pair<int, int>> missing_inputs_;
+  std::vector<DeferredCharge> deferred_charges_;
+  std::vector<int> broadcast_fetches_;
+  std::vector<CacheOp> cache_log_;
+  std::map<BlockKey, std::pair<BlockData, uint64_t>> overlay_;
 };
 
 }  // namespace shark

@@ -894,6 +894,7 @@ Result<RddPtr<Row>> Executor::BuildLimit(const LogicalPlan& node) {
 
 Result<QueryResult> Executor::Execute(const PlanPtr& plan) {
   metrics_ = QueryMetrics();
+  if (options_.host_threads >= 0) ctx_->set_host_threads(options_.host_threads);
   double start = ctx_->now();
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rdd, BuildRdd(plan));
   SHARK_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectTracked(rdd));

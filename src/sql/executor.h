@@ -49,6 +49,11 @@ struct ExecOptions {
   uint64_t reducer_target_bytes = 32ULL * 1024 * 1024;
   /// Broadcast (map join) threshold on the built table's virtual bytes.
   uint64_t broadcast_threshold_bytes = 1ULL << 30;
+
+  /// Host threads computing task bodies: -1 = inherit the context's setting,
+  /// 0 = one per hardware thread, 1 = serial reference path. Only host
+  /// wall-clock changes — virtual-time results are identical either way.
+  int host_threads = -1;
 };
 
 /// Per-query metrics surfaced to benches and tests.

@@ -1,0 +1,230 @@
+// Host-parallelism determinism regression: every virtual-time observable —
+// result rows, QueryMetrics (virtual seconds, task/stage counts, chosen
+// reducer counts), ML weights, fault-recovery outcomes — must be bit-for-bit
+// identical whether task bodies run on the serial reference path
+// (host_threads=1) or on a heavily oversubscribed work-stealing pool
+// (host_threads=8). Host threading may only change wall-clock.
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/logistic_regression.h"
+#include "rdd/pair_rdd.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+struct Dataset {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+Dataset MakeSales(int n, uint64_t seed) {
+  Random rng(seed);
+  Dataset d;
+  d.schema = Schema({{"region", TypeKind::kString},
+                     {"product", TypeKind::kString},
+                     {"units", TypeKind::kInt64},
+                     {"price", TypeKind::kDouble}});
+  const char* regions[] = {"north", "south", "east", "west"};
+  const char* products[] = {"anchor", "bolt", "clamp", "drill", "easel"};
+  for (int i = 0; i < n; ++i) {
+    d.rows.push_back(Row(
+        {Value::String(regions[rng.Uniform(4)]),
+         Value::String(products[rng.Uniform(5)]),
+         Value::Int64(rng.UniformInt(1, 40)),
+         Value::Double(static_cast<double>(rng.UniformInt(100, 9999)) /
+                       100.0)}));
+  }
+  return d;
+}
+
+struct QueryTrace {
+  std::multiset<std::string> rows;
+  double virtual_seconds = 0.0;
+  int jobs = 0;
+  int stages = 0;
+  int tasks = 0;
+  int chosen_reducers = 0;
+};
+
+bool operator==(const QueryTrace& a, const QueryTrace& b) {
+  return a.rows == b.rows && a.virtual_seconds == b.virtual_seconds &&
+         a.jobs == b.jobs && a.stages == b.stages && a.tasks == b.tasks &&
+         a.chosen_reducers == b.chosen_reducers;
+}
+
+/// Runs the query suite (disk, then cached) under one host-thread setting
+/// and records everything virtual-time-visible.
+std::vector<QueryTrace> RunSqlSuite(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.hardware.cores_per_node = 2;
+  cfg.host_threads = host_threads;
+  auto session =
+      std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+  Dataset data = MakeSales(3000, 77);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+
+  const std::string queries[] = {
+      "SELECT region, units FROM sales WHERE units > 35",
+      "SELECT region, product, COUNT(*), SUM(units), MIN(price), MAX(price) "
+      "FROM sales GROUP BY region, product",
+      "SELECT product, COUNT(DISTINCT region) FROM sales GROUP BY product",
+      "SELECT s.region, COUNT(*) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region WHERE s.units = m.mu GROUP BY s.region",
+      "SELECT * FROM sales WHERE price > 90.0 ORDER BY price DESC LIMIT 13",
+  };
+
+  std::vector<QueryTrace> traces;
+  auto run = [&](const std::string& sql) {
+    auto r = session->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    QueryTrace t;
+    if (r.ok()) {
+      for (const Row& row : r->rows) t.rows.insert(row.ToString());
+      t.virtual_seconds = r->metrics.virtual_seconds;
+      t.jobs = r->metrics.jobs;
+      t.stages = r->metrics.stages;
+      t.tasks = r->metrics.tasks;
+      t.chosen_reducers = r->metrics.chosen_reducers;
+    }
+    traces.push_back(std::move(t));
+  };
+  for (const auto& q : queries) run(q);
+  EXPECT_TRUE(session->CacheTable("sales").ok());
+  for (const auto& q : queries) run(q);
+  return traces;
+}
+
+TEST(DeterminismTest, SqlSuiteIdenticalAcrossHostThreadCounts) {
+  std::vector<QueryTrace> serial = RunSqlSuite(1);
+  std::vector<QueryTrace> parallel = RunSqlSuite(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i])
+        << "query " << i << " diverged: virtual " << serial[i].virtual_seconds
+        << " vs " << parallel[i].virtual_seconds << ", tasks "
+        << serial[i].tasks << " vs " << parallel[i].tasks << ", reducers "
+        << serial[i].chosen_reducers << " vs " << parallel[i].chosen_reducers;
+  }
+}
+
+/// One ML pipeline: cached logistic regression. Weight vectors and the
+/// per-iteration virtual times must match exactly — gradients are summed in
+/// the scheduler's deterministic commit order, not host completion order.
+struct MlTrace {
+  MlVector weights;
+  std::vector<double> iteration_seconds;
+  double now = 0.0;
+};
+
+MlTrace RunLogReg(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.host_threads = host_threads;
+  ClusterContext ctx(cfg);
+  Random rng(123);
+  std::vector<LabeledPoint> points;
+  for (int i = 0; i < 2000; ++i) {
+    LabeledPoint p;
+    double bias = (i % 2 == 0) ? 0.8 : -0.8;
+    for (int d = 0; d < 5; ++d) {
+      p.x.push_back(bias + static_cast<double>(rng.UniformInt(-100, 100)) /
+                               200.0);
+    }
+    p.y = (i % 2 == 0) ? 1.0 : -1.0;
+    points.push_back(std::move(p));
+  }
+  auto rdd = ctx.Parallelize(points, 8);
+  rdd->Cache();
+  LogisticRegression::Options opts;
+  opts.iterations = 5;
+  opts.learning_rate = 0.1;
+  auto model = LogisticRegression::Train(&ctx, rdd, 5, opts);
+  EXPECT_TRUE(model.ok());
+  MlTrace t;
+  if (model.ok()) {
+    t.weights = model->weights;
+    t.iteration_seconds = model->iteration_seconds;
+  }
+  t.now = ctx.now();
+  return t;
+}
+
+TEST(DeterminismTest, LogRegIdenticalAcrossHostThreadCounts) {
+  MlTrace serial = RunLogReg(1);
+  MlTrace parallel = RunLogReg(8);
+  EXPECT_EQ(serial.weights, parallel.weights);
+  EXPECT_EQ(serial.iteration_seconds, parallel.iteration_seconds);
+  EXPECT_EQ(serial.now, parallel.now);
+  ASSERT_EQ(serial.iteration_seconds.size(), 5u);
+}
+
+/// Fault injection plus lineage recovery is the hairiest scheduler path:
+/// node death mid-job, shuffle outputs lost, recursive recomputation. The
+/// whole trajectory must replay identically under host parallelism.
+struct FaultTrace {
+  int64_t total = 0;
+  size_t result_size = 0;
+  double now = 0.0;
+  int tasks_launched = 0;
+  int tasks_failed = 0;
+  int map_tasks_recovered = 0;
+};
+
+FaultTrace RunFaultyJob(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e7;
+  cfg.host_threads = host_threads;
+  ClusterContext ctx(cfg);
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 4000; ++i) data.emplace_back(i % 100, 1);
+  auto rdd = ctx.Parallelize(data, 8);
+  auto first = ReduceByKey(rdd, [](int64_t a, int64_t b) { return a + b; }, 6);
+  RddPtr<std::pair<int64_t, int64_t>> rekeyed =
+      first->Map([](const std::pair<int64_t, int64_t>& kv) {
+        return std::make_pair(kv.first % 10, kv.second);
+      });
+  auto second =
+      ReduceByKey(rekeyed, [](int64_t a, int64_t b) { return a + b; }, 4);
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kKill, 0.3, 2, 1.0});
+  auto result = ctx.Collect(second);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  FaultTrace t;
+  if (result.ok()) {
+    t.result_size = result->size();
+    for (const auto& [k, v] : *result) t.total += v;
+  }
+  t.now = ctx.now();
+  const JobMetrics& job = ctx.scheduler().last_job();
+  t.tasks_launched = job.tasks_launched;
+  t.tasks_failed = job.tasks_failed;
+  t.map_tasks_recovered = job.map_tasks_recovered;
+  return t;
+}
+
+TEST(DeterminismTest, FaultRecoveryIdenticalAcrossHostThreadCounts) {
+  FaultTrace serial = RunFaultyJob(1);
+  FaultTrace parallel = RunFaultyJob(8);
+  EXPECT_EQ(serial.total, 4000);
+  EXPECT_EQ(serial.result_size, 10u);
+  EXPECT_EQ(serial.total, parallel.total);
+  EXPECT_EQ(serial.result_size, parallel.result_size);
+  EXPECT_EQ(serial.now, parallel.now);
+  EXPECT_EQ(serial.tasks_launched, parallel.tasks_launched);
+  EXPECT_EQ(serial.tasks_failed, parallel.tasks_failed);
+  EXPECT_EQ(serial.map_tasks_recovered, parallel.map_tasks_recovered);
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,3 +1,5 @@
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "rdd/context.h"
@@ -143,6 +145,30 @@ TEST(SchedulerTest, ResetClockRestartsTime) {
   EXPECT_GT(ctx.now(), 0.0);
   ctx.ResetClock();
   EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+}
+
+TEST(SchedulerTest, TaskBodyExceptionBecomesStatus) {
+  // A throwing task body must surface as an ExecutionError from RunJob, not
+  // crash a worker thread — and the context must stay usable afterwards.
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.hardware.cores_per_node = 2;
+  for (int host_threads : {1, 4}) {
+    cfg.host_threads = host_threads;
+    ClusterContext ctx(cfg);
+    auto rdd = ctx.Parallelize(Iota(100), 4)->Map([](int64_t v) {
+      if (v == 50) throw std::runtime_error("bad record");
+      return v;
+    });
+    auto result = ctx.Collect(rdd);
+    ASSERT_FALSE(result.ok()) << "host_threads=" << host_threads;
+    EXPECT_NE(result.status().ToString().find("task body threw"),
+              std::string::npos)
+        << result.status().ToString();
+    auto ok = ctx.Collect(ctx.Parallelize(Iota(10), 2));
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(ok->size(), 10u);
+  }
 }
 
 TEST(SchedulerTest, MapPruningLaunchesFewerTasks) {

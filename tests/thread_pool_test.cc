@@ -1,0 +1,135 @@
+// Unit tests for the work-stealing host thread pool: stealing under skewed
+// job sizes, exception propagation through Wait, cancellation of a batch
+// with a job mid-flight, and the null-pool serial reference path.
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace shark {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllJobs) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  TaskBatch batch(&pool);
+  std::atomic<int> counter{0};
+  std::vector<size_t> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(batch.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (size_t id : ids) EXPECT_TRUE(batch.Wait(id));
+  EXPECT_EQ(counter.load(), 40);
+  for (size_t id : ids) EXPECT_TRUE(batch.Ran(id));
+  uint64_t total = 0;
+  for (uint64_t c : pool.RunCounts()) total += c;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(ThreadPoolTest, StealsUnderSkewedJobSizes) {
+  ThreadPool pool(4);
+  TaskBatch batch(&pool);
+  std::atomic<int> light_done{0};
+  constexpr int kLight = 63;
+  // The heavy job is submitted first, so it lands at the front of queue 0 and
+  // pins whichever thread claims it until every light job — a quarter of
+  // which share its home queue — has been run by somebody else.
+  size_t heavy = batch.Submit([&light_done] {
+    while (light_done.load() < kLight) std::this_thread::yield();
+  });
+  std::vector<size_t> lights;
+  for (int i = 0; i < kLight; ++i) {
+    lights.push_back(batch.Submit([&light_done] { light_done.fetch_add(1); }));
+  }
+  EXPECT_TRUE(batch.Wait(heavy));
+  for (size_t id : lights) EXPECT_TRUE(batch.Wait(id));
+  EXPECT_EQ(light_done.load(), kLight);
+
+  EXPECT_GT(pool.Steals(), 0u);
+  std::vector<uint64_t> counts = pool.RunCounts();
+  ASSERT_EQ(counts.size(), 5u);  // 4 workers + helper slot
+  uint64_t total = 0;
+  int nonzero = 0;
+  for (uint64_t c : counts) {
+    total += c;
+    if (c > 0) ++nonzero;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kLight) + 1);
+  EXPECT_GE(nonzero, 2);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsJobException) {
+  ThreadPool pool(2);
+  TaskBatch batch(&pool);
+  size_t bad = batch.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(batch.Wait(bad), std::runtime_error);
+  // The pool survives a throwing job: later work still runs.
+  std::atomic<bool> ran{false};
+  size_t good = batch.Submit([&ran] { ran.store(true); });
+  EXPECT_TRUE(batch.Wait(good));
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, CancelAndDrainSkipsPendingWaitsOutRunning) {
+  ThreadPool pool(1);
+  TaskBatch batch(&pool);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  size_t j0 = batch.Submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  size_t j1 = batch.Submit([] {});
+  size_t j2 = batch.Submit([] {});
+  while (!started.load()) std::this_thread::yield();
+  // j0 is mid-flight on the only worker; j1/j2 are still queued. Release j0
+  // shortly after the drain below has begun waiting on it.
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true);
+  });
+  batch.CancelAndDrain();
+  releaser.join();
+  EXPECT_TRUE(batch.Ran(j0));
+  EXPECT_FALSE(batch.Ran(j1));
+  EXPECT_FALSE(batch.Ran(j2));
+  EXPECT_FALSE(batch.Wait(j1));  // cancelled, not runnable
+  EXPECT_FALSE(batch.Wait(j2));
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInlineInWait) {
+  TaskBatch batch(nullptr);
+  int runs = 0;
+  size_t a = batch.Submit([&runs] { ++runs; });
+  size_t b = batch.Submit([&runs] { ++runs; });
+  EXPECT_EQ(runs, 0);  // lazy: nothing runs until Wait
+  EXPECT_TRUE(batch.Wait(b));
+  EXPECT_TRUE(batch.Wait(a));
+  EXPECT_EQ(runs, 2);
+  EXPECT_THROW(
+      {
+        size_t c = batch.Submit([] { throw std::runtime_error("boom"); });
+        batch.Wait(c);
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NullPoolCancelSkipsUnwaitedJobs) {
+  int runs = 0;
+  TaskBatch batch(nullptr);
+  size_t a = batch.Submit([&runs] { ++runs; });
+  size_t b = batch.Submit([&runs] { ++runs; });
+  EXPECT_TRUE(batch.Wait(a));
+  batch.CancelAndDrain();
+  EXPECT_FALSE(batch.Wait(b));
+  EXPECT_TRUE(batch.Ran(a));
+  EXPECT_FALSE(batch.Ran(b));
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace shark
