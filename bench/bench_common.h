@@ -118,6 +118,37 @@ inline void EmitParallelJson(const std::string& bench, const std::string& label,
       bench.c_str(), label.c_str(), host_threads, host_ms, virtual_seconds);
 }
 
+/// Writes a query's recorded profile as a chrome://tracing file (load it at
+/// chrome://tracing or https://ui.perfetto.dev) and prints a machine-readable
+/// pointer line:
+///   BENCH_trace.json {"bench":...,"label":...,"file":...,"stages":N,"tasks":N}
+inline void WriteChromeTrace(const std::string& bench, const std::string& label,
+                             const QueryResult& result,
+                             const std::string& path) {
+  if (result.profile == nullptr) {
+    std::fprintf(stderr, "%s: no profile recorded for %s\n", bench.c_str(),
+                 label.c_str());
+    return;
+  }
+  std::string json = result.profile->ToChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench.c_str(), path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  int tasks = 0;
+  for (const StageTrace& st : result.profile->stages) {
+    tasks += static_cast<int>(st.tasks.size());
+  }
+  std::printf(
+      "BENCH_trace.json {\"bench\":\"%s\",\"label\":\"%s\",\"file\":\"%s\","
+      "\"stages\":%d,\"tasks\":%d}\n",
+      bench.c_str(), label.c_str(), path.c_str(),
+      static_cast<int>(result.profile->stages.size()), tasks);
+}
+
 inline void PrintHeader(const std::string& name, const std::string& claim) {
   std::printf("=====================================================\n");
   std::printf("%s\n", name.c_str());

@@ -56,5 +56,10 @@ int main() {
   std::printf("tasks failed: %d, recovered map tasks: %d\n",
               failed_run.metrics.tasks_failed,
               failed_run.metrics.map_tasks_recovered);
+
+  // The failure run's timeline (aborted tasks, the death event, the nested
+  // lineage-recovery stage) as a chrome://tracing file.
+  WriteChromeTrace("fig09_fault_tolerance", "agg_shipmode_node_death",
+                   failed_run, "fig09_trace.json");
   return 0;
 }

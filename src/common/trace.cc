@@ -1,0 +1,393 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace shark {
+
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Seconds with microsecond resolution — enough for virtual task timings,
+/// and deterministic (the inputs are bit-identical across runs).
+std::string Sec(double v) { return Fmt("%.6f", v); }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Field-wise sum; kept local so shark_common stays link-self-contained
+/// (TaskWork::Add lives in shark_sim).
+void AddWork(TaskWork* acc, const TaskWork& w) {
+  acc->disk_read_bytes += w.disk_read_bytes;
+  acc->disk_seeks += w.disk_seeks;
+  acc->net_read_bytes += w.net_read_bytes;
+  acc->mem_read_bytes += w.mem_read_bytes;
+  acc->text_deser_bytes += w.text_deser_bytes;
+  acc->binary_deser_bytes += w.binary_deser_bytes;
+  acc->ser_bytes += w.ser_bytes;
+  acc->rows_processed += w.rows_processed;
+  acc->hash_records += w.hash_records;
+  acc->sort_records += w.sort_records;
+  acc->disk_write_bytes += w.disk_write_bytes;
+  acc->dfs_write_bytes += w.dfs_write_bytes;
+  acc->flops += w.flops;
+  acc->cpu_seconds += w.cpu_seconds;
+}
+
+}  // namespace
+
+std::string WorkSummary(const TaskWork& w) {
+  std::string out;
+  auto add = [&](const char* name, uint64_t v, bool as_bytes) {
+    if (v == 0) return;
+    if (!out.empty()) out += " ";
+    out += name;
+    out += "=";
+    out += as_bytes ? FormatBytes(v) : std::to_string(v);
+  };
+  add("disk_read", w.disk_read_bytes, true);
+  add("seeks", w.disk_seeks, false);
+  add("net_read", w.net_read_bytes, true);
+  add("mem_read", w.mem_read_bytes, true);
+  add("text_deser", w.text_deser_bytes, true);
+  add("bin_deser", w.binary_deser_bytes, true);
+  add("ser", w.ser_bytes, true);
+  add("rows", w.rows_processed, false);
+  add("hash", w.hash_records, false);
+  add("sort", w.sort_records, false);
+  add("disk_write", w.disk_write_bytes, true);
+  add("dfs_write", w.dfs_write_bytes, true);
+  add("flops", w.flops, false);
+  if (w.cpu_seconds > 0.0) {
+    if (!out.empty()) out += " ";
+    out += "cpu=" + Sec(w.cpu_seconds) + "s";
+  }
+  return out.empty() ? "none" : out;
+}
+
+const char* TaskLocalityName(TaskLocality locality) {
+  switch (locality) {
+    case TaskLocality::kPreferred:
+      return "preferred";
+    case TaskLocality::kRemote:
+      return "remote";
+    case TaskLocality::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+const char* TaskEndName(TaskEnd end) {
+  switch (end) {
+    case TaskEnd::kCommitted:
+      return "committed";
+    case TaskEnd::kSuperseded:
+      return "superseded";
+    case TaskEnd::kNodeDeath:
+      return "node-death";
+    case TaskEnd::kMissingInput:
+      return "missing-input";
+  }
+  return "?";
+}
+
+ShuffleSizeSummary SummarizeBucketBytes(const std::vector<uint64_t>& bytes) {
+  ShuffleSizeSummary s;
+  s.buckets = static_cast<int>(bytes.size());
+  if (bytes.empty()) return s;
+  std::vector<uint64_t> sorted = bytes;
+  std::sort(sorted.begin(), sorted.end());
+  s.min_bytes = sorted.front();
+  s.max_bytes = sorted.back();
+  s.median_bytes = sorted[sorted.size() / 2];
+  for (uint64_t b : sorted) s.total_bytes += b;
+  double mean =
+      static_cast<double>(s.total_bytes) / static_cast<double>(sorted.size());
+  s.skew = mean > 0.0 ? static_cast<double>(s.max_bytes) / mean : 0.0;
+  return s;
+}
+
+void CacheCounters::Add(const CacheCounters& other) {
+  hit_blocks += other.hit_blocks;
+  hit_bytes += other.hit_bytes;
+  miss_blocks += other.miss_blocks;
+  miss_bytes += other.miss_bytes;
+}
+
+int StageTrace::committed_tasks() const {
+  int n = 0;
+  for (const TaskTrace& t : tasks) n += t.end == TaskEnd::kCommitted ? 1 : 0;
+  return n;
+}
+
+int StageTrace::speculative_tasks() const {
+  int n = 0;
+  for (const TaskTrace& t : tasks) n += t.speculative ? 1 : 0;
+  return n;
+}
+
+int StageTrace::failed_tasks() const {
+  int n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kNodeDeath || t.end == TaskEnd::kMissingInput) ++n;
+  }
+  return n;
+}
+
+uint64_t StageTrace::rows_out() const {
+  uint64_t n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted) n += t.rows_out;
+  }
+  return n;
+}
+
+uint64_t StageTrace::bytes_out() const {
+  uint64_t n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted) n += t.bytes_out;
+  }
+  return n;
+}
+
+TaskWork StageTrace::total_work() const {
+  TaskWork w;
+  for (const TaskTrace& t : tasks) AddWork(&w, t.work);
+  return w;
+}
+
+const StageTrace* QueryProfile::FindStage(const std::string& label_part) const {
+  for (const StageTrace& s : stages) {
+    if (s.label.find(label_part) != std::string::npos) return &s;
+  }
+  return nullptr;
+}
+
+std::map<int, CacheCounters> QueryProfile::CacheTotals() const {
+  std::map<int, CacheCounters> totals;
+  for (const StageTrace& s : stages) {
+    for (const auto& [rdd, c] : s.cache_by_rdd) totals[rdd].Add(c);
+  }
+  return totals;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  out += "query profile: " + Sec(start_time) + "s .. " + Sec(end_time) +
+         "s (" + Sec(duration()) + "s), " + std::to_string(stages.size()) +
+         " stages, " + std::to_string(result_rows) + " result rows\n";
+  for (const StageTrace& s : stages) {
+    out += "  stage " + std::to_string(s.id);
+    if (s.parent >= 0) out += " (recovery under " + std::to_string(s.parent) + ")";
+    out += " [" + s.label + "]";
+    if (s.is_map_stage) out += " shuffle=" + std::to_string(s.shuffle_id);
+    out += " " + Sec(s.start_time) + "s .. " + Sec(s.end_time) + "s\n";
+    out += "    tasks=" + std::to_string(s.tasks.size()) +
+           " committed=" + std::to_string(s.committed_tasks()) +
+           " speculative=" + std::to_string(s.speculative_tasks()) +
+           " failed=" + std::to_string(s.failed_tasks()) +
+           " rows_out=" + std::to_string(s.rows_out()) +
+           " bytes_out=" + FormatBytes(s.bytes_out()) + "\n";
+    if (s.shuffle.buckets > 0) {
+      out += "    shuffle buckets=" + std::to_string(s.shuffle.buckets) +
+             " min=" + FormatBytes(s.shuffle.min_bytes) +
+             " median=" + FormatBytes(s.shuffle.median_bytes) +
+             " max=" + FormatBytes(s.shuffle.max_bytes) +
+             " total=" + FormatBytes(s.shuffle.total_bytes) + " skew=" +
+             Fmt("%.2f", s.shuffle.skew) + "\n";
+    }
+    for (const auto& [rdd, c] : s.cache_by_rdd) {
+      auto it = rdd_names.find(rdd);
+      std::string name =
+          it != rdd_names.end() ? it->second : "rdd " + std::to_string(rdd);
+      out += "    cache[" + name + "] hit " + FormatBytes(c.hit_bytes) + "/" +
+             std::to_string(c.hit_blocks) + " blocks, miss " +
+             FormatBytes(c.miss_bytes) + "/" + std::to_string(c.miss_blocks) +
+             " blocks\n";
+    }
+    out += "    work: " + WorkSummary(s.total_work()) + "\n";
+    for (const TaskTrace& t : s.tasks) {
+      out += "    task " + std::to_string(t.task) + "/p" +
+             std::to_string(t.partition) + " attempt=" +
+             std::to_string(t.attempt) + (t.speculative ? " spec" : "") +
+             " node=" + std::to_string(t.node) + " core=" +
+             std::to_string(t.core) + " " + TaskLocalityName(t.locality) +
+             " queue=" + Sec(t.queue_time) + " launch=" + Sec(t.launch_time) +
+             " run=" + Sec(t.run_start) + " finish=" + Sec(t.finish_time) +
+             " rows=" + std::to_string(t.rows_out) + " " +
+             TaskEndName(t.end) + "\n";
+    }
+    for (const std::string& e : s.events) out += "    event: " + e + "\n";
+  }
+  return out;
+}
+
+std::string QueryProfile::ToChromeTrace() const {
+  // Timestamps are virtual microseconds; pid 0 is the driver (stage spans
+  // and instant events), pid node+1 is a simulated node with one tid per
+  // core. "X" = complete event, "i" = instant, "M" = metadata.
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  auto us = [](double sec) { return Fmt("%.3f", sec * 1e6); };
+
+  std::map<int, int> node_cores;  // node -> max core seen
+  for (const StageTrace& s : stages) {
+    for (const TaskTrace& t : s.tasks) {
+      if (t.node >= 0) {
+        auto [it, inserted] = node_cores.emplace(t.node, t.core);
+        if (!inserted) it->second = std::max(it->second, t.core);
+      }
+    }
+  }
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+       "\"args\":{\"name\":\"driver\"}}");
+  for (const auto& [node, max_core] : node_cores) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(node + 1) + ",\"tid\":0,\"args\":{\"name\":\"node " +
+         std::to_string(node) + "\"}}");
+    for (int core = 0; core <= max_core; ++core) {
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(node + 1) + ",\"tid\":" + std::to_string(core) +
+           ",\"args\":{\"name\":\"core " + std::to_string(core) + "\"}}");
+    }
+  }
+
+  // Depth of each stage in the recovery-nesting tree -> driver-row tid.
+  std::map<int, int> depth;
+  for (const StageTrace& s : stages) {
+    depth[s.id] = s.parent >= 0 ? depth[s.parent] + 1 : 0;
+  }
+  for (const StageTrace& s : stages) {
+    emit("{\"name\":\"" + JsonEscape(s.label) + "\",\"cat\":\"stage\","
+         "\"ph\":\"X\",\"ts\":" + us(s.start_time) + ",\"dur\":" +
+         us(s.end_time - s.start_time) + ",\"pid\":0,\"tid\":" +
+         std::to_string(depth[s.id]) + ",\"args\":{\"stage\":" +
+         std::to_string(s.id) + ",\"tasks\":" + std::to_string(s.tasks.size()) +
+         ",\"rows_out\":" + std::to_string(s.rows_out()) +
+         (s.is_map_stage ? ",\"shuffle\":" + std::to_string(s.shuffle_id) : "") +
+         "}}");
+    for (const TaskTrace& t : s.tasks) {
+      if (t.node < 0) continue;
+      emit("{\"name\":\"" + JsonEscape(s.label) + "#" +
+           std::to_string(t.task) + "\",\"cat\":\"task\",\"ph\":\"X\","
+           "\"ts\":" + us(t.run_start) + ",\"dur\":" +
+           us(t.finish_time - t.run_start) + ",\"pid\":" +
+           std::to_string(t.node + 1) + ",\"tid\":" + std::to_string(t.core) +
+           ",\"args\":{\"stage\":" + std::to_string(s.id) + ",\"partition\":" +
+           std::to_string(t.partition) + ",\"attempt\":" +
+           std::to_string(t.attempt) + ",\"speculative\":" +
+           (t.speculative ? "true" : "false") + ",\"locality\":\"" +
+           TaskLocalityName(t.locality) + "\",\"end\":\"" + TaskEndName(t.end) +
+           "\",\"rows\":" + std::to_string(t.rows_out) + ",\"queue_us\":" +
+           us(t.launch_time - t.queue_time) + "}}");
+    }
+    for (const std::string& e : s.events) {
+      // Events are prefixed "t=<seconds> "; recover the timestamp for the
+      // instant marker (defaulting to the stage start) and drop the prefix
+      // from the displayed name.
+      double ts = s.start_time;
+      std::string name = e;
+      if (e.rfind("t=", 0) == 0) {
+        ts = std::atof(e.c_str() + 2);
+        size_t space = e.find(' ');
+        if (space != std::string::npos) name = e.substr(space + 1);
+      }
+      emit("{\"name\":\"" + JsonEscape(name) + "\",\"cat\":\"event\","
+           "\"ph\":\"i\",\"s\":\"g\",\"ts\":" + us(ts) +
+           ",\"pid\":0,\"tid\":" + std::to_string(depth[s.id]) + "}");
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceCollector::BeginQuery(double now) {
+  if (profile_ != nullptr) return false;  // nested query shares the profile
+  profile_ = std::make_shared<QueryProfile>();
+  profile_->start_time = now;
+  open_.clear();
+  last_ended_ = -1;
+  return true;
+}
+
+std::shared_ptr<QueryProfile> TraceCollector::EndQuery(double now) {
+  if (profile_ == nullptr) return nullptr;
+  profile_->end_time = now;
+  std::shared_ptr<QueryProfile> out = std::move(profile_);
+  profile_ = nullptr;
+  open_.clear();
+  last_ended_ = -1;
+  return out;
+}
+
+int TraceCollector::BeginStage(const std::string& label, bool is_map_stage,
+                               int shuffle_id, double now) {
+  if (profile_ == nullptr) return -1;
+  StageTrace s;
+  s.id = static_cast<int>(profile_->stages.size());
+  s.parent = open_.empty() ? -1 : open_.back();
+  s.label = label;
+  s.is_map_stage = is_map_stage;
+  s.shuffle_id = shuffle_id;
+  s.start_time = now;
+  s.end_time = now;
+  profile_->stages.push_back(std::move(s));
+  open_.push_back(profile_->stages.back().id);
+  return profile_->stages.back().id;
+}
+
+void TraceCollector::EndStage(int stage_id, double now) {
+  if (profile_ == nullptr || stage_id < 0) return;
+  profile_->stages[static_cast<size_t>(stage_id)].end_time = now;
+  // Recovery sub-stages close strictly inside their parent, so the open
+  // stage being ended is always the innermost one.
+  if (!open_.empty() && open_.back() == stage_id) open_.pop_back();
+  last_ended_ = stage_id;
+}
+
+StageTrace* TraceCollector::stage(int stage_id) {
+  if (profile_ == nullptr || stage_id < 0 ||
+      static_cast<size_t>(stage_id) >= profile_->stages.size()) {
+    return nullptr;
+  }
+  return &profile_->stages[static_cast<size_t>(stage_id)];
+}
+
+}  // namespace shark

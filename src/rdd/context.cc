@@ -48,8 +48,12 @@ BlockData RddBase::GetOrComputeErased(int p, TaskContext* tctx) const {
     if (BlockData hit = tctx->CacheGet(id_, p, free_cache_reads_)) return hit;
   }
   BlockData block = ComputeErased(p, tctx);
-  if (cached_ && !tctx->HasMissingInput() && tctx->profile().memory_store) {
-    tctx->CachePut(id_, p, block, BlockBytes(block));
+  if (cached_) {
+    uint64_t bytes = BlockBytes(block);
+    tctx->RecordCacheMiss(id_, bytes);
+    if (!tctx->HasMissingInput() && tctx->profile().memory_store) {
+      tctx->CachePut(id_, p, block, bytes);
+    }
   }
   return block;
 }

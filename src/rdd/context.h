@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "rdd/block_manager.h"
 #include "rdd/broadcast.h"
 #include "rdd/rdd.h"
@@ -88,6 +89,11 @@ class ClusterContext {
   DagScheduler& scheduler() { return *scheduler_; }
   const CostModel& cost_model() const { return *cost_model_; }
   double virtual_scale() const { return config_.virtual_data_scale; }
+
+  /// Query-profile recorder. The SQL executor (or a test) brackets a query
+  /// with BeginQuery/EndQuery; while active, the scheduler records every
+  /// stage and task attempt into it (see common/trace.h).
+  TraceCollector& trace_collector() { return trace_collector_; }
 
   /// The worker pool task bodies are computed on, created lazily; nullptr
   /// when execution is effectively serial (host_threads resolves to 1).
@@ -221,6 +227,7 @@ class ClusterContext {
   std::unique_ptr<DagScheduler> scheduler_;
   std::unique_ptr<ThreadPool> thread_pool_;
   BroadcastRegistry broadcasts_;
+  TraceCollector trace_collector_;
   double now_ = 0.0;
   int next_rdd_id_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <limits>
@@ -52,6 +53,7 @@ Result<std::vector<BlockData>> DagScheduler::RunJobOnPartitions(
   auto body = [&](int i, TaskContext* tctx) {
     TaskOutcome o;
     o.block = rdd->GetOrComputeErased(partitions[static_cast<size_t>(i)], tctx);
+    if (o.block != nullptr) o.rows_out = rdd->BlockRows(o.block);
     return o;
   };
   auto commit = [&](int i, TaskOutcome&& o, int node) {
@@ -62,7 +64,8 @@ Result<std::vector<BlockData>> DagScheduler::RunJobOnPartitions(
 
   if (!partitions.empty()) {
     metrics.stages += 1;
-    st = ExecuteTaskSet(task_ids, preferred, body, commit, lost, &metrics);
+    st = ExecuteTaskSet(task_ids, preferred, body, commit, lost, &metrics,
+                        StageInfo{rdd->label(), false, -1});
     if (!st.ok()) return st;
   }
 
@@ -134,6 +137,8 @@ Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
     TaskOutcome o;
     BlockData parent_block = dep->parent()->GetOrComputeErased(p, tctx);
     o.map_output = dep->PartitionBlock(parent_block, tctx);
+    for (uint64_t r : o.map_output.bucket_records) o.rows_out += r;
+    for (uint64_t b : o.map_output.bucket_bytes) o.bytes_out += b;
     return o;
   };
   auto commit = [&](int i, TaskOutcome&& o, int node) {
@@ -149,17 +154,31 @@ Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
   };
   auto lost = [&](int /*node*/) {
     // After a node death, any of this set's committed outputs that the
-    // ShuffleManager now reports lost must be recomputed.
+    // ShuffleManager now reports absent must be recomputed. (Never-computed
+    // partitions also read absent; the caller filters to committed tasks.)
     std::vector<int> out;
     for (size_t i = 0; i < map_partitions.size(); ++i) {
-      const MapOutput* mo = sm.GetMapOutput(shuffle_id, map_partitions[i]);
-      if (mo != nullptr && !mo->present) out.push_back(static_cast<int>(i));
+      if (sm.GetMapOutput(shuffle_id, map_partitions[i]) == nullptr) {
+        out.push_back(static_cast<int>(i));
+      }
     }
     return out;
   };
 
   metrics->stages += 1;
-  return ExecuteTaskSet(task_ids, preferred, body, commit, lost, metrics);
+  SHARK_RETURN_NOT_OK(ExecuteTaskSet(
+      task_ids, preferred, body, commit, lost, metrics,
+      StageInfo{"shuffleMap:" + dep->parent()->label(), true, shuffle_id}));
+  // Annotate the finished map stage with the bucket-size distribution the
+  // master observed (post log-encoding) — the PDE skew signal.
+  TraceCollector& tc = ctx_->trace_collector();
+  if (tc.active() && tc.last_ended_stage() >= 0) {
+    StageTrace* st = tc.stage(tc.last_ended_stage());
+    if (st != nullptr && st->shuffle_id == shuffle_id) {
+      st->shuffle = SummarizeBucketBytes(sm.Stats(shuffle_id).bucket_bytes);
+    }
+  }
+  return Status::OK();
 }
 
 Status DagScheduler::RecoverMissing(
@@ -169,8 +188,9 @@ Status DagScheduler::RecoverMissing(
   std::map<int, std::set<int>> by_shuffle;
   ShuffleManager& sm = ctx_->shuffle_manager();
   for (const auto& [shuffle_id, map_part] : missing) {
-    const MapOutput* mo = sm.GetMapOutput(shuffle_id, map_part);
-    if (mo == nullptr || !mo->present) by_shuffle[shuffle_id].insert(map_part);
+    if (sm.GetMapOutput(shuffle_id, map_part) == nullptr) {
+      by_shuffle[shuffle_id].insert(map_part);
+    }
   }
   for (const auto& [shuffle_id, parts] : by_shuffle) {
     auto it = shuffle_registry_.find(shuffle_id);
@@ -198,7 +218,7 @@ Status DagScheduler::ExecuteTaskSet(
     const std::vector<int>& partitions,
     const std::function<std::vector<int>(int)>& preferred, const TaskBody& body,
     const CommitFn& commit, const LostOutputFn& lost_outputs,
-    JobMetrics* metrics) {
+    JobMetrics* metrics, const StageInfo& info) {
   const size_t n = partitions.size();
   if (n == 0) return Status::OK();
 
@@ -216,6 +236,7 @@ Status DagScheduler::ExecuteTaskSet(
     double finish;
     TaskOutcome outcome;
     bool speculative;
+    int trace = -1;  // index into the stage trace's task list
   };
 
   std::vector<TaskState> state(n, TaskState::kPending);
@@ -228,6 +249,28 @@ Status DagScheduler::ExecuteTaskSet(
   size_t committed = 0;
   const double stage_start = ctx_->now();
   double stage_end = stage_start;
+
+  // ---- Query-profile recording --------------------------------------------
+  //
+  // All recording happens here in the single-threaded event loop and captures
+  // only virtual-time observables, so profiles are byte-identical across
+  // host_threads settings. When no profile is active every hook is a no-op.
+  TraceCollector& tc = ctx_->trace_collector();
+  const bool tracing = tc.active();
+  const int stage_tid =
+      tracing ? tc.BeginStage(info.label, info.is_map_stage, info.shuffle_id,
+                              stage_start)
+              : -1;
+  // Fetched fresh on every use: nested recovery stages can grow the stage
+  // vector and invalidate pointers.
+  auto strace = [&]() { return tc.stage(stage_tid); };
+  std::vector<double> queued_at(n, stage_start);
+  auto event = [&](double t, const std::string& text) {
+    if (!tracing) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t=%.6f ", t);
+    strace()->events.push_back(buf + text);
+  };
 
   // ---- Host-parallel task computation -------------------------------------
   //
@@ -273,6 +316,7 @@ Status DagScheduler::ExecuteTaskSet(
       o.charges = tctx.TakeDeferredCharges();
       o.broadcast_fetches = tctx.TakeBroadcastFetches();
       o.cache_log = tctx.TakeCacheLog();
+      o.cache_counters = tctx.TakeCacheCounters();
       slot.outcome = std::move(o);
     } catch (...) {
       slot.error = std::current_exception();
@@ -366,24 +410,60 @@ Status DagScheduler::ExecuteTaskSet(
     double finish = start_exec + profile.task_launch_overhead_sec +
                     work_sec * cluster.slowdown(node);
     cluster.OccupyCore(node, core, finish);
+    int trace_idx = -1;
+    if (tracing) {
+      TaskTrace tt;
+      tt.task = task;
+      tt.partition = partitions[static_cast<size_t>(task)];
+      tt.attempt = retries[static_cast<size_t>(task)];
+      tt.speculative = speculative;
+      tt.node = node;
+      tt.core = core;
+      tt.queue_time = queued_at[static_cast<size_t>(task)];
+      tt.launch_time = avail;
+      tt.run_start = start_exec;
+      tt.finish_time = finish;
+      tt.rows_out = outcome.rows_out;
+      tt.bytes_out = outcome.bytes_out;
+      tt.work = outcome.work;  // placement-resolved counters
+      std::vector<int> prefs = preferred(task);
+      if (prefs.empty()) {
+        tt.locality = TaskLocality::kAny;
+      } else {
+        tt.locality = TaskLocality::kRemote;
+        for (int p : prefs) {
+          if (p == node) tt.locality = TaskLocality::kPreferred;
+        }
+      }
+      StageTrace* st = strace();
+      trace_idx = static_cast<int>(st->tasks.size());
+      st->tasks.push_back(std::move(tt));
+    }
     inflight.push_back(Inflight{task, node, core, start_exec, finish,
-                                std::move(outcome), speculative});
+                                std::move(outcome), speculative, trace_idx});
     if (!speculative) state[static_cast<size_t>(task)] = TaskState::kRunning;
     metrics->tasks_launched += 1;
     if (speculative) metrics->speculative_tasks += 1;
     return Status::OK();
   };
 
-  auto process_deaths = [&](const std::vector<int>& killed) {
+  auto process_deaths = [&](const std::vector<int>& killed, double at) {
     // Committed cache effects must land before the dead node's blocks are
     // dropped (and workers must stop reading the soon-to-mutate state).
     bump_epoch();
     for (int node : killed) {
       HandleNodeDeath(node);
+      event(at, "node " + std::to_string(node) + " died");
       // Abort in-flight tasks on the dead node.
       for (size_t i = 0; i < inflight.size();) {
         if (inflight[i].node == node) {
           int task = inflight[i].task;
+          if (tracing && inflight[i].trace >= 0) {
+            TaskTrace& tt =
+                strace()->tasks[static_cast<size_t>(inflight[i].trace)];
+            tt.end = TaskEnd::kNodeDeath;
+            tt.finish_time = at;
+          }
           inflight.erase(inflight.begin() + static_cast<long>(i));
           metrics->tasks_failed += 1;
           // Requeue unless a duplicate still runs or it already committed.
@@ -396,6 +476,7 @@ Status DagScheduler::ExecuteTaskSet(
             state[static_cast<size_t>(task)] = TaskState::kPending;
             retries[static_cast<size_t>(task)] += 1;
             pending.push_back(task);
+            queued_at[static_cast<size_t>(task)] = at;
           }
         } else {
           ++i;
@@ -407,7 +488,11 @@ Status DagScheduler::ExecuteTaskSet(
           state[static_cast<size_t>(t)] = TaskState::kPending;
           retries[static_cast<size_t>(t)] += 1;
           pending.push_back(t);
+          queued_at[static_cast<size_t>(t)] = at;
           committed -= 1;
+          event(at, "output of task " + std::to_string(t) +
+                        " lost with node " + std::to_string(node) +
+                        "; requeued");
         }
       }
     }
@@ -434,7 +519,7 @@ Status DagScheduler::ExecuteTaskSet(
     if (!pending.empty() && assign_t <= next_completion) {
       std::vector<int> killed = cluster.ApplyFaultsUpTo(assign_t);
       if (!killed.empty()) {
-        process_deaths(killed);
+        process_deaths(killed, assign_t);
         continue;
       }
       // Delay scheduling (Zaharia et al., used by Spark): place a task on
@@ -501,6 +586,8 @@ Status DagScheduler::ExecuteTaskSet(
       }
       if (candidate >= 0) {
         has_duplicate[static_cast<size_t>(candidate)] = 1;
+        event(assign_t,
+              "speculative duplicate of task " + std::to_string(candidate));
         SHARK_RETURN_NOT_OK(
             launch(candidate, free_node, free_core, assign_t, true));
         continue;
@@ -515,14 +602,19 @@ Status DagScheduler::ExecuteTaskSet(
     double t = next_completion;
     std::vector<int> killed = cluster.ApplyFaultsUpTo(t);
     if (!killed.empty()) {
-      process_deaths(killed);
+      process_deaths(killed, t);
       continue;
     }
     Inflight done = std::move(inflight[completion_idx]);
     inflight.erase(inflight.begin() + static_cast<long>(completion_idx));
 
     if (state[static_cast<size_t>(done.task)] == TaskState::kCommitted) {
-      continue;  // a speculative duplicate already won
+      // A speculative duplicate already won.
+      if (tracing && done.trace >= 0) {
+        strace()->tasks[static_cast<size_t>(done.trace)].end =
+            TaskEnd::kSuperseded;
+      }
+      continue;
     }
     if (!done.outcome.missing_inputs.empty()) {
       // Shuffle inputs were lost: recompute them from lineage, then re-run.
@@ -531,6 +623,14 @@ Status DagScheduler::ExecuteTaskSet(
       if (retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
         return Status::ExecutionError("task exceeded retry limit (recovery)");
       }
+      if (tracing && done.trace >= 0) {
+        strace()->tasks[static_cast<size_t>(done.trace)].end =
+            TaskEnd::kMissingInput;
+      }
+      event(t, "task " + std::to_string(done.task) +
+                   " hit missing shuffle input; lineage recovery of " +
+                   std::to_string(done.outcome.missing_inputs.size()) +
+                   " map outputs");
       // The recovery sub-stage mutates shuffle state and the cache; quiesce
       // precomputation and apply pending cache effects first.
       bump_epoch();
@@ -538,6 +638,8 @@ Status DagScheduler::ExecuteTaskSet(
       epoch += 1;  // recovery refreshed shared state
       state[static_cast<size_t>(done.task)] = TaskState::kPending;
       pending.push_back(done.task);
+      // Recovery advanced the virtual clock; the re-run queues from there.
+      queued_at[static_cast<size_t>(done.task)] = ctx_->now();
       continue;
     }
     // The winning launch's cache accesses take effect (at the next flush) in
@@ -547,6 +649,12 @@ Status DagScheduler::ExecuteTaskSet(
       replay_log.push_back(std::move(op));
     }
     done.outcome.cache_log.clear();
+    if (tracing) {
+      StageTrace* st = strace();
+      for (const auto& [rdd, counters] : done.outcome.cache_counters) {
+        st->cache_by_rdd[rdd].Add(counters);
+      }
+    }
     commit(done.task, std::move(done.outcome), done.node);
     state[static_cast<size_t>(done.task)] = TaskState::kCommitted;
     committed += 1;
@@ -554,9 +662,20 @@ Status DagScheduler::ExecuteTaskSet(
     committed_durations.push_back(done.finish - done.start);
   }
 
+  // Anything still in flight is a losing speculative duplicate (the loop
+  // only exits once every task committed) — its output is abandoned.
+  if (tracing) {
+    for (const Inflight& f : inflight) {
+      if (f.trace >= 0) {
+        strace()->tasks[static_cast<size_t>(f.trace)].end =
+            TaskEnd::kSuperseded;
+      }
+    }
+  }
   batch.CancelAndDrain();
   flush_replay();
   ctx_->AdvanceTo(stage_end);
+  if (tracing) tc.EndStage(stage_tid, stage_end);
   return Status::OK();
 }
 

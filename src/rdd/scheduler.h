@@ -4,9 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "rdd/rdd.h"
 #include "rdd/shuffle.h"
 
@@ -72,10 +74,13 @@ class DagScheduler {
     BlockData block;                  // result-stage payload
     MapOutput map_output;             // map-stage payload
     TaskWork work;                    // node-independent work counters
+    uint64_t rows_out = 0;            // output rows (profile annotation)
+    uint64_t bytes_out = 0;           // output bytes (map stages)
     std::vector<std::pair<int, int>> missing_inputs;
     std::vector<DeferredCharge> charges;   // resolved per launch
     std::vector<int> broadcast_fetches;    // charged per launch, per node
     std::vector<CacheOp> cache_log;        // replayed if the task commits
+    std::map<int, CacheCounters> cache_counters;  // per-rdd hit/miss traffic
   };
 
   using TaskBody = std::function<TaskOutcome(int partition, TaskContext*)>;
@@ -85,13 +90,22 @@ class DagScheduler {
   // node; used to re-run map tasks whose outputs die with their node.
   using LostOutputFn = std::function<std::vector<int>(int node)>;
 
+  /// Identity of a task set for the query profile.
+  struct StageInfo {
+    std::string label;
+    bool is_map_stage = false;
+    int shuffle_id = -1;
+  };
+
   /// Event-driven execution of one set of tasks (one stage, or a recovery
   /// sub-stage). Handles locality, heartbeat quantization, failures,
-  /// missing-input recovery and speculation.
+  /// missing-input recovery and speculation; records the stage into the
+  /// context's TraceCollector when a profile is active.
   Status ExecuteTaskSet(const std::vector<int>& partitions,
                         const std::function<std::vector<int>(int)>& preferred,
                         const TaskBody& body, const CommitFn& commit,
-                        const LostOutputFn& lost_outputs, JobMetrics* metrics);
+                        const LostOutputFn& lost_outputs, JobMetrics* metrics,
+                        const StageInfo& info);
 
   /// Registers dep in the id registry and runs its map tasks for the given
   /// parent partitions (lineage recomputation path).

@@ -66,7 +66,11 @@ const MapOutput* ShuffleManager::GetMapOutput(int shuffle_id,
                                               int map_partition) const {
   const ShuffleState& state = GetState(shuffle_id);
   const MapOutput& out = state.outputs[static_cast<size_t>(map_partition)];
-  if (out.node < 0 && !out.present) return nullptr;
+  // An output lost to a node death (DropNode leaves node >= 0 but clears
+  // present and the buckets) must read as absent, not as an empty output —
+  // otherwise a reduce-side fetch would silently consume cleared buckets
+  // instead of triggering lineage recomputation.
+  if (!out.present) return nullptr;
   return &out;
 }
 

@@ -54,7 +54,8 @@ class ShuffleManager {
   /// Stores one map task's output and folds its sizes into the stats.
   void PutMapOutput(int shuffle_id, int map_partition, MapOutput output);
 
-  /// nullptr if never computed; !present if lost to a failure.
+  /// nullptr if absent — never computed, or lost to a failure. A non-null
+  /// result is always present (fetchable).
   const MapOutput* GetMapOutput(int shuffle_id, int map_partition) const;
 
   /// True once every map partition has a present output.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "rdd/block_manager.h"
 #include "rdd/broadcast.h"
 #include "rdd/shuffle.h"
@@ -145,6 +146,9 @@ class TaskContext {
       // local by definition.
       if (!free_reads) work_.mem_read_bytes += it->second.second;
       cache_log_.push_back(CacheOp{false, rdd_id, partition, nullptr, 0, -1});
+      CacheCounters& c = cache_counters_[rdd_id];
+      c.hit_blocks += 1;
+      c.hit_bytes += it->second.second;
       return it->second.first;
     }
     const CachedBlock* cb = block_manager_->Peek(rdd_id, partition);
@@ -156,7 +160,19 @@ class TaskContext {
     charge.home = cb->node;
     deferred_charges_.push_back(std::move(charge));
     cache_log_.push_back(CacheOp{false, rdd_id, partition, nullptr, 0, -1});
+    CacheCounters& c = cache_counters_[rdd_id];
+    c.hit_blocks += 1;
+    c.hit_bytes += cb->bytes;
     return cb->data;
+  }
+
+  /// Records that a cached RDD's partition was absent and had to be
+  /// recomputed (`bytes` = the recomputed block's size). Called by
+  /// RddBase::GetOrComputeErased.
+  void RecordCacheMiss(int rdd_id, uint64_t bytes) {
+    CacheCounters& c = cache_counters_[rdd_id];
+    c.miss_blocks += 1;
+    c.miss_bytes += bytes;
   }
 
   /// Records a block for caching. Visible to this task immediately; becomes
@@ -182,7 +198,9 @@ class TaskContext {
     int num_maps = shuffle_manager_->NumMapPartitions(shuffle_id);
     for (int m = 0; m < num_maps; ++m) {
       const MapOutput* mo = shuffle_manager_->GetMapOutput(shuffle_id, m);
-      if (mo == nullptr || !mo->present) {
+      // nullptr covers both never-computed and lost-to-failure outputs
+      // (GetMapOutput's contract); either way the scheduler must recompute.
+      if (mo == nullptr) {
         missing_inputs_.emplace_back(shuffle_id, m);
         continue;
       }
@@ -245,6 +263,9 @@ class TaskContext {
     return std::move(broadcast_fetches_);
   }
   std::vector<CacheOp> TakeCacheLog() { return std::move(cache_log_); }
+  std::map<int, CacheCounters> TakeCacheCounters() {
+    return std::move(cache_counters_);
+  }
 
  private:
   int partition_;
@@ -260,6 +281,7 @@ class TaskContext {
   std::vector<DeferredCharge> deferred_charges_;
   std::vector<int> broadcast_fetches_;
   std::vector<CacheOp> cache_log_;
+  std::map<int, CacheCounters> cache_counters_;  // per rdd id
   std::map<BlockKey, std::pair<BlockData, uint64_t>> overlay_;
 };
 

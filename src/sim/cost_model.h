@@ -124,6 +124,13 @@ struct TaskWork {
   double cpu_seconds = 0.0;        // explicit CPU charge
 
   void Add(const TaskWork& other);
+
+  /// Total bytes moved through any channel (reads plus writes) — the
+  /// one-number I/O-intensity signal query profiles report per stage.
+  uint64_t TotalBytesMoved() const {
+    return disk_read_bytes + net_read_bytes + mem_read_bytes +
+           disk_write_bytes + dfs_write_bytes;
+  }
 };
 
 /// Converts task work counters into virtual task duration under a hardware

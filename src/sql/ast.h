@@ -141,13 +141,19 @@ struct DropTableStmt {
   bool if_exists = false;
 };
 
-enum class StatementKind { kSelect, kCreateTable, kDropTable };
+struct ExplainStmt {
+  bool analyze = false;  // EXPLAIN ANALYZE executes and annotates the plan
+  std::shared_ptr<SelectStmt> select;
+};
+
+enum class StatementKind { kSelect, kCreateTable, kDropTable, kExplain };
 
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
   std::shared_ptr<SelectStmt> select;
   std::shared_ptr<CreateTableStmt> create_table;
   std::shared_ptr<DropTableStmt> drop_table;
+  std::shared_ptr<ExplainStmt> explain;
 };
 
 }  // namespace shark

@@ -1,6 +1,8 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -892,7 +894,7 @@ Result<RddPtr<Row>> Executor::BuildLimit(const LogicalPlan& node) {
       "limit"));
 }
 
-Result<QueryResult> Executor::Execute(const PlanPtr& plan) {
+Result<QueryResult> Executor::ExecuteInner(const PlanPtr& plan) {
   metrics_ = QueryMetrics();
   if (options_.host_threads >= 0) ctx_->set_host_threads(options_.host_threads);
   double start = ctx_->now();
@@ -909,6 +911,174 @@ Result<QueryResult> Executor::Execute(const PlanPtr& plan) {
   metrics_.virtual_seconds = ctx_->now() - start;
   result.metrics = metrics_;
   return result;
+}
+
+Result<QueryResult> Executor::Execute(const PlanPtr& plan) {
+  TraceCollector& tc = ctx_->trace_collector();
+  // A nested Execute (subquery inside a profiled query) records its stages
+  // into the outer profile; only the owner closes it.
+  const bool owner = tc.BeginQuery(ctx_->now());
+  Result<QueryResult> result = ExecuteInner(plan);
+  if (!owner) return result;
+  std::shared_ptr<QueryProfile> profile = tc.EndQuery(ctx_->now());
+  if (!result.ok()) return result;
+  profile->result_rows = result->rows.size();
+  // Name cached RDDs after their tables so cache counters render readably.
+  for (const std::string& name : catalog_->TableNames()) {
+    auto info = catalog_->Get(name);
+    if (info.ok() && (*info)->cached_rdd != nullptr) {
+      profile->rdd_names[(*info)->cached_rdd->id()] = name;
+    }
+  }
+  result->profile = profile;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CollectPostOrder(const LogicalPlan* node,
+                      std::vector<const LogicalPlan*>* out) {
+  for (const auto& c : node->children) CollectPostOrder(c.get(), out);
+  out->push_back(node);
+}
+
+/// Substrings an executing stage's label carries when it ran (part of) this
+/// operator. Labels are the RDD labels the executor assigns in Build*.
+std::vector<std::string> NodeStageKeys(const LogicalPlan& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return {"memScan:" + node.table, "scanFilter:" + node.table,
+              "prunedScan:" + node.table, "dfs:warehouse/" + ToLower(node.table)};
+    case PlanKind::kFilter:
+      return {"filter"};
+    case PlanKind::kProject:
+      return {"project"};
+    case PlanKind::kAggregate:
+      return {"aggKey", "aggReduce", "aggFinalize"};
+    case PlanKind::kJoin:
+      return {"joinKey",        "shuffleJoin",     "joinOutput",
+              "mapJoinProbe",   "gatherSmallSide", "copartitionJoin",
+              "joinResidual"};
+    case PlanKind::kSort:
+      return {"sortPartial", "sortGather", "sortFinal"};
+    case PlanKind::kLimit:
+      return {"limit"};
+    case PlanKind::kUnion:
+      return {};
+  }
+  return {};
+}
+
+std::string StageAnnotation(const StageTrace& st, int indent,
+                            const QueryProfile& profile) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s-> stage %d [%s] %.3fs..%.3fs tasks=%d",
+                pad.c_str(), st.id, st.label.c_str(), st.start_time,
+                st.end_time, st.committed_tasks());
+  std::string out = buf;
+  if (st.speculative_tasks() > 0) {
+    out += " spec=" + std::to_string(st.speculative_tasks());
+  }
+  if (st.failed_tasks() > 0) {
+    out += " failed=" + std::to_string(st.failed_tasks());
+  }
+  out += " rows=" + std::to_string(st.rows_out());
+  if (st.bytes_out() > 0) out += " bytes=" + FormatBytes(st.bytes_out());
+  out += "\n";
+  if (st.shuffle.buckets > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s   shuffle: buckets=%d min=%s med=%s max=%s skew=%.2f\n",
+                  pad.c_str(), st.shuffle.buckets,
+                  FormatBytes(st.shuffle.min_bytes).c_str(),
+                  FormatBytes(st.shuffle.median_bytes).c_str(),
+                  FormatBytes(st.shuffle.max_bytes).c_str(), st.shuffle.skew);
+    out += buf;
+  }
+  for (const auto& [rdd_id, c] : st.cache_by_rdd) {
+    auto it = profile.rdd_names.find(rdd_id);
+    std::string name =
+        it != profile.rdd_names.end() ? it->second : "rdd" + std::to_string(rdd_id);
+    out += pad + "   cache[" + name + "]: hits=" + std::to_string(c.hit_blocks) +
+           " (" + FormatBytes(c.hit_bytes) + ")";
+    if (c.miss_blocks > 0) {
+      out += " misses=" + std::to_string(c.miss_blocks) + " (" +
+             FormatBytes(c.miss_bytes) + ")";
+    }
+    out += "\n";
+  }
+  out += pad + "   work: " + WorkSummary(st.total_work()) + "\n";
+  for (const std::string& e : st.events) out += pad + "   event: " + e + "\n";
+  return out;
+}
+
+void AppendAnalyzed(
+    const LogicalPlan& node, int indent,
+    const std::map<const LogicalPlan*, std::vector<const StageTrace*>>& by_node,
+    const QueryProfile& profile, std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  *out += pad + node.NodeString() + "\n";
+  auto it = by_node.find(&node);
+  if (it != by_node.end()) {
+    for (const StageTrace* st : it->second) {
+      *out += StageAnnotation(*st, indent + 1, profile);
+    }
+  }
+  for (const auto& c : node.children) {
+    AppendAnalyzed(*c, indent + 1, by_node, profile, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderAnalyzedPlan(const LogicalPlan& plan,
+                               const QueryProfile& profile) {
+  std::vector<const LogicalPlan*> nodes;
+  CollectPostOrder(&plan, &nodes);
+  // Assign each stage to the deepest operator whose label keys match; a
+  // "shuffleMap:x" stage executed operator x's map side.
+  std::map<const LogicalPlan*, std::vector<const StageTrace*>> by_node;
+  std::vector<const StageTrace*> unmatched;
+  for (const StageTrace& st : profile.stages) {
+    std::string label = st.label;
+    constexpr const char kMapPrefix[] = "shuffleMap:";
+    if (label.rfind(kMapPrefix, 0) == 0) {
+      label = label.substr(sizeof(kMapPrefix) - 1);
+    }
+    const LogicalPlan* target = nullptr;
+    for (const LogicalPlan* n : nodes) {
+      for (const std::string& key : NodeStageKeys(*n)) {
+        if (label.find(key) != std::string::npos) {
+          target = n;
+          break;
+        }
+      }
+      if (target != nullptr) break;
+    }
+    if (target != nullptr) {
+      by_node[target].push_back(&st);
+    } else {
+      unmatched.push_back(&st);
+    }
+  }
+  std::string out;
+  AppendAnalyzed(plan, 0, by_node, profile, &out);
+  if (!unmatched.empty()) {
+    out += "other stages:\n";
+    for (const StageTrace* st : unmatched) {
+      out += StageAnnotation(*st, 1, profile);
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "total: %.3fs, %d stages, %llu result rows\n",
+                profile.duration(), static_cast<int>(profile.stages.size()),
+                static_cast<unsigned long long>(profile.result_rows));
+  out += buf;
+  return out;
 }
 
 }  // namespace shark

@@ -1,6 +1,7 @@
 #ifndef SHARK_SQL_EXECUTOR_H_
 #define SHARK_SQL_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,12 @@ struct QueryResult {
   std::vector<Row> rows;
   QueryMetrics metrics;
 
+  /// Per-stage/per-task execution trace (see common/trace.h). Set by
+  /// Executor::Execute when it owns the profile bracket; null for queries
+  /// executed inside an outer profiled query (their stages land in the
+  /// outer profile).
+  std::shared_ptr<const QueryProfile> profile;
+
   std::string ToString(size_t max_rows = 20) const;
 };
 
@@ -99,6 +106,8 @@ class Executor {
   const QueryMetrics& metrics() const { return metrics_; }
 
  private:
+  Result<QueryResult> ExecuteInner(const PlanPtr& plan);
+
   Result<RddPtr<Row>> BuildScan(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildFilter(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildProject(const LogicalPlan& node);
@@ -136,6 +145,14 @@ class Executor {
 /// conjunct (exposed for tests).
 bool PartitionMayMatch(const std::vector<ColumnStats>& stats,
                        const std::vector<ExprPtr>& conjuncts);
+
+/// EXPLAIN ANALYZE rendering: the logical plan tree with each operator
+/// annotated by the stages that executed it (virtual-time span, task counts,
+/// rows/bytes out, shuffle bucket distribution, cache traffic, work
+/// breakdown). Stages that match no operator (shuffle-stat probes, recovery
+/// sub-stages of shared scans) are listed at the end.
+std::string RenderAnalyzedPlan(const LogicalPlan& plan,
+                               const QueryProfile& profile);
 
 }  // namespace shark
 

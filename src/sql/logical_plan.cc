@@ -48,9 +48,8 @@ const char* AggFnName(AggCall::Fn fn) {
 
 }  // namespace
 
-std::string LogicalPlan::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad + PlanKindName(kind);
+std::string LogicalPlan::NodeString() const {
+  std::string out = PlanKindName(kind);
   switch (kind) {
     case PlanKind::kScan:
       out += " " + table;
@@ -106,6 +105,12 @@ std::string LogicalPlan::ToString(int indent) const {
     case PlanKind::kUnion:
       break;
   }
+  return out;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += NodeString();
   out += "\n";
   for (const auto& c : children) out += c->ToString(indent + 1);
   return out;

@@ -87,6 +87,10 @@ struct LogicalPlan {
 
   int num_output_columns() const { return static_cast<int>(output.size()); }
 
+  /// One-line rendering of this node alone (no children, no newline) —
+  /// shared by ToString and the EXPLAIN ANALYZE renderer.
+  std::string NodeString() const;
+
   /// Indented plan rendering for tests and EXPLAIN-style debugging.
   std::string ToString(int indent = 0) const;
 };

@@ -29,8 +29,17 @@ class Parser {
       SHARK_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
       stmt.kind = StatementKind::kDropTable;
       stmt.drop_table = drop;
+    } else if (MatchKeyword("EXPLAIN")) {
+      auto explain = std::make_shared<ExplainStmt>();
+      explain->analyze = MatchKeyword("ANALYZE");
+      if (!PeekKeyword("SELECT")) {
+        return ErrorHere("expected SELECT after EXPLAIN");
+      }
+      SHARK_ASSIGN_OR_RETURN(explain->select, ParseSelect());
+      stmt.kind = StatementKind::kExplain;
+      stmt.explain = explain;
     } else {
-      return ErrorHere("expected SELECT, CREATE or DROP");
+      return ErrorHere("expected SELECT, CREATE, DROP or EXPLAIN");
     }
     MatchSymbol(";");
     if (!AtEnd()) return ErrorHere("trailing input after statement");

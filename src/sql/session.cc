@@ -25,8 +25,47 @@ Result<QueryResult> SharkSession::Sql(const std::string& query) {
           catalog_.DropTable(stmt.drop_table->name, stmt.drop_table->if_exists));
       return QueryResult{};
     }
+    case StatementKind::kExplain:
+      return ExecuteExplain(*stmt.explain);
   }
   return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> SharkSession::ExecuteExplain(const ExplainStmt& stmt) {
+  Analyzer analyzer(&catalog_, &udfs_);
+  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
+  plan = Optimize(plan, &udfs_);
+
+  std::string rendered;
+  QueryResult result;
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE runs the query and annotates the plan with the
+    // recorded profile; the data rows are discarded, the metrics and the
+    // profile itself are carried on the result.
+    Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
+    SHARK_ASSIGN_OR_RETURN(QueryResult run, executor.Execute(plan));
+    SHARK_CHECK(run.profile != nullptr);
+    rendered = RenderAnalyzedPlan(*plan, *run.profile);
+    result.metrics = run.metrics;
+    result.profile = run.profile;
+  } else {
+    rendered = plan->ToString();
+  }
+
+  // One STRING column, one row per output line.
+  Schema schema;
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"plan", TypeKind::kString}));
+  result.schema = schema;
+  size_t start = 0;
+  while (start < rendered.size()) {
+    size_t end = rendered.find('\n', start);
+    if (end == std::string::npos) end = rendered.size();
+    Row row;
+    row.fields.push_back(Value::String(rendered.substr(start, end - start)));
+    result.rows.push_back(std::move(row));
+    start = end + 1;
+  }
+  return result;
 }
 
 Result<QueryResult> SharkSession::ExecuteSelect(const SelectStmt& stmt) {

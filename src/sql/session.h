@@ -72,6 +72,7 @@ class SharkSession {
  private:
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
 
   /// Marshals a row RDD into cached columnar partitions; registers stats.
   /// If `align_with` is non-null, load tasks prefer the node holding the

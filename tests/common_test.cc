@@ -200,6 +200,78 @@ TEST(SizeEncodingTest, MonotoneNonDecreasing) {
   }
 }
 
+TEST(SizeEncodingTest, CodeZeroOneBoundary) {
+  // Code 0 is reserved for exactly zero; the smallest nonzero size must get
+  // a nonzero code (a 1-byte output reported as "nothing" would make PDE
+  // treat a populated bucket as empty).
+  EXPECT_EQ(SizeEncoding::Encode(1), 1);
+  EXPECT_EQ(SizeEncoding::Decode(1), 1u);
+  for (uint64_t s : {1ULL, 2ULL, 3ULL, 7ULL}) {
+    EXPECT_GT(SizeEncoding::Encode(s), 0) << "size=" << s;
+    EXPECT_GT(SizeEncoding::Decode(SizeEncoding::Encode(s)), 0u)
+        << "size=" << s;
+  }
+}
+
+TEST(SizeEncodingTest, DecodeMonotoneAcrossCodes) {
+  // Property over the whole code space: decode never decreases, and once the
+  // ~10% geometric steps outgrow integer rounding (a few tens of bytes) each
+  // code maps to a distinct size — ordering is preserved and large buckets
+  // stay distinguishable.
+  uint64_t prev = SizeEncoding::Decode(0);
+  EXPECT_EQ(prev, 0u);
+  for (int code = 1; code <= 255; ++code) {
+    uint64_t d = SizeEncoding::Decode(static_cast<uint8_t>(code));
+    EXPECT_GE(d, prev) << "code=" << code;
+    if (prev >= 64) EXPECT_GT(d, prev) << "code=" << code;
+    prev = d;
+  }
+  EXPECT_LE(prev, SizeEncoding::kMaxSize + SizeEncoding::kMaxSize / 10);
+}
+
+TEST(SizeEncodingTest, EncodeMonotoneInSize) {
+  // Encode never decreases as the size grows (random adjacent pairs).
+  Random rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Uniform(2 * SizeEncoding::kMaxSize);
+    uint64_t b = rng.Uniform(2 * SizeEncoding::kMaxSize);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(SizeEncoding::Encode(a), SizeEncoding::Encode(b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(SizeEncodingTest, RandomSizesWithinTenPercent) {
+  // The paper's guarantee, checked on random sizes across the full range:
+  // round-trip relative error <= 10% for every value in (0, kMaxSize].
+  Random rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform draw so small sizes are exercised as densely as large.
+    double exponent =
+        rng.NextDouble() * std::log2(static_cast<double>(SizeEncoding::kMaxSize));
+    auto size = static_cast<uint64_t>(std::pow(2.0, exponent));
+    if (size == 0) size = 1;
+    if (size > SizeEncoding::kMaxSize) size = SizeEncoding::kMaxSize;
+    uint64_t decoded = SizeEncoding::Decode(SizeEncoding::Encode(size));
+    double rel =
+        std::abs(static_cast<double>(decoded) - static_cast<double>(size)) /
+        static_cast<double>(size);
+    EXPECT_LE(rel, 0.10) << "size=" << size << " decoded=" << decoded;
+  }
+}
+
+TEST(SizeEncodingTest, ClampAboveMaxIsLossyButBounded) {
+  // Sizes above kMaxSize saturate at code 255 and decode to ~kMaxSize —
+  // never to something larger than the representable range.
+  for (uint64_t over : {SizeEncoding::kMaxSize + 1, 2 * SizeEncoding::kMaxSize,
+                        100 * SizeEncoding::kMaxSize}) {
+    EXPECT_EQ(SizeEncoding::Encode(over), 255);
+    uint64_t decoded = SizeEncoding::Decode(255);
+    EXPECT_GE(decoded, SizeEncoding::kMaxSize - SizeEncoding::kMaxSize / 10);
+    EXPECT_LE(decoded, SizeEncoding::kMaxSize + SizeEncoding::kMaxSize / 10);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Approximate histogram
 // ---------------------------------------------------------------------------

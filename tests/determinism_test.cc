@@ -226,5 +226,60 @@ TEST(DeterminismTest, FaultRecoveryIdenticalAcrossHostThreadCounts) {
   EXPECT_EQ(serial.map_tasks_recovered, parallel.map_tasks_recovered);
 }
 
+/// Tentpole regression: the recorded QueryProfile — every stage span, task
+/// lifecycle, event line and both renderings — must be byte-for-byte
+/// identical between the serial reference path and the work-stealing pool
+/// (host_threads=0, one worker per hardware thread).
+std::string RunProfiledSuite(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.hardware.cores_per_node = 2;
+  cfg.host_threads = host_threads;
+  auto ctx = std::make_shared<ClusterContext>(cfg);
+  auto session = std::make_unique<SharkSession>(ctx);
+  Dataset data = MakeSales(3000, 77);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+
+  const std::string queries[] = {
+      "SELECT region, product, COUNT(*), SUM(units) FROM sales "
+      "GROUP BY region, product",
+      "SELECT s.region, COUNT(*) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region WHERE s.units = m.mu GROUP BY s.region",
+  };
+
+  std::string rendered;
+  auto run = [&](const std::string& sql) {
+    auto r = session->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    if (r.ok()) {
+      EXPECT_NE(r->profile, nullptr) << sql;
+      if (r->profile != nullptr) {
+        rendered += r->profile->ToString();
+        rendered += r->profile->ToChromeTrace();
+      }
+    }
+  };
+  for (const auto& q : queries) run(q);
+  EXPECT_TRUE(session->CacheTable("sales").ok());
+  for (const auto& q : queries) run(q);
+  // The hairiest profile: node death mid-query, aborted tasks, lineage
+  // recovery — its trace must also replay identically.
+  ctx->InjectFault(
+      FaultEvent{FaultEvent::Kind::kKill, ctx->now() + 0.05, 2, 1.0});
+  run(queries[0]);
+  return rendered;
+}
+
+TEST(DeterminismTest, QueryProfileByteIdenticalAcrossHostThreadCounts) {
+  std::string serial = RunProfiledSuite(1);
+  std::string pool = RunProfiledSuite(0);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_TRUE(serial == pool)
+      << "profiles diverged (lengths " << serial.size() << " vs "
+      << pool.size() << ")";
+}
+
 }  // namespace
 }  // namespace shark

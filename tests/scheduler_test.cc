@@ -171,6 +171,149 @@ TEST(SchedulerTest, TaskBodyExceptionBecomesStatus) {
   }
 }
 
+TEST(ShuffleManagerTest, LostOutputReadsAbsent) {
+  ShuffleManager sm;
+  int id = sm.RegisterShuffle(/*num_map_partitions=*/2, /*num_buckets=*/2);
+  MapOutput out;
+  out.node = 1;
+  out.buckets.resize(2);
+  out.bucket_bytes = {10, 20};
+  out.bucket_records = {1, 2};
+  sm.PutMapOutput(id, 0, std::move(out));
+  ASSERT_NE(sm.GetMapOutput(id, 0), nullptr);
+  EXPECT_EQ(sm.GetMapOutput(id, 0)->node, 1);
+  EXPECT_EQ(sm.GetMapOutput(id, 1), nullptr);  // never computed
+
+  MapOutput other;
+  other.node = 2;
+  other.buckets.resize(2);
+  other.bucket_bytes = {5, 5};
+  other.bucket_records = {1, 1};
+  sm.PutMapOutput(id, 1, std::move(other));
+  EXPECT_TRUE(sm.IsComplete(id));
+
+  sm.DropNode(1);
+  // Regression: DropNode clears `present` and the buckets but leaves
+  // node >= 0, and GetMapOutput used to treat only (node < 0 && !present) as
+  // absent — handing reduce-side fetches a non-null pointer to the cleared
+  // output, which silently read as empty instead of triggering recovery.
+  EXPECT_EQ(sm.GetMapOutput(id, 0), nullptr);
+  EXPECT_FALSE(sm.IsComplete(id));
+  EXPECT_EQ(sm.MissingMapPartitions(id), std::vector<int>{0});
+}
+
+TEST(SchedulerTest, ReduceFetchAfterNodeDeathRecovers) {
+  // End-to-end shape of the GetMapOutput regression: materialize a shuffle's
+  // map outputs, kill one of the hosting nodes, then run the reduce side.
+  // The reduce fetch must see the lost outputs as absent and recompute them
+  // from lineage — with the old GetMapOutput condition it consumed the
+  // cleared (empty) buckets and returned silently wrong totals.
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e7;
+  ClusterContext ctx(cfg);
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 4000; ++i) data.emplace_back(i % 100, 1);
+  auto rdd = ctx.Parallelize(data, 8);
+  auto summed =
+      ReduceByKey(rdd, [](int64_t a, int64_t b) { return a + b; }, 6);
+
+  auto warm = ctx.Collect(summed);  // materializes the map outputs
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // The kill fires at the start of the re-run, after the map-side
+  // completeness check already passed — only the reduce-side fetch can
+  // notice the loss.
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kKill, ctx.now(), 1, 1.0});
+  TraceCollector& tc = ctx.trace_collector();
+  ASSERT_TRUE(tc.BeginQuery(ctx.now()));
+  auto rerun = ctx.Collect(summed);
+  auto profile = tc.EndQuery(ctx.now());
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+
+  ASSERT_EQ(rerun->size(), 100u);
+  int64_t total = 0;
+  for (const auto& [k, v] : *rerun) total += v;
+  EXPECT_EQ(total, 4000);
+  EXPECT_GT(ctx.scheduler().last_job().map_tasks_recovered, 0);
+
+  // The profile records the recovery: a task hit missing input and a nested
+  // recovery stage re-ran map tasks.
+  bool recovery_event = false;
+  bool nested_stage = false;
+  for (const StageTrace& st : profile->stages) {
+    if (st.parent >= 0) nested_stage = true;
+    for (const std::string& e : st.events) {
+      if (e.find("missing shuffle input") != std::string::npos) {
+        recovery_event = true;
+      }
+    }
+  }
+  EXPECT_TRUE(recovery_event);
+  EXPECT_TRUE(nested_stage);
+}
+
+TEST(SchedulerTest, SpeculativeDuplicatesDontCorruptShuffleState) {
+  // Speculation audit: a losing duplicate must never overwrite the winner's
+  // committed map output, and re-reported statistics must not double count.
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e7;
+  cfg.speculation = true;
+  ClusterContext ctx(cfg);
+  // One node 8x slower from the start: its tasks exceed the speculation
+  // multiplier and get backup copies on healthy nodes.
+  ctx.InjectFault(FaultEvent{FaultEvent::Kind::kSlowdown, 0.0, 1, 8.0});
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 4000; ++i) data.emplace_back(i % 100, 1);
+  auto rdd = ctx.Parallelize(data, 8);
+  auto summed =
+      ReduceByKey(rdd, [](int64_t a, int64_t b) { return a + b; }, 6);
+
+  TraceCollector& tc = ctx.trace_collector();
+  ASSERT_TRUE(tc.BeginQuery(ctx.now()));
+  auto result = ctx.Collect(summed);
+  auto profile = tc.EndQuery(ctx.now());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->size(), 100u);
+  int64_t total = 0;
+  for (const auto& [k, v] : *result) total += v;
+  EXPECT_EQ(total, 4000);
+
+  int speculative = 0;
+  const StageTrace* map_stage = nullptr;
+  for (const StageTrace& st : profile->stages) {
+    speculative += st.speculative_tasks();
+    if (st.is_map_stage) map_stage = &st;
+  }
+  EXPECT_GT(speculative, 0);
+  ASSERT_NE(map_stage, nullptr);
+
+  ShuffleManager& sm = ctx.shuffle_manager();
+  const int shuffle_id = map_stage->shuffle_id;
+  // Stats were folded exactly once per map partition even where a duplicate
+  // also finished: the aggregate equals the sum over the stored outputs.
+  uint64_t stored_records = 0;
+  for (int m = 0; m < sm.NumMapPartitions(shuffle_id); ++m) {
+    const MapOutput* mo = sm.GetMapOutput(shuffle_id, m);
+    ASSERT_NE(mo, nullptr);
+    for (uint64_t r : mo->bucket_records) stored_records += r;
+  }
+  EXPECT_EQ(sm.Stats(shuffle_id).total_records, stored_records);
+
+  // The stored output's node is the committed attempt's node — a superseded
+  // duplicate finishing later must not have overwritten it.
+  for (const TaskTrace& t : map_stage->tasks) {
+    if (t.end != TaskEnd::kCommitted) continue;
+    const MapOutput* mo = sm.GetMapOutput(shuffle_id, t.partition);
+    ASSERT_NE(mo, nullptr);
+    EXPECT_EQ(mo->node, t.node) << "map partition " << t.partition;
+  }
+}
+
 TEST(SchedulerTest, MapPruningLaunchesFewerTasks) {
   ClusterConfig cfg;
   cfg.num_nodes = 2;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: tier-1 tests in a plain build, then the same suite under
+# AddressSanitizer and ThreadSanitizer. Each phase uses its own build
+# directory so caches stay valid across runs.
+#
+# Usage: tools/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1 (plain build) ==="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== AddressSanitizer ==="
+tools/check_asan.sh
+
+echo "=== ThreadSanitizer ==="
+tools/check_tsan.sh
+
+echo "CI: all phases passed"
