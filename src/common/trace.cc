@@ -188,6 +188,38 @@ TaskWork StageTrace::total_work() const {
   return w;
 }
 
+int StageTrace::spilled_tasks() const {
+  int n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted && t.spill_bytes > 0) ++n;
+  }
+  return n;
+}
+
+uint64_t StageTrace::spill_bytes() const {
+  uint64_t n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted) n += t.spill_bytes;
+  }
+  return n;
+}
+
+uint64_t StageTrace::spill_partitions() const {
+  uint64_t n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted) n += t.spill_partitions;
+  }
+  return n;
+}
+
+int StageTrace::disk_served_outputs() const {
+  int n = 0;
+  for (const TaskTrace& t : tasks) {
+    if (t.end == TaskEnd::kCommitted && t.output_on_disk) ++n;
+  }
+  return n;
+}
+
 const StageTrace* QueryProfile::FindStage(const std::string& label_part) const {
   for (const StageTrace& s : stages) {
     if (s.label.find(label_part) != std::string::npos) return &s;
@@ -238,6 +270,21 @@ std::string QueryProfile::ToString() const {
              " blocks\n";
     }
     out += "    work: " + WorkSummary(s.total_work()) + "\n";
+    if (s.spilled_tasks() > 0 || s.disk_served_outputs() > 0) {
+      out += "    memory:";
+      if (s.spilled_tasks() > 0) {
+        out += " spilled=" + FormatBytes(s.spill_bytes()) + " in " +
+               std::to_string(s.spill_partitions()) + " partitions across " +
+               std::to_string(s.spilled_tasks()) + " tasks";
+      }
+      if (s.disk_served_outputs() > 0) {
+        if (s.spilled_tasks() > 0) out += ",";
+        out += " disk-served map outputs=" +
+               std::to_string(s.disk_served_outputs()) + "/" +
+               std::to_string(s.committed_tasks());
+      }
+      out += "\n";
+    }
     for (const TaskTrace& t : s.tasks) {
       out += "    task " + std::to_string(t.task) + "/p" +
              std::to_string(t.partition) + " attempt=" +

@@ -52,6 +52,14 @@ struct TaskTrace {
   uint64_t rows_out = 0;
   uint64_t bytes_out = 0;
   TaskWork work;  // placement-resolved counters charged at launch
+  /// Operator working-set bytes this attempt spilled to simulated local
+  /// disk (external hash aggregation / sort-merge), and how many grace-hash
+  /// partitions or sorted runs they were split into.
+  uint64_t spill_bytes = 0;
+  uint32_t spill_partitions = 0;
+  /// Map stages: this attempt's output is served from local disk (global
+  /// Hadoop knob, or flipped per-node under memory pressure).
+  bool output_on_disk = false;
 };
 
 /// Summary of a shuffle's per-bucket byte sizes exactly as the master saw
@@ -97,6 +105,10 @@ struct StageTrace {
   uint64_t rows_out() const;   // committed attempts only
   uint64_t bytes_out() const;  // committed attempts only
   TaskWork total_work() const;  // all attempts (what the job was charged)
+  int spilled_tasks() const;          // committed attempts that spilled
+  uint64_t spill_bytes() const;       // committed attempts only
+  uint64_t spill_partitions() const;  // committed attempts only
+  int disk_served_outputs() const;    // committed map outputs on disk
 };
 
 /// The per-query observability tree: every stage and task attempt the

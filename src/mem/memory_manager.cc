@@ -1,0 +1,100 @@
+#include "mem/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace shark {
+
+MemoryManager::MemoryManager(int num_nodes, uint64_t capacity_bytes_per_node,
+                             int cores_per_node)
+    : capacity_per_node_(std::max<uint64_t>(capacity_bytes_per_node, 1)),
+      cores_per_node_(std::max(cores_per_node, 1)),
+      shuffle_bytes_(static_cast<size_t>(num_nodes), 0),
+      peak_task_bytes_(static_cast<size_t>(num_nodes), 0) {
+  SHARK_CHECK(num_nodes > 0);
+}
+
+uint64_t MemoryManager::UsedBytes(int node) const {
+  uint64_t used = shuffle_bytes_[static_cast<size_t>(node)];
+  if (cache_usage_) used += cache_usage_(node);
+  return used;
+}
+
+bool MemoryManager::ShuffleFits(int node, uint64_t bytes) const {
+  uint64_t used = UsedBytes(node);
+  return used + bytes <= capacity_per_node_;
+}
+
+void MemoryManager::AddShuffleBytes(int node, uint64_t bytes) {
+  shuffle_bytes_[static_cast<size_t>(node)] += bytes;
+}
+
+void MemoryManager::ReleaseShuffleBytes(int node, uint64_t bytes) {
+  uint64_t& slot = shuffle_bytes_[static_cast<size_t>(node)];
+  slot -= std::min(slot, bytes);
+}
+
+uint64_t MemoryManager::shuffle_bytes(int node) const {
+  return shuffle_bytes_[static_cast<size_t>(node)];
+}
+
+uint64_t MemoryManager::total_shuffle_bytes() const {
+  uint64_t total = 0;
+  for (uint64_t b : shuffle_bytes_) total += b;
+  return total;
+}
+
+uint64_t MemoryManager::TaskWorkingSetBudget() const {
+  uint64_t worst_used = 0;
+  for (int n = 0; n < num_nodes(); ++n) {
+    worst_used = std::max(worst_used, UsedBytes(n));
+  }
+  uint64_t headroom =
+      capacity_per_node_ > worst_used ? capacity_per_node_ - worst_used : 0;
+  uint64_t cores = static_cast<uint64_t>(cores_per_node_);
+  uint64_t floor = std::max<uint64_t>(capacity_per_node_ / (4 * cores), 1);
+  return std::max(headroom / cores, floor);
+}
+
+void MemoryManager::CommitTaskOps(int node, const std::vector<MemOp>& ops) {
+  uint64_t reserved = 0;
+  uint64_t& peak = peak_task_bytes_[static_cast<size_t>(node)];
+  for (const MemOp& op : ops) {
+    switch (op.kind) {
+      case MemOp::Kind::kReserve:
+      case MemOp::Kind::kGrow:
+        if (op.granted) {
+          reserved += op.bytes;
+          peak = std::max(peak, reserved);
+        } else {
+          ++denied_reservations_;
+        }
+        break;
+      case MemOp::Kind::kRelease:
+        reserved -= std::min(reserved, op.bytes);
+        break;
+      case MemOp::Kind::kSpill:
+        committed_spill_bytes_ += op.bytes;
+        committed_spill_partitions_ += op.spill_partitions;
+        break;
+    }
+  }
+}
+
+uint64_t MemoryManager::peak_task_bytes(int node) const {
+  return peak_task_bytes_[static_cast<size_t>(node)];
+}
+
+std::string MemoryManager::DebugString() const {
+  std::string out = "MemoryManager capacity/node=" +
+                    FormatBytes(capacity_per_node_) +
+                    " shuffle=" + FormatBytes(total_shuffle_bytes()) +
+                    " task-budget=" + FormatBytes(TaskWorkingSetBudget()) +
+                    " denied=" + std::to_string(denied_reservations_) +
+                    " spilled=" + FormatBytes(committed_spill_bytes_);
+  return out;
+}
+
+}  // namespace shark

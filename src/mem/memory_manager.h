@@ -1,0 +1,113 @@
+#ifndef SHARK_MEM_MEMORY_MANAGER_H_
+#define SHARK_MEM_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace shark {
+
+/// One working-set reservation operation logged by a pure task body.
+///
+/// Task bodies may run concurrently on host threads, so — like CacheOp for
+/// the block cache — they never touch the shared MemoryManager. Each body
+/// decides against a per-task budget latched by the scheduler's event loop,
+/// records what it did here, and the scheduler replays the winning attempt's
+/// log via MemoryManager::CommitTaskOps in deterministic commit order.
+struct MemOp {
+  enum class Kind : uint8_t { kReserve, kGrow, kRelease, kSpill };
+  Kind kind = Kind::kReserve;
+  uint64_t bytes = 0;
+  /// For kReserve/kGrow: whether the task's budget had room. A denied
+  /// reservation is immediately followed by a kSpill describing the external
+  /// algorithm the operator degraded to.
+  bool granted = true;
+  /// For kSpill: number of on-disk partitions (grace hash) or sorted runs
+  /// (external sort) the working set was split into.
+  uint32_t spill_partitions = 0;
+};
+
+/// Per-node arbiter of the virtual memory budget (`mem_bytes_per_node`,
+/// scaled down by virtual_data_scale exactly like the block-cache capacity).
+///
+/// Three consumers share each node's budget:
+///   1. the RDD block cache — the senior consumer; it keeps its own LRU
+///      enforcement and is observed (not controlled) through `cache_usage_fn`,
+///   2. shuffle map-output buffers — a ledger maintained by ShuffleManager
+///      (AddShuffleBytes/ReleaseShuffleBytes); when a new map output would
+///      not fit, the scheduler flips that output to disk-based serving,
+///   3. per-task operator working sets — hash tables and sort buffers,
+///      granted from the headroom left by 1+2 via TaskWorkingSetBudget().
+///
+/// All mutation happens in the scheduler's single-threaded event loop
+/// (commit order), so no locking is needed and every decision is
+/// deterministic under host_threads.
+class MemoryManager {
+ public:
+  using CacheUsageFn = std::function<uint64_t(int node)>;
+
+  MemoryManager(int num_nodes, uint64_t capacity_bytes_per_node,
+                int cores_per_node);
+
+  /// Hook reporting the block cache's resident bytes on a node.
+  void set_cache_usage_fn(CacheUsageFn fn) { cache_usage_ = std::move(fn); }
+
+  int num_nodes() const { return static_cast<int>(shuffle_bytes_.size()); }
+  uint64_t capacity_per_node() const { return capacity_per_node_; }
+
+  /// Cache + shuffle-buffer bytes resident on `node`.
+  uint64_t UsedBytes(int node) const;
+
+  // ---- Consumer 2: shuffle map-output buffers ----------------------------
+
+  /// Launch-time decision: would a memory-served map output of `bytes` fit
+  /// on `node` next to everything already resident?
+  bool ShuffleFits(int node, uint64_t bytes) const;
+
+  void AddShuffleBytes(int node, uint64_t bytes);
+  void ReleaseShuffleBytes(int node, uint64_t bytes);
+  uint64_t shuffle_bytes(int node) const;
+  uint64_t total_shuffle_bytes() const;
+
+  // ---- Consumer 3: per-task operator working sets ------------------------
+
+  /// Budget one task may claim for operator working sets, derived from the
+  /// worst-case node: the headroom left by cache + shuffle buffers divided
+  /// across that node's cores. Execution memory always keeps a minimum share
+  /// of capacity/(4*cores) so a full cache degrades operators to spilling
+  /// instead of starving them to zero.
+  ///
+  /// The scheduler latches this once per (stage, epoch) — task bodies must
+  /// see a frozen value, since shuffle commits move the ledger mid-epoch.
+  uint64_t TaskWorkingSetBudget() const;
+
+  /// Replays a committed task's reservation log, tracking per-node peak
+  /// working-set bytes and global denial/spill totals.
+  void CommitTaskOps(int node, const std::vector<MemOp>& ops);
+
+  // ---- Observability -----------------------------------------------------
+
+  uint64_t peak_task_bytes(int node) const;
+  uint64_t denied_reservations() const { return denied_reservations_; }
+  uint64_t committed_spill_bytes() const { return committed_spill_bytes_; }
+  uint64_t committed_spill_partitions() const {
+    return committed_spill_partitions_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  uint64_t capacity_per_node_;
+  int cores_per_node_;
+  CacheUsageFn cache_usage_;
+  std::vector<uint64_t> shuffle_bytes_;
+  std::vector<uint64_t> peak_task_bytes_;
+  uint64_t denied_reservations_ = 0;
+  uint64_t committed_spill_bytes_ = 0;
+  uint64_t committed_spill_partitions_ = 0;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_MEM_MEMORY_MANAGER_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "mem/memory_manager.h"
 
 namespace shark {
 
@@ -102,7 +103,15 @@ ClusterContext::ClusterContext(ClusterConfig config,
       std::max(1.0, config_.virtual_data_scale));
   block_manager_ =
       std::make_unique<BlockManager>(config_.num_nodes, real_capacity);
+  // The memory manager arbitrates the same scaled budget across the block
+  // cache (observed through UsedBytes), shuffle buffers and task working
+  // sets; the cache stays the senior consumer with its own LRU enforcement.
+  memory_manager_ = std::make_unique<MemoryManager>(
+      config_.num_nodes, real_capacity, config_.hardware.cores_per_node);
+  memory_manager_->set_cache_usage_fn(
+      [bm = block_manager_.get()](int node) { return bm->UsedBytes(node); });
   shuffle_manager_ = std::make_unique<ShuffleManager>();
+  shuffle_manager_->set_memory_manager(memory_manager_.get());
   scheduler_ = std::make_unique<DagScheduler>(this);
 }
 

@@ -19,6 +19,7 @@
 
 namespace shark {
 
+class MemoryManager;
 class ThreadPool;
 
 /// Serialized on-DFS size customization point (text vs binary SerDe). The
@@ -84,6 +85,7 @@ class ClusterContext {
   Dfs& dfs() { return *dfs_; }
   std::shared_ptr<Dfs> shared_dfs() { return dfs_; }
   BlockManager& block_manager() { return *block_manager_; }
+  MemoryManager& memory_manager() { return *memory_manager_; }
   ShuffleManager& shuffle_manager() { return *shuffle_manager_; }
   BroadcastRegistry& broadcasts() { return broadcasts_; }
   DagScheduler& scheduler() { return *scheduler_; }
@@ -223,6 +225,7 @@ class ClusterContext {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<BlockManager> block_manager_;
+  std::unique_ptr<MemoryManager> memory_manager_;
   std::unique_ptr<ShuffleManager> shuffle_manager_;
   std::unique_ptr<DagScheduler> scheduler_;
   std::unique_ptr<ThreadPool> thread_pool_;

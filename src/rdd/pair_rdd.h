@@ -84,6 +84,7 @@ class PlainShuffleDep final : public ShuffleDependency {
     internal_shuffle::ChargeMapOutputWrite(ApproxSizeOfRange(in), in.size(),
                                            in.size(), tctx);
     MapOutput out;
+    out.on_disk = tctx->profile().shuffle_through_disk;
     out.buckets.reserve(buckets.size());
     for (auto& b : buckets) {
       // Plain repartitioning scales linearly with the input: no adjustment.
@@ -185,16 +186,20 @@ class CombiningShuffleDep final : public ShuffleDependency {
 
     std::vector<std::vector<std::pair<K, C>>> buckets(
         static_cast<size_t>(num_buckets_));
+    uint64_t distinct = combined.size();
     for (auto& [k, c] : combined) {
       auto b = static_cast<size_t>(KeyHash(k) %
                                    static_cast<uint64_t>(num_buckets_));
       buckets[b].emplace_back(k, std::move(c));
     }
     MapOutput out;
+    out.on_disk = tctx->profile().shuffle_through_disk;
     out.buckets.reserve(buckets.size());
     uint64_t out_bytes = 0;
     uint64_t out_records = 0;
+    uint64_t raw_bytes = 0;  // resident combine-table size, unadjusted
     for (auto& bucket : buckets) {
+      raw_bytes += ApproxSizeOfRange(bucket);
       uint64_t adjusted = static_cast<uint64_t>(
           static_cast<double>(ApproxSizeOfRange(bucket)) * byte_adjust);
       out_records += bucket.size();
@@ -205,6 +210,11 @@ class CombiningShuffleDep final : public ShuffleDependency {
       out.buckets.push_back(
           std::make_shared<const std::vector<std::pair<K, C>>>(std::move(bucket)));
     }
+    // The combine table held one (key, combiner) pair per distinct key;
+    // when it exceeds the task's budget the combiner degrades to grace-hash
+    // partitioning (spill I/O charged by the context).
+    tctx->ReserveOrSpillHash(raw_bytes, distinct);
+    tctx->ReleaseAllWorkingSet();
     internal_shuffle::ChargeMapOutputWrite(out_bytes, out_records, in.size(),
                                            tctx);
     return out;
@@ -288,6 +298,12 @@ class ShuffledReduceRdd final : public TypedRdd<std::pair<K, C>> {
     typename TypedRdd<std::pair<K, C>>::Block out;
     out.reserve(merged.size());
     for (auto& [k, c] : merged) out.emplace_back(k, std::move(c));
+    // External hash aggregation: the merge table held one combiner per key;
+    // past the task's budget it degrades to grace-hash partitions on local
+    // disk merged one at a time.
+    tctx->ReserveOrSpillHash(ApproxSizeOfRange(out),
+                             static_cast<uint64_t>(effective_records));
+    tctx->ReleaseAllWorkingSet();
     // The reduce output is one record per key — cardinality-bounded, so its
     // materialization bytes get the same distinct-growth adjustment as the
     // map-side combiner outputs.
@@ -329,15 +345,21 @@ class ShuffledGroupRdd final
     std::vector<BlockData> buckets = tctx->FetchShuffleBuckets(
         dep_->shuffle_id(), assignment_[static_cast<size_t>(p)]);
     std::unordered_map<K, std::vector<V>, KeyHasher<K>> groups;
+    uint64_t records_in = 0;
     for (const BlockData& b : buckets) {
       auto vec = std::static_pointer_cast<const std::vector<std::pair<K, V>>>(b);
       tctx->work().hash_records += vec->size();
       tctx->work().rows_processed += vec->size();
+      records_in += vec->size();
       for (const auto& [k, v] : *vec) groups[k].push_back(v);
     }
     typename TypedRdd<std::pair<K, std::vector<V>>>::Block out;
     out.reserve(groups.size());
     for (auto& [k, vs] : groups) out.emplace_back(k, std::move(vs));
+    // The group table holds every value; large groups degrade to grace-hash
+    // spill partitions past the task's budget.
+    tctx->ReserveOrSpillHash(ApproxSizeOfRange(out), records_in);
+    tctx->ReleaseAllWorkingSet();
     internal_shuffle::ChargeStageMaterialization(ApproxSizeOfRange(out), tctx);
     return out;
   }
@@ -383,21 +405,33 @@ class CoGroupedRdd final
     std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
                        KeyHasher<K>>
         table;
+    uint64_t left_ws = 0, left_records = 0;
     for (const BlockData& b : lbs) {
       auto vec = std::static_pointer_cast<const std::vector<std::pair<K, V>>>(b);
       tctx->work().hash_records += vec->size();
       tctx->work().rows_processed += vec->size();
+      left_ws += ApproxSizeOfRange(*vec);
+      left_records += vec->size();
       for (const auto& [k, v] : *vec) table[k].first.push_back(v);
     }
+    // Join build table: reserve the left side, then grow by the right side;
+    // whichever extension overruns the task's budget degrades to grace-hash
+    // spill partitions.
+    tctx->ReserveOrSpillHash(left_ws, left_records);
+    uint64_t right_ws = 0, right_records = 0;
     for (const BlockData& b : rbs) {
       auto vec = std::static_pointer_cast<const std::vector<std::pair<K, W>>>(b);
       tctx->work().hash_records += vec->size();
       tctx->work().rows_processed += vec->size();
+      right_ws += ApproxSizeOfRange(*vec);
+      right_records += vec->size();
       for (const auto& [k, w] : *vec) table[k].second.push_back(w);
     }
+    tctx->GrowOrSpillHash(right_ws, right_records);
     typename TypedRdd<Element>::Block out;
     out.reserve(table.size());
     for (auto& [k, vw] : table) out.emplace_back(k, std::move(vw));
+    tctx->ReleaseAllWorkingSet();
     internal_shuffle::ChargeStageMaterialization(ApproxSizeOfRange(out), tctx);
     return out;
   }

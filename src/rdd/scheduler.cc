@@ -12,7 +12,9 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "mem/memory_manager.h"
 #include "rdd/context.h"
 
 namespace shark {
@@ -227,6 +229,13 @@ Status DagScheduler::ExecuteTaskSet(
   const EngineProfile& profile = ctx_->profile();
   const double hb = profile.heartbeat_interval_sec;
   const uint64_t stage_seq = next_stage_seq_++;
+  MemoryManager& mm = ctx_->memory_manager();
+  // The per-task working-set budget is latched here and re-latched only at
+  // epoch bumps (after the worker drain), so concurrently computed task
+  // bodies all see one frozen value — shuffle commits move the node ledgers
+  // mid-epoch, and reading them live would make spill decisions depend on
+  // host-thread timing.
+  uint64_t task_mem_budget = mm.TaskWorkingSetBudget();
 
   struct Inflight {
     int task;
@@ -308,7 +317,8 @@ Status DagScheduler::ExecuteTaskSet(
                                                    cfg.seed)),
                                                HashInt64(static_cast<int64_t>(
                                                    stage_seq))),
-                                   HashInt64(task)));
+                                   HashInt64(task)),
+                       task_mem_budget);
       TaskOutcome o = body(task, &tctx);
       o.work = tctx.work();
       o.missing_inputs.assign(tctx.missing_inputs().begin(),
@@ -317,6 +327,9 @@ Status DagScheduler::ExecuteTaskSet(
       o.broadcast_fetches = tctx.TakeBroadcastFetches();
       o.cache_log = tctx.TakeCacheLog();
       o.cache_counters = tctx.TakeCacheCounters();
+      o.mem_log = tctx.TakeMemLog();
+      o.spill_bytes = tctx.spill_bytes();
+      o.spill_partitions = tctx.spill_partitions();
       slot.outcome = std::move(o);
     } catch (...) {
       slot.error = std::current_exception();
@@ -359,6 +372,9 @@ Status DagScheduler::ExecuteTaskSet(
     batch.CancelAndDrain();
     flush_replay();
     epoch += 1;
+    // Workers are drained; re-latch the working-set budget against the
+    // post-flush cache and shuffle ledgers for this epoch's recomputations.
+    task_mem_budget = mm.TaskWorkingSetBudget();
   };
 
   // Produces `task`'s outcome: the precomputed one if still current, else
@@ -396,6 +412,28 @@ Status DagScheduler::ExecuteTaskSet(
     }
     TaskOutcome outcome;
     SHARK_RETURN_NOT_OK(obtain(task, &outcome));
+    // Per-node memory-based-shuffle decision (§5, per output instead of the
+    // global knob): if this map task's buckets would not fit next to what is
+    // already resident on the node, serve them from local disk instead —
+    // paying serialization plus the disk write here, and the disk-read path
+    // on the reduce side. Decided in the single-threaded event loop at
+    // launch, so it is deterministic; the winning attempt's flag commits.
+    if (info.is_map_stage && !outcome.map_output.on_disk &&
+        outcome.bytes_out > 0 && !mm.ShuffleFits(node, outcome.bytes_out)) {
+      outcome.map_output.on_disk = true;
+      outcome.work.ser_bytes += outcome.bytes_out;
+      outcome.work.disk_write_bytes += outcome.bytes_out;
+      event(avail, "map output of task " + std::to_string(task) + " (" +
+                       FormatBytes(outcome.bytes_out) + ") served from disk" +
+                       " on node " + std::to_string(node) +
+                       " (shuffle buffers over memory budget)");
+    }
+    if (outcome.spill_bytes > 0) {
+      event(avail, "task " + std::to_string(task) + " spilled " +
+                       FormatBytes(outcome.spill_bytes) + " in " +
+                       std::to_string(outcome.spill_partitions) +
+                       " partitions (working set over budget)");
+    }
     // Placement-dependent costs resolve now that the node is known: the
     // body's conditional reads, and the one-time per-node broadcast fetches
     // (consulted and updated in deterministic launch order).
@@ -426,6 +464,9 @@ Status DagScheduler::ExecuteTaskSet(
       tt.rows_out = outcome.rows_out;
       tt.bytes_out = outcome.bytes_out;
       tt.work = outcome.work;  // placement-resolved counters
+      tt.spill_bytes = outcome.spill_bytes;
+      tt.spill_partitions = outcome.spill_partitions;
+      tt.output_on_disk = outcome.map_output.on_disk;
       std::vector<int> prefs = preferred(task);
       if (prefs.empty()) {
         tt.locality = TaskLocality::kAny;
@@ -496,6 +537,9 @@ Status DagScheduler::ExecuteTaskSet(
         }
       }
     }
+    // The dead nodes' cache blocks and shuffle buffers are gone; re-latch
+    // the working-set budget against the surviving residency.
+    task_mem_budget = mm.TaskWorkingSetBudget();
   };
 
   while (committed < n) {
@@ -636,6 +680,7 @@ Status DagScheduler::ExecuteTaskSet(
       bump_epoch();
       SHARK_RETURN_NOT_OK(RecoverMissing(done.outcome.missing_inputs, metrics));
       epoch += 1;  // recovery refreshed shared state
+      task_mem_budget = mm.TaskWorkingSetBudget();
       state[static_cast<size_t>(done.task)] = TaskState::kPending;
       pending.push_back(done.task);
       // Recovery advanced the virtual clock; the re-run queues from there.
@@ -649,6 +694,11 @@ Status DagScheduler::ExecuteTaskSet(
       replay_log.push_back(std::move(op));
     }
     done.outcome.cache_log.clear();
+    // Replay the winning attempt's reservation log in commit order — the
+    // MemoryManager's peak/denial/spill accounting evolves exactly as if
+    // committed tasks ran one after another.
+    mm.CommitTaskOps(done.node, done.outcome.mem_log);
+    done.outcome.mem_log.clear();
     if (tracing) {
       StageTrace* st = strace();
       for (const auto& [rdd, counters] : done.outcome.cache_counters) {

@@ -81,6 +81,9 @@ class DagScheduler {
     std::vector<int> broadcast_fetches;    // charged per launch, per node
     std::vector<CacheOp> cache_log;        // replayed if the task commits
     std::map<int, CacheCounters> cache_counters;  // per-rdd hit/miss traffic
+    std::vector<MemOp> mem_log;            // replayed if the task commits
+    uint64_t spill_bytes = 0;              // working set spilled to disk
+    uint32_t spill_partitions = 0;         // grace-hash partitions/sort runs
   };
 
   using TaskBody = std::function<TaskOutcome(int partition, TaskContext*)>;

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/size_encoding.h"
+#include "mem/memory_manager.h"
 
 namespace shark {
 
@@ -58,8 +59,28 @@ void ShuffleManager::PutMapOutput(int shuffle_id, int map_partition,
     }
     state.stats_recorded[static_cast<size_t>(map_partition)] = 1;
   }
+  // Memory-served outputs occupy the node's shuffle-buffer share of the
+  // memory budget while resident; disk-served outputs occupy none. A slot
+  // being replaced (e.g. recomputed on a new node) gives its bytes back
+  // first.
+  ReleaseLedger(&slot);
   output.present = true;
+  if (!output.on_disk && memory_manager_ != nullptr) {
+    uint64_t total = 0;
+    for (uint64_t b : output.bucket_bytes) total += b;
+    output.ledger_bytes = total;
+    memory_manager_->AddShuffleBytes(output.node, total);
+  } else {
+    output.ledger_bytes = 0;
+  }
   slot = std::move(output);
+}
+
+void ShuffleManager::ReleaseLedger(MapOutput* out) {
+  if (out->ledger_bytes > 0 && memory_manager_ != nullptr && out->node >= 0) {
+    memory_manager_->ReleaseShuffleBytes(out->node, out->ledger_bytes);
+  }
+  out->ledger_bytes = 0;
 }
 
 const MapOutput* ShuffleManager::GetMapOutput(int shuffle_id,
@@ -111,6 +132,7 @@ void ShuffleManager::DropNode(int node) {
   for (auto& [id, state] : shuffles_) {
     for (auto& out : state.outputs) {
       if (out.present && out.node == node) {
+        ReleaseLedger(&out);
         out.present = false;
         out.buckets.clear();
       }
@@ -118,8 +140,18 @@ void ShuffleManager::DropNode(int node) {
   }
 }
 
-void ShuffleManager::DropShuffle(int shuffle_id) { shuffles_.erase(shuffle_id); }
+void ShuffleManager::DropShuffle(int shuffle_id) {
+  auto it = shuffles_.find(shuffle_id);
+  if (it == shuffles_.end()) return;
+  for (auto& out : it->second.outputs) ReleaseLedger(&out);
+  shuffles_.erase(it);
+}
 
-void ShuffleManager::Clear() { shuffles_.clear(); }
+void ShuffleManager::Clear() {
+  for (auto& [id, state] : shuffles_) {
+    for (auto& out : state.outputs) ReleaseLedger(&out);
+  }
+  shuffles_.clear();
+}
 
 }  // namespace shark

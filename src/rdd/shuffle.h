@@ -11,6 +11,8 @@
 
 namespace shark {
 
+class MemoryManager;
+
 /// Statistics the master aggregates from map tasks at a shuffle boundary —
 /// the raw material for Partial DAG Execution (§3.1). Bucket byte sizes pass
 /// through the 1-byte lossy logarithmic encoding before aggregation, exactly
@@ -37,6 +39,14 @@ struct MapOutput {
   /// faithful virtual charges for cardinality-bounded (combined) outputs;
   /// empty means 1.0 (linear scaling is already correct).
   std::vector<double> bucket_cost_scale;
+  /// Serving mode (§5's memory-based shuffle knob, now per output): false =
+  /// buckets stay in the map node's memory and fetches cost mem/net; true =
+  /// buckets live on local disk (the Hadoop profile's global default, or a
+  /// per-node flip when the node's memory budget had no room at launch).
+  bool on_disk = false;
+  /// Bytes this output charges to the node's shuffle-buffer ledger while
+  /// resident in memory (0 when on_disk). Managed by ShuffleManager.
+  uint64_t ledger_bytes = 0;
 };
 
 /// Tracks materialized map outputs per shuffle. Lost outputs (node failure)
@@ -44,6 +54,11 @@ struct MapOutput {
 /// scheduler.
 class ShuffleManager {
  public:
+  /// Optional memory arbiter: memory-served map outputs are charged to its
+  /// per-node shuffle-buffer ledger while resident. May stay null (unit
+  /// tests construct bare ShuffleManagers).
+  void set_memory_manager(MemoryManager* mm) { memory_manager_ = mm; }
+
   /// Registers a shuffle; returns its id.
   int RegisterShuffle(int num_map_partitions, int num_buckets);
 
@@ -90,9 +105,11 @@ class ShuffleManager {
   };
 
   const ShuffleState& GetState(int shuffle_id) const;
+  void ReleaseLedger(MapOutput* out);
 
   int next_id_ = 0;
   std::map<int, ShuffleState> shuffles_;
+  MemoryManager* memory_manager_ = nullptr;
 };
 
 }  // namespace shark

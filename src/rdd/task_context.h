@@ -1,6 +1,7 @@
 #ifndef SHARK_RDD_TASK_CONTEXT_H_
 #define SHARK_RDD_TASK_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -9,6 +10,7 @@
 
 #include "common/random.h"
 #include "common/trace.h"
+#include "mem/memory_manager.h"
 #include "rdd/block_manager.h"
 #include "rdd/broadcast.h"
 #include "rdd/shuffle.h"
@@ -99,14 +101,16 @@ class TaskContext {
               const BlockManager* block_manager,
               const ShuffleManager* shuffle_manager,
               const BroadcastRegistry* broadcasts, double virtual_scale = 1.0,
-              uint64_t rng_seed = 0)
+              uint64_t rng_seed = 0,
+              uint64_t mem_budget = ~static_cast<uint64_t>(0))
       : partition_(partition),
         profile_(profile),
         block_manager_(block_manager),
         shuffle_manager_(shuffle_manager),
         broadcasts_(broadcasts),
         virtual_scale_(virtual_scale),
-        rng_seed_(rng_seed) {}
+        rng_seed_(rng_seed),
+        mem_budget_(mem_budget) {}
 
   /// The context-wide virtual data multiplier (see ClusterConfig); shuffle
   /// boundaries use it with the distinct-growth estimator to avoid scaling
@@ -185,6 +189,78 @@ class TaskContext {
         CacheOp{true, rdd_id, partition, std::move(data), bytes, -1});
   }
 
+  // -- Operator working-set memory ------------------------------------------
+  //
+  // Task bodies arbitrate their hash tables and sort buffers against a
+  // per-task budget latched by the scheduler at stage start (frozen state —
+  // shuffle commits may move the node ledgers mid-stage, so bodies must not
+  // read the MemoryManager live). Decisions are logged as MemOps; the
+  // scheduler replays the committed attempt's log in commit order.
+
+  /// The working-set budget (bytes) this task may claim. Defaults to
+  /// unlimited for directly constructed contexts (unit tests).
+  uint64_t mem_budget() const { return mem_budget_; }
+  uint64_t mem_reserved() const { return mem_reserved_; }
+
+  /// Claims `bytes` of working-set memory. Returns false (and logs a denied
+  /// reservation) when the budget has no room — the operator must degrade.
+  bool ReserveWorkingSet(uint64_t bytes) {
+    bool granted = bytes <= mem_budget_ - mem_reserved_;
+    mem_log_.push_back(MemOp{MemOp::Kind::kReserve, bytes, granted, 0});
+    if (granted) mem_reserved_ += bytes;
+    return granted;
+  }
+
+  /// Extends an existing reservation (e.g. the probe side of a join joining
+  /// an already-reserved build table).
+  bool GrowWorkingSet(uint64_t bytes) {
+    bool granted = bytes <= mem_budget_ - mem_reserved_;
+    mem_log_.push_back(MemOp{MemOp::Kind::kGrow, bytes, granted, 0});
+    if (granted) mem_reserved_ += bytes;
+    return granted;
+  }
+
+  /// Returns working-set memory; clamped to what is actually reserved.
+  void ReleaseWorkingSet(uint64_t bytes) {
+    bytes = std::min(bytes, mem_reserved_);
+    if (bytes == 0) return;
+    mem_reserved_ -= bytes;
+    mem_log_.push_back(MemOp{MemOp::Kind::kRelease, bytes, true, 0});
+  }
+
+  /// Releases everything this task still holds; operators call this when
+  /// their working structures die (tasks pipeline operators sequentially, so
+  /// at any instant the reservation belongs to the innermost operator).
+  void ReleaseAllWorkingSet() { ReleaseWorkingSet(mem_reserved_); }
+
+  /// Reserve a hash-table working set, or degrade to the external grace-hash
+  /// algorithm: partition the table into budget-sized runs on simulated
+  /// local disk, then re-read and merge them partition by partition. Charges
+  /// the spill I/O plus a rebuild pass over `rebuild_records` entries.
+  /// Returns the number of spill partitions (0 = fit in memory).
+  uint32_t ReserveOrSpillHash(uint64_t bytes, uint64_t rebuild_records) {
+    if (ReserveWorkingSet(bytes)) return 0;
+    return SpillWorkingSet(bytes, rebuild_records, /*sort_merge=*/false);
+  }
+
+  /// Grow variant of ReserveOrSpillHash (second input of a two-sided build).
+  uint32_t GrowOrSpillHash(uint64_t bytes, uint64_t rebuild_records) {
+    if (GrowWorkingSet(bytes)) return 0;
+    return SpillWorkingSet(bytes, rebuild_records, /*sort_merge=*/false);
+  }
+
+  /// Reserve a sort buffer, or degrade to the external sort-merge path:
+  /// sort budget-sized runs, spill each, then k-way merge — charging run
+  /// I/O, one seek per run, and a merge pass over `merge_records` rows.
+  /// Returns the number of runs (0 = fit in memory).
+  uint32_t ReserveOrSpillSort(uint64_t bytes, uint64_t merge_records) {
+    if (ReserveWorkingSet(bytes)) return 0;
+    return SpillWorkingSet(bytes, merge_records, /*sort_merge=*/true);
+  }
+
+  uint64_t spill_bytes() const { return spill_bytes_; }
+  uint32_t spill_partitions() const { return spill_partitions_; }
+
   // -- Shuffle fetch --------------------------------------------------------
 
   /// Fetches the given fine-grained buckets of every map output of a
@@ -220,7 +296,10 @@ class TaskContext {
         }
       }
       if (bytes == 0) continue;
-      if (profile_->shuffle_through_disk) {
+      // Per-output serving mode: §5's memory-based-shuffle knob resolved at
+      // map launch (globally true for the Hadoop profile, per-node true when
+      // the map node's memory budget had no room for the buckets).
+      if (mo->on_disk) {
         // The serving side reads its spilled map output from disk (one seek
         // per map output consulted), then ships it if remote.
         work_.disk_read_bytes += bytes;
@@ -266,8 +345,36 @@ class TaskContext {
   std::map<int, CacheCounters> TakeCacheCounters() {
     return std::move(cache_counters_);
   }
+  std::vector<MemOp> TakeMemLog() { return std::move(mem_log_); }
 
  private:
+  /// Shared degradation path: charge the external-algorithm I/O for a
+  /// `bytes`-sized working set that failed to reserve. Both shapes write the
+  /// whole working set to local disk and read it back once; grace hash pays
+  /// a rebuild over the spilled entries, external sort a merge pass.
+  uint32_t SpillWorkingSet(uint64_t bytes, uint64_t records, bool sort_merge) {
+    uint64_t slice = std::max<uint64_t>(mem_budget_ - mem_reserved_, 1);
+    uint64_t parts64 = (bytes + slice - 1) / slice;
+    uint32_t parts = static_cast<uint32_t>(
+        std::min<uint64_t>(std::max<uint64_t>(parts64, 2), 1u << 20));
+    work_.ser_bytes += bytes;
+    work_.disk_write_bytes += bytes;
+    work_.disk_read_bytes += bytes;
+    work_.binary_deser_bytes += bytes;
+    work_.disk_seeks += parts;
+    if (sort_merge) {
+      work_.rows_processed += records;
+    } else {
+      work_.hash_records += records;
+    }
+    spill_bytes_ += bytes;
+    spill_partitions_ += parts;
+    mem_log_.push_back(MemOp{MemOp::Kind::kSpill, bytes, false, parts});
+    // One in-memory partition/run stays resident at a time; the operator's
+    // ReleaseAll returns it.
+    GrowWorkingSet(std::min(bytes, slice));
+    return parts;
+  }
   int partition_;
   const EngineProfile* profile_;
   const BlockManager* block_manager_;
@@ -275,6 +382,11 @@ class TaskContext {
   const BroadcastRegistry* broadcasts_;
   double virtual_scale_;
   uint64_t rng_seed_;
+  uint64_t mem_budget_;
+  uint64_t mem_reserved_ = 0;
+  uint64_t spill_bytes_ = 0;
+  uint32_t spill_partitions_ = 0;
+  std::vector<MemOp> mem_log_;
   std::optional<Random> rng_;
   TaskWork work_;
   std::vector<std::pair<int, int>> missing_inputs_;

@@ -17,11 +17,16 @@ Cluster::Cluster(int num_nodes, int cores_per_node)
 }
 
 void Cluster::InjectFault(const FaultEvent& event) {
-  pending_faults_.push_back(event);
-  std::stable_sort(pending_faults_.begin(), pending_faults_.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.time < b.time;
-                   });
+  // Sorted insert after any already-pending event with the same time, so
+  // same-time faults apply in injection order (upper_bound keeps the new
+  // event behind its equal-time predecessors). O(n) per insert instead of
+  // the previous sort-per-insert, and stable by construction.
+  auto it = std::upper_bound(pending_faults_.begin(), pending_faults_.end(),
+                             event,
+                             [](const FaultEvent& a, const FaultEvent& b) {
+                               return a.time < b.time;
+                             });
+  pending_faults_.insert(it, event);
 }
 
 std::vector<int> Cluster::ApplyFaultsUpTo(double now) {

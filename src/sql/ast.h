@@ -141,18 +141,31 @@ struct DropTableStmt {
   bool if_exists = false;
 };
 
+/// UNCACHE TABLE <name>: drops the table's blocks from the memory store;
+/// the table itself (and its DFS backing, if any) survives.
+struct UncacheTableStmt {
+  std::string name;
+};
+
 struct ExplainStmt {
   bool analyze = false;  // EXPLAIN ANALYZE executes and annotates the plan
   std::shared_ptr<SelectStmt> select;
 };
 
-enum class StatementKind { kSelect, kCreateTable, kDropTable, kExplain };
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kDropTable,
+  kUncacheTable,
+  kExplain
+};
 
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
   std::shared_ptr<SelectStmt> select;
   std::shared_ptr<CreateTableStmt> create_table;
   std::shared_ptr<DropTableStmt> drop_table;
+  std::shared_ptr<UncacheTableStmt> uncache_table;
   std::shared_ptr<ExplainStmt> explain;
 };
 

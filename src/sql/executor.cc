@@ -93,6 +93,9 @@ class ZippedJoinRdd final : public TypedRdd<Row> {
     }
     tctx->work().hash_records += build.size() + probe.size();
     tctx->work().rows_processed += build.size() + probe.size();
+    // The build table holds the whole smaller side; past the task's budget
+    // the join degrades to grace-hash partitions on local disk.
+    tctx->ReserveOrSpillHash(ApproxSizeOfRange(build), build.size());
     Block out;
     for (const Row& r : probe) {
       auto it = table.find(EvalKeyRow(probe_keys, r, udfs_));
@@ -101,6 +104,7 @@ class ZippedJoinRdd final : public TypedRdd<Row> {
         out.push_back(left_build ? ConcatRows(b, r) : ConcatRows(r, b));
       }
     }
+    tctx->ReleaseAllWorkingSet();
     return out;
   }
 
@@ -857,12 +861,17 @@ Result<RddPtr<Row>> Executor::BuildSort(const LogicalPlan& node) {
   auto sort_partition = [compare, limit](int, const std::vector<Row>& in,
                                          TaskContext* tctx) {
     std::vector<Row> out = in;
+    // External sort-merge path: a partition larger than the task's memory
+    // budget is sorted as budget-sized runs spilled to local disk, then
+    // k-way merged (run I/O and the merge pass charged by the context).
+    tctx->ReserveOrSpillSort(ApproxSizeOfRange(in), in.size());
     std::sort(out.begin(), out.end(), compare);
     if (limit >= 0 && static_cast<int64_t>(out.size()) > limit) {
       out.resize(static_cast<size_t>(limit));
     }
     tctx->work().sort_records += in.size();
     tctx->work().rows_processed += in.size();
+    tctx->ReleaseAllWorkingSet();
     return out;
   };
 
@@ -1012,6 +1021,16 @@ std::string StageAnnotation(const StageTrace& st, int indent,
     out += "\n";
   }
   out += pad + "   work: " + WorkSummary(st.total_work()) + "\n";
+  if (st.spilled_tasks() > 0) {
+    out += pad + "   spill: " + FormatBytes(st.spill_bytes()) + " in " +
+           std::to_string(st.spill_partitions()) + " partitions across " +
+           std::to_string(st.spilled_tasks()) + " tasks\n";
+  }
+  if (st.disk_served_outputs() > 0) {
+    out += pad + "   shuffle-serve: disk outputs=" +
+           std::to_string(st.disk_served_outputs()) + "/" +
+           std::to_string(st.committed_tasks()) + "\n";
+  }
   for (const std::string& e : st.events) out += pad + "   event: " + e + "\n";
   return out;
 }

@@ -29,6 +29,12 @@ class Parser {
       SHARK_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
       stmt.kind = StatementKind::kDropTable;
       stmt.drop_table = drop;
+    } else if (MatchKeyword("UNCACHE")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      auto uncache = std::make_shared<UncacheTableStmt>();
+      SHARK_ASSIGN_OR_RETURN(uncache->name, ExpectIdentifier());
+      stmt.kind = StatementKind::kUncacheTable;
+      stmt.uncache_table = uncache;
     } else if (MatchKeyword("EXPLAIN")) {
       auto explain = std::make_shared<ExplainStmt>();
       explain->analyze = MatchKeyword("ANALYZE");
@@ -39,7 +45,7 @@ class Parser {
       stmt.kind = StatementKind::kExplain;
       stmt.explain = explain;
     } else {
-      return ErrorHere("expected SELECT, CREATE, DROP or EXPLAIN");
+      return ErrorHere("expected SELECT, CREATE, DROP, UNCACHE or EXPLAIN");
     }
     MatchSymbol(";");
     if (!AtEnd()) return ErrorHere("trailing input after statement");

@@ -25,6 +25,10 @@ Result<QueryResult> SharkSession::Sql(const std::string& query) {
           catalog_.DropTable(stmt.drop_table->name, stmt.drop_table->if_exists));
       return QueryResult{};
     }
+    case StatementKind::kUncacheTable: {
+      SHARK_RETURN_NOT_OK(UncacheTable(stmt.uncache_table->name));
+      return QueryResult{};
+    }
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.explain);
   }

@@ -281,5 +281,58 @@ TEST(DeterminismTest, QueryProfileByteIdenticalAcrossHostThreadCounts) {
       << pool.size() << ")";
 }
 
+/// Memory-pressure determinism: a huge virtual_data_scale shrinks the real
+/// per-node budgets until operator working sets spill and map outputs flip
+/// to disk serving. Reservation decisions, spill events and the flip all
+/// happen against budgets latched in the event loop, so the profile must
+/// still be byte-identical across host-thread settings — and must actually
+/// contain spill events (otherwise this test exercises nothing).
+std::string RunSpillingSuite(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e6;  // ~68 KB real capacity per node
+  cfg.host_threads = host_threads;
+  auto session =
+      std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+  Dataset data = MakeSales(4000, 99);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+  EXPECT_TRUE(session->CacheTable("sales").ok());
+
+  const std::string queries[] = {
+      // Join + aggregation: hash build, shuffle, grouped aggregation — the
+      // full spill surface of the acceptance scenario.
+      "SELECT s.region, COUNT(*), SUM(s.units) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region GROUP BY s.region",
+      // External sort path.
+      "SELECT * FROM sales ORDER BY price DESC LIMIT 11",
+  };
+
+  std::string rendered;
+  for (const std::string& sql : queries) {
+    auto r = session->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    if (r.ok() && r->profile != nullptr) {
+      rendered += r->profile->ToString();
+      rendered += r->profile->ToChromeTrace();
+    }
+  }
+  return rendered;
+}
+
+TEST(DeterminismTest, SpillEventsByteIdenticalAcrossHostThreadCounts) {
+  std::string serial = RunSpillingSuite(1);
+  std::string pool = RunSpillingSuite(4);
+  ASSERT_FALSE(serial.empty());
+  // The suite must actually degrade: spill events recorded and rendered.
+  EXPECT_NE(serial.find("spilled"), std::string::npos)
+      << "no spill events under memory pressure — suite lost its bite";
+  EXPECT_TRUE(serial == pool)
+      << "spilling profiles diverged (lengths " << serial.size() << " vs "
+      << pool.size() << ")";
+}
+
 }  // namespace
 }  // namespace shark

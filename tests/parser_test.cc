@@ -198,12 +198,20 @@ TEST(ParserStmtTest, DropTable) {
   EXPECT_EQ(s.drop_table->name, "foo");
 }
 
+TEST(ParserStmtTest, UncacheTable) {
+  Statement s = MustParse("UNCACHE TABLE visits");
+  ASSERT_EQ(s.kind, StatementKind::kUncacheTable);
+  EXPECT_EQ(s.uncache_table->name, "visits");
+}
+
 TEST(ParserStmtTest, Errors) {
   EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
   EXPECT_FALSE(ParseStatement("SELECT * FROM").ok());
   EXPECT_FALSE(ParseStatement("CREATE TABLE t").ok());
   EXPECT_FALSE(ParseStatement("SELECT * FROM t LIMIT abc").ok());
   EXPECT_FALSE(ParseStatement("SELECT * FROM t extra garbage !").ok());
+  EXPECT_FALSE(ParseStatement("UNCACHE visits").ok());
+  EXPECT_FALSE(ParseStatement("UNCACHE TABLE").ok());
 }
 
 TEST(ParserStmtTest, CommentsSkipped) {

@@ -53,6 +53,26 @@ TEST(ClusterTest, SlowdownAndRecover) {
   EXPECT_DOUBLE_EQ(c.slowdown(0), 1.0);
 }
 
+TEST(ClusterTest, SameTimeFaultsApplyInInjectionOrder) {
+  // Equal-time events must apply in the order they were injected, not in
+  // some sort-dependent order: slowdown then recover at t=1 leaves the node
+  // healthy; the reverse order leaves it slowed.
+  Cluster c(2, 1);
+  c.InjectFault({FaultEvent::Kind::kSlowdown, 1.0, 0, 4.0});
+  c.InjectFault({FaultEvent::Kind::kRecover, 1.0, 0, 1.0});
+  c.ApplyFaultsUpTo(2.0);
+  EXPECT_DOUBLE_EQ(c.slowdown(0), 1.0);
+
+  c.InjectFault({FaultEvent::Kind::kRecover, 3.0, 1, 1.0});
+  c.InjectFault({FaultEvent::Kind::kSlowdown, 3.0, 1, 2.5});
+  // An earlier-time event injected later still applies first.
+  c.InjectFault({FaultEvent::Kind::kKill, 2.5, 1, 1.0});
+  std::vector<int> killed = c.ApplyFaultsUpTo(4.0);
+  EXPECT_EQ(killed, std::vector<int>{1});
+  EXPECT_TRUE(c.alive(1));  // recover at t=3 resurrected it...
+  EXPECT_DOUBLE_EQ(c.slowdown(1), 2.5);  // ...then the slowdown stuck
+}
+
 TEST(ClusterTest, KillingAllNodesLeavesNoFreeCore) {
   Cluster c(2, 1);
   c.InjectFault({FaultEvent::Kind::kKill, 0.0, 0, 1.0});

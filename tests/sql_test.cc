@@ -237,6 +237,25 @@ TEST_F(SqlTest, CachedScanIsFasterThanDisk) {
   EXPECT_LT(mem.metrics.virtual_seconds, disk.metrics.virtual_seconds);
 }
 
+TEST_F(SqlTest, UncacheTableStatementRestoresDiskScan) {
+  QueryResult disk = MustQuery("SELECT COUNT(*) FROM visits");
+  ASSERT_TRUE(session_->CacheTable("visits").ok());
+  QueryResult mem = MustQuery("SELECT COUNT(*) FROM visits");
+  EXPECT_LT(mem.metrics.virtual_seconds, disk.metrics.virtual_seconds);
+
+  MustQuery("UNCACHE TABLE visits");
+  QueryResult after = MustQuery("SELECT COUNT(*) FROM visits");
+  // Back to the DFS path: same rows, disk-speed scan again.
+  ASSERT_EQ(after.rows.size(), 1u);
+  EXPECT_EQ(after.rows[0].Get(0).int64_v(), disk.rows[0].Get(0).int64_v());
+  EXPECT_DOUBLE_EQ(after.metrics.virtual_seconds,
+                   disk.metrics.virtual_seconds);
+
+  // Uncaching an uncached table is a no-op; a missing table is an error.
+  EXPECT_TRUE(session_->Sql("UNCACHE TABLE visits").ok());
+  EXPECT_FALSE(session_->Sql("UNCACHE TABLE nope").ok());
+}
+
 TEST_F(SqlTest, MapPruningSkipsPartitions) {
   // pageRank correlates with row order, so cached partitions have tight
   // ranges; an equality predicate should prune most partitions.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tier-1 test suite under UndefinedBehaviorSanitizer and runs it.
+# The memory arbiter does a lot of unsigned budget arithmetic (headroom,
+# ledger releases, spill-partition counts) where wraparound bugs hide, and
+# the cost model mixes double/uint64 conversions — UBSan's signed-overflow,
+# shift and float-cast checks cover exactly that.
+#
+# Usage: tools/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . -DSHARK_SANITIZE=undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target shark_tests
+
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "UBSan: all tests clean"

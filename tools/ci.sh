@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI: tier-1 tests in a plain build, then the same suite under
-# AddressSanitizer and ThreadSanitizer. Each phase uses its own build
-# directory so caches stay valid across runs.
+# AddressSanitizer, ThreadSanitizer and UndefinedBehaviorSanitizer, plus a
+# smoke run of the memory-pressure bench (spill paths end to end). Each
+# phase uses its own build directory so caches stay valid across runs.
 #
 # Usage: tools/ci.sh
 set -euo pipefail
@@ -13,10 +14,17 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "=== memory-pressure bench (smoke) ==="
+cmake --build build -j "$(nproc)" --target bench_memory_pressure
+build/bench/bench_memory_pressure --smoke
+
 echo "=== AddressSanitizer ==="
 tools/check_asan.sh
 
 echo "=== ThreadSanitizer ==="
 tools/check_tsan.sh
+
+echo "=== UndefinedBehaviorSanitizer ==="
+tools/check_ubsan.sh
 
 echo "CI: all phases passed"
