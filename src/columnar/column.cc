@@ -325,7 +325,10 @@ class Int64BitPackedChunk final : public ColumnChunk {
                       int64_t base, int width)
       : type_(type), base_(base), packed_(width) {
     for (const Value& v : values) {
-      packed_.Append(static_cast<uint64_t>(v.int64_v() - base));
+      // Unsigned subtraction: base may be INT64_MIN and the offset can
+      // exceed INT64_MAX; signed subtraction would overflow.
+      packed_.Append(static_cast<uint64_t>(v.int64_v()) -
+                     static_cast<uint64_t>(base));
     }
   }
 
@@ -335,7 +338,7 @@ class Int64BitPackedChunk final : public ColumnChunk {
   uint64_t MemoryBytes() const override { return 32 + packed_.MemoryBytes(); }
 
   Value GetValue(size_t i) const override {
-    int64_t v = base_ + static_cast<int64_t>(packed_.Get(i));
+    int64_t v = WrapAddInt64(base_, static_cast<int64_t>(packed_.Get(i)));
     return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
   }
 
@@ -376,7 +379,7 @@ Encoding ChooseEncoding(TypeKind type, const std::vector<Value>& values) {
       }
       // RLE pays off when average run length >= 4.
       if (runs * 4 <= values.size()) return Encoding::kRunLength;
-      uint64_t range = static_cast<uint64_t>(hi - lo);
+      uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
       int width = BitPackedArray::WidthFor(range == 0 ? 1 : range);
       if (width <= 24) return Encoding::kBitPacked;
       return Encoding::kPlain;
@@ -451,7 +454,7 @@ std::unique_ptr<ColumnChunk> EncodeColumn(TypeKind type,
           lo = std::min(lo, v.int64_v());
           hi = std::max(hi, v.int64_v());
         }
-        uint64_t range = static_cast<uint64_t>(hi - lo);
+        uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
         int width = BitPackedArray::WidthFor(range == 0 ? 1 : range);
         return std::make_unique<Int64BitPackedChunk>(type, values, lo, width);
       }

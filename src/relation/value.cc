@@ -86,13 +86,33 @@ int64_t Value::AsInt64() const {
     case TypeKind::kDate:
       return i_;
     case TypeKind::kDouble:
-      return static_cast<int64_t>(d_);
+      return SaturatingDoubleToInt64(d_);
     case TypeKind::kNull:
     case TypeKind::kString:
       return 0;
   }
   return 0;
 }
+
+namespace {
+
+/// Exact BIGINT-vs-DOUBLE ordering without rounding either side. `d` must
+/// not be NaN. Returns the sign of (i <=> d).
+int CompareInt64Double(int64_t i, double d) {
+  if (d >= 9223372036854775808.0) return -1;  // every int64 < d
+  if (d < -9223372036854775808.0) return 1;
+  // trunc(d) now lies in [-2^63, 2^63) and casts safely.
+  const double t = std::trunc(d);
+  const int64_t it = static_cast<int64_t>(t);
+  if (i < it) return -1;
+  if (i > it) return 1;
+  const double frac = d - t;
+  if (frac > 0) return -1;  // i == trunc(d) < d
+  if (frac < 0) return 1;
+  return 0;
+}
+
+}  // namespace
 
 bool Value::operator==(const Value& other) const {
   if (kind_ == other.kind_) {
@@ -104,14 +124,26 @@ bool Value::operator==(const Value& other) const {
       case TypeKind::kDate:
         return i_ == other.i_;
       case TypeKind::kDouble:
+        // Grouping/join-key equality: NaN matches NaN (IEEE == would make
+        // NaN keys never group, diverging from Compare's total order).
+        if (std::isnan(d_) || std::isnan(other.d_)) {
+          return std::isnan(d_) && std::isnan(other.d_);
+        }
         return d_ == other.d_;
       case TypeKind::kString:
         return s_ == other.s_;
     }
   }
-  // Numeric cross-type equality (BIGINT vs DOUBLE).
+  // Numeric cross-type equality (BIGINT vs DOUBLE): exact, not via a lossy
+  // AsDouble() round-trip — 2^53+1 as int64 must not equal 2^53 as double.
   if (IsNumericLike(kind_) && IsNumericLike(other.kind_)) {
-    return AsDouble() == other.AsDouble();
+    if (kind_ != TypeKind::kDouble && other.kind_ != TypeKind::kDouble) {
+      return i_ == other.i_;
+    }
+    const double d = kind_ == TypeKind::kDouble ? d_ : other.d_;
+    const int64_t i = kind_ == TypeKind::kDouble ? other.i_ : i_;
+    int64_t as_int;
+    return DoubleIsExactInt64(d, &as_int) && as_int == i;
   }
   return false;
 }
@@ -129,9 +161,21 @@ int Value::Compare(const Value& other) const {
     if (kind_ != TypeKind::kDouble && other.kind_ != TypeKind::kDouble) {
       return i_ < other.i_ ? -1 : (i_ > other.i_ ? 1 : 0);
     }
-    double a = AsDouble();
-    double b = other.AsDouble();
-    return a < b ? -1 : (a > b ? 1 : 0);
+    // NaN sorts after every other numeric and ties only with NaN; without
+    // this, NaN "equal to everything" breaks std::sort's strict weak
+    // ordering and MIN/MAX.
+    const bool a_nan = kind_ == TypeKind::kDouble && std::isnan(d_);
+    const bool b_nan = other.kind_ == TypeKind::kDouble && std::isnan(other.d_);
+    if (a_nan || b_nan) {
+      if (a_nan && b_nan) return 0;
+      return a_nan ? 1 : -1;
+    }
+    if (kind_ == TypeKind::kDouble && other.kind_ == TypeKind::kDouble) {
+      return d_ < other.d_ ? -1 : (d_ > other.d_ ? 1 : 0);
+    }
+    // Mixed BIGINT/DOUBLE: exact comparison, consistent with operator==.
+    if (kind_ == TypeKind::kDouble) return -CompareInt64Double(other.i_, d_);
+    return CompareInt64Double(i_, other.d_);
   }
   // Mixed string/numeric: numerics sort before strings.
   return kind_ == TypeKind::kString ? 1 : -1;
@@ -147,11 +191,14 @@ uint64_t Value::Hash() const {
       return HashInt64(i_);
     case TypeKind::kDouble: {
       // Hash doubles equal to integers identically to the integer, so that
-      // cross-type key equality is consistent with hashing.
-      double d = d_;
-      int64_t as_int = static_cast<int64_t>(d);
-      if (static_cast<double>(as_int) == d) return HashInt64(as_int);
-      return HashDouble(d);
+      // cross-type key equality is consistent with hashing. Doubles outside
+      // int64 range (and NaN/Inf) can't equal any integer and hash as raw
+      // doubles; NaNs are canonicalized because operator== treats all NaNs
+      // as equal.
+      if (std::isnan(d_)) return 0xfff8dececa5eba11ULL;
+      int64_t as_int;
+      if (DoubleIsExactInt64(d_, &as_int)) return HashInt64(as_int);
+      return HashDouble(d_);
     }
     case TypeKind::kString:
       return HashBytes(s_);

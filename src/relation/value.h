@@ -1,6 +1,7 @@
 #ifndef SHARK_RELATION_VALUE_H_
 #define SHARK_RELATION_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -9,6 +10,48 @@
 #include "relation/types.h"
 
 namespace shark {
+
+/// Wrapping (two's-complement) BIGINT arithmetic. SQL integer overflow in
+/// this engine wraps modulo 2^64 instead of being undefined behaviour, so
+/// Shark, Hive and the reference evaluator agree bit-for-bit on overflow.
+inline int64_t WrapAddInt64(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapSubInt64(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapMulInt64(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapNegInt64(int64_t a) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(a));
+}
+
+/// DOUBLE -> BIGINT cast with defined semantics: NaN maps to 0 and
+/// out-of-range values saturate to INT64_MIN/MAX. Plain static_cast is UB
+/// for those inputs.
+inline int64_t SaturatingDoubleToInt64(double d) {
+  if (std::isnan(d)) return 0;
+  // 2^63 is exactly representable; anything >= it (or < -2^63) saturates.
+  if (d >= 9223372036854775808.0) return INT64_MAX;
+  if (d < -9223372036854775808.0) return INT64_MIN;
+  return static_cast<int64_t>(d);
+}
+
+/// True iff `d` is an integer exactly representable as int64_t; writes the
+/// integer to `*out`. NaN, infinities, fractional and out-of-range doubles
+/// all return false.
+inline bool DoubleIsExactInt64(double d, int64_t* out) {
+  if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+    return false;  // NaN, +/-Inf, out of range
+  }
+  if (std::trunc(d) != d) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
 
 /// A single SQL value: NULL, BOOLEAN, BIGINT, DOUBLE, STRING or DATE.
 /// Comparison and arithmetic coerce BIGINT<->DOUBLE; NULL compares with SQL
@@ -66,14 +109,20 @@ class Value {
   /// Integer coercion (DOUBLE truncates).
   int64_t AsInt64() const;
 
-  /// SQL equality: NULL == NULL here (used for grouping, not predicates).
+  /// SQL equality: NULL == NULL and NaN == NaN here (used for grouping and
+  /// join keys, not predicates). BIGINT/DOUBLE cross-type equality is exact:
+  /// a double equals an int64 iff it represents that integer exactly — no
+  /// lossy coercion through double above 2^53.
   bool operator==(const Value& other) const;
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Total order for sorting: NULL < numerics (coerced) < strings.
+  /// NaN orders after every other numeric and compares equal only to itself.
   /// Returns <0, 0, >0.
   int Compare(const Value& other) const;
 
+  /// Consistent with operator==: equal values (including int64/double
+  /// cross-type equals and all NaNs) hash identically.
   uint64_t Hash() const;
 
   /// SQL-style text rendering (also used for CSV serialization sizing).

@@ -39,7 +39,7 @@ void AccumulateValue(const AggCall& call, const Value& v, AggCell* cell) {
                           : Value::Double(v.AsDouble());
           cell->inited = true;
         } else if (cell->acc.kind() == TypeKind::kInt64) {
-          cell->acc = Value::Int64(cell->acc.int64_v() + v.AsInt64());
+          cell->acc = Value::Int64(WrapAddInt64(cell->acc.int64_v(), v.AsInt64()));
         } else {
           cell->acc = Value::Double(cell->acc.double_v() + v.AsDouble());
         }
@@ -109,7 +109,7 @@ void MergeAggStates(const std::vector<AggCall>& calls, const AggState& from,
             dst.acc = src.acc;
             dst.inited = true;
           } else if (dst.acc.kind() == TypeKind::kInt64) {
-            dst.acc = Value::Int64(dst.acc.int64_v() + src.acc.int64_v());
+            dst.acc = Value::Int64(WrapAddInt64(dst.acc.int64_v(), src.acc.int64_v()));
           } else {
             dst.acc = Value::Double(dst.acc.double_v() + src.acc.AsDouble());
           }

@@ -497,9 +497,13 @@ Result<PlanPtr> Analyzer::AnalyzeSelect(const SelectStmt& stmt) const {
         // (so ORDER BY SUM(a) matches a SUM(a) select item).
         SHARK_ASSIGN_OR_RETURN(ExprPtr over_input, BindExpr(item.expr, scope));
         int found = -1;
-        for (size_t i = 0; i < bound_items.size(); ++i) {
-          if (over_input->Equals(*bound_items[i]) ||
-              over_input->Equals(*items_over_scope[i])) {
+        for (size_t i = 0; i < items_over_scope.size(); ++i) {
+          // Match only against the items as bound over the FROM scope —
+          // over_input lives in that frame. Comparing against the
+          // post-aggregate rewrites (bound_items) would collide slot
+          // indices across frames: ORDER BY a.c0 (input slot 0) must not
+          // match an aggregate-output slot 0 that holds a different column.
+          if (over_input->Equals(*items_over_scope[i])) {
             found = static_cast<int>(i);
             break;
           }

@@ -386,6 +386,10 @@ Result<RddPtr<Row>> Executor::BuildScan(const LogicalPlan& node) {
       }
       selected.push_back(p);
     }
+    // Never prune to zero partitions: downstream shuffles require at least
+    // one map partition, and an all-pruned scan still has to produce an
+    // (empty) result.
+    if (selected.empty() && total > 0) selected.push_back(0);
     metrics_.partitions_scanned += static_cast<int>(selected.size());
     metrics_.partitions_pruned += total - static_cast<int>(selected.size());
     RddPtr<TablePartitionPtr> base = info->cached_rdd;

@@ -30,6 +30,8 @@ Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
   if (op == BinaryOp::kMod) {
     int64_t d = r.AsInt64();
     if (d == 0) return Value::Null();
+    // INT64_MIN % -1 is UB in C++; mathematically the remainder is 0.
+    if (d == -1) return Value::Int64(0);
     return Value::Int64(l.AsInt64() % d);
   }
   if (both_int && op != BinaryOp::kDiv) {
@@ -37,11 +39,11 @@ Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
     int64_t b = r.int64_v();
     switch (op) {
       case BinaryOp::kAdd:
-        return Value::Int64(a + b);
+        return Value::Int64(WrapAddInt64(a, b));
       case BinaryOp::kSub:
-        return Value::Int64(a - b);
+        return Value::Int64(WrapSubInt64(a, b));
       case BinaryOp::kMul:
-        return Value::Int64(a * b);
+        return Value::Int64(WrapMulInt64(a, b));
       default:
         break;
     }
@@ -140,7 +142,10 @@ Value EvalBuiltinFunction(const std::string& name,
     if (args[0].kind() == TypeKind::kDouble) {
       return Value::Double(std::fabs(args[0].double_v()));
     }
-    return Value::Int64(std::llabs(args[0].int64_v()));
+    // llabs(INT64_MIN) is UB; wrap-negate gives INT64_MIN back, matching
+    // the engine's wrapping BIGINT semantics.
+    int64_t v = args[0].int64_v();
+    return Value::Int64(v < 0 ? WrapNegInt64(v) : v);
   }
   if (name == "YEAR") {
     if (args.empty() || args[0].is_null()) return Value::Null();
@@ -178,11 +183,11 @@ Value EvalBuiltinFunction(const std::string& name,
   }
   if (name == "FLOOR") {
     if (args.empty() || args[0].is_null()) return Value::Null();
-    return Value::Int64(static_cast<int64_t>(std::floor(args[0].AsDouble())));
+    return Value::Int64(SaturatingDoubleToInt64(std::floor(args[0].AsDouble())));
   }
   if (name == "CEIL" || name == "CEILING") {
     if (args.empty() || args[0].is_null()) return Value::Null();
-    return Value::Int64(static_cast<int64_t>(std::ceil(args[0].AsDouble())));
+    return Value::Int64(SaturatingDoubleToInt64(std::ceil(args[0].AsDouble())));
   }
   if (name == "SQRT") {
     if (args.empty() || args[0].is_null()) return Value::Null();
@@ -247,7 +252,7 @@ Value EvalExpr(const Expr& expr, const Row& row, const UdfRegistry* udfs) {
       if (v.is_null()) return Value::Null();
       if (expr.unary_op == UnaryOp::kNeg) {
         if (v.kind() == TypeKind::kDouble) return Value::Double(-v.double_v());
-        return Value::Int64(-v.int64_v());
+        return Value::Int64(WrapNegInt64(v.int64_v()));
       }
       return Value::Bool(!v.bool_v());
     }

@@ -44,11 +44,11 @@ Value EvalBinaryOp(BinaryOp op, const Value& l, const Value& r) {
         int64_t b = r.int64_v();
         switch (op) {
           case BinaryOp::kAdd:
-            return Value::Int64(a + b);
+            return Value::Int64(WrapAddInt64(a, b));
           case BinaryOp::kSub:
-            return Value::Int64(a - b);
+            return Value::Int64(WrapSubInt64(a, b));
           default:
-            return Value::Int64(a * b);
+            return Value::Int64(WrapMulInt64(a, b));
         }
       }
       double a = l.AsDouble();
@@ -70,6 +70,8 @@ Value EvalBinaryOp(BinaryOp op, const Value& l, const Value& r) {
     case BinaryOp::kMod: {
       int64_t b = r.AsInt64();
       if (b == 0) return Value::Null();
+      // INT64_MIN % -1 is UB in C++; mathematically the remainder is 0.
+      if (b == -1) return Value::Int64(0);
       return Value::Int64(l.AsInt64() % b);
     }
     case BinaryOp::kEq:
@@ -295,8 +297,9 @@ Value CompiledExpr::Eval(const Row& row) const {
       case Op::kNeg: {
         Value& v = stack.back();
         if (!v.is_null()) {
-          v = v.kind() == TypeKind::kDouble ? Value::Double(-v.double_v())
-                                            : Value::Int64(-v.int64_v());
+          v = v.kind() == TypeKind::kDouble
+                  ? Value::Double(-v.double_v())
+                  : Value::Int64(WrapNegInt64(v.int64_v()));
         }
         break;
       }

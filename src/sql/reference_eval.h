@@ -1,0 +1,42 @@
+#ifndef SHARK_SQL_REFERENCE_EVAL_H_
+#define SHARK_SQL_REFERENCE_EVAL_H_
+
+#include <vector>
+
+#include "sim/dfs.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/expr.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+/// Naive single-threaded reference oracle for the differential-testing
+/// harness (tools/fuzz). Interprets the *analyzed* logical plan directly —
+/// no optimizer, no columnar memory store, no simulator, no hashing of keys
+/// (joins are nested loops, grouping is a linear scan using Value equality
+/// only) — so it computes the intended semantics through a code path that
+/// shares as little machinery as possible with the two real engines while
+/// still reusing the single-source-of-truth aggregate transition functions.
+///
+/// Deliberately mirrored engine behaviours (these are the house semantics,
+/// not an accident): NULL and NaN group keys / join keys match themselves;
+/// a global aggregate over zero input rows yields zero rows; outer joins
+/// null-extend on equi-key mismatch and apply the residual predicate
+/// afterwards over the already-extended rows.
+Result<std::vector<Row>> ReferenceEvalPlan(const LogicalPlan& plan,
+                                           const Catalog& catalog,
+                                           const Dfs& dfs,
+                                           const UdfRegistry* udfs);
+
+/// Analyzes `stmt` against `catalog` and interprets the resulting plan with
+/// ReferenceEvalPlan, applying the same driver-side final LIMIT cut as
+/// Executor::ExecuteInner. Returns schema + rows; metrics stay zero.
+Result<QueryResult> ReferenceExecute(const SelectStmt& stmt,
+                                     const Catalog& catalog, const Dfs& dfs,
+                                     const UdfRegistry* udfs);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_REFERENCE_EVAL_H_

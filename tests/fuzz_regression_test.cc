@@ -1,0 +1,71 @@
+// Replays the checked-in differential-testing corpus (tests/fuzz_corpus/)
+// through the full harness: every case must agree across the Shark engine,
+// the Hive baseline, the reference evaluator and all metamorphic variants.
+// Each corpus file is a minimized reproduction of a bug this harness caught;
+// a divergence here means a regression of one of those fixes.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/fuzz/fuzz_harness.h"
+
+#ifndef SHARK_FUZZ_CORPUS_DIR
+#error "SHARK_FUZZ_CORPUS_DIR must point at tests/fuzz_corpus"
+#endif
+
+namespace shark {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(SHARK_FUZZ_CORPUS_DIR)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzRegressionTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 4u);
+}
+
+TEST(FuzzRegressionTest, ReplayCorpus) {
+  for (const std::string& file : CorpusFiles()) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in) << "cannot open " << file;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = fuzz::ParseCase(buf.str());
+    ASSERT_TRUE(parsed.ok()) << file << ": " << parsed.status().ToString();
+    fuzz::RunOutcome out = fuzz::RunCase(*parsed, fuzz::RunOptions{});
+    EXPECT_TRUE(out.ok) << file << ": " << out.divergence;
+    // Corpus cases are real queries, not parser-rejection fodder.
+    EXPECT_FALSE(out.rejected) << file << ": " << out.rejection;
+  }
+}
+
+// A small fixed-seed smoke sweep so tier-1 exercises the generator itself
+// (schema/data/query synthesis, variant rendering, all three oracles). The
+// big sweeps live in tools/ci.sh; this just has to catch wiring rot.
+TEST(FuzzRegressionTest, GeneratedSeedsSmoke) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    fuzz::FuzzCase c = fuzz::GenerateCase(seed);
+    // Serialization must round-trip to an identical run.
+    auto reparsed = fuzz::ParseCase(fuzz::SerializeCase(c));
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->sql, c.sql) << "seed " << seed;
+    fuzz::RunOutcome out = fuzz::RunCase(*reparsed, fuzz::RunOptions{});
+    EXPECT_TRUE(out.ok) << "seed " << seed << ": " << out.divergence;
+  }
+}
+
+}  // namespace
+}  // namespace shark

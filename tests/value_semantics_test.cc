@@ -1,0 +1,323 @@
+// Value semantics on the nasty-value matrix: ==, Compare and Hash must agree
+// with each other on NULL, NaN, +/-0.0, +/-Inf, integers above 2^53 and
+// extreme dates, because grouping, hash joins and sorting each use a
+// different one of the three and silently diverge when they disagree.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/column.h"
+#include "relation/value.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+constexpr int64_t kTwo53 = 9007199254740992;  // 2^53
+
+std::vector<Value> NastyMatrix() {
+  std::vector<Value> v;
+  v.push_back(Value::Null());
+  v.push_back(Value::Bool(false));
+  v.push_back(Value::Bool(true));
+  for (int64_t i : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42}, kTwo53,
+                    kTwo53 + 1, kTwo53 + 2, -(kTwo53 + 1), INT64_MAX,
+                    INT64_MAX - 1, INT64_MIN, INT64_MIN + 1}) {
+    v.push_back(Value::Int64(i));
+  }
+  for (double d : {0.0, -0.0, 1.0, -1.0, 2.5, std::nan(""), -std::nan(""),
+                   HUGE_VAL, -HUGE_VAL, static_cast<double>(kTwo53),
+                   9007199254740994.0, 1e308, -1e308, 1e-300,
+                   9223372036854775808.0, -9223372036854775808.0}) {
+    v.push_back(Value::Double(d));
+  }
+  v.push_back(Value::String(""));
+  v.push_back(Value::String("a"));
+  v.push_back(Value::String("it's"));
+  v.push_back(Value::Date(-719162));  // 0001-01-01
+  v.push_back(Value::Date(0));
+  v.push_back(Value::Date(2932896));  // 9999-12-31
+  return v;
+}
+
+TEST(ValueSemanticsTest, EqualityHashCompareAgree) {
+  std::vector<Value> vals = NastyMatrix();
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      const bool eq = a == b;
+      EXPECT_EQ(eq, b == a) << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(eq, a.Compare(b) == 0)
+          << a.ToString() << " vs " << b.ToString();
+      if (eq) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " vs " << b.ToString();
+      }
+      // Antisymmetry of the total order.
+      const int c = a.Compare(b), r = b.Compare(a);
+      EXPECT_EQ(c > 0 ? 1 : (c < 0 ? -1 : 0), r > 0 ? -1 : (r < 0 ? 1 : 0))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValueSemanticsTest, CompareIsStrictWeakOrder) {
+  std::vector<Value> vals = NastyMatrix();
+  // Transitivity over all triples (the matrix is small enough to be cheap).
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      for (const Value& c : vals) {
+        if (a.Compare(b) < 0 && b.Compare(c) < 0) {
+          EXPECT_LT(a.Compare(c), 0) << a.ToString() << " < " << b.ToString()
+                                     << " < " << c.ToString();
+        }
+        if (a.Compare(b) == 0 && b.Compare(c) == 0) {
+          EXPECT_EQ(a.Compare(c), 0) << a.ToString() << " ~ " << b.ToString()
+                                     << " ~ " << c.ToString();
+        }
+      }
+    }
+  }
+  // std::sort must not blow up and must yield a sorted sequence; pre-fix,
+  // NaN comparing equal to everything violated strict weak ordering here.
+  std::vector<Value> sorted = vals;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Value& x, const Value& y) { return x.Compare(y) < 0; });
+  EXPECT_TRUE(std::is_sorted(
+      sorted.begin(), sorted.end(),
+      [](const Value& x, const Value& y) { return x.Compare(y) < 0; }));
+  // NULL sorts first; strings sort last; NaN after every other numeric.
+  EXPECT_TRUE(sorted.front().is_null());
+  EXPECT_EQ(sorted.back().kind(), TypeKind::kString);
+  const Value nan_v = Value::Double(std::nan(""));
+  for (const Value& v : vals) {
+    if (v.is_null() || v.kind() == TypeKind::kString) continue;
+    if (v.kind() == TypeKind::kDouble && std::isnan(v.double_v())) {
+      EXPECT_EQ(nan_v.Compare(v), 0);
+    } else {
+      EXPECT_GT(nan_v.Compare(v), 0) << "NaN must sort after " << v.ToString();
+    }
+  }
+}
+
+TEST(ValueSemanticsTest, NanAndSignedZero) {
+  const Value nan_a = Value::Double(std::nan(""));
+  const Value nan_b = Value::Double(-std::nan(""));
+  // Grouping semantics: all NaNs are one key.
+  EXPECT_TRUE(nan_a == nan_b);
+  EXPECT_EQ(nan_a.Hash(), nan_b.Hash());
+  EXPECT_EQ(nan_a.Compare(nan_b), 0);
+  EXPECT_FALSE(nan_a == Value::Double(1.0));
+  EXPECT_FALSE(nan_a == Value::Double(HUGE_VAL));
+  EXPECT_FALSE(nan_a == Value::Null());
+  // +0.0 and -0.0 are the same key under all three operations.
+  const Value pz = Value::Double(0.0), nz = Value::Double(-0.0);
+  EXPECT_TRUE(pz == nz);
+  EXPECT_EQ(pz.Hash(), nz.Hash());
+  EXPECT_EQ(pz.Compare(nz), 0);
+  EXPECT_TRUE(nz == Value::Int64(0));
+  EXPECT_EQ(nz.Hash(), Value::Int64(0).Hash());
+}
+
+TEST(ValueSemanticsTest, CrossTypeEqualityIsExactAbove2To53) {
+  const Value i53 = Value::Int64(kTwo53);
+  const Value i53p1 = Value::Int64(kTwo53 + 1);
+  const Value i53p2 = Value::Int64(kTwo53 + 2);
+  const Value d53 = Value::Double(static_cast<double>(kTwo53));
+  const Value d53p2 = Value::Double(9007199254740994.0);  // 2^53 + 2 exactly
+
+  // (double)(2^53+1) rounds to 2^53; a lossy coercion would call these equal.
+  EXPECT_TRUE(i53 == d53);
+  EXPECT_FALSE(i53p1 == d53);
+  EXPECT_FALSE(i53p1 == d53p2);
+  EXPECT_TRUE(i53p2 == d53p2);
+  EXPECT_EQ(i53.Hash(), d53.Hash());
+  EXPECT_EQ(i53p2.Hash(), d53p2.Hash());
+  // Ordering threads the int64 between the two adjacent doubles.
+  EXPECT_GT(i53p1.Compare(d53), 0);
+  EXPECT_LT(i53p1.Compare(d53p2), 0);
+  EXPECT_LT(d53.Compare(i53p1), 0);
+  // Fractions and out-of-range doubles never equal integers.
+  EXPECT_FALSE(Value::Int64(2) == Value::Double(2.5));
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Int64(3).Compare(Value::Double(2.5)), 0);
+  EXPECT_FALSE(Value::Int64(INT64_MAX) == Value::Double(1e308));
+  EXPECT_LT(Value::Int64(INT64_MAX).Compare(Value::Double(1e308)), 0);
+  EXPECT_GT(Value::Int64(INT64_MIN).Compare(Value::Double(-1e308)), 0);
+  // INT64_MAX is not exactly representable; 2^63 as a double is out of range.
+  EXPECT_FALSE(Value::Int64(INT64_MAX) ==
+               Value::Double(9223372036854775808.0));
+  EXPECT_TRUE(Value::Int64(INT64_MIN) ==
+              Value::Double(-9223372036854775808.0));
+}
+
+TEST(ValueSemanticsTest, SaturatingDoubleToInt64) {
+  EXPECT_EQ(SaturatingDoubleToInt64(std::nan("")), 0);
+  EXPECT_EQ(SaturatingDoubleToInt64(HUGE_VAL), INT64_MAX);
+  EXPECT_EQ(SaturatingDoubleToInt64(-HUGE_VAL), INT64_MIN);
+  EXPECT_EQ(SaturatingDoubleToInt64(1e308), INT64_MAX);
+  EXPECT_EQ(SaturatingDoubleToInt64(-1e308), INT64_MIN);
+  EXPECT_EQ(SaturatingDoubleToInt64(9223372036854775808.0), INT64_MAX);
+  EXPECT_EQ(SaturatingDoubleToInt64(-9223372036854775808.0), INT64_MIN);
+  EXPECT_EQ(SaturatingDoubleToInt64(2.7), 2);
+  EXPECT_EQ(SaturatingDoubleToInt64(-2.7), -2);
+  EXPECT_EQ(SaturatingDoubleToInt64(-0.0), 0);
+  EXPECT_EQ(Value::Double(std::nan("")).AsInt64(), 0);
+  EXPECT_EQ(Value::Double(HUGE_VAL).AsInt64(), INT64_MAX);
+  EXPECT_EQ(Value::Double(-1e308).AsInt64(), INT64_MIN);
+}
+
+TEST(ValueSemanticsTest, DoubleIsExactInt64Bounds) {
+  int64_t out = 0;
+  EXPECT_FALSE(DoubleIsExactInt64(std::nan(""), &out));
+  EXPECT_FALSE(DoubleIsExactInt64(HUGE_VAL, &out));
+  EXPECT_FALSE(DoubleIsExactInt64(-HUGE_VAL, &out));
+  EXPECT_FALSE(DoubleIsExactInt64(2.5, &out));
+  EXPECT_FALSE(DoubleIsExactInt64(9223372036854775808.0, &out));
+  EXPECT_TRUE(DoubleIsExactInt64(-9223372036854775808.0, &out));
+  EXPECT_EQ(out, INT64_MIN);
+  EXPECT_TRUE(DoubleIsExactInt64(static_cast<double>(kTwo53), &out));
+  EXPECT_EQ(out, kTwo53);
+  EXPECT_TRUE(DoubleIsExactInt64(-0.0, &out));
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ValueSemanticsTest, WrappingInt64Arithmetic) {
+  EXPECT_EQ(WrapAddInt64(INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(WrapSubInt64(INT64_MIN, 1), INT64_MAX);
+  EXPECT_EQ(WrapMulInt64(INT64_MAX, 2), -2);
+  EXPECT_EQ(WrapNegInt64(INT64_MIN), INT64_MIN);
+}
+
+TEST(ValueSemanticsTest, ColumnarRoundTripNastyValues) {
+  struct CaseSpec {
+    TypeKind type;
+    std::vector<Value> values;
+  };
+  std::vector<CaseSpec> cases;
+  cases.push_back(
+      {TypeKind::kInt64,
+       {Value::Int64(kTwo53), Value::Int64(kTwo53 + 1), Value::Null(),
+        Value::Int64(INT64_MIN), Value::Int64(INT64_MAX), Value::Int64(0),
+        Value::Int64(-(kTwo53 + 1))}});
+  cases.push_back(
+      {TypeKind::kDouble,
+       {Value::Double(std::nan("")), Value::Double(HUGE_VAL),
+        Value::Double(-HUGE_VAL), Value::Double(0.0), Value::Double(-0.0),
+        Value::Null(), Value::Double(1e308), Value::Double(1e-300),
+        Value::Double(9007199254740994.0)}});
+  cases.push_back({TypeKind::kString,
+                   {Value::String(""), Value::String("it's"), Value::Null(),
+                    Value::String("%x"), Value::String("a")}});
+  cases.push_back({TypeKind::kDate,
+                   {Value::Date(-719162), Value::Date(2932896), Value::Null(),
+                    Value::Date(0)}});
+  cases.push_back({TypeKind::kBool,
+                   {Value::Bool(true), Value::Bool(false), Value::Null()}});
+  for (const CaseSpec& c : cases) {
+    auto chunk = EncodeColumnAuto(c.type, c.values, nullptr);
+    ASSERT_NE(chunk, nullptr);
+    ASSERT_EQ(chunk->size(), c.values.size());
+    for (size_t i = 0; i < c.values.size(); ++i) {
+      const Value got = chunk->GetValue(i);
+      // Value::== treats all NaNs as equal, which is exactly the contract
+      // the execution layers rely on after a round-trip.
+      EXPECT_TRUE(got == c.values[i])
+          << TypeName(c.type) << " idx " << i << ": " << got.ToString()
+          << " vs " << c.values[i].ToString();
+      EXPECT_EQ(got.Hash(), c.values[i].Hash());
+    }
+    std::vector<Value> decoded;
+    chunk->Decode(&decoded);
+    ASSERT_EQ(decoded.size(), c.values.size());
+    for (size_t i = 0; i < c.values.size(); ++i) {
+      EXPECT_TRUE(decoded[i] == c.values[i]);
+    }
+  }
+}
+
+// End-to-end: joins and group-bys keyed above 2^53 must use the exact
+// cross-type semantics, not a double round-trip.
+class CrossTypeKeySqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.hardware.cores_per_node = 2;
+    session_ = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(cfg));
+
+    Schema big({{"k", TypeKind::kInt64}, {"tag", TypeKind::kInt64}});
+    std::vector<Row> brows = {
+        Row({Value::Int64(kTwo53), Value::Int64(1)}),
+        Row({Value::Int64(kTwo53 + 1), Value::Int64(2)}),
+        Row({Value::Int64(kTwo53 + 2), Value::Int64(3)}),
+        Row({Value::Int64(5), Value::Int64(4)}),
+        Row({Value::Int64(-(kTwo53 + 1)), Value::Int64(5)}),
+    };
+    ASSERT_TRUE(session_->CreateDfsTable("t_big", big, brows, 2).ok());
+
+    Schema dbl({{"x", TypeKind::kDouble}, {"tag", TypeKind::kInt64}});
+    std::vector<Row> drows = {
+        Row({Value::Double(static_cast<double>(kTwo53)), Value::Int64(11)}),
+        Row({Value::Double(9007199254740994.0), Value::Int64(12)}),
+        Row({Value::Double(5.0), Value::Int64(13)}),
+        Row({Value::Double(2.5), Value::Int64(14)}),
+        Row({Value::Double(static_cast<double>(kTwo53)), Value::Int64(15)}),
+        Row({Value::Null(), Value::Int64(16)}),
+    };
+    ASSERT_TRUE(session_->CreateDfsTable("t_dbl", dbl, drows, 2).ok());
+  }
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(CrossTypeKeySqlTest, JoinOnKeysAbove2To53) {
+  auto r = session_->Sql(
+      "SELECT b.tag, d.tag FROM t_big b JOIN t_dbl d ON b.k = d.x "
+      "ORDER BY b.tag, d.tag");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 2^53 matches twice, 2^53+2 matches the exact double 2^53+2, 5 matches
+  // 5.0. 2^53+1 must NOT match anything: its nearest doubles are 2^53 and
+  // 2^53+2.
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->rows[0].Get(0), Value::Int64(1));
+  EXPECT_EQ(r->rows[0].Get(1), Value::Int64(11));
+  EXPECT_EQ(r->rows[1].Get(0), Value::Int64(1));
+  EXPECT_EQ(r->rows[1].Get(1), Value::Int64(15));
+  EXPECT_EQ(r->rows[2].Get(0), Value::Int64(3));
+  EXPECT_EQ(r->rows[2].Get(1), Value::Int64(12));
+  EXPECT_EQ(r->rows[3].Get(0), Value::Int64(4));
+  EXPECT_EQ(r->rows[3].Get(1), Value::Int64(13));
+}
+
+TEST_F(CrossTypeKeySqlTest, GroupByKeysAbove2To53) {
+  auto r = session_->Sql(
+      "SELECT x, COUNT(*) FROM t_dbl GROUP BY x ORDER BY x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // NULL, 2.5, 5.0, 2^53 (twice), 2^53+2 — five distinct keys.
+  ASSERT_EQ(r->rows.size(), 5u);
+  EXPECT_TRUE(r->rows[0].Get(0).is_null());
+  EXPECT_EQ(r->rows[3].Get(0), Value::Int64(kTwo53));
+  EXPECT_EQ(r->rows[3].Get(1), Value::Int64(2));
+  EXPECT_EQ(r->rows[4].Get(0), Value::Int64(kTwo53 + 2));
+  EXPECT_EQ(r->rows[4].Get(1), Value::Int64(1));
+}
+
+TEST_F(CrossTypeKeySqlTest, GroupByBigintAbove2To53DistinctKeys) {
+  auto r = session_->Sql(
+      "SELECT k, COUNT(*) FROM t_big GROUP BY k ORDER BY k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 2^53, 2^53+1 and 2^53+2 are distinct group keys even though they
+  // collapse when coerced through double.
+  ASSERT_EQ(r->rows.size(), 5u);
+  EXPECT_EQ(r->rows[2].Get(0), Value::Int64(kTwo53));
+  EXPECT_EQ(r->rows[3].Get(0), Value::Int64(kTwo53 + 1));
+  EXPECT_EQ(r->rows[4].Get(0), Value::Int64(kTwo53 + 2));
+}
+
+}  // namespace
+}  // namespace shark

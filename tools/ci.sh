@@ -18,6 +18,14 @@ echo "=== memory-pressure bench (smoke) ==="
 cmake --build build -j "$(nproc)" --target bench_memory_pressure
 build/bench/bench_memory_pressure --smoke
 
+echo "=== differential fuzz (fixed seeds) ==="
+# Deterministic: same seeds every run, bounded runtime. Replays the minimized
+# regression corpus, then sweeps a fixed seed range through Shark vs Hive vs
+# the reference evaluator plus all metamorphic variants.
+cmake --build build -j "$(nproc)" --target shark_fuzz
+build/tools/fuzz/shark_fuzz --replay tests/fuzz_corpus
+build/tools/fuzz/shark_fuzz --seed-start 1 --seeds "${FUZZ_SEEDS:-500}"
+
 echo "=== AddressSanitizer ==="
 tools/check_asan.sh
 

@@ -1,0 +1,190 @@
+// Differential SQL fuzzer driver.
+//
+//   shark_fuzz [--seed-start N] [--seeds N] [--out-dir DIR] [--no-hive]
+//              [--no-meta] [--no-minimize] [--verbose]
+//   shark_fuzz --replay PATH [PATH...]
+//
+// Default mode generates `--seeds` cases starting at `--seed-start`, runs
+// each through the three oracles (Shark, Hive, reference evaluator) plus the
+// metamorphic variants, minimizes any divergence, and prints it (also writing
+// it under --out-dir when given). --replay parses serialized corpus cases
+// (files or directories of files) and reruns them. Exit code is nonzero if
+// any case diverged.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/fuzz/fuzz_harness.h"
+
+namespace {
+
+using shark::fuzz::FuzzCase;
+using shark::fuzz::RunOptions;
+using shark::fuzz::RunOutcome;
+
+struct Stats {
+  int run = 0;
+  int rejected = 0;
+  int diverged = 0;
+};
+
+int ReplayPath(const std::string& path, const RunOptions& opts, Stats* stats,
+               bool verbose) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      ++failures;
+      continue;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = shark::fuzz::ParseCase(buf.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    RunOutcome out = shark::fuzz::RunCase(*parsed, opts);
+    ++stats->run;
+    if (out.rejected) ++stats->rejected;
+    if (!out.ok) {
+      ++stats->diverged;
+      ++failures;
+      std::fprintf(stderr, "DIVERGENCE %s: %s\n", file.c_str(),
+                   out.divergence.c_str());
+    } else if (verbose) {
+      std::fprintf(stderr, "ok %s%s%s\n", file.c_str(),
+                   out.rejected ? " (rejected: " : "",
+                   out.rejected ? (out.rejection + ")").c_str() : "");
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed_start = 1;
+  uint64_t num_seeds = 100;
+  std::string out_dir;
+  std::string export_dir;  // write every generated case here (corpus seeding)
+  std::vector<std::string> replay_paths;
+  bool replay = false;
+  bool minimize = true;
+  bool verbose = false;
+  RunOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed-start") {
+      seed_start = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seeds") {
+      num_seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--export-dir") {
+      export_dir = next();
+    } else if (arg == "--replay") {
+      replay = true;
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        replay_paths.push_back(argv[++i]);
+      }
+    } else if (arg == "--no-hive") {
+      opts.run_hive = false;
+    } else if (arg == "--no-meta") {
+      opts.run_metamorphic = false;
+    } else if (arg == "--no-minimize") {
+      minimize = false;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Stats stats;
+  int failures = 0;
+
+  if (replay) {
+    if (replay_paths.empty()) {
+      std::fprintf(stderr, "--replay needs at least one path\n");
+      return 2;
+    }
+    for (const std::string& p : replay_paths) {
+      failures += ReplayPath(p, opts, &stats, verbose);
+    }
+  } else {
+    for (uint64_t s = seed_start; s < seed_start + num_seeds; ++s) {
+      FuzzCase c = shark::fuzz::GenerateCase(s);
+      if (verbose) {
+        std::fprintf(stderr, "seed %llu\n%s", (unsigned long long)s,
+                     shark::fuzz::SerializeCase(c).c_str());
+      }
+      if (!export_dir.empty()) {
+        std::filesystem::create_directories(export_dir);
+        std::ofstream of(export_dir + "/gen_seed" + std::to_string(s) +
+                         ".txt");
+        of << shark::fuzz::SerializeCase(c);
+      }
+      RunOutcome out = shark::fuzz::RunCase(c, opts);
+      ++stats.run;
+      if (verbose) {
+        std::fprintf(stderr, "seed %llu: %s, %d reference rows\n",
+                     (unsigned long long)s,
+                     out.ok ? (out.rejected ? "rejected" : "ok") : "DIVERGED",
+                     out.reference_rows);
+      }
+      if (out.rejected) ++stats.rejected;
+      if (!out.ok) {
+        ++stats.diverged;
+        ++failures;
+        std::fprintf(stderr, "DIVERGENCE seed=%llu: %s\n",
+                     (unsigned long long)s, out.divergence.c_str());
+        FuzzCase small = minimize ? shark::fuzz::MinimizeCase(c, opts) : c;
+        std::string text = shark::fuzz::SerializeCase(small);
+        std::fprintf(stderr, "--- minimized case ---\n%s", text.c_str());
+        if (!out_dir.empty()) {
+          std::filesystem::create_directories(out_dir);
+          std::string file = out_dir + "/case_seed" + std::to_string(s) +
+                             ".txt";
+          std::ofstream of(file);
+          of << text;
+          std::fprintf(stderr, "written to %s\n", file.c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("ran %d cases: %d agreed, %d consistently rejected, "
+              "%d diverged\n",
+              stats.run, stats.run - stats.diverged, stats.rejected,
+              stats.diverged);
+  return failures == 0 ? 0 : 1;
+}
