@@ -1,12 +1,14 @@
 #ifndef SHARK_BENCH_BENCH_COMMON_H_
 #define SHARK_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "hive/hive_engine.h"
 #include "sql/session.h"
 
@@ -112,10 +114,15 @@ inline void PrintBars(const std::string& title, const std::vector<BarRow>& rows,
 inline void EmitParallelJson(const std::string& bench, const std::string& label,
                              int host_threads, double host_ms,
                              double virtual_seconds) {
-  std::printf(
-      "BENCH_parallel.json {\"bench\":\"%s\",\"label\":\"%s\","
-      "\"host_threads\":%d,\"host_ms\":%.3f,\"virtual_seconds\":%.6f}\n",
-      bench.c_str(), label.c_str(), host_threads, host_ms, virtual_seconds);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  w.Key("label").String(label);
+  w.Key("host_threads").Int(host_threads);
+  w.Key("host_ms").FixedDouble(host_ms, 3);
+  w.Key("virtual_seconds").FixedDouble(virtual_seconds, 6);
+  w.EndObject();
+  std::printf("BENCH_parallel.json %s\n", w.str().c_str());
 }
 
 /// Writes a query's recorded profile as a chrome://tracing file (load it at
@@ -142,11 +149,90 @@ inline void WriteChromeTrace(const std::string& bench, const std::string& label,
   for (const StageTrace& st : result.profile->stages) {
     tasks += static_cast<int>(st.tasks.size());
   }
-  std::printf(
-      "BENCH_trace.json {\"bench\":\"%s\",\"label\":\"%s\",\"file\":\"%s\","
-      "\"stages\":%d,\"tasks\":%d}\n",
-      bench.c_str(), label.c_str(), path.c_str(),
-      static_cast<int>(result.profile->stages.size()), tasks);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  w.Key("label").String(label);
+  w.Key("file").String(path);
+  w.Key("stages").Int(static_cast<int>(result.profile->stages.size()));
+  w.Key("tasks").Int(tasks);
+  w.EndObject();
+  std::printf("BENCH_trace.json %s\n", w.str().c_str());
+}
+
+/// Writes the context's full cluster-metrics timeline (virtual-time samples,
+/// per-stage skew reports, counter totals) to `timeline_path` and prints a
+/// machine-readable line whose `metrics` section carries the skew reports, a
+/// decimated cluster/per-node utilization series, and the counters:
+///   BENCH_metrics.json {"bench":...,"label":...,"file":...,"metrics":{...}}
+/// Everything in it is a virtual-time observable, so the line is
+/// byte-identical across host thread counts; tools/bench_gate consumes it.
+inline void EmitMetricsJson(const std::string& bench, const std::string& label,
+                            ClusterContext& ctx,
+                            const std::string& timeline_path) {
+  ClusterMetrics& cm = ctx.metrics();
+  std::string timeline = cm.TimelineJson();
+  std::FILE* f = std::fopen(timeline_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(timeline.data(), 1, timeline.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench.c_str(),
+                 timeline_path.c_str());
+  }
+
+  const std::vector<ClusterSample>& samples = cm.timeline().samples();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  w.Key("label").String(label);
+  w.Key("file").String(timeline_path);
+  w.Key("metrics").BeginObject();
+  // Per-node utilization series, decimated to at most 32 points for the
+  // stdout line (the file keeps the full resolution).
+  constexpr size_t kInlinePoints = 32;
+  size_t stride = samples.empty() ? 1 : (samples.size() + kInlinePoints - 1) /
+                                            kInlinePoints;
+  w.Key("utilization").BeginArray();
+  for (size_t i = 0; i < samples.size(); i += stride) {
+    const ClusterSample& s = samples[i];
+    w.BeginObject();
+    w.Key("t").FixedDouble(s.time, 6);
+    w.Key("busy_cores").Int(s.busy_cores_total);
+    w.Key("pending").Int(s.pending_tasks);
+    w.Key("busy_per_node").BeginArray();
+    for (int b : s.busy_per_node) w.Int(b);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("stages").BeginArray();
+  for (const StageSkewReport& r : cm.stage_reports()) {
+    w.BeginObject();
+    w.Key("label").String(r.label);
+    w.Key("tasks").Int(r.tasks);
+    w.Key("dur_p50").FixedDouble(r.dur_p50, 6);
+    w.Key("dur_p95").FixedDouble(r.dur_p95, 6);
+    w.Key("dur_max").FixedDouble(r.dur_max, 6);
+    w.Key("dur_skew").FixedDouble(r.dur_skew, 3);
+    w.Key("straggler_partition").Int(r.straggler_partition);
+    w.Key("straggler_node").Int(r.straggler_node);
+    if (r.buckets > 0) {
+      w.Key("buckets").Int(r.buckets);
+      w.Key("bucket_skew").FixedDouble(r.bucket_skew, 3);
+      w.Key("culprit_bucket").Int(r.culprit_bucket);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : cm.registry().CounterSnapshot()) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  std::printf("BENCH_metrics.json %s\n", w.str().c_str());
 }
 
 inline void PrintHeader(const std::string& name, const std::string& claim) {

@@ -6,6 +6,8 @@
 //                      tiny, switch to a map join (wasted lineitem wave).
 //   Static+Adaptive  — static hints say supplier is the likely-small side;
 //                      pre-shuffle only it, then broadcast. ~3x over static.
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "workloads/tpch.h"
 
@@ -36,14 +38,37 @@ double RunWith(SharkSession* session, JoinOptimization mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: CI-sized run (shrunken tables, 20 nodes) with identical query
+  // shapes; its BENCH_*.json lines feed tools/bench_gate and the timeline
+  // schema validation. --metrics-out <path> overrides the timeline file.
+  bool smoke = false;
+  std::string metrics_out = "fig08_metrics.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+
   PrintHeader("Figure 8 - Join strategies chosen by optimizers",
               "static+adaptive (PDE with static hints) ~3x faster than a "
               "static shuffle join");
 
   TpchConfig data;
+  int num_nodes = 100;
+  if (smoke) {
+    data.lineitem_rows = 60000;
+    data.supplier_rows = 4000;
+    data.orders_rows = 15000;
+    data.lineitem_blocks = 80;
+    data.supplier_blocks = 8;
+    data.orders_blocks = 10;
+    num_nodes = 20;
+  }
   double vscale = data.VirtualScaleFor(6e9);  // 1TB point, as in the paper
-  auto session = MakeSharkSession(vscale);
+  auto session = MakeSharkSession(vscale, num_nodes);
   if (!GenerateTpchTables(session.get(), data).ok()) return 1;
   if (!RegisterSelectiveUdf(session.get()).ok()) return 1;
   if (!session->CacheTable("lineitem").ok()) return 1;
@@ -64,5 +89,11 @@ int main() {
   std::printf("\nimprovement over static: adaptive %.2fx, "
               "static+adaptive %.2fx (paper: ~3x)\n",
               Ratio(t_static, t_adaptive), Ratio(t_static, t_both));
+
+  const std::string bench = smoke ? "fig08_smoke" : "fig08";
+  EmitParallelJson(bench, "static", 0, 0.0, t_static);
+  EmitParallelJson(bench, "adaptive", 0, 0.0, t_adaptive);
+  EmitParallelJson(bench, "static_adaptive", 0, 0.0, t_both);
+  EmitMetricsJson(bench, "pde_join", session->context(), metrics_out);
   return 0;
 }

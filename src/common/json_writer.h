@@ -1,0 +1,69 @@
+#ifndef SHARK_COMMON_JSON_WRITER_H_
+#define SHARK_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shark {
+
+/// Append-only JSON emitter shared by every machine-readable export in the
+/// tree (chrome traces, bench BENCH_*.json lines, the cluster-metrics
+/// timeline). Centralizes the two things ad-hoc emitters keep getting wrong:
+/// string escaping (quotes, backslashes, control characters) and non-finite
+/// doubles (JSON has no NaN/Inf — they are emitted as null).
+///
+/// Commas are inserted automatically; values written at the top level (no
+/// open object/array) concatenate without separators, which is what the
+/// one-line BENCH_ emitters want. Output is deterministic: doubles render
+/// through a fixed "%.17g"-style shortest-round-trip format, never
+/// locale-dependent.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// BeginObject/BeginArray).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  /// Non-finite values emit null.
+  JsonWriter& Double(double v);
+  /// Fixed-precision double ("%.*f"); non-finite values emit null.
+  JsonWriter& FixedDouble(double v, int precision);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// Pre-rendered JSON fragment, inserted verbatim (caller guarantees
+  /// validity). Participates in comma handling like any other value.
+  JsonWriter& Raw(std::string_view fragment);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// JSON string-escapes `s` (no surrounding quotes): quote, backslash,
+  /// and control characters below 0x20 (\n, \t, \r named; the rest \u00xx).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  struct Frame {
+    bool is_object = false;
+    bool has_value = false;    // a comma is due before the next member
+    bool key_pending = false;  // Key() written, value expected
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_COMMON_JSON_WRITER_H_

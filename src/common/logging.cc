@@ -8,7 +8,18 @@
 namespace shark {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Default level, overridable at process startup via the SHARK_LOG_LEVEL
+/// environment variable (name or number; see ParseLogLevel). Unparseable
+/// values are ignored and the default stands.
+int InitialLogLevel() {
+  const char* env = std::getenv("SHARK_LOG_LEVEL");
+  LogLevel level = LogLevel::kWarn;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -34,6 +45,30 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *out = LogLevel::kOff;
+  } else if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '4') {
+    *out = static_cast<LogLevel>(lower[0] - '0');
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal_logging {

@@ -12,6 +12,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a SHARK_LOG_LEVEL value: a name (debug/info/warn/error/off, any
+/// case) or a numeric level 0-4. Returns false and leaves `out` untouched on
+/// anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
 namespace internal_logging {
 
 /// Stream-style log sink. Emits on destruction. Used via the SHARK_LOG macro.

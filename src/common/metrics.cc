@@ -1,0 +1,139 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace shark {
+
+namespace {
+
+/// Prometheus sample values: integers render without a decimal point,
+/// everything else with enough digits to round-trip.
+std::string SampleValue(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "summary";
+  }
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const std::string& labels) {
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.name = name;
+  e.help = help;
+  e.labels = labels;
+  e.counter = std::make_unique<Counter>();
+  Counter* out = e.counter.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels) {
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.name = name;
+  e.help = help;
+  e.labels = labels;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge* out = e.gauge.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                              const std::string& help,
+                                              std::function<double()> fn,
+                                              const std::string& labels) {
+  Gauge* g = RegisterGauge(name, help, labels);
+  g->SetCallback(std::move(fn));
+  return g;
+}
+
+HistogramMetric* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                                    const std::string& help,
+                                                    const std::string& labels) {
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.name = name;
+  e.help = help;
+  e.labels = labels;
+  e.histogram = std::make_unique<HistogramMetric>();
+  HistogramMetric* out = e.histogram.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::string out;
+  std::set<std::string> headered;
+  for (const Entry& e : entries_) {
+    if (headered.insert(e.name).second) {
+      if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
+      out += "# TYPE " + e.name + " " +
+             KindName(static_cast<int>(e.kind)) + "\n";
+    }
+    std::string series = e.name;
+    if (!e.labels.empty()) series += "{" + e.labels + "}";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += series + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += series + " " + SampleValue(e.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const ApproxHistogram& h = e.histogram->histogram();
+        const char* sep = e.labels.empty() ? "" : ",";
+        std::string base = e.labels;
+        for (double q : {0.5, 0.95, 0.99}) {
+          char qbuf[16];
+          std::snprintf(qbuf, sizeof(qbuf), "%.2f", q);
+          double v = h.total_count() > 0 ? h.EstimateQuantile(q) : 0.0;
+          out += e.name + "{" + base + sep + "quantile=\"" + qbuf + "\"} " +
+                 SampleValue(v) + "\n";
+        }
+        out += e.name + "_count" + (base.empty() ? "" : "{" + base + "}") +
+               " " + std::to_string(h.total_count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kCounter) continue;
+    std::string series = e.name;
+    if (!e.labels.empty()) series += "{" + e.labels + "}";
+    out.emplace_back(std::move(series), e.counter->value());
+  }
+  return out;
+}
+
+}  // namespace shark

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/json_writer.h"
 #include "common/string_util.h"
 
 namespace shark {
@@ -20,32 +21,8 @@ std::string Fmt(const char* fmt, double v) {
 /// and deterministic (the inputs are bit-identical across runs).
 std::string Sec(double v) { return Fmt("%.6f", v); }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+/// The shared escaper (common/json_writer.h), kept under the old local name.
+std::string JsonEscape(const std::string& s) { return JsonWriter::Escape(s); }
 
 /// Field-wise sum; kept local so shark_common stays link-self-contained
 /// (TaskWork::Add lives in shark_sim).

@@ -63,6 +63,7 @@ bool BlockManager::Put(int rdd_id, int partition, BlockData data,
 void BlockManager::Evict(int node, uint64_t needed) {
   auto& node_lru = lru_[static_cast<size_t>(node)];
   uint64_t freed = 0;
+  uint64_t evicted_blocks = 0;
   while (freed < needed && !node_lru.empty()) {
     BlockKey victim = node_lru.back();
     node_lru.pop_back();
@@ -71,6 +72,10 @@ void BlockManager::Evict(int node, uint64_t needed) {
     freed += it->second.block.bytes;
     used_[static_cast<size_t>(node)] -= it->second.block.bytes;
     blocks_.erase(it);
+    evicted_blocks += 1;
+  }
+  if (evicted_blocks > 0 && eviction_hook_) {
+    eviction_hook_(evicted_blocks, freed);
   }
 }
 

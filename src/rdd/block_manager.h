@@ -2,6 +2,7 @@
 #define SHARK_RDD_BLOCK_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <utility>
@@ -79,6 +80,13 @@ class BlockManager {
   /// Partitions of `rdd_id` currently cached (sorted).
   std::vector<int> CachedPartitions(int rdd_id) const;
 
+  /// Observer invoked per LRU eviction with (blocks, bytes). Evictions only
+  /// happen inside Put, which runs on the driver thread during commit-order
+  /// replay, so metrics fed from here stay deterministic.
+  void set_eviction_hook(std::function<void(uint64_t, uint64_t)> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     CachedBlock block;
@@ -88,6 +96,7 @@ class BlockManager {
   void Evict(int node, uint64_t needed);
 
   uint64_t capacity_per_node_;
+  std::function<void(uint64_t, uint64_t)> eviction_hook_;
   std::vector<uint64_t> used_;
   std::vector<std::list<BlockKey>> lru_;  // per node, front = most recent
   std::map<BlockKey, Entry> blocks_;

@@ -112,7 +112,28 @@ ClusterContext::ClusterContext(ClusterConfig config,
       [bm = block_manager_.get()](int node) { return bm->UsedBytes(node); });
   shuffle_manager_ = std::make_unique<ShuffleManager>();
   shuffle_manager_->set_memory_manager(memory_manager_.get());
+  metrics_ = std::make_unique<ClusterMetrics>(config_.num_nodes,
+                                              config_.hardware);
+  metrics_->set_cache_bytes_fn(
+      [bm = block_manager_.get()] { return bm->TotalUsedBytes(); });
+  metrics_->set_cache_bytes_on_node_fn(
+      [bm = block_manager_.get()](int node) { return bm->UsedBytes(node); });
+  metrics_->set_shuffle_bytes_fn(
+      [mm = memory_manager_.get()] { return mm->total_shuffle_bytes(); });
+  metrics_->set_shuffle_bytes_on_node_fn(
+      [mm = memory_manager_.get()](int node) {
+        return mm->shuffle_bytes(node);
+      });
+  block_manager_->set_eviction_hook(
+      [m = metrics_.get()](uint64_t blocks, uint64_t bytes) {
+        m->OnCacheEviction(blocks, bytes);
+      });
   scheduler_ = std::make_unique<DagScheduler>(this);
+  SHARK_LOG(kInfo) << "cluster up: " << config_.num_nodes << " nodes x "
+                   << config_.hardware.cores_per_node << " cores, "
+                   << real_capacity << " B cache/node (scale "
+                   << config_.virtual_data_scale << "), host_threads="
+                   << config_.host_threads;
 }
 
 ClusterContext::~ClusterContext() = default;
@@ -120,6 +141,8 @@ ClusterContext::~ClusterContext() = default;
 void ClusterContext::ResetClock() {
   cluster_->Reset();
   now_ = 0.0;
+  // The timeline cannot run backwards; cumulative counters survive.
+  metrics_->OnClockReset();
 }
 
 int ClusterContext::effective_host_threads() const {

@@ -14,6 +14,7 @@
 #include "rdd/scheduler.h"
 #include "rdd/shuffle.h"
 #include "sim/cluster.h"
+#include "sim/cluster_metrics.h"
 #include "sim/cost_model.h"
 #include "sim/dfs.h"
 
@@ -96,6 +97,12 @@ class ClusterContext {
   /// with BeginQuery/EndQuery; while active, the scheduler records every
   /// stage and task attempt into it (see common/trace.h).
   TraceCollector& trace_collector() { return trace_collector_; }
+
+  /// Cluster-wide metrics: counters/gauges/histograms across every layer, a
+  /// virtual-time utilization timeline and per-stage skew reports. Mutated
+  /// only from the scheduler's event loop (see sim/cluster_metrics.h).
+  ClusterMetrics& metrics() { return *metrics_; }
+  const ClusterMetrics& metrics() const { return *metrics_; }
 
   /// The worker pool task bodies are computed on, created lazily; nullptr
   /// when execution is effectively serial (host_threads resolves to 1).
@@ -227,6 +234,7 @@ class ClusterContext {
   std::unique_ptr<BlockManager> block_manager_;
   std::unique_ptr<MemoryManager> memory_manager_;
   std::unique_ptr<ShuffleManager> shuffle_manager_;
+  std::unique_ptr<ClusterMetrics> metrics_;
   std::unique_ptr<DagScheduler> scheduler_;
   std::unique_ptr<ThreadPool> thread_pool_;
   BroadcastRegistry broadcasts_;

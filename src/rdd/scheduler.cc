@@ -180,6 +180,14 @@ Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
       st->shuffle = SummarizeBucketBytes(sm.Stats(shuffle_id).bucket_bytes);
     }
   }
+  // Same signal into the metrics layer's skew report for this stage. The
+  // last report is this stage's: nested recovery stages close before the
+  // outer ExecuteTaskSet pushes its own.
+  StageSkewReport* report = ctx_->metrics().last_stage_report();
+  if (report != nullptr &&
+      report->label == "shuffleMap:" + dep->parent()->label()) {
+    AnnotateBucketSkew(sm.Stats(shuffle_id).bucket_bytes, report);
+  }
   return Status::OK();
 }
 
@@ -205,6 +213,7 @@ Status DagScheduler::RecoverMissing(
     }
     std::vector<int> vec(parts.begin(), parts.end());
     metrics->map_tasks_recovered += static_cast<int>(vec.size());
+    ctx_->metrics().OnMapTasksRecovered(static_cast<int>(vec.size()));
     SHARK_RETURN_NOT_OK(RunMapTasks(dep, vec, metrics));
   }
   return Status::OK();
@@ -230,6 +239,7 @@ Status DagScheduler::ExecuteTaskSet(
   const double hb = profile.heartbeat_interval_sec;
   const uint64_t stage_seq = next_stage_seq_++;
   MemoryManager& mm = ctx_->memory_manager();
+  ClusterMetrics& cm = ctx_->metrics();
   // The per-task working-set budget is latched here and re-latched only at
   // epoch bumps (after the worker drain), so concurrently computed task
   // bodies all see one frozen value — shuffle commits move the node ledgers
@@ -255,9 +265,17 @@ Status DagScheduler::ExecuteTaskSet(
   for (size_t i = 0; i < n; ++i) pending.push_back(static_cast<int>(i));
   std::vector<Inflight> inflight;
   std::vector<double> committed_durations;
+  // Parallel to committed_durations: partition and node of each commit, the
+  // raw material of the per-stage skew/straggler report.
+  std::vector<int> committed_partitions;
+  std::vector<int> committed_nodes;
+  int stage_speculative = 0;
+  int stage_failed = 0;
   size_t committed = 0;
   const double stage_start = ctx_->now();
   double stage_end = stage_start;
+  cm.Sample(stage_start, cluster, static_cast<int>(pending.size()),
+            static_cast<int>(inflight.size()), /*force=*/true);
 
   // ---- Query-profile recording --------------------------------------------
   //
@@ -423,6 +441,7 @@ Status DagScheduler::ExecuteTaskSet(
       outcome.map_output.on_disk = true;
       outcome.work.ser_bytes += outcome.bytes_out;
       outcome.work.disk_write_bytes += outcome.bytes_out;
+      cm.OnMapOutputDiskServe(outcome.bytes_out);
       event(avail, "map output of task " + std::to_string(task) + " (" +
                        FormatBytes(outcome.bytes_out) + ") served from disk" +
                        " on node " + std::to_string(node) +
@@ -448,6 +467,18 @@ Status DagScheduler::ExecuteTaskSet(
     double finish = start_exec + profile.task_launch_overhead_sec +
                     work_sec * cluster.slowdown(node);
     cluster.OccupyCore(node, core, finish);
+    // Locality classification (0=preferred, 1=remote, 2=any) feeds both the
+    // metrics layer and, when active, the query profile.
+    std::vector<int> prefs = preferred(task);
+    int locality = 2;
+    if (!prefs.empty()) {
+      locality = 1;
+      for (int p : prefs) {
+        if (p == node) locality = 0;
+      }
+    }
+    cm.OnTaskLaunch(locality, speculative, outcome.work, work_sec);
+    if (speculative) stage_speculative += 1;
     int trace_idx = -1;
     if (tracing) {
       TaskTrace tt;
@@ -467,15 +498,9 @@ Status DagScheduler::ExecuteTaskSet(
       tt.spill_bytes = outcome.spill_bytes;
       tt.spill_partitions = outcome.spill_partitions;
       tt.output_on_disk = outcome.map_output.on_disk;
-      std::vector<int> prefs = preferred(task);
-      if (prefs.empty()) {
-        tt.locality = TaskLocality::kAny;
-      } else {
-        tt.locality = TaskLocality::kRemote;
-        for (int p : prefs) {
-          if (p == node) tt.locality = TaskLocality::kPreferred;
-        }
-      }
+      tt.locality = locality == 0 ? TaskLocality::kPreferred
+                    : locality == 1 ? TaskLocality::kRemote
+                                    : TaskLocality::kAny;
       StageTrace* st = strace();
       trace_idx = static_cast<int>(st->tasks.size());
       st->tasks.push_back(std::move(tt));
@@ -485,6 +510,8 @@ Status DagScheduler::ExecuteTaskSet(
     if (!speculative) state[static_cast<size_t>(task)] = TaskState::kRunning;
     metrics->tasks_launched += 1;
     if (speculative) metrics->speculative_tasks += 1;
+    cm.Sample(start_exec, cluster, static_cast<int>(pending.size()),
+              static_cast<int>(inflight.size()), /*force=*/false);
     return Status::OK();
   };
 
@@ -494,6 +521,7 @@ Status DagScheduler::ExecuteTaskSet(
     bump_epoch();
     for (int node : killed) {
       HandleNodeDeath(node);
+      cm.OnNodeDeath();
       event(at, "node " + std::to_string(node) + " died");
       // Abort in-flight tasks on the dead node.
       for (size_t i = 0; i < inflight.size();) {
@@ -507,6 +535,8 @@ Status DagScheduler::ExecuteTaskSet(
           }
           inflight.erase(inflight.begin() + static_cast<long>(i));
           metrics->tasks_failed += 1;
+          cm.OnTaskFailed();
+          stage_failed += 1;
           // Requeue unless a duplicate still runs or it already committed.
           bool still_running = false;
           for (const Inflight& f : inflight) {
@@ -540,6 +570,8 @@ Status DagScheduler::ExecuteTaskSet(
     // The dead nodes' cache blocks and shuffle buffers are gone; re-latch
     // the working-set budget against the surviving residency.
     task_mem_budget = mm.TaskWorkingSetBudget();
+    cm.Sample(at, cluster, static_cast<int>(pending.size()),
+              static_cast<int>(inflight.size()), /*force=*/true);
   };
 
   while (committed < n) {
@@ -663,6 +695,7 @@ Status DagScheduler::ExecuteTaskSet(
     if (!done.outcome.missing_inputs.empty()) {
       // Shuffle inputs were lost: recompute them from lineage, then re-run.
       metrics->tasks_rerun_missing += 1;
+      cm.OnTaskMissingInput();
       retries[static_cast<size_t>(done.task)] += 1;
       if (retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
         return Status::ExecutionError("task exceeded retry limit (recovery)");
@@ -696,9 +729,34 @@ Status DagScheduler::ExecuteTaskSet(
     done.outcome.cache_log.clear();
     // Replay the winning attempt's reservation log in commit order — the
     // MemoryManager's peak/denial/spill accounting evolves exactly as if
-    // committed tasks ran one after another.
+    // committed tasks ran one after another. The metrics counters take the
+    // committed deltas, so they agree with the manager's own totals.
+    uint64_t denied_before = mm.denied_reservations();
+    uint64_t spill_bytes_before = mm.committed_spill_bytes();
+    uint64_t spill_parts_before = mm.committed_spill_partitions();
     mm.CommitTaskOps(done.node, done.outcome.mem_log);
     done.outcome.mem_log.clear();
+    if (mm.denied_reservations() > denied_before) {
+      cm.OnReservationDenied(mm.denied_reservations() - denied_before);
+    }
+    if (mm.committed_spill_bytes() > spill_bytes_before) {
+      cm.OnSpill(mm.committed_spill_bytes() - spill_bytes_before,
+                 static_cast<uint32_t>(mm.committed_spill_partitions() -
+                                       spill_parts_before));
+    }
+    // Cache traffic is counted from the committed attempt's replayed
+    // counters, never from worker-thread reads — commit order is fixed, so
+    // the totals are deterministic under host parallelism.
+    uint64_t hit_blocks = 0, hit_bytes = 0, miss_blocks = 0, miss_bytes = 0;
+    for (const auto& [rdd, counters] : done.outcome.cache_counters) {
+      hit_blocks += counters.hit_blocks;
+      hit_bytes += counters.hit_bytes;
+      miss_blocks += counters.miss_blocks;
+      miss_bytes += counters.miss_bytes;
+    }
+    if (hit_blocks + miss_blocks > 0) {
+      cm.OnCacheTraffic(hit_blocks, hit_bytes, miss_blocks, miss_bytes);
+    }
     if (tracing) {
       StageTrace* st = strace();
       for (const auto& [rdd, counters] : done.outcome.cache_counters) {
@@ -710,6 +768,11 @@ Status DagScheduler::ExecuteTaskSet(
     committed += 1;
     stage_end = std::max(stage_end, done.finish);
     committed_durations.push_back(done.finish - done.start);
+    committed_partitions.push_back(partitions[static_cast<size_t>(done.task)]);
+    committed_nodes.push_back(done.node);
+    cm.OnTaskCommitted(done.finish - done.start);
+    cm.Sample(t, cluster, static_cast<int>(pending.size()),
+              static_cast<int>(inflight.size()), /*force=*/false);
   }
 
   // Anything still in flight is a losing speculative duplicate (the loop
@@ -725,6 +788,15 @@ Status DagScheduler::ExecuteTaskSet(
   batch.CancelAndDrain();
   flush_replay();
   ctx_->AdvanceTo(stage_end);
+  cm.Sample(stage_end, cluster, 0, 0, /*force=*/true);
+  const StageSkewReport* skew = cm.OnStageEnd(
+      info.label, stage_start, stage_end, committed_durations,
+      committed_partitions, committed_nodes, stage_speculative, stage_failed);
+  SHARK_LOG(kDebug) << "stage " << skew->seq << " [" << info.label << "] t="
+                    << stage_start << ".." << stage_end << " tasks="
+                    << skew->tasks << " dur_skew=" << skew->dur_skew
+                    << " straggler p" << skew->straggler_partition << "@n"
+                    << skew->straggler_node;
   if (tracing) tc.EndStage(stage_tid, stage_end);
   return Status::OK();
 }

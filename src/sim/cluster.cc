@@ -113,6 +113,13 @@ void Cluster::Reset() {
   }
 }
 
+int Cluster::BusyCores(int node, double now) const {
+  const NodeState& n = nodes_[static_cast<size_t>(node)];
+  int busy = 0;
+  for (double t : n.core_free_at) busy += t > now ? 1 : 0;
+  return busy;
+}
+
 int Cluster::AliveNodes() const {
   int count = 0;
   for (const auto& n : nodes_) count += n.alive ? 1 : 0;

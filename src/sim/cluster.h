@@ -66,6 +66,10 @@ class Cluster {
   /// Number of alive nodes.
   int AliveNodes() const;
 
+  /// Cores on `node` still occupied at virtual time `now` (core_free_at in
+  /// the strict future). Alive-ness is the caller's concern.
+  int BusyCores(int node, double now) const;
+
  private:
   int cores_per_node_;
   std::vector<NodeState> nodes_;

@@ -47,9 +47,24 @@ Result<QueryResult> SharkSession::ExecuteExplain(const ExplainStmt& stmt) {
     // recorded profile; the data rows are discarded, the metrics and the
     // profile itself are carried on the result.
     Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
+    // Snapshot the cluster counters around execution: the difference is
+    // exactly this query's contribution, appended below the plan.
+    std::vector<std::pair<std::string, uint64_t>> before =
+        ctx_->metrics().registry().CounterSnapshot();
     SHARK_ASSIGN_OR_RETURN(QueryResult run, executor.Execute(plan));
     SHARK_CHECK(run.profile != nullptr);
     rendered = RenderAnalyzedPlan(*plan, *run.profile);
+    std::vector<std::pair<std::string, uint64_t>> after =
+        ctx_->metrics().registry().CounterSnapshot();
+    std::string delta;
+    for (size_t i = 0; i < after.size() && i < before.size(); ++i) {
+      uint64_t d = after[i].second - before[i].second;
+      if (d == 0) continue;
+      delta += "  " + after[i].first + " +" + std::to_string(d) + "\n";
+    }
+    if (!delta.empty()) {
+      rendered += "cluster metrics delta:\n" + delta;
+    }
     result.metrics = run.metrics;
     result.profile = run.profile;
   } else {

@@ -334,5 +334,55 @@ TEST(DeterminismTest, SpillEventsByteIdenticalAcrossHostThreadCounts) {
       << pool.size() << ")";
 }
 
+/// Metrics determinism: the Prometheus exposition and the timeline JSON are
+/// built from counters mutated only in event-loop order and from virtual-time
+/// samples, so both documents must be byte-identical across host-thread
+/// settings — including under faults, speculation and memory pressure.
+std::string RunMetricsSuite(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.hardware.cores_per_node = 2;
+  cfg.virtual_data_scale = 1e7;  // tight enough to exercise spill counters
+  cfg.host_threads = host_threads;
+  auto ctx = std::make_shared<ClusterContext>(cfg);
+  auto session = std::make_unique<SharkSession>(ctx);
+  Dataset data = MakeSales(3000, 77);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+
+  const std::string queries[] = {
+      "SELECT region, product, COUNT(*), SUM(units) FROM sales "
+      "GROUP BY region, product",
+      "SELECT s.region, COUNT(*) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region WHERE s.units = m.mu GROUP BY s.region",
+  };
+  auto run = [&](const std::string& sql) {
+    auto r = session->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+  };
+  for (const auto& q : queries) run(q);
+  EXPECT_TRUE(session->CacheTable("sales").ok());
+  for (const auto& q : queries) run(q);
+  ctx->InjectFault(
+      FaultEvent{FaultEvent::Kind::kKill, ctx->now() + 0.05, 2, 1.0});
+  run(queries[0]);
+
+  return ctx->metrics().PrometheusText(ctx->now(), ctx->cluster()) + "\n" +
+         ctx->metrics().TimelineJson();
+}
+
+TEST(DeterminismTest, MetricsByteIdenticalAcrossHostThreadCounts) {
+  std::string serial = RunMetricsSuite(1);
+  std::string pool = RunMetricsSuite(4);
+  ASSERT_FALSE(serial.empty());
+  // The suite must actually move the interesting counters.
+  EXPECT_NE(serial.find("shark_tasks_failed_total"), std::string::npos);
+  EXPECT_NE(serial.find("\"stages\":["), std::string::npos);
+  EXPECT_TRUE(serial == pool)
+      << "metrics diverged (lengths " << serial.size() << " vs "
+      << pool.size() << ")";
+}
+
 }  // namespace
 }  // namespace shark

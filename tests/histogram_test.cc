@@ -1,0 +1,165 @@
+#include "common/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/heavy_hitters.h"
+
+namespace shark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ApproxHistogram
+// ---------------------------------------------------------------------------
+
+TEST(ApproxHistogramTest, EmptyHistogram) {
+  ApproxHistogram h(16);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.EstimateRank(100.0), 0.0);
+  EXPECT_EQ(h.EstimateRangeCount(0.0, 1.0), 0.0);
+}
+
+TEST(ApproxHistogramTest, SingleValueRepeated) {
+  // All mass in one spot: every quantile must land on (about) that value,
+  // whether the data still sits in the exact buffer or was bucketed.
+  for (int reps : {5, 500}) {
+    ApproxHistogram h(16);
+    for (int i = 0; i < reps; ++i) h.Add(42.0);
+    EXPECT_EQ(h.total_count(), static_cast<uint64_t>(reps));
+    EXPECT_EQ(h.min(), 42.0);
+    EXPECT_EQ(h.max(), 42.0);
+    for (double q : {0.0, 0.5, 0.99}) {
+      EXPECT_NEAR(h.EstimateQuantile(q), 42.0, 1.0) << "reps=" << reps;
+    }
+  }
+}
+
+TEST(ApproxHistogramTest, QuantilesOfUniformStream) {
+  ApproxHistogram h(64);
+  for (int i = 0; i < 10000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.EstimateQuantile(0.5), 5000.0, 300.0);
+  EXPECT_NEAR(h.EstimateQuantile(0.95), 9500.0, 300.0);
+  EXPECT_NEAR(h.EstimateRank(2500.0), 2500.0, 300.0);
+}
+
+TEST(ApproxHistogramTest, MergeEmptyIsIdentity) {
+  ApproxHistogram h(16);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i));
+  uint64_t count_before = h.total_count();
+  double p50_before = h.EstimateQuantile(0.5);
+
+  ApproxHistogram empty(16);
+  h.Merge(empty);
+  EXPECT_EQ(h.total_count(), count_before);
+  EXPECT_EQ(h.EstimateQuantile(0.5), p50_before);
+
+  // And the other direction: empty.Merge(h) adopts h's distribution.
+  ApproxHistogram other(16);
+  other.Merge(h);
+  EXPECT_EQ(other.total_count(), count_before);
+  EXPECT_NEAR(other.EstimateQuantile(0.5), p50_before, 5.0);
+}
+
+TEST(ApproxHistogramTest, MergedStreamsMatchCombinedStream) {
+  // Two disjoint halves merged must approximate one histogram over the
+  // concatenated stream.
+  ApproxHistogram left(64);
+  ApproxHistogram right(64);
+  ApproxHistogram whole(64);
+  for (int i = 0; i < 5000; ++i) {
+    left.Add(static_cast<double>(i));
+    whole.Add(static_cast<double>(i));
+  }
+  for (int i = 5000; i < 10000; ++i) {
+    right.Add(static_cast<double>(i));
+    whole.Add(static_cast<double>(i));
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.total_count(), whole.total_count());
+  EXPECT_EQ(left.min(), 0.0);
+  EXPECT_EQ(left.max(), 9999.0);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(left.EstimateQuantile(q), whole.EstimateQuantile(q), 500.0)
+        << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HeavyHitters
+// ---------------------------------------------------------------------------
+
+TEST(HeavyHittersTest, EmptySketch) {
+  HeavyHitters hh(8);
+  EXPECT_EQ(hh.total_count(), 0u);
+  EXPECT_EQ(hh.size(), 0u);
+  EXPECT_TRUE(hh.TopK(4).empty());
+  EXPECT_EQ(hh.LowerBound(7), 0u);
+}
+
+TEST(HeavyHittersTest, ExactWhenUnderCapacity) {
+  HeavyHitters hh(8);
+  hh.Add(1, 10);
+  hh.Add(2, 5);
+  hh.Add(3, 1);
+  auto top = hh.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 2u);
+  EXPECT_EQ(hh.LowerBound(1), 10u);
+  EXPECT_EQ(hh.LowerBound(3), 1u);
+}
+
+TEST(HeavyHittersTest, HeavyKeySurvivesEviction) {
+  // One key takes >1/capacity of the stream; SpaceSaving guarantees it is
+  // tracked no matter how many light keys churn through.
+  HeavyHitters hh(8);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hh.Add(12345, 4);       // heavy
+    hh.Add(100000 + i, 1);  // a parade of one-off keys
+  }
+  auto top = hh.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 12345u);
+  EXPECT_GE(hh.LowerBound(12345), 1000u);
+}
+
+TEST(HeavyHittersTest, MergeEmptyIsIdentity) {
+  HeavyHitters hh(8);
+  hh.Add(1, 10);
+  HeavyHitters empty(8);
+  hh.Merge(empty);
+  EXPECT_EQ(hh.total_count(), 10u);
+  EXPECT_EQ(hh.LowerBound(1), 10u);
+
+  empty.Merge(hh);
+  EXPECT_EQ(empty.total_count(), 10u);
+  EXPECT_EQ(empty.LowerBound(1), 10u);
+}
+
+TEST(HeavyHittersTest, MergedStreamsFindGlobalHeavyHitter) {
+  // Each worker sees the heavy key mixed with local noise; the merged sketch
+  // must rank the shared key first with counts summed across workers.
+  HeavyHitters merged(16);
+  for (int worker = 0; worker < 4; ++worker) {
+    HeavyHitters local(16);
+    for (uint64_t i = 0; i < 200; ++i) {
+      local.Add(777, 3);
+      local.Add(1000 * static_cast<uint64_t>(worker + 1) + i, 1);
+    }
+    merged.Merge(local);
+  }
+  EXPECT_EQ(merged.total_count(), 4u * 200u * 4u);
+  auto top = merged.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 777u);
+  // True frequency 2400; the estimate may overestimate but never by more
+  // than the recorded error.
+  EXPECT_GE(top[0].count, 2400u);
+  EXPECT_GE(2400u, top[0].count - top[0].error);
+}
+
+}  // namespace
+}  // namespace shark

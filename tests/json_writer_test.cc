@@ -1,0 +1,90 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shark {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject().EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray().EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, CommasAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray();
+  w.Int(1).Int(2).BeginObject().Key("c").String("x").EndObject();
+  w.EndArray();
+  w.Key("d").Bool(true);
+  w.Key("e").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[1,2,{\"c\":\"x\"}],\"d\":true,\"e\":null}");
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k\"ey").String("a\\b\"c\nd\te\rf");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"k\\\"ey\":\"a\\\\b\\\"c\\nd\\te\\rf\"}");
+  // Raw control characters (below 0x20) become \u00xx.
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01\x1f")), "\\u0001\\u001f");
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.FixedDouble(std::numeric_limits<double>::quiet_NaN(), 3);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,null]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripAtShortestForm) {
+  {
+    JsonWriter w;
+    w.BeginArray().Double(0.5).Double(1.0).Double(-2.25).EndArray();
+    EXPECT_EQ(w.str(), "[0.5,1,-2.25]");
+  }
+  // A value with no short decimal form still round-trips exactly.
+  double v = 0.1 + 0.2;
+  JsonWriter w;
+  w.Double(v);
+  EXPECT_EQ(std::stod(w.str()), v);
+}
+
+TEST(JsonWriterTest, FixedDoubleUsesRequestedPrecision) {
+  JsonWriter w;
+  w.BeginArray().FixedDouble(1.23456789, 3).FixedDouble(2.0, 6).EndArray();
+  EXPECT_EQ(w.str(), "[1.235,2.000000]");
+}
+
+TEST(JsonWriterTest, RawInsertsVerbatim) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("x").Raw("[1,2]");
+  w.Key("y").Int(3);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"x\":[1,2],\"y\":3}");
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,248 @@
+#include "common/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/cluster_metrics.h"
+
+namespace shark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterSnapshotFollowsRegistrationOrder) {
+  MetricsRegistry reg;
+  Counter* b = reg.RegisterCounter("shark_b_total", "second alphabetically");
+  Counter* a = reg.RegisterCounter("shark_a_total", "first alphabetically");
+  Counter* lab = reg.RegisterCounter("shark_c_total", "labeled", "node=\"3\"");
+  b->Increment(2);
+  a->Increment();
+  lab->Increment(7);
+
+  auto snap = reg.CounterSnapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "shark_b_total");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "shark_a_total");
+  EXPECT_EQ(snap[1].second, 1u);
+  EXPECT_EQ(snap[2].first, "shark_c_total{node=\"3\"}");
+  EXPECT_EQ(snap[2].second, 7u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSkipsGaugesAndHistograms) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("shark_g", "a gauge")->Set(5.0);
+  reg.RegisterHistogram("shark_h", "a histogram");
+  reg.RegisterCounter("shark_c_total", "a counter")->Increment(3);
+  auto snap = reg.CounterSnapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "shark_c_total");
+}
+
+TEST(MetricsRegistryTest, TextExpositionHeadersOncePerFamily) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("shark_locality_total", "Launches by class",
+                      "class=\"preferred\"")
+      ->Increment(4);
+  reg.RegisterCounter("shark_locality_total", "", "class=\"remote\"")
+      ->Increment(1);
+  std::string text = reg.TextExposition();
+
+  // One HELP and one TYPE line for the family, one sample per child.
+  EXPECT_EQ(text.find("# HELP shark_locality_total Launches by class\n"),
+            text.rfind("# HELP shark_locality_total"));
+  EXPECT_EQ(text.find("# TYPE shark_locality_total counter\n"),
+            text.rfind("# TYPE shark_locality_total"));
+  EXPECT_NE(text.find("shark_locality_total{class=\"preferred\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("shark_locality_total{class=\"remote\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TextExpositionGaugeAndCallbackGauge) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("shark_plain", "set directly")->Set(12);
+  double source = 0.0;
+  reg.RegisterCallbackGauge("shark_pulled", "read at exposition time",
+                            [&source] { return source; });
+  source = 99.5;
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# TYPE shark_plain gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("shark_plain 12\n"), std::string::npos);
+  // The callback gauge reflects the value at exposition time, not at
+  // registration time.
+  EXPECT_NE(text.find("shark_pulled 99.5\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TextExpositionHistogramSummary) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.RegisterHistogram("shark_dur_seconds", "durations");
+  {
+    // Empty histogram: quantiles render as 0, count as 0.
+    std::string text = reg.TextExposition();
+    EXPECT_NE(text.find("# TYPE shark_dur_seconds summary\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("shark_dur_seconds{quantile=\"0.50\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("shark_dur_seconds_count 0\n"), std::string::npos);
+  }
+  for (int i = 0; i < 100; ++i) h->Observe(1.0);
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("shark_dur_seconds_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTimeline
+// ---------------------------------------------------------------------------
+
+ClusterSample At(double t) {
+  ClusterSample s;
+  s.time = t;
+  return s;
+}
+
+TEST(ClusterTimelineTest, SameInstantReplacesLastSample) {
+  ClusterTimeline tl;
+  ClusterSample first = At(1.0);
+  first.pending_tasks = 5;
+  tl.Record(first);
+  ClusterSample second = At(1.0);
+  second.pending_tasks = 2;
+  tl.Record(second);
+  ASSERT_EQ(tl.samples().size(), 1u);
+  EXPECT_EQ(tl.samples()[0].pending_tasks, 2);
+}
+
+TEST(ClusterTimelineTest, ShouldSampleHonorsMinInterval) {
+  ClusterTimeline tl(16);
+  EXPECT_TRUE(tl.ShouldSample(0.0));  // empty: always sample
+  // Force a decimation so min_interval becomes nonzero.
+  for (int i = 0; i < 40; ++i) tl.Record(At(static_cast<double>(i)));
+  ASSERT_GT(tl.min_interval(), 0.0);
+  double last = tl.samples().back().time;
+  EXPECT_FALSE(tl.ShouldSample(last + tl.min_interval() * 0.5));
+  EXPECT_TRUE(tl.ShouldSample(last + tl.min_interval()));
+  // Same-instant (or earlier) samples are always accepted — they replace.
+  EXPECT_TRUE(tl.ShouldSample(last));
+}
+
+TEST(ClusterTimelineTest, DecimationBoundsMemoryAndKeepsOrder) {
+  const size_t kMax = 16;
+  ClusterTimeline tl(kMax);
+  for (int i = 0; i < 100000; ++i) {
+    tl.Record(At(static_cast<double>(i) * 0.001));
+  }
+  EXPECT_LT(tl.samples().size(), 2 * kMax);
+  EXPECT_GE(tl.samples().size(), kMax / 2);
+  // First sample survives every decimation; times stay strictly increasing.
+  EXPECT_EQ(tl.samples().front().time, 0.0);
+  for (size_t i = 1; i < tl.samples().size(); ++i) {
+    EXPECT_LT(tl.samples()[i - 1].time, tl.samples()[i].time);
+  }
+  tl.Clear();
+  EXPECT_TRUE(tl.samples().empty());
+  EXPECT_EQ(tl.min_interval(), 0.0);
+  EXPECT_TRUE(tl.ShouldSample(0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Skew analyzer
+// ---------------------------------------------------------------------------
+
+TEST(StageSkewTest, EmptyStage) {
+  StageSkewReport r = ComputeStageSkew("empty", 0, 1.0, 2.0, {}, {}, {});
+  EXPECT_EQ(r.tasks, 0);
+  EXPECT_EQ(r.dur_max, 0.0);
+  EXPECT_EQ(r.dur_skew, 0.0);
+  EXPECT_EQ(r.straggler_partition, -1);
+  EXPECT_EQ(r.straggler_node, -1);
+}
+
+TEST(StageSkewTest, SingleTaskHasNoSkew) {
+  StageSkewReport r =
+      ComputeStageSkew("one", 3, 0.0, 4.0, {4.0}, {7}, {2});
+  EXPECT_EQ(r.seq, 3);
+  EXPECT_EQ(r.tasks, 1);
+  EXPECT_EQ(r.dur_p50, 4.0);
+  EXPECT_EQ(r.dur_p95, 4.0);
+  EXPECT_EQ(r.dur_max, 4.0);
+  EXPECT_EQ(r.dur_skew, 1.0);
+  EXPECT_EQ(r.straggler_partition, 7);
+  EXPECT_EQ(r.straggler_node, 2);
+}
+
+TEST(StageSkewTest, StragglerIsNamed) {
+  // 9 even tasks and one 5x straggler on partition 6 / node 3.
+  std::vector<double> durs(10, 1.0);
+  std::vector<int> parts = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> nodes(10, 0);
+  durs[6] = 5.0;
+  nodes[6] = 3;
+  StageSkewReport r = ComputeStageSkew("skewed", 0, 0.0, 5.0, durs, parts, nodes);
+  EXPECT_EQ(r.tasks, 10);
+  EXPECT_EQ(r.dur_p50, 1.0);
+  EXPECT_EQ(r.dur_max, 5.0);
+  EXPECT_EQ(r.dur_skew, 5.0);
+  EXPECT_EQ(r.straggler_partition, 6);
+  EXPECT_EQ(r.straggler_node, 3);
+}
+
+TEST(StageSkewTest, BucketAnnotation) {
+  StageSkewReport r;
+  AnnotateBucketSkew({}, &r);
+  EXPECT_EQ(r.buckets, 0);
+  EXPECT_EQ(r.culprit_bucket, -1);
+
+  // Buckets {100, 100, 100, 500}: mean 200, max 500 at index 3.
+  AnnotateBucketSkew({100, 100, 500, 100}, &r);
+  EXPECT_EQ(r.buckets, 4);
+  EXPECT_EQ(r.bucket_p50, 100u);
+  EXPECT_EQ(r.bucket_max, 500u);
+  EXPECT_DOUBLE_EQ(r.bucket_skew, 2.5);
+  EXPECT_EQ(r.culprit_bucket, 2);
+}
+
+// ---------------------------------------------------------------------------
+// SHARK_LOG_LEVEL parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseLogLevelTest, AcceptsNamesAndDigits) {
+  LogLevel lvl;
+  ASSERT_TRUE(ParseLogLevel("debug", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("INFO", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kInfo);
+  ASSERT_TRUE(ParseLogLevel("Warning", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kWarn);
+  ASSERT_TRUE(ParseLogLevel("warn", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kWarn);
+  ASSERT_TRUE(ParseLogLevel("error", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kError);
+  ASSERT_TRUE(ParseLogLevel("off", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kOff);
+  ASSERT_TRUE(ParseLogLevel("none", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kOff);
+  ASSERT_TRUE(ParseLogLevel("0", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("4", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kOff);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbageAndLeavesOutputUntouched) {
+  LogLevel lvl = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", &lvl));
+  EXPECT_FALSE(ParseLogLevel("verbose", &lvl));
+  EXPECT_FALSE(ParseLogLevel("5", &lvl));
+  EXPECT_FALSE(ParseLogLevel("12", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace shark

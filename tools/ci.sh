@@ -18,6 +18,22 @@ echo "=== memory-pressure bench (smoke) ==="
 cmake --build build -j "$(nproc)" --target bench_memory_pressure
 build/bench/bench_memory_pressure --smoke
 
+echo "=== metrics (timeline schema + bench regression gate) ==="
+# Deterministic virtual-seconds make the gate noise-free: run the CI-sized
+# fig08 bench, validate the exported timeline JSON against the schema, diff
+# the BENCH_* lines against the committed baseline, and self-test the gate
+# (an injected 2x slowdown must be flagged).
+cmake --build build -j "$(nproc)" --target bench_fig08_pde_join
+metrics_dir=$(mktemp -d)
+trap 'rm -rf "$metrics_dir"' EXIT
+build/bench/bench_fig08_pde_join --smoke \
+  --metrics-out "$metrics_dir/fig08_metrics.json" \
+  | tee "$metrics_dir/fig08.log"
+tools/bench_gate --validate-timeline "$metrics_dir/fig08_metrics.json"
+tools/bench_gate --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/fig08.log"
+tools/bench_gate --self-test
+
 echo "=== differential fuzz (fixed seeds) ==="
 # Deterministic: same seeds every run, bounded runtime. Replays the minimized
 # regression corpus, then sweeps a fixed seed range through Shark vs Hive vs
