@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json_writer.h"
@@ -123,6 +125,66 @@ inline void EmitParallelJson(const std::string& bench, const std::string& label,
   w.Key("virtual_seconds").FixedDouble(virtual_seconds, 6);
   w.EndObject();
   std::printf("BENCH_parallel.json %s\n", w.str().c_str());
+}
+
+/// Machine-readable vectorized-vs-scalar line, one JSON object per query:
+///   BENCH_vector.json {"bench":...,"label":...,"host_ms_on":...,
+///                      "host_ms_off":...,"wall_speedup":...}
+/// Deliberately omits "virtual_seconds": wall-clock is noisy host time, so
+/// these lines bypass the bench_gate timing diff and are checked against the
+/// conservative `vector_floors` in bench/bench_baseline.json instead.
+inline void EmitVectorJson(const std::string& bench, const std::string& label,
+                           double host_ms_on, double host_ms_off) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  w.Key("label").String(label);
+  w.Key("host_ms_on").FixedDouble(host_ms_on, 3);
+  w.Key("host_ms_off").FixedDouble(host_ms_off, 3);
+  w.Key("wall_speedup")
+      .FixedDouble(host_ms_on > 0 ? host_ms_off / host_ms_on : 0.0, 3);
+  w.EndObject();
+  std::printf("BENCH_vector.json %s\n", w.str().c_str());
+}
+
+/// Runs `sql` with the vectorized flag on and off (restoring it afterwards),
+/// checks the virtual seconds are identical (the batch path is a pure
+/// host-side optimization; exits on drift) and emits the BENCH_vector.json
+/// line. Returns {on, off} host milliseconds. Each variant runs `reps` times
+/// and keeps the fastest wall-clock to damp scheduler noise.
+inline std::pair<double, double> CompareVectorized(SharkSession* session,
+                                                   const std::string& bench,
+                                                   const std::string& label,
+                                                   const std::string& sql,
+                                                   int reps = 3) {
+  bool orig = session->options().vectorized;
+  double best[2] = {1e300, 1e300};
+  double virt[2] = {0.0, 0.0};
+  for (int v = 0; v < 2; ++v) {
+    session->options().vectorized = (v == 0);
+    for (int r = 0; r < reps; ++r) {
+      TimedResult t = TimedRunWall(session, sql);
+      best[v] = std::min(best[v], t.host_ms);
+      virt[v] = t.virtual_seconds;
+    }
+  }
+  session->options().vectorized = orig;
+  // Identical up to the last ULP: the session's virtual clock advances
+  // across queries, and (end - start) rounds differently depending on the
+  // absolute clock position, so back-to-back runs of even the *same* plan
+  // differ in the last bit. Bit-exact on/off equality is asserted by the
+  // VecSqlTest fixture, which runs each variant in a fresh session.
+  double scale = std::max(std::abs(virt[0]), std::abs(virt[1]));
+  if (std::abs(virt[0] - virt[1]) > 1e-9 * scale) {
+    std::fprintf(stderr,
+                 "%s/%s: virtual seconds changed with the vectorized flag "
+                 "(%.9f on vs %.9f off) — the batch path must be a pure "
+                 "host-side optimization\n",
+                 bench.c_str(), label.c_str(), virt[0], virt[1]);
+    std::exit(1);
+  }
+  EmitVectorJson(bench, label, best[0], best[1]);
+  return {best[0], best[1]};
 }
 
 /// Writes a query's recorded profile as a chrome://tracing file (load it at

@@ -1,18 +1,65 @@
 // Reproduces Figure 5 of the paper: selection and aggregation query runtimes
 // from the Pavlo et al. benchmark, comparing Shark (in-memory), Shark (disk)
-// and Hive on the same warehouse.
+// and Hive on the same warehouse. Also measures the host wall-clock of the
+// cached queries with the vectorized batch path on vs off (virtual seconds
+// must not move — only how fast the host simulates them).
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "workloads/pavlo.h"
 
 using namespace shark;        // NOLINT(build/namespaces)
 using namespace shark::bench; // NOLINT(build/namespaces)
 
-int main() {
+namespace {
+
+/// Cached-query wall-clock with the batch path on vs off. `bench` names the
+/// BENCH_vector.json lines ("fig05_vector" full-size, "fig05_vector_smoke"
+/// CI-sized); the tables must already be cached.
+void RunVectorComparison(SharkSession* session, const std::string& bench,
+                         const std::string& selection,
+                         const std::string& agg_coarse) {
+  std::printf("\n---- vectorized batch path: host wall-clock, cached ----\n");
+  auto report = [&](const char* label, std::pair<double, double> ms) {
+    std::printf("  %-12s on %8.1fms / off %8.1fms -> %.2fx host speedup, "
+                "virtual seconds unchanged\n",
+                label, ms.first, ms.second, Ratio(ms.second, ms.first));
+  };
+  report("selection", CompareVectorized(session, bench, "selection", selection));
+  report("agg_coarse", CompareVectorized(session, bench, "agg_coarse",
+                                         agg_coarse));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --vector-smoke: CI-sized run of only the vectorized on/off comparison
+  // (shrunken tables; lines feed tools/bench_gate's vector_floors).
+  bool vector_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vector-smoke") == 0) vector_smoke = true;
+  }
+
+  PavloConfig data;
+  if (vector_smoke) {
+    data.rankings_rows = 30000;
+    data.uservisits_rows = 60000;
+    data.rankings_blocks = 10;
+    data.uservisits_blocks = 20;
+    auto session = MakeSharkSession(data.VirtualScale(), 20);
+    if (!GeneratePavloTables(session.get(), data).ok()) return 1;
+    if (!session->CacheTable("rankings").ok()) return 1;
+    if (!session->CacheTable("uservisits").ok()) return 1;
+    RunVectorComparison(session.get(), "fig05_vector_smoke",
+                        PavloSelectionQuery(9900),
+                        PavloAggregationCoarseQuery());
+    return 0;
+  }
+
   PrintHeader("Figure 5 - Pavlo benchmark: selection & aggregation",
               "Shark answers the selection ~80x and the aggregations 20-80x "
               "faster than Hive; in-memory beats disk");
 
-  PavloConfig data;
   auto session = MakeSharkSession(data.VirtualScale());
   if (!GeneratePavloTables(session.get(), data).ok()) return 1;
   std::printf("data: rankings=%lld rows, uservisits=%lld rows, "
@@ -68,5 +115,7 @@ int main() {
               "many-group agg %.1fx; 1K-group agg %.1fx\n",
               Ratio(sel_hive, sel_mem), Ratio(sel_hive, sel_disk),
               Ratio(fine_hive, fine_mem), Ratio(coarse_hive, coarse_mem));
+
+  RunVectorComparison(session.get(), "fig05_vector", selection, agg_coarse);
   return 0;
 }

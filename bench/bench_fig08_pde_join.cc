@@ -42,11 +42,17 @@ int main(int argc, char** argv) {
   // --smoke: CI-sized run (shrunken tables, 20 nodes) with identical query
   // shapes; its BENCH_*.json lines feed tools/bench_gate and the timeline
   // schema validation. --metrics-out <path> overrides the timeline file.
+  // --no-vectorized: force the scalar row path; the BENCH lines must still
+  // match the committed baseline byte-for-byte in virtual seconds (CI runs
+  // the smoke both ways to prove the batch path never moves virtual time).
   bool smoke = false;
+  bool vectorized = true;
   std::string metrics_out = "fig08_metrics.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--no-vectorized") == 0) {
+      vectorized = false;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     }
@@ -69,6 +75,7 @@ int main(int argc, char** argv) {
   }
   double vscale = data.VirtualScaleFor(6e9);  // 1TB point, as in the paper
   auto session = MakeSharkSession(vscale, num_nodes);
+  session->options().vectorized = vectorized;
   if (!GenerateTpchTables(session.get(), data).ok()) return 1;
   if (!RegisterSelectiveUdf(session.get()).ok()) return 1;
   if (!session->CacheTable("lineitem").ok()) return 1;

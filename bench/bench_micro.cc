@@ -1,13 +1,22 @@
 // Micro-benchmarks (google-benchmark) of the CPU-critical primitives: the
 // compression codecs (§3.2), expression interpretation (§5), key hashing,
-// the PDE statistics sketches and the 1-byte size encoding (§3.1).
+// the PDE statistics sketches and the 1-byte size encoding (§3.1), plus a
+// hand-rolled vectorized-vs-row kernel sweep (`--vector-sweep`) that prints
+// one BENCH_vector.json line per kernel for tools/bench_gate's floors.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
 #include "columnar/column.h"
+#include "columnar/table_partition.h"
 #include "common/heavy_hitters.h"
 #include "common/histogram.h"
+#include "common/json_writer.h"
 #include "common/random.h"
 #include "common/size_encoding.h"
+#include "exec/vectorized/column_batch.h"
+#include "exec/vectorized/kernels.h"
 #include "relation/row.h"
 #include "sql/expr.h"
 #include "sql/expr_compiler.h"
@@ -202,7 +211,198 @@ void BM_LikeMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_LikeMatch);
 
+// ---------------------------------------------------------------------------
+// Vectorized-vs-row kernel sweep. Each kernel runs the same work twice —
+// batch-at-a-time over a decoded ColumnBatch and row-at-a-time over
+// materialized Rows (the scalar engine path) — and reports rows/sec for
+// both plus the wall-clock speedup. The lines deliberately omit
+// "virtual_seconds": wall-clock is noisy host time, so they bypass the
+// bench_gate timing diff and are checked against the conservative
+// `vector_floors` in bench/bench_baseline.json instead.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const TablePartition> SweepPartition(const Schema& schema,
+                                                     std::vector<Row>* rows) {
+  Random rng(7);
+  constexpr size_t kRows = 1 << 16;
+  rows->clear();
+  rows->reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows->push_back(
+        Row({Value::Int64(static_cast<int64_t>(rng.Uniform(1 << 13))),
+             Value::Int64(static_cast<int64_t>(rng.Uniform(1000))),
+             Value::Double(rng.NextDouble() * 100.0),
+             Value::Double(rng.NextDouble() * 10.0),
+             Value::String("k" + std::to_string(rng.Uniform(64)))}));
+  }
+  return TablePartition::FromRows(schema, *rows);
+}
+
+CompiledExpr CompileBound(const std::string& text) {
+  auto parsed = ParseExpression(text);
+  if (!parsed.ok()) std::abort();
+  ExprPtr expr = std::move(*parsed);
+  std::function<void(Expr*)> bind = [&](Expr* e) {
+    if (e->kind == ExprKind::kColumnRef) {
+      e->kind = ExprKind::kSlot;
+      e->slot = e->name == "a"   ? 0
+                : e->name == "b" ? 1
+                : e->name == "x" ? 2
+                : e->name == "y" ? 3
+                                 : 4;
+    }
+    for (auto& c : e->children) bind(c.get());
+  };
+  bind(expr.get());
+  UdfRegistry udfs;
+  ExprCompiler compiler(&udfs);
+  auto program = compiler.Compile(*expr);
+  if (!program.ok()) std::abort();
+  return std::move(*program);
+}
+
+/// Repeats `fn` (which processes `rows_per_rep` rows) until ~80ms of wall
+/// clock has elapsed and returns rows/sec.
+template <typename Fn>
+double MeasureRowsPerSec(size_t rows_per_rep, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  // One untimed warmup rep.
+  fn();
+  auto start = Clock::now();
+  size_t reps = 0;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.08);
+  return static_cast<double>(rows_per_rep) * static_cast<double>(reps) /
+         elapsed;
+}
+
+void EmitVectorLine(const std::string& label, size_t rows, double vec_rps,
+                    double row_rps) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("micro_vector");
+  w.Key("label").String(label);
+  w.Key("rows").UInt(rows);
+  w.Key("rows_per_sec_vec").FixedDouble(vec_rps, 0);
+  w.Key("rows_per_sec_row").FixedDouble(row_rps, 0);
+  w.Key("wall_speedup").FixedDouble(row_rps > 0 ? vec_rps / row_rps : 0.0, 3);
+  w.EndObject();
+  std::printf("BENCH_vector.json %s\n", w.str().c_str());
+}
+
+int RunVectorSweep() {
+  Schema schema({{"a", TypeKind::kInt64},
+                 {"b", TypeKind::kInt64},
+                 {"x", TypeKind::kDouble},
+                 {"y", TypeKind::kDouble},
+                 {"s", TypeKind::kString}});
+  std::vector<Row> rows;
+  auto part = SweepPartition(schema, &rows);
+  const size_t n = part->num_rows();
+  std::vector<int> all_cols{0, 1, 2, 3, 4};
+  vec::ColumnBatch batch;
+  Status st = vec::DecodePartition(*part, schema.fields(), all_cols, "sweep",
+                                   &batch);
+  if (!st.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  struct ExprKernel {
+    const char* label;
+    const char* text;
+  };
+  const ExprKernel kernels[] = {
+      {"filter_int64", "a > 3000 AND b BETWEEN 100 AND 900"},
+      {"project_arith", "x * 2.0 + y - 1.0"},
+      {"predicate_mixed", "x < 75.0 AND SUBSTR(s, 1, 2) = 'k1'"},
+  };
+  for (const ExprKernel& k : kernels) {
+    CompiledExpr program = CompileBound(k.text);
+    double vec_rps = MeasureRowsPerSec(n, [&] {
+      vec::ColumnVector out;
+      program.EvalBatch(batch, 0, n, &out);
+      benchmark::DoNotOptimize(out);
+    });
+    double row_rps = MeasureRowsPerSec(n, [&] {
+      for (const Row& r : rows) benchmark::DoNotOptimize(program.Eval(r));
+    });
+    EmitVectorLine(k.label, n, vec_rps, row_rps);
+  }
+
+  // Column-wise key hashing vs per-row KeyHash (the group-by inner loop).
+  {
+    std::vector<const vec::ColumnVector*> key_cols{&batch.cols[0],
+                                                   &batch.cols[4]};
+    double vec_rps = MeasureRowsPerSec(n, [&] {
+      std::vector<uint64_t> hashes;
+      vec::HashKeyColumns(key_cols, n, &hashes);
+      benchmark::DoNotOptimize(hashes);
+    });
+    std::vector<Row> keys;
+    keys.reserve(n);
+    for (const Row& r : rows) keys.push_back(Row({r.Get(0), r.Get(4)}));
+    double row_rps = MeasureRowsPerSec(n, [&] {
+      for (const Row& r : keys) benchmark::DoNotOptimize(KeyHash(r));
+    });
+    EmitVectorLine("hash_keys", n, vec_rps, row_rps);
+  }
+
+  // Fused scan+filter straight off the columnar partition vs the scalar
+  // path's materialize-then-filter.
+  {
+    CompiledExpr program = CompileBound("a > 3000 AND b BETWEEN 100 AND 900");
+    std::vector<int> needed{0, 1};
+    double vec_rps = MeasureRowsPerSec(n, [&] {
+      vec::ColumnBatch decoded;
+      if (!vec::DecodePartition(*part, schema.fields(), needed, "sweep",
+                                &decoded)
+               .ok()) {
+        std::abort();
+      }
+      vec::ColumnVector pred;
+      program.EvalBatch(decoded, 0, n, &pred);
+      vec::SelVector sel;
+      vec::SelectTrue(pred, 0, n, &sel);
+      benchmark::DoNotOptimize(vec::GatherBatch(decoded, sel));
+    });
+    double row_rps = MeasureRowsPerSec(n, [&] {
+      std::vector<Row> materialized = part->ToRows(&needed);
+      std::vector<Row> survivors;
+      for (Row& r : materialized) {
+        if (program.EvalBool(r)) survivors.push_back(std::move(r));
+      }
+      benchmark::DoNotOptimize(survivors);
+    });
+    EmitVectorLine("fused_scan_filter", n, vec_rps, row_rps);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace shark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--vector-sweep`: run only the vectorized kernel sweep (CI mode, feeds
+  // tools/bench_gate's vector_floors). Otherwise: the sweep, then the
+  // google-benchmark suite with the remaining flags.
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vector-sweep") == 0) {
+      sweep_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  int rc = shark::RunVectorSweep();
+  if (rc != 0 || sweep_only) return rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -140,6 +140,11 @@ class Int64PlainChunk final : public ColumnChunk {
     for (int64_t v : values_) out->push_back(Make(v));
   }
 
+  bool DecodeInt64s(std::vector<int64_t>* out) const override {
+    out->insert(out->end(), values_.begin(), values_.end());
+    return true;
+  }
+
  private:
   Value Make(int64_t v) const {
     return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
@@ -163,6 +168,11 @@ class DoublePlainChunk final : public ColumnChunk {
 
   void Decode(std::vector<Value>* out) const override {
     for (double v : values_) out->push_back(Value::Double(v));
+  }
+
+  bool DecodeDoubles(std::vector<double>* out) const override {
+    out->insert(out->end(), values_.begin(), values_.end());
+    return true;
   }
 
  private:
@@ -194,6 +204,14 @@ class StringPlainChunk final : public ColumnChunk {
         buffer_.substr(offsets_[i], offsets_[i + 1] - offsets_[i]));
   }
 
+  bool DecodeStringViews(std::vector<std::string_view>* out) const override {
+    const char* base = buffer_.data();
+    for (size_t i = 0; i + 1 < offsets_.size(); ++i) {
+      out->emplace_back(base + offsets_[i], offsets_[i + 1] - offsets_[i]);
+    }
+    return true;
+  }
+
  private:
   std::string buffer_;
   std::vector<uint32_t> offsets_;
@@ -212,6 +230,13 @@ class BoolBitChunk final : public ColumnChunk {
 
   Value GetValue(size_t i) const override {
     return Value::Bool(bits_.Get(i) != 0);
+  }
+
+  bool DecodeInt64s(std::vector<int64_t>* out) const override {
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      out->push_back(bits_.Get(i) != 0 ? 1 : 0);
+    }
+    return true;
   }
 
  private:
@@ -259,6 +284,14 @@ class Int64RleChunk final : public ColumnChunk {
     }
   }
 
+  bool DecodeInt64s(std::vector<int64_t>* out) const override {
+    for (size_t r = 0; r < run_values_.size(); ++r) {
+      size_t end = r + 1 < run_starts_.size() ? run_starts_[r + 1] : size_;
+      out->insert(out->end(), end - run_starts_[r], run_values_[r]);
+    }
+    return true;
+  }
+
  private:
   Value Make(int64_t v) const {
     return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
@@ -292,6 +325,13 @@ class DictStringChunk final : public ColumnChunk {
 
   Value GetValue(size_t i) const override {
     return Value::String(dict_[codes_.Get(i)]);
+  }
+
+  bool DecodeStringViews(std::vector<std::string_view>* out) const override {
+    for (size_t i = 0; i < codes_.size(); ++i) {
+      out->emplace_back(dict_[codes_.Get(i)]);
+    }
+    return true;
   }
 
   size_t dict_size() const { return dict_.size(); }
@@ -340,6 +380,13 @@ class Int64BitPackedChunk final : public ColumnChunk {
   Value GetValue(size_t i) const override {
     int64_t v = WrapAddInt64(base_, static_cast<int64_t>(packed_.Get(i)));
     return type_ == TypeKind::kDate ? Value::Date(v) : Value::Int64(v);
+  }
+
+  bool DecodeInt64s(std::vector<int64_t>* out) const override {
+    for (size_t i = 0; i < packed_.size(); ++i) {
+      out->push_back(WrapAddInt64(base_, static_cast<int64_t>(packed_.Get(i))));
+    }
+    return true;
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "relation/value.h"
@@ -67,6 +68,32 @@ class ColumnChunk {
 
   /// Sequential decode of the whole chunk into `out` (appended).
   virtual void Decode(std::vector<Value>* out) const;
+
+  // -- Typed decode (vectorized execution) -----------------------------------
+  //
+  // Typed chunks never contain NULLs (EncodeColumn falls back to kGeneric for
+  // nullable data), so a successful typed decode is a dense, NULL-free array.
+  // Each hook returns false when the chunk cannot produce that representation
+  // (wrong type family, or the kGeneric fallback); callers then decode Values.
+
+  /// BIGINT/DATE/BOOLEAN payloads (booleans as 0/1), appended to `out`.
+  virtual bool DecodeInt64s(std::vector<int64_t>* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// DOUBLE payloads, appended to `out`.
+  virtual bool DecodeDoubles(std::vector<double>* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// STRING payloads as views into chunk-owned storage, valid while the
+  /// chunk is alive; appended to `out`.
+  virtual bool DecodeStringViews(std::vector<std::string_view>* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Encodes `values` (all of `type`, or NULL) with the given encoding.

@@ -1,0 +1,183 @@
+#include "exec/vectorized/column_batch.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace shark {
+namespace vec {
+
+Value ColumnVector::ValueAt(size_t i) const {
+  switch (storage) {
+    case Storage::kAllNull:
+      return Value::Null();
+    case Storage::kGeneric:
+      return values[i];
+    case Storage::kInt64:
+      if (!nulls.empty() && nulls[i] != 0) return Value::Null();
+      switch (type) {
+        case TypeKind::kBool:
+          return Value::Bool(ints[i] != 0);
+        case TypeKind::kDate:
+          return Value::Date(ints[i]);
+        default:
+          return Value::Int64(ints[i]);
+      }
+    case Storage::kDouble:
+      if (!nulls.empty() && nulls[i] != 0) return Value::Null();
+      return Value::Double(doubles[i]);
+    case Storage::kString:
+      if (!nulls.empty() && nulls[i] != 0) return Value::Null();
+      return Value::String(std::string(strs[i]));
+  }
+  return Value::Null();
+}
+
+Status DecodePartition(const TablePartition& part,
+                       const std::vector<Field>& fields,
+                       const std::vector<int>& wanted, const std::string& table,
+                       ColumnBatch* out) {
+  out->num_rows = part.num_rows();
+  out->cols.clear();
+  out->cols.resize(fields.size());
+  for (size_t c = 0; c < fields.size(); ++c) {
+    ColumnVector& cv = out->cols[c];
+    cv.n = out->num_rows;
+    cv.type = fields[c].type;
+    cv.storage = ColumnVector::Storage::kAllNull;
+  }
+  for (int c : wanted) {
+    if (c < 0 || c >= part.num_columns() ||
+        static_cast<size_t>(c) >= fields.size()) {
+      return Status::Internal("column index " + std::to_string(c) +
+                              " out of range for table '" + table + "'");
+    }
+    const ColumnChunk& chunk = part.column(c);
+    const Field& field = fields[static_cast<size_t>(c)];
+    if (chunk.type() != field.type) {
+      return Status::Internal(
+          "columnar/analyzer type mismatch on '" + table + "." + field.name +
+          "': stored chunk is " + std::string(TypeName(chunk.type())) +
+          " but the analyzer bound slot type " +
+          std::string(TypeName(field.type)));
+    }
+    ColumnVector& cv = out->cols[static_cast<size_t>(c)];
+    switch (field.type) {
+      case TypeKind::kInt64:
+      case TypeKind::kDate:
+      case TypeKind::kBool:
+        cv.ints.reserve(out->num_rows);
+        if (chunk.DecodeInt64s(&cv.ints)) {
+          cv.storage = ColumnVector::Storage::kInt64;
+          continue;
+        }
+        cv.ints.clear();
+        break;
+      case TypeKind::kDouble:
+        cv.doubles.reserve(out->num_rows);
+        if (chunk.DecodeDoubles(&cv.doubles)) {
+          cv.storage = ColumnVector::Storage::kDouble;
+          continue;
+        }
+        cv.doubles.clear();
+        break;
+      case TypeKind::kString:
+        cv.strs.reserve(out->num_rows);
+        if (chunk.DecodeStringViews(&cv.strs)) {
+          cv.storage = ColumnVector::Storage::kString;
+          continue;
+        }
+        cv.strs.clear();
+        break;
+      default:
+        break;
+    }
+    // Nullable or unusual chunk: fall back to exact Values.
+    cv.values.reserve(out->num_rows);
+    chunk.Decode(&cv.values);
+    cv.storage = ColumnVector::Storage::kGeneric;
+  }
+  return Status::OK();
+}
+
+void SelectTrue(const ColumnVector& bools, size_t begin, size_t end,
+                SelVector* sel) {
+  switch (bools.storage) {
+    case ColumnVector::Storage::kAllNull:
+      return;
+    case ColumnVector::Storage::kInt64:
+      if (bools.nulls.empty()) {
+        for (size_t i = begin; i < end; ++i) {
+          if (bools.ints[i - begin] != 0) sel->push_back(static_cast<int32_t>(i));
+        }
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          size_t k = i - begin;
+          if (bools.nulls[k] == 0 && bools.ints[k] != 0) {
+            sel->push_back(static_cast<int32_t>(i));
+          }
+        }
+      }
+      return;
+    default:
+      // Predicate results are booleans; anything else came through the
+      // generic fallback. NULL counts as false, exactly like EvalBool.
+      for (size_t i = begin; i < end; ++i) {
+        Value v = bools.ValueAt(i - begin);
+        if (!v.is_null() && v.bool_v()) sel->push_back(static_cast<int32_t>(i));
+      }
+      return;
+  }
+}
+
+ColumnBatch GatherBatch(const ColumnBatch& in, const SelVector& sel) {
+  ColumnBatch out;
+  out.num_rows = sel.size();
+  out.cols.resize(in.cols.size());
+  for (size_t c = 0; c < in.cols.size(); ++c) {
+    const ColumnVector& src = in.cols[c];
+    ColumnVector& dst = out.cols[c];
+    dst.type = src.type;
+    dst.storage = src.storage;
+    dst.n = sel.size();
+    if (!src.nulls.empty()) {
+      dst.nulls.reserve(sel.size());
+      for (int32_t i : sel) dst.nulls.push_back(src.nulls[static_cast<size_t>(i)]);
+    }
+    switch (src.storage) {
+      case ColumnVector::Storage::kInt64:
+        dst.ints.reserve(sel.size());
+        for (int32_t i : sel) dst.ints.push_back(src.ints[static_cast<size_t>(i)]);
+        break;
+      case ColumnVector::Storage::kDouble:
+        dst.doubles.reserve(sel.size());
+        for (int32_t i : sel) {
+          dst.doubles.push_back(src.doubles[static_cast<size_t>(i)]);
+        }
+        break;
+      case ColumnVector::Storage::kString:
+        dst.strs.reserve(sel.size());
+        for (int32_t i : sel) dst.strs.push_back(src.strs[static_cast<size_t>(i)]);
+        break;
+      case ColumnVector::Storage::kGeneric:
+        dst.values.reserve(sel.size());
+        for (int32_t i : sel) {
+          dst.values.push_back(src.values[static_cast<size_t>(i)]);
+        }
+        break;
+      case ColumnVector::Storage::kAllNull:
+        break;
+    }
+  }
+  return out;
+}
+
+Row MaterializeRow(const ColumnBatch& batch, size_t i) {
+  Row row;
+  row.fields.reserve(batch.cols.size());
+  for (const ColumnVector& cv : batch.cols) row.fields.push_back(cv.ValueAt(i));
+  return row;
+}
+
+}  // namespace vec
+}  // namespace shark

@@ -1,0 +1,101 @@
+#ifndef SHARK_EXEC_VECTORIZED_COLUMN_BATCH_H_
+#define SHARK_EXEC_VECTORIZED_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/table_partition.h"
+#include "common/status.h"
+#include "relation/row.h"
+#include "relation/types.h"
+#include "relation/value.h"
+
+namespace shark {
+namespace vec {
+
+/// Rows evaluated per EvalBatch window. Large enough to amortize dispatch,
+/// small enough that a window of operand vectors stays cache-resident.
+inline constexpr size_t kBatchSize = 1024;
+
+/// One column of a batch: a typed dense array plus an optional null bitmap.
+/// String cells are string_views into storage owned by the source ColumnChunk
+/// (or by this vector's `values` for generic results), so a ColumnVector must
+/// not outlive the TablePartition it was decoded from.
+struct ColumnVector {
+  enum class Storage : uint8_t {
+    kInt64,    // ints: BIGINT / DATE / BOOLEAN (0 or 1) payloads
+    kDouble,   // doubles
+    kString,   // strs (borrowed views)
+    kGeneric,  // values: exact per-row Values (mixed/unknown results)
+    kAllNull,  // every cell NULL; no payload array
+  };
+
+  TypeKind type = TypeKind::kNull;  // logical type of non-null cells
+  Storage storage = Storage::kAllNull;
+  size_t n = 0;
+  /// 1 = NULL. Empty means "no nulls" for typed storages; ignored for
+  /// kGeneric (cells carry their own kind) and kAllNull.
+  std::vector<uint8_t> nulls;
+
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string_view> strs;
+  std::vector<Value> values;
+
+  bool IsNull(size_t i) const {
+    switch (storage) {
+      case Storage::kAllNull:
+        return true;
+      case Storage::kGeneric:
+        return values[i].is_null();
+      default:
+        return !nulls.empty() && nulls[i] != 0;
+    }
+  }
+
+  /// Reconstructs the exact Value the row path would see for cell i.
+  Value ValueAt(size_t i) const;
+};
+
+/// A batch of rows in columnar form. `cols` is indexed by expression slot
+/// (== table column index); columns the plan does not need are present as
+/// kAllNull vectors, mirroring TablePartition::ToRows' pruning contract
+/// (full arity, NULL for undecoded columns).
+struct ColumnBatch {
+  size_t num_rows = 0;
+  std::vector<ColumnVector> cols;
+};
+
+/// Indices of surviving rows, ascending. The output of predicate kernels.
+using SelVector = std::vector<int32_t>;
+
+/// Decodes the `wanted` columns of `part` into typed vectors (others become
+/// kAllNull). Verifies each decoded chunk's logical type against the
+/// analyzer's slot type in `fields` and fails with a clear error on mismatch
+/// instead of letting a kernel misread the payload. `table` is used only for
+/// error messages.
+Status DecodePartition(const TablePartition& part,
+                       const std::vector<Field>& fields,
+                       const std::vector<int>& wanted, const std::string& table,
+                       ColumnBatch* out);
+
+/// Appends the indices in [begin, end) whose cell in `bools` is non-NULL and
+/// true (the predicate contract: NULL counts as false). Indices are absolute
+/// when `bools` holds one cell per batch row evaluated from offset `begin`.
+void SelectTrue(const ColumnVector& bools, size_t begin, size_t end,
+                SelVector* sel);
+
+/// Gathers the selected rows of `in` into a compacted batch (row i of the
+/// result is row sel[i] of `in`).
+ColumnBatch GatherBatch(const ColumnBatch& in, const SelVector& sel);
+
+/// Materializes row i of the batch with full arity, matching
+/// TablePartition::ToRows cell for cell.
+Row MaterializeRow(const ColumnBatch& batch, size_t i);
+
+}  // namespace vec
+}  // namespace shark
+
+#endif  // SHARK_EXEC_VECTORIZED_COLUMN_BATCH_H_

@@ -1,0 +1,54 @@
+#ifndef SHARK_EXEC_VECTORIZED_KERNELS_H_
+#define SHARK_EXEC_VECTORIZED_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/vectorized/column_batch.h"
+#include "relation/row.h"
+#include "relation/value.h"
+
+namespace shark {
+namespace vec {
+
+/// Hash of cell i of `col`, replicating Value::Hash bit for bit (NULL
+/// sentinel, NaN sentinel, exact-int64 doubles hashing as their integer,
+/// FNV over string bytes) without constructing a Value on the typed paths.
+uint64_t HashCell(const ColumnVector& col, size_t i);
+
+/// Column-wise group-key hashing: out[i] = KeyHash(Row{keys[*][i]}), i.e. the
+/// seed-and-HashCombine fold the shuffle layer applies to key Rows. Appends n
+/// hashes to `out`.
+void HashKeyColumns(const std::vector<const ColumnVector*>& keys, size_t n,
+                    std::vector<uint64_t>* out);
+
+/// Open-addressing hash table mapping group-key tuples to dense group
+/// indices. Groups keep their first-seen (insertion) order, which makes
+/// iteration deterministic and lets callers accumulate aggregates in input
+/// row order — required for bit-identical double summation vs. the row path.
+class VecGroupTable {
+ public:
+  VecGroupTable();
+
+  /// Returns the dense index of the group for row `row` of the key columns,
+  /// inserting (and materializing the key Row) on first sight. `hash` must be
+  /// the HashKeyColumns value for that row.
+  size_t FindOrInsert(const std::vector<const ColumnVector*>& keys, size_t row,
+                      uint64_t hash);
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<Row>& group_keys() const { return keys_; }
+  const std::vector<uint64_t>& group_hashes() const { return hashes_; }
+
+ private:
+  void Rehash(size_t new_capacity);
+
+  std::vector<uint32_t> slots_;  // group index + 1; 0 = empty
+  std::vector<Row> keys_;        // insertion order
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace vec
+}  // namespace shark
+
+#endif  // SHARK_EXEC_VECTORIZED_KERNELS_H_

@@ -1,0 +1,315 @@
+#include "exec/vectorized/vec_exec.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/cardinality.h"
+#include "common/logging.h"
+#include "exec/vectorized/column_batch.h"
+#include "exec/vectorized/kernels.h"
+#include "rdd/pair_rdd.h"
+#include "sql/aggregates.h"
+
+namespace shark {
+namespace vec {
+
+namespace {
+
+/// One partition scanned and filtered: the surviving rows as a compacted
+/// batch, plus the pre-filter row count (the filter charge's base).
+struct ScannedPart {
+  ColumnBatch batch;
+  size_t scanned = 0;
+};
+
+/// Charges the columnar read (same bytes/rows as the scalar memScan),
+/// decodes the needed columns, and applies the predicate in kBatchSize
+/// windows. The per-row filter charge is NOT made here — the caller charges
+/// it once per task over the whole partition block, like ApplyPredicate.
+ScannedPart ScanFilterPart(const VecScan& s, const TablePartition& part,
+                           TaskContext* tctx) {
+  uint64_t bytes = 0;
+  for (int c : *s.needed) bytes += part.ColumnBytes(c);
+  tctx->work().mem_read_bytes += bytes;
+  tctx->work().rows_processed += part.num_rows();
+  ScannedPart out;
+  out.scanned = part.num_rows();
+  Status st =
+      DecodePartition(part, s.schema->fields(), *s.needed, s.table, &out.batch);
+  SHARK_CHECK(st.ok()) << " " << st.message();
+  if (s.predicate == nullptr) return out;
+  SelVector sel;
+  ColumnVector verdict;
+  for (size_t b = 0; b < out.batch.num_rows; b += kBatchSize) {
+    size_t e = std::min(out.batch.num_rows, b + kBatchSize);
+    s.predicate->EvalBatch(out.batch, b, e, &verdict);
+    SelectTrue(verdict, b, e, &sel);
+  }
+  out.batch = GatherBatch(out.batch, sel);
+  return out;
+}
+
+}  // namespace
+
+RddPtr<Row> BuildVecScanFilter(const VecScan& scan) {
+  return scan.base->MapPartitions(
+      [scan](int, const std::vector<TablePartitionPtr>& parts,
+             TaskContext* tctx) {
+        std::vector<Row> out;
+        uint64_t scanned = 0;
+        for (const TablePartitionPtr& part : parts) {
+          if (part == nullptr) continue;
+          ScannedPart sp = ScanFilterPart(scan, *part, tctx);
+          scanned += sp.scanned;
+          for (size_t i = 0; i < sp.batch.num_rows; ++i) {
+            out.push_back(MaterializeRow(sp.batch, i));
+          }
+        }
+        if (scan.predicate != nullptr) {
+          tctx->work().rows_processed +=
+              ExprChargeRows(scanned, scan.predicate_extra, scan.compiled_charges);
+        }
+        return out;
+      },
+      "vecScanFilter:" + scan.table);
+}
+
+RddPtr<Row> BuildVecScanProject(
+    const VecScan& scan,
+    std::shared_ptr<const std::vector<CompiledExpr>> projects,
+    uint64_t project_extra) {
+  return scan.base->MapPartitions(
+      [scan, projects, project_extra](int,
+                                      const std::vector<TablePartitionPtr>& parts,
+                                      TaskContext* tctx) {
+        std::vector<Row> out;
+        uint64_t scanned = 0;
+        uint64_t survived = 0;
+        std::vector<ColumnVector> cols(projects->size());
+        for (const TablePartitionPtr& part : parts) {
+          if (part == nullptr) continue;
+          ScannedPart sp = ScanFilterPart(scan, *part, tctx);
+          scanned += sp.scanned;
+          const size_t m = sp.batch.num_rows;
+          survived += m;
+          for (size_t b = 0; b < m; b += kBatchSize) {
+            const size_t e = std::min(m, b + kBatchSize);
+            for (size_t j = 0; j < projects->size(); ++j) {
+              (*projects)[j].EvalBatch(sp.batch, b, e, &cols[j]);
+            }
+            for (size_t i = b; i < e; ++i) {
+              Row r;
+              r.fields.reserve(cols.size());
+              for (const ColumnVector& c : cols) {
+                r.fields.push_back(c.ValueAt(i - b));
+              }
+              out.push_back(std::move(r));
+            }
+          }
+        }
+        if (scan.predicate != nullptr) {
+          tctx->work().rows_processed +=
+              ExprChargeRows(scanned, scan.predicate_extra, scan.compiled_charges);
+        }
+        tctx->work().rows_processed +=
+            ExprChargeRows(survived, project_extra, scan.compiled_charges);
+        return out;
+      },
+      "vecScanProject:" + scan.table);
+}
+
+namespace {
+
+/// Map-side shuffle dependency of the vectorized group-by. The reduce side
+/// (ShuffledReduceRdd<Row, AggState>) is reused unchanged, so the bucket
+/// payloads, byte/record statistics and every virtual-time charge must match
+/// CombiningShuffleDep<Row, Row, AggState>'s sequence exactly; comments
+/// below mark each replicated charge.
+class VecAggShuffleDep final : public ShuffleDependency {
+ public:
+  VecAggShuffleDep(
+      RddPtr<TablePartitionPtr> parent, int num_buckets, VecScan scan,
+      std::shared_ptr<const std::vector<CompiledExpr>> groups,
+      std::shared_ptr<const std::vector<std::vector<CompiledExpr>>> agg_args,
+      std::shared_ptr<const std::vector<AggCall>> calls)
+      : ShuffleDependency(parent, num_buckets),
+        scan_(std::move(scan)),
+        groups_(std::move(groups)),
+        agg_args_(std::move(agg_args)),
+        calls_(std::move(calls)) {}
+
+  MapOutput PartitionBlock(const BlockData& block,
+                           TaskContext* tctx) const override {
+    const auto& parts =
+        *std::static_pointer_cast<const std::vector<TablePartitionPtr>>(block);
+    VecGroupTable table;
+    std::vector<AggState> states;
+    std::vector<uint64_t> row_hashes;  // surviving rows, input order
+    uint64_t scanned = 0;
+    uint64_t fed = 0;  // rows reaching the group-by (the scalar `in.size()`)
+    std::vector<ColumnVector> keycols(groups_->size());
+    std::vector<const ColumnVector*> keyviews(groups_->size());
+    std::vector<std::vector<ColumnVector>> argcols(calls_->size());
+    for (const TablePartitionPtr& part : parts) {
+      if (part == nullptr) continue;
+      ScannedPart sp = ScanFilterPart(scan_, *part, tctx);
+      scanned += sp.scanned;
+      const size_t m = sp.batch.num_rows;
+      fed += m;
+      for (size_t b = 0; b < m; b += kBatchSize) {
+        const size_t e = std::min(m, b + kBatchSize);
+        const size_t w = e - b;
+        for (size_t k = 0; k < groups_->size(); ++k) {
+          (*groups_)[k].EvalBatch(sp.batch, b, e, &keycols[k]);
+          keyviews[k] = &keycols[k];
+        }
+        const size_t hbase = row_hashes.size();
+        HashKeyColumns(keyviews, w, &row_hashes);
+        for (size_t ci = 0; ci < calls_->size(); ++ci) {
+          const std::vector<CompiledExpr>& progs = (*agg_args_)[ci];
+          argcols[ci].resize(progs.size());
+          for (size_t ai = 0; ai < progs.size(); ++ai) {
+            progs[ai].EvalBatch(sp.batch, b, e, &argcols[ci][ai]);
+          }
+        }
+        for (size_t i = 0; i < w; ++i) {
+          size_t g = table.FindOrInsert(keyviews, i, row_hashes[hbase + i]);
+          if (g == states.size()) states.push_back(InitAggState(*calls_));
+          AggState& state = states[g];
+          for (size_t ci = 0; ci < calls_->size(); ++ci) {
+            const AggCall& call = (*calls_)[ci];
+            AggCell& cell = state.cells[ci];
+            if (call.fn == AggCall::Fn::kCountStar) {
+              cell.count += 1;
+              continue;
+            }
+            if (call.fn == AggCall::Fn::kCountDistinct) {
+              Row tuple;
+              bool any_null = false;
+              for (const ColumnVector& ac : argcols[ci]) {
+                Value v = ac.ValueAt(i);
+                any_null = any_null || v.is_null();
+                tuple.fields.push_back(std::move(v));
+              }
+              if (!any_null) cell.distinct.insert(std::move(tuple));
+              continue;
+            }
+            Value v = argcols[ci].empty() ? Value::Null()
+                                          : argcols[ci][0].ValueAt(i);
+            AccumulateValue(call, v, &cell);
+          }
+        }
+      }
+    }
+    // Charges of the replaced scalar stages, once per task like the
+    // originals: scanFilter (ApplyPredicate), aggKey (MapRdd)...
+    if (scan_.predicate != nullptr) {
+      tctx->work().rows_processed +=
+          ExprChargeRows(scanned, scan_.predicate_extra, scan_.compiled_charges);
+    }
+    tctx->work().rows_processed += fed;
+    // ...and CombiningShuffleDep::PartitionBlock's combine charges.
+    tctx->work().rows_processed += fed;
+    tctx->work().hash_records += fed;
+    SampleCardinality sample;
+    sample.n = static_cast<double>(fed);
+    sample.d = static_cast<double>(table.size());
+    {
+      std::unordered_set<uint64_t> first_half;
+      std::unordered_set<uint64_t> second_half;
+      size_t half = row_hashes.size() / 2;
+      for (size_t i = 0; i < row_hashes.size(); ++i) {
+        (i < half ? first_half : second_half).insert(row_hashes[i]);
+      }
+      sample.d_first = static_cast<double>(first_half.size());
+      sample.d_second = static_cast<double>(second_half.size());
+      for (uint64_t k : first_half) {
+        if (second_half.count(k) > 0) sample.overlap += 1.0;
+      }
+    }
+    double growth = DistinctGrowthFactorSplit(sample, tctx->virtual_scale());
+    double byte_adjust = growth / std::max(tctx->virtual_scale(), 1.0);
+
+    // Re-home the groups in the exact container the scalar combiner uses:
+    // same hasher and same first-seen insertion sequence give the same
+    // iteration order, so bucket payloads match the scalar path pair for
+    // pair — CollectKeyStats feeds order-sensitive heavy-hitter counters,
+    // and any order drift would nudge PDE's skew decisions.
+    std::unordered_map<Row, AggState, KeyHasher<Row>> combined;
+    for (size_t g = 0; g < table.size(); ++g) {
+      combined.emplace(table.group_keys()[g], std::move(states[g]));
+    }
+    std::vector<std::vector<std::pair<Row, AggState>>> buckets(
+        static_cast<size_t>(num_buckets_));
+    uint64_t distinct = combined.size();
+    for (auto& [k, c] : combined) {
+      auto b = static_cast<size_t>(KeyHash(k) %
+                                   static_cast<uint64_t>(num_buckets_));
+      buckets[b].emplace_back(k, std::move(c));
+    }
+    MapOutput out;
+    out.on_disk = tctx->profile().shuffle_through_disk;
+    out.buckets.reserve(buckets.size());
+    uint64_t out_bytes = 0;
+    uint64_t out_records = 0;
+    uint64_t raw_bytes = 0;
+    for (auto& bucket : buckets) {
+      raw_bytes += ApproxSizeOfRange(bucket);
+      uint64_t adjusted = static_cast<uint64_t>(
+          static_cast<double>(ApproxSizeOfRange(bucket)) * byte_adjust);
+      out_records += bucket.size();
+      out_bytes += adjusted;
+      out.bucket_bytes.push_back(adjusted);
+      out.bucket_records.push_back(bucket.size());
+      out.bucket_cost_scale.push_back(byte_adjust);
+      out.buckets.push_back(
+          std::make_shared<const std::vector<std::pair<Row, AggState>>>(
+              std::move(bucket)));
+    }
+    tctx->ReserveOrSpillHash(raw_bytes, distinct);
+    tctx->ReleaseAllWorkingSet();
+    internal_shuffle::ChargeMapOutputWrite(out_bytes, out_records, fed, tctx);
+    return out;
+  }
+
+  void CollectKeyStats(const BlockData& bucket, HeavyHitters* hh,
+                       ApproxHistogram* hist) const override {
+    const auto& in = *std::static_pointer_cast<
+        const std::vector<std::pair<Row, AggState>>>(bucket);
+    for (const auto& [k, c] : in) {
+      internal_shuffle::AddKeyToStats(k, hh, hist);
+    }
+  }
+
+ private:
+  VecScan scan_;
+  std::shared_ptr<const std::vector<CompiledExpr>> groups_;
+  std::shared_ptr<const std::vector<std::vector<CompiledExpr>>> agg_args_;
+  std::shared_ptr<const std::vector<AggCall>> calls_;
+};
+
+}  // namespace
+
+std::shared_ptr<ShuffleDependency> MakeVecAggDep(
+    const VecScan& scan, int num_buckets,
+    std::shared_ptr<const std::vector<CompiledExpr>> group_programs,
+    std::shared_ptr<const std::vector<std::vector<CompiledExpr>>> agg_arg_programs,
+    std::shared_ptr<const std::vector<AggCall>> calls) {
+  // Identity pass-through so the shuffle-map stage carries a recognizable
+  // label (the base may be the raw cached RDD or a prunedScan subset).
+  // MapPartitionsRdd charges nothing itself; the cached base's read charges
+  // flow through GetOrCompute exactly as in the scalar chain.
+  auto parent = scan.base->MapPartitions(
+      [](int, const std::vector<TablePartitionPtr>& parts, TaskContext*) {
+        return parts;
+      },
+      "vecAggKey:" + scan.table);
+  return std::make_shared<VecAggShuffleDep>(
+      parent, num_buckets, scan, std::move(group_programs),
+      std::move(agg_arg_programs), std::move(calls));
+}
+
+}  // namespace vec
+}  // namespace shark

@@ -1,0 +1,76 @@
+#ifndef SHARK_EXEC_VECTORIZED_VEC_EXEC_H_
+#define SHARK_EXEC_VECTORIZED_VEC_EXEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table_partition.h"
+#include "rdd/rdd.h"
+#include "relation/row.h"
+#include "relation/types.h"
+#include "sql/expr_compiler.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+namespace vec {
+
+/// A prepared vectorized scan of a cached columnar table: the (possibly
+/// pruned) partition RDD plus everything the fused operators need. Built by
+/// the executor; the charge-model fields exist so the fused pipelines issue
+/// exactly the virtual-time charges the scalar memScan -> scanFilter chain
+/// would (only host wall-clock may differ).
+struct VecScan {
+  RddPtr<TablePartitionPtr> base;
+  std::shared_ptr<const Schema> schema;
+  std::shared_ptr<const std::vector<int>> needed;
+  std::string table;
+
+  /// Compiled scan predicate; null for unfiltered scans.
+  std::shared_ptr<const CompiledExpr> predicate;
+  uint64_t predicate_extra = 0;  // UdfExtraRows of the predicate
+
+  /// Mirrors ExecOptions::compile_expressions: which per-row charge formula
+  /// the scalar path would have used (the vectorized engine always runs the
+  /// compiled program, but it must not change virtual costs).
+  bool compiled_charges = false;
+};
+
+/// Per-row virtual charge of evaluating expressions over n rows, matching
+/// ApplyPredicate/BuildProject's interpreted and compiled formulas.
+inline uint64_t ExprChargeRows(uint64_t n, uint64_t extra, bool compiled) {
+  return compiled ? n * (4 + 5 * extra) / 5 : n * (1 + extra);
+}
+
+/// Fused scan+filter over the columnar store: decodes only the needed
+/// columns, evaluates the predicate batch-at-a-time, and materializes
+/// full-arity survivor Rows. Replaces the memScan -> scanFilter chain with
+/// identical output rows (and order) and identical charges.
+RddPtr<Row> BuildVecScanFilter(const VecScan& scan);
+
+/// Fused scan+filter+project: survivors are compacted with a selection
+/// vector and each projection runs batch-at-a-time over the compacted
+/// columns; Rows are only materialized for the projected outputs.
+RddPtr<Row> BuildVecScanProject(
+    const VecScan& scan,
+    std::shared_ptr<const std::vector<CompiledExpr>> projects,
+    uint64_t project_extra);
+
+/// Map side of a vectorized hash group-by directly over the columnar store:
+/// scan, filter, column-wise key hashing and batched group-table probing in
+/// one ShuffleDependency. Emits buckets of (key Row, AggState) pairs that
+/// the existing ShuffledReduceRdd<Row, AggState> consumes unchanged, with
+/// accumulation in input row order so AggStates (and therefore all shuffle
+/// byte/record statistics) are bit-identical to the scalar
+/// aggKey -> CombiningShuffleDep chain.
+std::shared_ptr<ShuffleDependency> MakeVecAggDep(
+    const VecScan& scan, int num_buckets,
+    std::shared_ptr<const std::vector<CompiledExpr>> group_programs,
+    std::shared_ptr<const std::vector<std::vector<CompiledExpr>>> agg_arg_programs,
+    std::shared_ptr<const std::vector<AggCall>> calls);
+
+}  // namespace vec
+}  // namespace shark
+
+#endif  // SHARK_EXEC_VECTORIZED_VEC_EXEC_H_

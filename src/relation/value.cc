@@ -94,10 +94,6 @@ int64_t Value::AsInt64() const {
   return 0;
 }
 
-namespace {
-
-/// Exact BIGINT-vs-DOUBLE ordering without rounding either side. `d` must
-/// not be NaN. Returns the sign of (i <=> d).
 int CompareInt64Double(int64_t i, double d) {
   if (d >= 9223372036854775808.0) return -1;  // every int64 < d
   if (d < -9223372036854775808.0) return 1;
@@ -111,8 +107,6 @@ int CompareInt64Double(int64_t i, double d) {
   if (frac < 0) return 1;
   return 0;
 }
-
-}  // namespace
 
 bool Value::operator==(const Value& other) const {
   if (kind_ == other.kind_) {

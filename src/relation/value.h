@@ -53,6 +53,12 @@ inline bool DoubleIsExactInt64(double d, int64_t* out) {
   return true;
 }
 
+/// Exact BIGINT-vs-DOUBLE ordering without rounding either side. `d` must
+/// not be NaN. Returns the sign of (i <=> d). This is the comparison
+/// Value::Compare uses for mixed numeric kinds; vectorized kernels call it
+/// directly so batch and row paths share one definition.
+int CompareInt64Double(int64_t i, double d);
+
 /// A single SQL value: NULL, BOOLEAN, BIGINT, DOUBLE, STRING or DATE.
 /// Comparison and arithmetic coerce BIGINT<->DOUBLE; NULL compares with SQL
 /// three-valued logic at the expression layer (here NULL simply sorts first

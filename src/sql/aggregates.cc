@@ -20,8 +20,6 @@ AggState InitAggState(const std::vector<AggCall>& calls) {
   return state;
 }
 
-namespace {
-
 void AccumulateValue(const AggCall& call, const Value& v, AggCell* cell) {
   switch (call.fn) {
     case AggCall::Fn::kCountStar:
@@ -62,8 +60,6 @@ void AccumulateValue(const AggCall& call, const Value& v, AggCell* cell) {
       break;  // handled by caller (needs the full arg tuple)
   }
 }
-
-}  // namespace
 
 void AccumulateRow(const std::vector<AggCall>& calls, const Row& row,
                    const UdfRegistry* udfs, AggState* state) {

@@ -35,6 +35,13 @@ AggState InitAggState(const std::vector<AggCall>& calls);
 void AccumulateRow(const std::vector<AggCall>& calls, const Row& row,
                    const UdfRegistry* udfs, AggState* state);
 
+/// Folds a single already-evaluated argument value into one cell. Handles
+/// every function except kCountDistinct (which needs the full arg tuple —
+/// callers build the tuple and insert into `cell->distinct` themselves).
+/// Exposed so the vectorized group-by accumulates with exactly the same
+/// arithmetic (and double summation order) as the row path.
+void AccumulateValue(const AggCall& call, const Value& v, AggCell* cell);
+
 /// Merges `from` into `into` (reduce side).
 void MergeAggStates(const std::vector<AggCall>& calls, const AggState& from,
                     AggState* into);

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/vectorized/vec_exec.h"
 #include "rdd/pair_rdd.h"
 #include "sql/aggregates.h"
 #include "sql/expr_compiler.h"
@@ -369,34 +370,75 @@ Result<RddPtr<Row>> Executor::BuildRdd(const PlanPtr& plan) {
   return Status::Internal("unknown plan kind");
 }
 
+/// Partition pruning (§3.5) over a cached table: returns the (possibly
+/// subset) partition RDD to scan and updates the scan metrics. Shared by the
+/// row-at-a-time scan and every vectorized fast path so both prune — and
+/// count — identically.
+RddPtr<TablePartitionPtr> Executor::PruneCachedScan(TableInfo* info,
+                                                    const LogicalPlan& node) {
+  int total = info->cached_rdd->num_partitions();
+  std::vector<int> selected;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(node.scan_predicate);
+  for (int p = 0; p < total; ++p) {
+    if (options_.map_pruning && !conjuncts.empty() &&
+        p < static_cast<int>(info->partition_stats.size()) &&
+        !PartitionMayMatch(info->partition_stats[static_cast<size_t>(p)],
+                           conjuncts)) {
+      continue;
+    }
+    selected.push_back(p);
+  }
+  // Never prune to zero partitions: downstream shuffles require at least
+  // one map partition, and an all-pruned scan still has to produce an
+  // (empty) result.
+  if (selected.empty() && total > 0) selected.push_back(0);
+  metrics_.partitions_scanned += static_cast<int>(selected.size());
+  metrics_.partitions_pruned += total - static_cast<int>(selected.size());
+  RddPtr<TablePartitionPtr> base = info->cached_rdd;
+  if (static_cast<int>(selected.size()) != total) {
+    base = std::make_shared<PartitionSubsetRdd<TablePartitionPtr>>(
+        info->cached_rdd, selected, "prunedScan:" + node.table);
+  }
+  return base;
+}
+
+bool Executor::PrepareVecScan(const LogicalPlan& node, vec::VecScan* out) {
+  if (!options_.vectorized || node.kind != PlanKind::kScan) return false;
+  auto info_or = catalog_->Get(node.table);
+  if (!info_or.ok()) return false;
+  TableInfo* info = *info_or;
+  if (!info->is_cached() || !ctx_->profile().memory_store) return false;
+  std::shared_ptr<const CompiledExpr> predicate;
+  uint64_t extra = 0;
+  if (node.scan_predicate != nullptr) {
+    ExprCompiler compiler(udfs_);
+    auto compiled = compiler.Compile(*node.scan_predicate);
+    if (!compiled.ok()) return false;
+    predicate = std::make_shared<const CompiledExpr>(std::move(*compiled));
+    extra = UdfExtraRows(*node.scan_predicate, udfs_);
+  }
+  out->base = PruneCachedScan(info, node);
+  out->schema = std::make_shared<const Schema>(info->schema);
+  out->needed = std::make_shared<const std::vector<int>>(node.needed_columns);
+  out->table = node.table;
+  out->predicate = std::move(predicate);
+  out->predicate_extra = extra;
+  out->compiled_charges = options_.compile_expressions;
+  return true;
+}
+
 Result<RddPtr<Row>> Executor::BuildScan(const LogicalPlan& node) {
+  // Vectorized fast path: fuse decode + filter when there is a predicate to
+  // push down (a bare scan gains nothing over ToRows).
+  if (node.scan_predicate != nullptr) {
+    vec::VecScan vs;
+    if (PrepareVecScan(node, &vs)) return vec::BuildVecScanFilter(vs);
+  }
   SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_->Get(node.table));
   bool use_memstore = info->is_cached() && ctx_->profile().memory_store;
   RddPtr<Row> rows;
   if (use_memstore) {
-    int total = info->cached_rdd->num_partitions();
-    std::vector<int> selected;
-    std::vector<ExprPtr> conjuncts = SplitConjuncts(node.scan_predicate);
-    for (int p = 0; p < total; ++p) {
-      if (options_.map_pruning && !conjuncts.empty() &&
-          p < static_cast<int>(info->partition_stats.size()) &&
-          !PartitionMayMatch(info->partition_stats[static_cast<size_t>(p)],
-                             conjuncts)) {
-        continue;
-      }
-      selected.push_back(p);
-    }
-    // Never prune to zero partitions: downstream shuffles require at least
-    // one map partition, and an all-pruned scan still has to produce an
-    // (empty) result.
-    if (selected.empty() && total > 0) selected.push_back(0);
-    metrics_.partitions_scanned += static_cast<int>(selected.size());
-    metrics_.partitions_pruned += total - static_cast<int>(selected.size());
-    RddPtr<TablePartitionPtr> base = info->cached_rdd;
-    if (static_cast<int>(selected.size()) != total) {
-      base = std::make_shared<PartitionSubsetRdd<TablePartitionPtr>>(
-          info->cached_rdd, selected, "prunedScan:" + node.table);
-    }
+    RddPtr<TablePartitionPtr> base = PruneCachedScan(info, node);
     auto needed = std::make_shared<std::vector<int>>(node.needed_columns);
     rows = base->MapPartitions(
         [needed](int, const std::vector<TablePartitionPtr>& parts,
@@ -430,6 +472,30 @@ Result<RddPtr<Row>> Executor::BuildFilter(const LogicalPlan& node) {
 }
 
 Result<RddPtr<Row>> Executor::BuildProject(const LogicalPlan& node) {
+  // Vectorized fast path: fuse decode + filter + project over a cached scan.
+  if (options_.vectorized && node.children[0]->kind == PlanKind::kScan) {
+    ExprCompiler compiler(udfs_);
+    auto programs = std::make_shared<std::vector<CompiledExpr>>();
+    bool all_ok = true;
+    for (const auto& e : node.project_exprs) {
+      auto compiled = compiler.Compile(*e);
+      if (!compiled.ok()) {
+        all_ok = false;
+        break;
+      }
+      programs->push_back(std::move(*compiled));
+    }
+    if (all_ok) {
+      vec::VecScan vs;
+      if (PrepareVecScan(*node.children[0], &vs)) {
+        uint64_t project_extra = 0;
+        for (const auto& e : node.project_exprs) {
+          project_extra += UdfExtraRows(*e, udfs_);
+        }
+        return vec::BuildVecScanProject(vs, programs, project_extra);
+      }
+    }
+  }
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> child, BuildRdd(node.children[0]));
   const UdfRegistry* udfs = udfs_;
   uint64_t extra = 0;
@@ -484,7 +550,67 @@ Result<RddPtr<Row>> Executor::BuildProject(const LogicalPlan& node) {
       "project"));
 }
 
+Result<RddPtr<Row>> Executor::TryVecAggregate(const LogicalPlan& node) {
+  if (!options_.vectorized || node.children[0]->kind != PlanKind::kScan) {
+    return RddPtr<Row>(nullptr);
+  }
+  const LogicalPlan& scan = *node.children[0];
+  ExprCompiler compiler(udfs_);
+  auto group_programs = std::make_shared<std::vector<CompiledExpr>>();
+  for (const auto& e : node.group_exprs) {
+    auto compiled = compiler.Compile(*e);
+    if (!compiled.ok()) return RddPtr<Row>(nullptr);
+    group_programs->push_back(std::move(*compiled));
+  }
+  auto agg_args = std::make_shared<std::vector<std::vector<CompiledExpr>>>();
+  for (const auto& call : node.agg_calls) {
+    std::vector<CompiledExpr> programs;
+    for (const auto& a : call.args) {
+      auto compiled = compiler.Compile(*a);
+      if (!compiled.ok()) return RddPtr<Row>(nullptr);
+      programs.push_back(std::move(*compiled));
+    }
+    agg_args->push_back(std::move(programs));
+  }
+  vec::VecScan vs;
+  if (!PrepareVecScan(scan, &vs)) return RddPtr<Row>(nullptr);
+  auto calls = std::make_shared<const std::vector<AggCall>>(node.agg_calls);
+
+  const bool pde = options_.pde && ctx_->profile().pde_enabled;
+  int buckets = pde ? FineBuckets() : StaticReducers(node);
+  auto dep = vec::MakeVecAggDep(vs, buckets, group_programs, agg_args, calls);
+
+  BucketAssignment assignment;
+  if (pde) {
+    SHARK_ASSIGN_OR_RETURN(ShuffleStats stats, EnsureShuffleTracked(dep));
+    uint64_t virtual_bytes = static_cast<uint64_t>(
+        static_cast<double>(stats.total_bytes) * ctx_->virtual_scale());
+    int reducers = ChooseNumReducers(virtual_bytes,
+                                     options_.reducer_target_bytes, buckets);
+    metrics_.chosen_reducers = reducers;
+    assignment = CoalesceBuckets(stats.bucket_bytes, reducers);
+  } else {
+    metrics_.chosen_reducers = buckets;
+    assignment = IdentityAssignment(buckets);
+  }
+
+  auto reduced = std::make_shared<ShuffledReduceRdd<Row, AggState>>(
+      ctx_, dep,
+      [calls](AggState& a, AggState&& b) { MergeAggStates(*calls, b, &a); },
+      std::move(assignment), "aggReduce");
+
+  return RddPtr<Row>(reduced->Map(
+      [calls](const std::pair<Row, AggState>& kv) {
+        return FinalizeAggRow(*calls, kv.first, kv.second);
+      },
+      "aggFinalize"));
+}
+
 Result<RddPtr<Row>> Executor::BuildAggregate(const LogicalPlan& node) {
+  {
+    SHARK_ASSIGN_OR_RETURN(RddPtr<Row> vec_agg, TryVecAggregate(node));
+    if (vec_agg != nullptr) return vec_agg;
+  }
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> child, BuildRdd(node.children[0]));
   auto groups = std::make_shared<std::vector<ExprPtr>>(node.group_exprs);
   auto calls = std::make_shared<std::vector<AggCall>>(node.agg_calls);
@@ -964,8 +1090,9 @@ void CollectPostOrder(const LogicalPlan* node,
 std::vector<std::string> NodeStageKeys(const LogicalPlan& node) {
   switch (node.kind) {
     case PlanKind::kScan:
-      return {"memScan:" + node.table, "scanFilter:" + node.table,
-              "prunedScan:" + node.table, "dfs:warehouse/" + ToLower(node.table)};
+      return {"memScan:" + node.table,       "scanFilter:" + node.table,
+              "prunedScan:" + node.table,    "dfs:warehouse/" + ToLower(node.table),
+              "vecScanFilter:" + node.table, "vecScanProject:" + node.table};
     case PlanKind::kFilter:
       return {"filter"};
     case PlanKind::kProject:

@@ -13,6 +13,10 @@
 
 namespace shark {
 
+namespace vec {
+struct VecScan;
+}  // namespace vec
+
 /// How join strategies are chosen (the Fig 8 experiment):
 ///  - kStatic: compile-time choice from catalog statistics only.
 ///  - kAdaptive: pre-shuffle both inputs, inspect observed sizes, then pick
@@ -34,6 +38,15 @@ struct ExecOptions {
   /// paper, implemented here). Off by default so benches measure the
   /// paper's configuration; the ablation/micro benches quantify the gain.
   bool compile_expressions = false;
+
+  /// Vectorized batch-at-a-time execution over cached columnar tables:
+  /// scan/filter/project/group-by pipelines decode column batches and run
+  /// type-specialized kernels instead of materializing Rows per operator.
+  /// Pure host-side optimization — virtual-time charges are identical to the
+  /// row-at-a-time path, so benches report the same virtual_seconds with or
+  /// without it. Falls back to the scalar path per-query whenever an
+  /// expression has no batch kernel support or the scan is not memstore-backed.
+  bool vectorized = true;
 
   /// Fine-grained shuffle buckets (0: 2x total cores).
   int fine_buckets = 0;
@@ -118,6 +131,23 @@ class Executor {
 
   /// Co-partitioned join fast path (§3.4); returns null when not applicable.
   Result<RddPtr<Row>> TryCoPartitionedJoin(const LogicalPlan& node);
+
+  /// Prepares a vectorized scan of `node` (a kScan over a memstore-cached
+  /// table): applies partition pruning, compiles the scan predicate, and
+  /// fills `out`. Returns false — without touching metrics — when the
+  /// vectorized path does not apply (flag off, table not cached in columnar
+  /// form, or the predicate does not compile).
+  bool PrepareVecScan(const LogicalPlan& node, vec::VecScan* out);
+
+  /// Partition pruning over a cached table (updates scan metrics); shared by
+  /// the scalar scan and the vectorized fast paths.
+  RddPtr<TablePartitionPtr> PruneCachedScan(TableInfo* info,
+                                            const LogicalPlan& node);
+
+  /// Vectorized scan->filter->group-by fast path; returns null when not
+  /// applicable (child is not a cached scan, or an expression does not
+  /// compile).
+  Result<RddPtr<Row>> TryVecAggregate(const LogicalPlan& node);
 
   RddPtr<Row> ApplyPredicate(RddPtr<Row> rows, const ExprPtr& predicate,
                              const std::string& label);

@@ -23,7 +23,9 @@ Value Combine3VL(BinaryOp op, const Value& l, const Value& r) {
   return Value::Bool(false);
 }
 
-Value EvalBinaryOp(BinaryOp op, const Value& l, const Value& r) {
+}  // namespace
+
+Value EvalBinaryScalar(BinaryOp op, const Value& l, const Value& r) {
   switch (op) {
     case BinaryOp::kAnd:
     case BinaryOp::kOr:
@@ -90,8 +92,6 @@ Value EvalBinaryOp(BinaryOp op, const Value& l, const Value& r) {
       return Value::Null();
   }
 }
-
-}  // namespace
 
 Status ExprCompiler::Emit(const Expr& expr, CompiledExpr* out) const {
   using Op = CompiledExpr::Op;
@@ -313,7 +313,7 @@ Value CompiledExpr::Eval(const Row& row) const {
         stack.pop_back();
         Value l = std::move(stack.back());
         stack.pop_back();
-        stack.push_back(EvalBinaryOp(static_cast<BinaryOp>(ins.arg), l, r));
+        stack.push_back(EvalBinaryScalar(static_cast<BinaryOp>(ins.arg), l, r));
         break;
       }
       case Op::kBuiltin:

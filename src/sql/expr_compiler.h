@@ -9,6 +9,16 @@
 
 namespace shark {
 
+namespace vec {
+struct ColumnBatch;
+struct ColumnVector;
+}  // namespace vec
+
+/// Scalar binary-op evaluation shared by the interpreter-compiled programs
+/// and the vectorized kernels' per-row fallback: SQL three-valued AND/OR,
+/// NULL propagation, wrapping BIGINT arithmetic, exact mixed-type compares.
+Value EvalBinaryScalar(BinaryOp op, const Value& l, const Value& r);
+
 /// Compilation of expression evaluators (§5 "Bytecode Compilation of
 /// Expression Evaluators"): the paper observes that interpreting the
 /// Hive-generated evaluator trees dominates CPU time for in-memory data and
@@ -31,6 +41,15 @@ class CompiledExpr {
     Value v = Eval(row);
     return !v.is_null() && v.bool_v();
   }
+
+  /// Batched evaluation over rows [begin, end) of `batch`, writing one result
+  /// per row into `out`. Ops with typed kernels (slot/const loads, compares,
+  /// arithmetic, AND/OR, IS NULL, SUBSTR) run column-at-a-time; everything
+  /// else falls back to per-row scalar evaluation of that instruction, so
+  /// results are identical to Eval() on the materialized rows. Defined in
+  /// exec/vectorized/eval_batch.cc.
+  void EvalBatch(const vec::ColumnBatch& batch, size_t begin, size_t end,
+                 vec::ColumnVector* out) const;
 
   size_t num_instructions() const { return code_.size(); }
 

@@ -34,6 +34,23 @@ tools/bench_gate --baseline bench/bench_baseline.json \
   --current "$metrics_dir/fig08.log"
 tools/bench_gate --self-test
 
+echo "=== vectorized execution (scalar-path smoke + kernel floors) ==="
+# The batch path is a pure host-side optimization: re-running the fig08
+# smoke with the scalar row path forced must reproduce the committed
+# virtual-seconds baseline exactly, and the vectorized kernels must beat
+# row-at-a-time execution by the conservative wall-clock floors.
+build/bench/bench_fig08_pde_join --smoke --no-vectorized \
+  --metrics-out "$metrics_dir/fig08_novec_metrics.json" \
+  | tee "$metrics_dir/fig08_novec.log"
+tools/bench_gate --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/fig08_novec.log"
+cmake --build build -j "$(nproc)" --target bench_micro bench_fig05_pavlo_scan_agg
+build/bench/bench_micro --vector-sweep | tee "$metrics_dir/vector.log"
+build/bench/bench_fig05_pavlo_scan_agg --vector-smoke \
+  | tee -a "$metrics_dir/vector.log"
+tools/bench_gate --vector-floors --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/vector.log"
+
 echo "=== differential fuzz (fixed seeds) ==="
 # Deterministic: same seeds every run, bounded runtime. Replays the minimized
 # regression corpus, then sweeps a fixed seed range through Shark vs Hive vs

@@ -1095,6 +1095,14 @@ RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
     }
     if (cached_ok) {
       run_variant(c.sql, "cached");
+      // The vectorized batch path and the scalar row interpreter must agree
+      // exactly over the columnar store (NULL/NaN/-0.0 key semantics
+      // included), so run the cached query once with the flag inverted.
+      bool orig_vec = shark->options().vectorized;
+      shark->options().vectorized = !orig_vec;
+      run_variant(c.sql, orig_vec ? "cached+vectorized=off"
+                                  : "cached+vectorized=on");
+      shark->options().vectorized = orig_vec;
       for (const TableSpec& t : c.tables) {
         (void)shark->UncacheTable(t.name);
       }

@@ -106,8 +106,10 @@ struct RunOutcome {
 };
 
 /// Runs the case through the three oracles (Shark, Hive, reference
-/// evaluator) and the metamorphic variants (cached vs uncached, host_threads
-/// 1 vs 4, tight vs ample memory, conjunct order, join commutation),
+/// evaluator) and the metamorphic variants (cached vs uncached, vectorized
+/// batch path vs scalar interpreter over the cached columnar store,
+/// host_threads 1 vs 4, tight vs ample memory, conjunct order, join
+/// commutation),
 /// comparing all results against the reference as multisets with exact
 /// Value equality plus a small tolerance for DOUBLE aggregate outputs, and
 /// checking the ORDER BY sortedness contract.
