@@ -19,7 +19,27 @@ MemoryManager::MemoryManager(int num_nodes, uint64_t capacity_bytes_per_node,
 uint64_t MemoryManager::UsedBytes(int node) const {
   uint64_t used = shuffle_bytes_[static_cast<size_t>(node)];
   if (cache_usage_) used += cache_usage_(node);
+  // Admitted jobs' declared demand, spread evenly, presses on every node:
+  // concurrent queries see less working-set headroom and shuffle fit.
+  used += admitted_bytes_ / static_cast<uint64_t>(num_nodes());
   return used;
+}
+
+uint64_t MemoryManager::AdmissionHeadroomBytes() const {
+  uint64_t total = 0;
+  for (int n = 0; n < num_nodes(); ++n) {
+    uint64_t used = UsedBytes(n);
+    if (capacity_per_node_ > used) total += capacity_per_node_ - used;
+  }
+  return total;
+}
+
+void MemoryManager::ReserveAdmission(uint64_t bytes) {
+  admitted_bytes_ += bytes;
+}
+
+void MemoryManager::ReleaseAdmission(uint64_t bytes) {
+  admitted_bytes_ -= std::min(admitted_bytes_, bytes);
 }
 
 bool MemoryManager::ShuffleFits(int node, uint64_t bytes) const {

@@ -86,6 +86,30 @@ class MemoryManager {
   /// working-set bytes and global denial/spill totals.
   void CommitTaskOps(int node, const std::vector<MemOp>& ops);
 
+  // ---- Admission control (consumer 0: whole jobs) ------------------------
+  //
+  // The JobManager gates query admission on cluster-wide memory headroom: a
+  // job declares an aggregate working-set demand and is admitted only when
+  // that demand fits into what the cache, shuffle ledger and already-admitted
+  // jobs leave free — a heavy query queues (with a metrics-visible reason)
+  // instead of evicting the warm cache or OOM-spilling everyone. Admitted
+  // demand is spread evenly across nodes and shaves each node's working-set
+  // headroom, so TaskWorkingSetBudget sees concurrent jobs' pressure.
+
+  /// Cluster-wide bytes available to admit new jobs: per-node headroom left
+  /// by cache + shuffle + admitted jobs, summed over nodes.
+  uint64_t AdmissionHeadroomBytes() const;
+
+  /// Records an admitted job's demand. Callers check AdmissionHeadroomBytes
+  /// first; reserving beyond it is allowed (the queue never deadlocks when
+  /// the cluster is otherwise idle) and simply drives headroom to zero.
+  void ReserveAdmission(uint64_t bytes);
+
+  /// Releases an admitted job's demand (always runs, success or failure).
+  void ReleaseAdmission(uint64_t bytes);
+
+  uint64_t admitted_bytes() const { return admitted_bytes_; }
+
   // ---- Observability -----------------------------------------------------
 
   uint64_t peak_task_bytes(int node) const;
@@ -103,6 +127,7 @@ class MemoryManager {
   CacheUsageFn cache_usage_;
   std::vector<uint64_t> shuffle_bytes_;
   std::vector<uint64_t> peak_task_bytes_;
+  uint64_t admitted_bytes_ = 0;
   uint64_t denied_reservations_ = 0;
   uint64_t committed_spill_bytes_ = 0;
   uint64_t committed_spill_partitions_ = 0;

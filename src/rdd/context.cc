@@ -19,8 +19,20 @@ RddBase::RddBase(ClusterContext* ctx, std::string label)
 
 RddBase::~RddBase() = default;
 
+void RddBase::Cache() {
+  cached_ = true;
+  // Per-job debris ledger: a failing query drops the cache entries it
+  // created so concurrent sessions never inherit its leftovers.
+  if (JobState* job = CurrentJobState()) {
+    job->owned_cache_rdd_ids.push_back(id_);
+  }
+}
+
 void RddBase::Uncache() {
   cached_ = false;
+  // The block cache is shared engine state; other jobs may have epochs in
+  // flight that read it.
+  ctx_->scheduler().QuiesceForSharedStateMutation();
   ctx_->block_manager().DropRdd(id_);
 }
 
@@ -77,6 +89,9 @@ ShuffleDependency::ShuffleDependency(std::shared_ptr<RddBase> parent,
   SHARK_CHECK(num_buckets > 0);
   shuffle_id_ = parent_->context()->shuffle_manager().RegisterShuffle(
       parent_->num_partitions(), num_buckets);
+  if (JobState* job = CurrentJobState()) {
+    job->owned_shuffle_ids.push_back(shuffle_id_);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -95,8 +95,14 @@ class ClusterContext {
 
   /// Query-profile recorder. The SQL executor (or a test) brackets a query
   /// with BeginQuery/EndQuery; while active, the scheduler records every
-  /// stage and task attempt into it (see common/trace.h).
-  TraceCollector& trace_collector() { return trace_collector_; }
+  /// stage and task attempt into it (see common/trace.h). A cooperative job
+  /// (JobManager) gets its own per-job collector so concurrent profiled
+  /// queries do not interleave stages into one profile.
+  TraceCollector& trace_collector() {
+    JobState* job = CurrentJobState();
+    if (job != nullptr && job->trace != nullptr) return *job->trace;
+    return trace_collector_;
+  }
 
   /// Cluster-wide metrics: counters/gauges/histograms across every layer, a
   /// virtual-time utilization timeline and per-stage skew reports. Mutated

@@ -1,0 +1,146 @@
+#ifndef SHARK_RDD_JOB_MANAGER_H_
+#define SHARK_RDD_JOB_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+#include "rdd/scheduler.h"
+
+namespace shark {
+
+class ClusterContext;
+
+/// One query/job submitted to the JobManager.
+struct JobSpec {
+  std::string label;
+  /// Virtual arrival time (batch mode). Earlier arrivals are considered for
+  /// admission first; ties resolve in submission order. Streaming mode
+  /// ignores this and stamps the virtual clock at dequeue.
+  double arrival_vtime = 0.0;
+  /// Inter-query fair-share weight (see JobState::weight).
+  double weight = 1.0;
+  /// Declared aggregate working-set demand, gated against
+  /// MemoryManager::AdmissionHeadroomBytes(); 0 bypasses the memory gate.
+  uint64_t mem_demand_bytes = 0;
+  /// The job body. Runs on a dedicated job thread under the cooperative
+  /// baton — exactly one of {driver, job threads} executes at any instant —
+  /// so it may freely use ClusterContext / SqlSession APIs.
+  std::function<Status()> body;
+};
+
+/// Completion record of one job.
+struct JobOutcome {
+  std::string label;
+  Status status;
+  bool queued = false;          // deferred by admission control
+  double arrival_vtime = 0.0;
+  double admit_vtime = 0.0;
+  double finish_vtime = 0.0;
+  double queue_delay() const { return admit_vtime - arrival_vtime; }
+  double latency() const { return finish_vtime - arrival_vtime; }
+};
+
+/// Multiplexes N jobs onto the scheduler's shared event loop.
+///
+/// Concurrency model: every job body runs on its own host thread, but a
+/// baton (one mutex + condvar) guarantees that exactly one thread — the
+/// driver or a single job thread — touches engine state at any instant.
+/// Job threads surrender the baton by parking inside ExecuteTaskSet; the
+/// driver's event loop resumes them when their stage finalizes. Every
+/// handoff passes through the mutex, so execution is sequentially
+/// consistent, TSan-clean, and (in batch mode) a pure function of the
+/// virtual-time event order — bit-identical across host_threads.
+///
+/// Admission control: an arriving job is admitted when its declared memory
+/// demand fits the cluster-wide headroom (and an optional concurrency cap
+/// is not hit); otherwise it queues FIFO with a metrics-visible reason.
+/// The queue head is force-admitted whenever nothing is running, so
+/// admission can never deadlock. Admitted demand is reserved with the
+/// MemoryManager and released when the job finishes, success or failure.
+class JobManager {
+ public:
+  struct Options {
+    /// Maximum jobs running concurrently; 0 = unlimited (memory gate only).
+    int max_concurrent = 0;
+  };
+
+  explicit JobManager(ClusterContext* ctx) : JobManager(ctx, Options()) {}
+  JobManager(ClusterContext* ctx, Options options);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Batch mode: runs every spec to completion on this thread's event-loop
+  /// drive and returns outcomes in spec order. Deterministic: results are a
+  /// function of the specs and the context seed only. Arrivals later than
+  /// the current virtual clock are honored by advancing the clock when the
+  /// cluster goes idle (open-loop arrival process).
+  std::vector<JobOutcome> RunJobs(std::vector<JobSpec> specs);
+
+  /// Streaming mode (the SQL server): a background driver thread owns the
+  /// event loop; Submit may be called from any thread and returns a ticket;
+  /// Await blocks until that job completes. Virtual arrival time is the
+  /// clock at dequeue. Not deterministic across runs — submission order is
+  /// wall-clock — but engine state is still baton-serialized.
+  void Start();
+  uint64_t Submit(JobSpec spec);
+  JobOutcome Await(uint64_t ticket);
+  /// Drains everything already submitted, then stops the driver thread.
+  void Stop();
+  bool started() const { return started_; }
+
+ private:
+  struct JobRun;
+
+  // Baton protocol.
+  void ResumeUntilBlocked(JobRun* run);  // driver -> job thread handoff
+  void JobThreadMain(JobRun* run);
+  void ParkHook(JobState* job);    // scheduler hook, job thread
+  void ResumeHook(JobState* job);  // scheduler hook, driver thread
+
+  // Admission (driver thread).
+  bool CanAdmit(const JobRun& run, size_t running_count,
+                std::string* deny_reason) const;
+  void Admit(JobRun* run);
+  JobOutcome Reap(JobRun* run);
+
+  /// Shared driver loop body: admits from `queue`/`arrivals`, reaps
+  /// `running`, returns true if it made progress without driving the
+  /// scheduler (caller re-enters immediately).
+  bool AdmitAndReap(std::deque<JobRun*>* queue, std::deque<JobRun*>* arrivals,
+                    std::vector<JobRun*>* running,
+                    const std::function<void(JobRun*)>& on_done);
+
+  void StreamLoop();
+
+  ClusterContext* ctx_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<JobState*, JobRun*> by_state_;  // guarded by mu_
+  int next_job_seq_ = 1;
+
+  // Streaming state.
+  bool started_ = false;
+  bool stop_requested_ = false;
+  uint64_t next_ticket_ = 1;
+  std::deque<std::unique_ptr<JobRun>> inbox_;       // guarded by mu_
+  std::map<uint64_t, JobOutcome> done_outcomes_;    // guarded by mu_
+  std::thread driver_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_RDD_JOB_MANAGER_H_

@@ -166,7 +166,9 @@ class RddBase : public std::enable_shared_from_this<RddBase> {
   BlockData GetOrComputeErased(int p, TaskContext* tctx) const;
 
   /// Marks this RDD for in-memory caching (Spark's persist(MEMORY_ONLY)).
-  void Cache() { cached_ = true; }
+  /// Recorded in the owning job's debris ledger (when one is current) so a
+  /// failing query can drop the cache entries it created.
+  void Cache();
 
   /// Disables the generic byte charge on cached reads; used when consumers
   /// charge their own (finer-grained) read costs, e.g. the columnar

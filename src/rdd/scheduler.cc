@@ -24,9 +24,116 @@ namespace {
 constexpr int kMaxTaskRetries = 64;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-enum class TaskState { kPending, kRunning, kCommitted };
+thread_local JobState* g_current_job = nullptr;
 
 }  // namespace
+
+JobState* CurrentJobState() { return g_current_job; }
+void SetCurrentJobState(JobState* job) { g_current_job = job; }
+
+/// One registered task set: everything ExecuteTaskSet used to keep on its
+/// stack, so several sets can be in flight in the shared event loop at once.
+/// Lives on the registering thread's stack (plain callers and nested
+/// recovery drive the loop from that frame; cooperative jobs park in it).
+struct TaskSetState {
+  enum class TaskState { kPending, kRunning, kCommitted };
+
+  struct Inflight {
+    int task;
+    int node;
+    int core;
+    double start;
+    double finish;
+    DagScheduler::TaskOutcome outcome;
+    bool speculative;
+    int trace = -1;  // index into the stage trace's task list
+  };
+
+  /// Host-parallel precomputation slot. Task bodies are pure functions of
+  /// (partition, shared state frozen at the current epoch, per-task rng
+  /// seed), so they can be computed on worker threads ahead of virtual-time
+  /// placement; outcomes computed under an older epoch are discarded and
+  /// recomputed inline at launch.
+  struct TaskSlot {
+    DagScheduler::TaskOutcome outcome;
+    std::exception_ptr error;
+    long epoch = -1;  // epoch the outcome reflects; -1 = not yet computed
+    size_t batch_index = 0;
+    bool submitted = false;
+  };
+
+  // ---- immutable inputs ----
+  std::vector<int> partitions;
+  std::function<std::vector<int>(int)> preferred;
+  DagScheduler::TaskBody body;
+  DagScheduler::CommitFn commit;
+  DagScheduler::LostOutputFn lost_outputs;
+  JobMetrics* metrics = nullptr;
+  DagScheduler::StageInfo info;
+  JobState* job = nullptr;
+  TraceCollector* collector = nullptr;
+
+  // ---- scheduling state ----
+  size_t n = 0;
+  uint64_t stage_seq = 0;
+  std::vector<TaskState> state;
+  std::vector<int> retries;
+  std::vector<char> has_duplicate;
+  std::deque<int> pending;
+  std::vector<Inflight> inflight;
+  std::vector<double> committed_durations;
+  // Parallel to committed_durations: partition and node of each commit, the
+  // raw material of the per-stage skew/straggler report.
+  std::vector<int> committed_partitions;
+  std::vector<int> committed_nodes;
+  std::vector<double> queued_at;
+  int stage_speculative = 0;
+  int stage_failed = 0;
+  size_t committed = 0;
+  double stage_start = 0.0;
+  double stage_end = 0.0;
+
+  // ---- profile recording ----
+  bool tracing = false;
+  int stage_tid = -1;
+
+  // ---- lifecycle ----
+  // Suspended while this set's completion processing runs a nested lineage
+  // recovery: no launches, deaths or completions touch it until the
+  // recovery sub-stages finish (the historical recursive behavior).
+  bool suspended = false;
+  bool finalized = false;
+  Status status = Status::OK();
+
+  // Declared after `slots`: the batch destructor drains workers before
+  // anything they write into goes away.
+  std::vector<TaskSlot> slots;
+  std::unique_ptr<TaskBatch> batch;
+
+  // Fetched fresh on every use: nested recovery stages can grow the stage
+  // vector and invalidate pointers.
+  StageTrace* strace() { return collector->stage(stage_tid); }
+
+  void Event(double t, const std::string& text) {
+    if (!tracing) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t=%.6f ", t);
+    strace()->events.push_back(buf + text);
+  }
+};
+
+namespace {
+
+using TaskState = TaskSetState::TaskState;
+
+}  // namespace
+
+DagScheduler::DagScheduler(ClusterContext* ctx) : ctx_(ctx) {
+  default_job_.job_seq = 0;
+  default_job_.label = "main";
+}
+
+DagScheduler::~DagScheduler() = default;
 
 Result<std::vector<BlockData>> DagScheduler::RunJob(
     const std::shared_ptr<RddBase>& rdd) {
@@ -172,8 +279,10 @@ Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
       task_ids, preferred, body, commit, lost, metrics,
       StageInfo{"shuffleMap:" + dep->parent()->label(), true, shuffle_id}));
   // Annotate the finished map stage with the bucket-size distribution the
-  // master observed (post log-encoding) — the PDE skew signal.
-  TraceCollector& tc = ctx_->trace_collector();
+  // master observed (post log-encoding) — the PDE skew signal. The stage
+  // landed in the owning job's collector (recovery runs on the driving
+  // thread, so the thread-local lookup alone is not enough).
+  TraceCollector& tc = CollectorForCurrentWork();
   if (tc.active() && tc.last_ended_stage() >= 0) {
     StageTrace* st = tc.stage(tc.last_ended_stage());
     if (st != nullptr && st->shuffle_id == shuffle_id) {
@@ -181,8 +290,9 @@ Status DagScheduler::RunMapTasks(const std::shared_ptr<ShuffleDependency>& dep,
     }
   }
   // Same signal into the metrics layer's skew report for this stage. The
-  // last report is this stage's: nested recovery stages close before the
-  // outer ExecuteTaskSet pushes its own.
+  // last report is this stage's: a finalized set resumes its owner before
+  // the loop processes any further event, and nested recovery stages close
+  // before the outer set finalizes.
   StageSkewReport* report = ctx_->metrics().last_stage_report();
   if (report != nullptr &&
       report->label == "shuffleMap:" + dep->parent()->label()) {
@@ -225,580 +335,765 @@ void DagScheduler::HandleNodeDeath(int node) {
   ctx_->broadcasts().DropNode(node);
 }
 
-Status DagScheduler::ExecuteTaskSet(
-    const std::vector<int>& partitions,
-    const std::function<std::vector<int>(int)>& preferred, const TaskBody& body,
-    const CommitFn& commit, const LostOutputFn& lost_outputs,
-    JobMetrics* metrics, const StageInfo& info) {
-  const size_t n = partitions.size();
-  if (n == 0) return Status::OK();
+JobState* DagScheduler::ResolveJobForRegistration() {
+  // A job thread registering its own work wins; the driving thread
+  // registering a lineage-recovery sub-stage carries the owning job in
+  // override_job_; everything else is the plain single-caller identity.
+  if (JobState* j = CurrentJobState()) return j;
+  if (override_job_ != nullptr) return override_job_;
+  return &default_job_;
+}
 
-  Cluster& cluster = ctx_->cluster();
-  const ClusterConfig& cfg = ctx_->config();
-  const EngineProfile& profile = ctx_->profile();
-  const double hb = profile.heartbeat_interval_sec;
-  const uint64_t stage_seq = next_stage_seq_++;
-  MemoryManager& mm = ctx_->memory_manager();
-  ClusterMetrics& cm = ctx_->metrics();
-  // The per-task working-set budget is latched here and re-latched only at
-  // epoch bumps (after the worker drain), so concurrently computed task
-  // bodies all see one frozen value — shuffle commits move the node ledgers
-  // mid-epoch, and reading them live would make spill decisions depend on
-  // host-thread timing.
-  uint64_t task_mem_budget = mm.TaskWorkingSetBudget();
+TraceCollector& DagScheduler::CollectorForCurrentWork() {
+  JobState* job = ResolveJobForRegistration();
+  if (job->trace != nullptr) return *job->trace;
+  return ctx_->trace_collector();
+}
 
-  struct Inflight {
-    int task;
-    int node;
-    int core;
-    double start;
-    double finish;
-    TaskOutcome outcome;
-    bool speculative;
-    int trace = -1;  // index into the stage trace's task list
-  };
+bool DagScheduler::FairBefore(const JobState* a, const JobState* b) {
+  double ka = a->service_seconds / a->weight;
+  double kb = b->service_seconds / b->weight;
+  if (ka != kb) return ka < kb;
+  return a->job_seq < b->job_seq;
+}
 
-  std::vector<TaskState> state(n, TaskState::kPending);
-  std::vector<int> retries(n, 0);
-  std::vector<char> has_duplicate(n, 0);
-  std::deque<int> pending;
-  for (size_t i = 0; i < n; ++i) pending.push_back(static_cast<int>(i));
-  std::vector<Inflight> inflight;
-  std::vector<double> committed_durations;
-  // Parallel to committed_durations: partition and node of each commit, the
-  // raw material of the per-stage skew/straggler report.
-  std::vector<int> committed_partitions;
-  std::vector<int> committed_nodes;
-  int stage_speculative = 0;
-  int stage_failed = 0;
-  size_t committed = 0;
-  const double stage_start = ctx_->now();
-  double stage_end = stage_start;
-  cm.Sample(stage_start, cluster, static_cast<int>(pending.size()),
-            static_cast<int>(inflight.size()), /*force=*/true);
-
-  // ---- Query-profile recording --------------------------------------------
-  //
-  // All recording happens here in the single-threaded event loop and captures
-  // only virtual-time observables, so profiles are byte-identical across
-  // host_threads settings. When no profile is active every hook is a no-op.
-  TraceCollector& tc = ctx_->trace_collector();
-  const bool tracing = tc.active();
-  const int stage_tid =
-      tracing ? tc.BeginStage(info.label, info.is_map_stage, info.shuffle_id,
-                              stage_start)
-              : -1;
-  // Fetched fresh on every use: nested recovery stages can grow the stage
-  // vector and invalidate pointers.
-  auto strace = [&]() { return tc.stage(stage_tid); };
-  std::vector<double> queued_at(n, stage_start);
-  auto event = [&](double t, const std::string& text) {
-    if (!tracing) return;
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "t=%.6f ", t);
-    strace()->events.push_back(buf + text);
-  };
-
-  // ---- Host-parallel task computation -------------------------------------
-  //
-  // Task bodies are pure functions of (partition, shared state frozen at
-  // stage start, per-task rng seed), so they can be computed on worker
-  // threads ahead of virtual-time placement. The event loop below stays
-  // single-threaded and consumes precomputed outcomes at launch, resolving
-  // everything placement-dependent there; simulated timings are therefore
-  // bit-for-bit identical regardless of host interleaving (or host_threads).
-  //
-  // The frozen-state epoch advances whenever shared state mutates mid-set
-  // (node death, lineage recovery, cache-log flush). Outcomes computed under
-  // an older epoch are discarded and recomputed inline at launch — the same
-  // lazy path the serial (host_threads=1) reference oracle always takes.
-  struct TaskSlot {
-    TaskOutcome outcome;
-    std::exception_ptr error;
-    long epoch = -1;  // epoch the outcome reflects; -1 = not yet computed
-    size_t batch_index = 0;
-    bool submitted = false;
-  };
-  std::vector<TaskSlot> slots(n);
-  long epoch = 0;
-  // Cache accesses of committed tasks, in commit order, awaiting replay.
-  std::vector<CacheOp> replay_log;
-
-  auto compute_slot = [&](int task, long at_epoch) {
-    TaskSlot& slot = slots[static_cast<size_t>(task)];
-    slot.error = nullptr;
-    try {
-      TaskContext tctx(partitions[static_cast<size_t>(task)], &profile,
-                       &ctx_->block_manager(), &ctx_->shuffle_manager(),
-                       &ctx_->broadcasts(), ctx_->virtual_scale(),
-                       HashCombine(HashCombine(HashInt64(static_cast<int64_t>(
-                                                   cfg.seed)),
-                                               HashInt64(static_cast<int64_t>(
-                                                   stage_seq))),
-                                   HashInt64(task)),
-                       task_mem_budget);
-      TaskOutcome o = body(task, &tctx);
-      o.work = tctx.work();
-      o.missing_inputs.assign(tctx.missing_inputs().begin(),
-                              tctx.missing_inputs().end());
-      o.charges = tctx.TakeDeferredCharges();
-      o.broadcast_fetches = tctx.TakeBroadcastFetches();
-      o.cache_log = tctx.TakeCacheLog();
-      o.cache_counters = tctx.TakeCacheCounters();
-      o.mem_log = tctx.TakeMemLog();
-      o.spill_bytes = tctx.spill_bytes();
-      o.spill_partitions = tctx.spill_partitions();
-      slot.outcome = std::move(o);
-    } catch (...) {
-      slot.error = std::current_exception();
-    }
-    slot.epoch = at_epoch;
-  };
-
-  // Declared after `slots`/`compute_slot`: the batch destructor drains
-  // workers before anything they write into goes away.
-  ThreadPool* pool = ctx_->thread_pool();
-  TaskBatch batch(pool);
-  if (pool != nullptr) {
-    for (size_t i = 0; i < n; ++i) {
-      int task = static_cast<int>(i);
-      slots[i].batch_index =
-          batch.Submit([&compute_slot, task] { compute_slot(task, 0); });
-      slots[i].submitted = true;
-    }
+int DagScheduler::TotalPending() const {
+  int total = 0;
+  for (const TaskSetState* s : active_sets_) {
+    if (!s->suspended) total += static_cast<int>(s->pending.size());
   }
+  return total;
+}
 
+int DagScheduler::TotalRunning() const {
+  int total = 0;
+  for (const TaskSetState* s : active_sets_) {
+    if (!s->suspended) total += static_cast<int>(s->inflight.size());
+  }
+  return total;
+}
+
+void DagScheduler::FlushReplay() {
   // Applies committed tasks' cache accesses to the shared BlockManager, in
   // commit order. Must run before any mutation of the cache (node death) and
   // only while no worker is reading it (after a batch drain / at set end).
-  auto flush_replay = [&]() {
-    BlockManager& bm = ctx_->block_manager();
-    for (CacheOp& op : replay_log) {
-      if (op.is_put) {
-        bm.Put(op.rdd_id, op.partition, std::move(op.data), op.bytes, op.node);
-      } else {
-        bm.Touch(op.rdd_id, op.partition);
-      }
+  BlockManager& bm = ctx_->block_manager();
+  for (CacheOp& op : replay_log_) {
+    if (op.is_put) {
+      bm.Put(op.rdd_id, op.partition, std::move(op.data), op.bytes, op.node);
+    } else {
+      bm.Touch(op.rdd_id, op.partition);
     }
-    replay_log.clear();
-  };
+  }
+  replay_log_.clear();
+}
 
+void DagScheduler::BumpEpoch() {
   // Shared state is about to change: stop the presses. Cancels/awaits any
-  // outstanding precomputation, applies pending cache effects, and advances
-  // the epoch so remaining precomputed outcomes are recomputed at launch.
-  auto bump_epoch = [&]() {
-    batch.CancelAndDrain();
-    flush_replay();
-    epoch += 1;
-    // Workers are drained; re-latch the working-set budget against the
-    // post-flush cache and shuffle ledgers for this epoch's recomputations.
-    task_mem_budget = mm.TaskWorkingSetBudget();
-  };
+  // outstanding precomputation across all active sets, applies pending cache
+  // effects, and advances the epoch so remaining precomputed outcomes are
+  // recomputed at launch.
+  for (TaskSetState* s : active_sets_) {
+    if (s->batch != nullptr) s->batch->CancelAndDrain();
+  }
+  FlushReplay();
+  epoch_ += 1;
+  // Workers are drained; re-latch the working-set budget against the
+  // post-flush cache and shuffle ledgers for this epoch's recomputations.
+  task_mem_budget_ = ctx_->memory_manager().TaskWorkingSetBudget();
+}
 
+void DagScheduler::QuiesceForSharedStateMutation() {
+  if (active_sets_.empty() && replay_log_.empty()) return;
+  BumpEpoch();
+}
+
+void DagScheduler::ComputeSlot(TaskSetState* set, int task, long at_epoch) {
+  TaskSetState::TaskSlot& slot = set->slots[static_cast<size_t>(task)];
+  slot.error = nullptr;
+  try {
+    const ClusterConfig& cfg = ctx_->config();
+    TaskContext tctx(set->partitions[static_cast<size_t>(task)],
+                     &ctx_->profile(), &ctx_->block_manager(),
+                     &ctx_->shuffle_manager(), &ctx_->broadcasts(),
+                     ctx_->virtual_scale(),
+                     HashCombine(HashCombine(HashInt64(static_cast<int64_t>(
+                                                 cfg.seed)),
+                                             HashInt64(static_cast<int64_t>(
+                                                 set->stage_seq))),
+                                 HashInt64(task)),
+                     task_mem_budget_);
+    TaskOutcome o = set->body(task, &tctx);
+    o.work = tctx.work();
+    o.missing_inputs.assign(tctx.missing_inputs().begin(),
+                            tctx.missing_inputs().end());
+    o.charges = tctx.TakeDeferredCharges();
+    o.broadcast_fetches = tctx.TakeBroadcastFetches();
+    o.cache_log = tctx.TakeCacheLog();
+    o.cache_counters = tctx.TakeCacheCounters();
+    o.mem_log = tctx.TakeMemLog();
+    o.spill_bytes = tctx.spill_bytes();
+    o.spill_partitions = tctx.spill_partitions();
+    slot.outcome = std::move(o);
+  } catch (...) {
+    slot.error = std::current_exception();
+  }
+  slot.epoch = at_epoch;
+}
+
+Status DagScheduler::ObtainOutcome(TaskSetState* set, int task,
+                                   TaskOutcome* out) {
   // Produces `task`'s outcome: the precomputed one if still current, else
   // computed inline right now (serial mode, or stale after an epoch bump).
   // Copies out so a speculative duplicate can consume it again.
-  auto obtain = [&](int task, TaskOutcome* out) -> Status {
-    TaskSlot& slot = slots[static_cast<size_t>(task)];
-    if (slot.submitted) batch.Wait(slot.batch_index);
-    if (slot.epoch != epoch) compute_slot(task, epoch);
-    if (slot.error != nullptr) {
-      try {
-        std::rethrow_exception(slot.error);
-      } catch (const std::exception& e) {
-        return Status::ExecutionError(std::string("task body threw: ") +
-                                      e.what());
-      } catch (...) {
-        return Status::ExecutionError("task body threw");
-      }
+  TaskSetState::TaskSlot& slot = set->slots[static_cast<size_t>(task)];
+  if (slot.submitted) set->batch->Wait(slot.batch_index);
+  if (slot.epoch != epoch_) ComputeSlot(set, task, epoch_);
+  if (slot.error != nullptr) {
+    try {
+      std::rethrow_exception(slot.error);
+    } catch (const std::exception& e) {
+      return Status::ExecutionError(std::string("task body threw: ") +
+                                    e.what());
+    } catch (...) {
+      return Status::ExecutionError("task body threw");
     }
-    *out = slot.outcome;
-    return Status::OK();
-  };
+  }
+  *out = slot.outcome;
+  return Status::OK();
+}
 
-  // Launches `task` on (node, core) available at `avail`; appends Inflight.
-  auto launch = [&](int task, int node, int core, double avail,
-                    bool speculative) -> Status {
-    double start_exec = avail;
-    if (hb > 0.0) {
-      // Tasks start on heartbeat ticks, at most tasks_per_heartbeat new
-      // tasks per node per tick (Hadoop's assignment model, §7).
-      long tick = static_cast<long>(std::ceil(avail / hb - 1e-9));
-      while (heartbeat_slots_[{node, tick}] >= cfg.tasks_per_heartbeat) ++tick;
-      heartbeat_slots_[{node, tick}] += 1;
-      start_exec = static_cast<double>(tick) * hb;
-    }
-    TaskOutcome outcome;
-    SHARK_RETURN_NOT_OK(obtain(task, &outcome));
-    // Per-node memory-based-shuffle decision (§5, per output instead of the
-    // global knob): if this map task's buckets would not fit next to what is
-    // already resident on the node, serve them from local disk instead —
-    // paying serialization plus the disk write here, and the disk-read path
-    // on the reduce side. Decided in the single-threaded event loop at
-    // launch, so it is deterministic; the winning attempt's flag commits.
-    if (info.is_map_stage && !outcome.map_output.on_disk &&
-        outcome.bytes_out > 0 && !mm.ShuffleFits(node, outcome.bytes_out)) {
-      outcome.map_output.on_disk = true;
-      outcome.work.ser_bytes += outcome.bytes_out;
-      outcome.work.disk_write_bytes += outcome.bytes_out;
-      cm.OnMapOutputDiskServe(outcome.bytes_out);
-      event(avail, "map output of task " + std::to_string(task) + " (" +
-                       FormatBytes(outcome.bytes_out) + ") served from disk" +
-                       " on node " + std::to_string(node) +
-                       " (shuffle buffers over memory budget)");
-    }
-    if (outcome.spill_bytes > 0) {
-      event(avail, "task " + std::to_string(task) + " spilled " +
-                       FormatBytes(outcome.spill_bytes) + " in " +
-                       std::to_string(outcome.spill_partitions) +
-                       " partitions (working set over budget)");
-    }
-    // Placement-dependent costs resolve now that the node is known: the
-    // body's conditional reads, and the one-time per-node broadcast fetches
-    // (consulted and updated in deterministic launch order).
-    ResolveDeferredCharges(outcome.charges, node, &outcome.work);
-    for (int id : outcome.broadcast_fetches) {
-      outcome.work.net_read_bytes += ctx_->broadcasts().ChargeFetch(id, node);
-    }
-    metrics->total_work.Add(outcome.work);
+void DagScheduler::RegisterTaskSet(TaskSetState* set) {
+  Cluster& cluster = ctx_->cluster();
+  set->n = set->partitions.size();
+  set->stage_seq = next_stage_seq_++;
+  // With no set in flight there is no frozen epoch to respect: latch the
+  // per-task working-set budget fresh, exactly as the one-job scheduler did
+  // at stage entry. Sets registered while others run inherit the current
+  // epoch's frozen value instead (their task bodies must agree with any
+  // already-precomputed outcomes of the same epoch).
+  if (active_sets_.empty()) {
+    task_mem_budget_ = ctx_->memory_manager().TaskWorkingSetBudget();
+  }
+  set->job = ResolveJobForRegistration();
+  set->state.assign(set->n, TaskState::kPending);
+  set->retries.assign(set->n, 0);
+  set->has_duplicate.assign(set->n, 0);
+  for (size_t i = 0; i < set->n; ++i) set->pending.push_back(static_cast<int>(i));
+  set->stage_start = ctx_->now();
+  set->stage_end = set->stage_start;
+  set->queued_at.assign(set->n, set->stage_start);
+  active_sets_.push_back(set);
+  ctx_->metrics().Sample(set->stage_start, cluster, TotalPending(),
+                         TotalRunning(), /*force=*/true);
 
-    double work_sec = ctx_->cost_model().WorkSeconds(outcome.work, profile,
-                                                     ctx_->virtual_scale());
-    double finish = start_exec + profile.task_launch_overhead_sec +
-                    work_sec * cluster.slowdown(node);
-    cluster.OccupyCore(node, core, finish);
-    // Locality classification (0=preferred, 1=remote, 2=any) feeds both the
-    // metrics layer and, when active, the query profile.
-    std::vector<int> prefs = preferred(task);
-    int locality = 2;
-    if (!prefs.empty()) {
-      locality = 1;
-      for (int p : prefs) {
-        if (p == node) locality = 0;
-      }
-    }
-    cm.OnTaskLaunch(locality, speculative, outcome.work, work_sec);
-    if (speculative) stage_speculative += 1;
-    int trace_idx = -1;
-    if (tracing) {
-      TaskTrace tt;
-      tt.task = task;
-      tt.partition = partitions[static_cast<size_t>(task)];
-      tt.attempt = retries[static_cast<size_t>(task)];
-      tt.speculative = speculative;
-      tt.node = node;
-      tt.core = core;
-      tt.queue_time = queued_at[static_cast<size_t>(task)];
-      tt.launch_time = avail;
-      tt.run_start = start_exec;
-      tt.finish_time = finish;
-      tt.rows_out = outcome.rows_out;
-      tt.bytes_out = outcome.bytes_out;
-      tt.work = outcome.work;  // placement-resolved counters
-      tt.spill_bytes = outcome.spill_bytes;
-      tt.spill_partitions = outcome.spill_partitions;
-      tt.output_on_disk = outcome.map_output.on_disk;
-      tt.locality = locality == 0 ? TaskLocality::kPreferred
-                    : locality == 1 ? TaskLocality::kRemote
-                                    : TaskLocality::kAny;
-      StageTrace* st = strace();
-      trace_idx = static_cast<int>(st->tasks.size());
-      st->tasks.push_back(std::move(tt));
-    }
-    inflight.push_back(Inflight{task, node, core, start_exec, finish,
-                                std::move(outcome), speculative, trace_idx});
-    if (!speculative) state[static_cast<size_t>(task)] = TaskState::kRunning;
-    metrics->tasks_launched += 1;
-    if (speculative) metrics->speculative_tasks += 1;
-    cm.Sample(start_exec, cluster, static_cast<int>(pending.size()),
-              static_cast<int>(inflight.size()), /*force=*/false);
-    return Status::OK();
-  };
+  // Query-profile recording: all of it happens in the single-threaded event
+  // loop (or on the owning job's thread while it holds the baton) and
+  // captures only virtual-time observables, so profiles are byte-identical
+  // across host_threads settings. When no profile is active every hook is a
+  // no-op.
+  set->collector = set->job->trace != nullptr ? set->job->trace
+                                              : &ctx_->trace_collector();
+  set->tracing = set->collector->active();
+  set->stage_tid =
+      set->tracing ? set->collector->BeginStage(set->info.label,
+                                                set->info.is_map_stage,
+                                                set->info.shuffle_id,
+                                                set->stage_start)
+                   : -1;
 
-  auto process_deaths = [&](const std::vector<int>& killed, double at) {
-    // Committed cache effects must land before the dead node's blocks are
-    // dropped (and workers must stop reading the soon-to-mutate state).
-    bump_epoch();
-    for (int node : killed) {
-      HandleNodeDeath(node);
-      cm.OnNodeDeath();
-      event(at, "node " + std::to_string(node) + " died");
+  set->slots.assign(set->n, TaskSetState::TaskSlot{});
+  ThreadPool* pool = ctx_->thread_pool();
+  set->batch = std::make_unique<TaskBatch>(pool);
+  if (pool != nullptr) {
+    const long at_epoch = epoch_;
+    for (size_t i = 0; i < set->n; ++i) {
+      int task = static_cast<int>(i);
+      set->slots[i].batch_index = set->batch->Submit(
+          [this, set, task, at_epoch] { ComputeSlot(set, task, at_epoch); });
+      set->slots[i].submitted = true;
+    }
+  }
+}
+
+void DagScheduler::UnregisterTaskSet(TaskSetState* set) {
+  active_sets_.erase(std::remove(active_sets_.begin(), active_sets_.end(), set),
+                     active_sets_.end());
+}
+
+Status DagScheduler::Launch(TaskSetState* set, int task, int node, int core,
+                            double avail, bool speculative) {
+  Cluster& cluster = ctx_->cluster();
+  const ClusterConfig& cfg = ctx_->config();
+  const EngineProfile& profile = ctx_->profile();
+  ClusterMetrics& cm = ctx_->metrics();
+  const double hb = profile.heartbeat_interval_sec;
+
+  double start_exec = avail;
+  if (hb > 0.0) {
+    // Tasks start on heartbeat ticks, at most tasks_per_heartbeat new
+    // tasks per node per tick (Hadoop's assignment model, §7).
+    long tick = static_cast<long>(std::ceil(avail / hb - 1e-9));
+    while (heartbeat_slots_[{node, tick}] >= cfg.tasks_per_heartbeat) ++tick;
+    heartbeat_slots_[{node, tick}] += 1;
+    start_exec = static_cast<double>(tick) * hb;
+  }
+  TaskOutcome outcome;
+  SHARK_RETURN_NOT_OK(ObtainOutcome(set, task, &outcome));
+  // Per-node memory-based-shuffle decision (§5, per output instead of the
+  // global knob): if this map task's buckets would not fit next to what is
+  // already resident on the node, serve them from local disk instead —
+  // paying serialization plus the disk write here, and the disk-read path
+  // on the reduce side. Decided in the single-threaded event loop at
+  // launch, so it is deterministic; the winning attempt's flag commits.
+  MemoryManager& mm = ctx_->memory_manager();
+  if (set->info.is_map_stage && !outcome.map_output.on_disk &&
+      outcome.bytes_out > 0 && !mm.ShuffleFits(node, outcome.bytes_out)) {
+    outcome.map_output.on_disk = true;
+    outcome.work.ser_bytes += outcome.bytes_out;
+    outcome.work.disk_write_bytes += outcome.bytes_out;
+    cm.OnMapOutputDiskServe(outcome.bytes_out);
+    set->Event(avail, "map output of task " + std::to_string(task) + " (" +
+                          FormatBytes(outcome.bytes_out) +
+                          ") served from disk" + " on node " +
+                          std::to_string(node) +
+                          " (shuffle buffers over memory budget)");
+  }
+  if (outcome.spill_bytes > 0) {
+    set->Event(avail, "task " + std::to_string(task) + " spilled " +
+                          FormatBytes(outcome.spill_bytes) + " in " +
+                          std::to_string(outcome.spill_partitions) +
+                          " partitions (working set over budget)");
+  }
+  // Placement-dependent costs resolve now that the node is known: the
+  // body's conditional reads, and the one-time per-node broadcast fetches
+  // (consulted and updated in deterministic launch order).
+  ResolveDeferredCharges(outcome.charges, node, &outcome.work);
+  for (int id : outcome.broadcast_fetches) {
+    outcome.work.net_read_bytes += ctx_->broadcasts().ChargeFetch(id, node);
+  }
+  set->metrics->total_work.Add(outcome.work);
+
+  double work_sec = ctx_->cost_model().WorkSeconds(outcome.work, profile,
+                                                   ctx_->virtual_scale());
+  double finish = start_exec + profile.task_launch_overhead_sec +
+                  work_sec * cluster.slowdown(node);
+  cluster.OccupyCore(node, core, finish);
+  // Core occupancy feeds the weighted fair-share policy: the job that has
+  // consumed the least virtual core time per unit weight launches next when
+  // several jobs' sets are runnable at the same instant.
+  set->job->service_seconds += finish - start_exec;
+  // Locality classification (0=preferred, 1=remote, 2=any) feeds both the
+  // metrics layer and, when active, the query profile.
+  std::vector<int> prefs = set->preferred(task);
+  int locality = 2;
+  if (!prefs.empty()) {
+    locality = 1;
+    for (int p : prefs) {
+      if (p == node) locality = 0;
+    }
+  }
+  cm.OnTaskLaunch(locality, speculative, outcome.work, work_sec);
+  if (speculative) set->stage_speculative += 1;
+  int trace_idx = -1;
+  if (set->tracing) {
+    TaskTrace tt;
+    tt.task = task;
+    tt.partition = set->partitions[static_cast<size_t>(task)];
+    tt.attempt = set->retries[static_cast<size_t>(task)];
+    tt.speculative = speculative;
+    tt.node = node;
+    tt.core = core;
+    tt.queue_time = set->queued_at[static_cast<size_t>(task)];
+    tt.launch_time = avail;
+    tt.run_start = start_exec;
+    tt.finish_time = finish;
+    tt.rows_out = outcome.rows_out;
+    tt.bytes_out = outcome.bytes_out;
+    tt.work = outcome.work;  // placement-resolved counters
+    tt.spill_bytes = outcome.spill_bytes;
+    tt.spill_partitions = outcome.spill_partitions;
+    tt.output_on_disk = outcome.map_output.on_disk;
+    tt.locality = locality == 0   ? TaskLocality::kPreferred
+                  : locality == 1 ? TaskLocality::kRemote
+                                  : TaskLocality::kAny;
+    StageTrace* st = set->strace();
+    trace_idx = static_cast<int>(st->tasks.size());
+    st->tasks.push_back(std::move(tt));
+  }
+  set->inflight.push_back(TaskSetState::Inflight{
+      task, node, core, start_exec, finish, std::move(outcome), speculative,
+      trace_idx});
+  if (!speculative) {
+    set->state[static_cast<size_t>(task)] = TaskState::kRunning;
+  }
+  set->metrics->tasks_launched += 1;
+  if (speculative) set->metrics->speculative_tasks += 1;
+  cm.Sample(start_exec, cluster, TotalPending(), TotalRunning(),
+            /*force=*/false);
+  return Status::OK();
+}
+
+void DagScheduler::ProcessDeaths(const std::vector<int>& killed, double at) {
+  ClusterMetrics& cm = ctx_->metrics();
+  // Committed cache effects must land before the dead nodes' blocks are
+  // dropped (and workers must stop reading the soon-to-mutate state).
+  BumpEpoch();
+  for (int node : killed) {
+    HandleNodeDeath(node);
+    cm.OnNodeDeath();
+    // Suspended sets are driven by a nested recovery frame and keep their
+    // in-flight tasks, exactly as the recursive scheduler did: the fault
+    // schedule was already consumed, so their tasks on the dead node run to
+    // completion and their lost outputs surface later as missing inputs.
+    std::vector<TaskSetState*> live;
+    for (TaskSetState* s : active_sets_) {
+      if (!s->suspended) live.push_back(s);
+    }
+    for (TaskSetState* set : live) {
+      set->Event(at, "node " + std::to_string(node) + " died");
       // Abort in-flight tasks on the dead node.
-      for (size_t i = 0; i < inflight.size();) {
-        if (inflight[i].node == node) {
-          int task = inflight[i].task;
-          if (tracing && inflight[i].trace >= 0) {
+      for (size_t i = 0; i < set->inflight.size();) {
+        if (set->inflight[i].node == node) {
+          int task = set->inflight[i].task;
+          if (set->tracing && set->inflight[i].trace >= 0) {
             TaskTrace& tt =
-                strace()->tasks[static_cast<size_t>(inflight[i].trace)];
+                set->strace()->tasks[static_cast<size_t>(set->inflight[i].trace)];
             tt.end = TaskEnd::kNodeDeath;
             tt.finish_time = at;
           }
-          inflight.erase(inflight.begin() + static_cast<long>(i));
-          metrics->tasks_failed += 1;
+          set->inflight.erase(set->inflight.begin() + static_cast<long>(i));
+          set->metrics->tasks_failed += 1;
           cm.OnTaskFailed();
-          stage_failed += 1;
+          set->stage_failed += 1;
           // Requeue unless a duplicate still runs or it already committed.
           bool still_running = false;
-          for (const Inflight& f : inflight) {
+          for (const TaskSetState::Inflight& f : set->inflight) {
             if (f.task == task) still_running = true;
           }
-          if (state[static_cast<size_t>(task)] != TaskState::kCommitted &&
+          if (set->state[static_cast<size_t>(task)] != TaskState::kCommitted &&
               !still_running) {
-            state[static_cast<size_t>(task)] = TaskState::kPending;
-            retries[static_cast<size_t>(task)] += 1;
-            pending.push_back(task);
-            queued_at[static_cast<size_t>(task)] = at;
+            set->state[static_cast<size_t>(task)] = TaskState::kPending;
+            set->retries[static_cast<size_t>(task)] += 1;
+            set->pending.push_back(task);
+            set->queued_at[static_cast<size_t>(task)] = at;
           }
         } else {
           ++i;
         }
       }
       // Requeue committed tasks whose outputs died with the node.
-      for (int t : lost_outputs(node)) {
-        if (state[static_cast<size_t>(t)] == TaskState::kCommitted) {
-          state[static_cast<size_t>(t)] = TaskState::kPending;
-          retries[static_cast<size_t>(t)] += 1;
-          pending.push_back(t);
-          queued_at[static_cast<size_t>(t)] = at;
-          committed -= 1;
-          event(at, "output of task " + std::to_string(t) +
-                        " lost with node " + std::to_string(node) +
-                        "; requeued");
+      for (int t : set->lost_outputs(node)) {
+        if (set->state[static_cast<size_t>(t)] == TaskState::kCommitted) {
+          set->state[static_cast<size_t>(t)] = TaskState::kPending;
+          set->retries[static_cast<size_t>(t)] += 1;
+          set->pending.push_back(t);
+          set->queued_at[static_cast<size_t>(t)] = at;
+          set->committed -= 1;
+          set->Event(at, "output of task " + std::to_string(t) +
+                             " lost with node " + std::to_string(node) +
+                             "; requeued");
         }
       }
     }
-    // The dead nodes' cache blocks and shuffle buffers are gone; re-latch
-    // the working-set budget against the surviving residency.
-    task_mem_budget = mm.TaskWorkingSetBudget();
-    cm.Sample(at, cluster, static_cast<int>(pending.size()),
-              static_cast<int>(inflight.size()), /*force=*/true);
-  };
+  }
+  // The dead nodes' cache blocks and shuffle buffers are gone; re-latch
+  // the working-set budget against the surviving residency.
+  task_mem_budget_ = ctx_->memory_manager().TaskWorkingSetBudget();
+  cm.Sample(at, ctx_->cluster(), TotalPending(), TotalRunning(),
+            /*force=*/true);
+}
 
-  while (committed < n) {
-    double assign_t = kInf;
-    int free_node = -1;
-    int free_core = -1;
-    bool have_core =
-        cluster.EarliestFreeCore(stage_start, &assign_t, &free_node, &free_core);
-    if (!have_core) return Status::ExecutionError("all cluster nodes failed");
+void DagScheduler::FinalizeSet(TaskSetState* set) {
+  ClusterMetrics& cm = ctx_->metrics();
+  // Anything still in flight is a losing speculative duplicate (a set only
+  // finalizes once every task committed) — its output is abandoned. Its
+  // core occupancy stands: the cluster really did burn those cores.
+  if (set->tracing) {
+    for (const TaskSetState::Inflight& f : set->inflight) {
+      if (f.trace >= 0) {
+        set->strace()->tasks[static_cast<size_t>(f.trace)].end =
+            TaskEnd::kSuperseded;
+      }
+    }
+  }
+  BumpEpoch();
+  UnregisterTaskSet(set);
+  ctx_->AdvanceTo(set->stage_end);
+  cm.Sample(set->stage_end, ctx_->cluster(), TotalPending(), TotalRunning(),
+            /*force=*/true);
+  const StageSkewReport* skew = cm.OnStageEnd(
+      set->info.label, set->stage_start, set->stage_end,
+      set->committed_durations, set->committed_partitions, set->committed_nodes,
+      set->stage_speculative, set->stage_failed);
+  SHARK_LOG(kDebug) << "stage " << skew->seq << " [" << set->info.label
+                    << "] t=" << set->stage_start << ".." << set->stage_end
+                    << " tasks=" << skew->tasks << " dur_skew="
+                    << skew->dur_skew << " straggler p"
+                    << skew->straggler_partition << "@n"
+                    << skew->straggler_node;
+  if (set->tracing) set->collector->EndStage(set->stage_tid, set->stage_end);
+  set->finalized = true;
+  // Wake the owner before the loop touches another event, so post-stage
+  // reads (last_job_, last_stage_report) still refer to this stage.
+  if (set->job->cooperative && coop_hooks_.resume) {
+    coop_hooks_.resume(set->job);
+  }
+}
 
-    double next_completion = kInf;
-    size_t completion_idx = 0;
-    for (size_t i = 0; i < inflight.size(); ++i) {
-      if (inflight[i].finish < next_completion) {
-        next_completion = inflight[i].finish;
+void DagScheduler::FailSet(TaskSetState* set, const Status& status) {
+  if (set->finalized) return;
+  set->status = status;
+  set->finalized = true;
+  UnregisterTaskSet(set);
+  if (set->batch != nullptr) set->batch->CancelAndDrain();
+  if (set->job->cooperative && coop_hooks_.resume) {
+    coop_hooks_.resume(set->job);
+  }
+}
+
+Status DagScheduler::ProcessCompletion(TaskSetState* set, size_t idx) {
+  ClusterMetrics& cm = ctx_->metrics();
+  MemoryManager& mm = ctx_->memory_manager();
+  const double t = set->inflight[idx].finish;
+  TaskSetState::Inflight done = std::move(set->inflight[idx]);
+  set->inflight.erase(set->inflight.begin() + static_cast<long>(idx));
+
+  if (set->state[static_cast<size_t>(done.task)] == TaskState::kCommitted) {
+    // A speculative duplicate already won.
+    if (set->tracing && done.trace >= 0) {
+      set->strace()->tasks[static_cast<size_t>(done.trace)].end =
+          TaskEnd::kSuperseded;
+    }
+    return Status::OK();
+  }
+  if (!done.outcome.missing_inputs.empty()) {
+    // Shuffle inputs were lost: recompute them from lineage, then re-run.
+    set->metrics->tasks_rerun_missing += 1;
+    cm.OnTaskMissingInput();
+    set->retries[static_cast<size_t>(done.task)] += 1;
+    if (set->retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
+      FailSet(set, Status::ExecutionError("task exceeded retry limit (recovery)"));
+      return Status::OK();
+    }
+    if (set->tracing && done.trace >= 0) {
+      set->strace()->tasks[static_cast<size_t>(done.trace)].end =
+          TaskEnd::kMissingInput;
+    }
+    set->Event(t, "task " + std::to_string(done.task) +
+                      " hit missing shuffle input; lineage recovery of " +
+                      std::to_string(done.outcome.missing_inputs.size()) +
+                      " map outputs");
+    // The recovery sub-stages mutate shuffle state and the cache: quiesce
+    // precomputation, apply pending cache effects, and suspend this set so
+    // the nested drive interleaves everyone else's events but not ours —
+    // the historical recursive-scheduler behavior, which single-job virtual
+    // times depend on.
+    BumpEpoch();
+    set->suspended = true;
+    JobState* prev_override = override_job_;
+    override_job_ = set->job;
+    Status rst = RecoverMissing(done.outcome.missing_inputs, set->metrics);
+    override_job_ = prev_override;
+    set->suspended = false;
+    if (!rst.ok()) {
+      FailSet(set, rst);
+      return Status::OK();
+    }
+    epoch_ += 1;  // recovery refreshed shared state
+    task_mem_budget_ = ctx_->memory_manager().TaskWorkingSetBudget();
+    set->state[static_cast<size_t>(done.task)] = TaskState::kPending;
+    set->pending.push_back(done.task);
+    // Recovery advanced the virtual clock; the re-run queues from there.
+    set->queued_at[static_cast<size_t>(done.task)] = ctx_->now();
+    return Status::OK();
+  }
+  // The winning launch's cache accesses take effect (at the next flush) in
+  // commit order, attributed to the node the task actually ran on.
+  for (CacheOp& op : done.outcome.cache_log) {
+    op.node = done.node;
+    replay_log_.push_back(std::move(op));
+  }
+  done.outcome.cache_log.clear();
+  // Replay the winning attempt's reservation log in commit order — the
+  // MemoryManager's peak/denial/spill accounting evolves exactly as if
+  // committed tasks ran one after another. The metrics counters take the
+  // committed deltas, so they agree with the manager's own totals.
+  uint64_t denied_before = mm.denied_reservations();
+  uint64_t spill_bytes_before = mm.committed_spill_bytes();
+  uint64_t spill_parts_before = mm.committed_spill_partitions();
+  mm.CommitTaskOps(done.node, done.outcome.mem_log);
+  done.outcome.mem_log.clear();
+  if (mm.denied_reservations() > denied_before) {
+    cm.OnReservationDenied(mm.denied_reservations() - denied_before);
+  }
+  if (mm.committed_spill_bytes() > spill_bytes_before) {
+    cm.OnSpill(mm.committed_spill_bytes() - spill_bytes_before,
+               static_cast<uint32_t>(mm.committed_spill_partitions() -
+                                     spill_parts_before));
+  }
+  // Cache traffic is counted from the committed attempt's replayed
+  // counters, never from worker-thread reads — commit order is fixed, so
+  // the totals are deterministic under host parallelism.
+  uint64_t hit_blocks = 0, hit_bytes = 0, miss_blocks = 0, miss_bytes = 0;
+  for (const auto& [rdd, counters] : done.outcome.cache_counters) {
+    hit_blocks += counters.hit_blocks;
+    hit_bytes += counters.hit_bytes;
+    miss_blocks += counters.miss_blocks;
+    miss_bytes += counters.miss_bytes;
+  }
+  if (hit_blocks + miss_blocks > 0) {
+    cm.OnCacheTraffic(hit_blocks, hit_bytes, miss_blocks, miss_bytes);
+  }
+  if (set->tracing) {
+    StageTrace* st = set->strace();
+    for (const auto& [rdd, counters] : done.outcome.cache_counters) {
+      st->cache_by_rdd[rdd].Add(counters);
+    }
+  }
+  set->commit(done.task, std::move(done.outcome), done.node);
+  set->state[static_cast<size_t>(done.task)] = TaskState::kCommitted;
+  set->committed += 1;
+  set->stage_end = std::max(set->stage_end, done.finish);
+  set->committed_durations.push_back(done.finish - done.start);
+  set->committed_partitions.push_back(
+      set->partitions[static_cast<size_t>(done.task)]);
+  set->committed_nodes.push_back(done.node);
+  cm.OnTaskCommitted(done.finish - done.start);
+  cm.Sample(t, ctx_->cluster(), TotalPending(), TotalRunning(),
+            /*force=*/false);
+  if (set->committed == set->n) FinalizeSet(set);
+  return Status::OK();
+}
+
+Result<DagScheduler::DriveResult> DagScheduler::StepOnce(double time_limit) {
+  Cluster& cluster = ctx_->cluster();
+  const ClusterConfig& cfg = ctx_->config();
+
+  std::vector<TaskSetState*> live;
+  for (TaskSetState* s : active_sets_) {
+    if (!s->suspended) live.push_back(s);
+  }
+  if (live.empty()) return DriveResult::kIdle;
+
+  // All-nodes-dead probe (any reference time works: the probe only fails
+  // when no node is alive).
+  {
+    double t;
+    int node, core;
+    if (!cluster.EarliestFreeCore(live.front()->stage_start, &t, &node,
+                                  &core)) {
+      Status st = Status::ExecutionError("all cluster nodes failed");
+      std::vector<TaskSetState*> doomed = live;
+      for (TaskSetState* s : doomed) FailSet(s, st);
+      return DriveResult::kProcessed;
+    }
+  }
+
+  // Assignment candidate: the earliest (stage-start-bounded) free core over
+  // sets with pending tasks; virtual-time ties go to the job with the least
+  // weighted service.
+  TaskSetState* aset = nullptr;
+  double assign_t = kInf;
+  int assign_node = -1;
+  int assign_core = -1;
+  for (TaskSetState* s : live) {
+    if (s->pending.empty()) continue;
+    double t;
+    int node, core;
+    if (!cluster.EarliestFreeCore(s->stage_start, &t, &node, &core)) continue;
+    if (aset == nullptr || t < assign_t ||
+        (t == assign_t && FairBefore(s->job, aset->job))) {
+      aset = s;
+      assign_t = t;
+      assign_node = node;
+      assign_core = core;
+    }
+  }
+
+  // Earliest completion across all live sets, in registration order.
+  TaskSetState* cset = nullptr;
+  double next_completion = kInf;
+  size_t completion_idx = 0;
+  for (TaskSetState* s : live) {
+    for (size_t i = 0; i < s->inflight.size(); ++i) {
+      if (s->inflight[i].finish < next_completion) {
+        next_completion = s->inflight[i].finish;
+        cset = s;
         completion_idx = i;
       }
     }
+  }
 
-    // Prefer assignment when a core frees up before the next completion.
-    if (!pending.empty() && assign_t <= next_completion) {
-      std::vector<int> killed = cluster.ApplyFaultsUpTo(assign_t);
-      if (!killed.empty()) {
-        process_deaths(killed, assign_t);
+  // Prefer assignment when a core frees up before the next completion.
+  if (aset != nullptr && assign_t <= next_completion) {
+    if (assign_t > time_limit) return DriveResult::kDeferred;
+    std::vector<int> killed = cluster.ApplyFaultsUpTo(assign_t);
+    if (!killed.empty()) {
+      ProcessDeaths(killed, assign_t);
+      return DriveResult::kProcessed;
+    }
+    // Delay scheduling (Zaharia et al., used by Spark): place a task on
+    // one of its preferred nodes if a core there frees up within the
+    // locality wait, even if some other node has an earlier free core —
+    // cached partitions and DFS replicas are then read locally. Falls
+    // back to the oldest pending task on the globally earliest core.
+    constexpr size_t kLocalityScanLimit = 256;
+    size_t pick = 0;
+    int pick_node = assign_node;
+    int pick_core = assign_core;
+    double pick_time = assign_t;
+    double best_local = assign_t + cfg.locality_wait_sec + 1e-12;
+    bool found_local = false;
+    size_t scan = std::min(aset->pending.size(), kLocalityScanLimit);
+    for (size_t i = 0; i < scan; ++i) {
+      for (int node : aset->preferred(aset->pending[i])) {
+        if (node < 0 || node >= cluster.num_nodes() || !cluster.alive(node)) {
+          continue;
+        }
+        int core = 0;
+        double avail = std::max(aset->stage_start,
+                                cluster.EarliestFreeCoreOnNode(node, &core));
+        if (avail < best_local) {
+          best_local = avail;
+          pick = i;
+          pick_node = node;
+          pick_core = core;
+          pick_time = avail;
+          found_local = true;
+        }
+      }
+      // A preferred core already free now cannot be beaten; stop early.
+      if (found_local && best_local <= assign_t + 1e-12) break;
+    }
+    if (!found_local) pick_time = assign_t;
+    int task = aset->pending[pick];
+    aset->pending.erase(aset->pending.begin() + static_cast<long>(pick));
+    if (aset->retries[static_cast<size_t>(task)] > kMaxTaskRetries) {
+      FailSet(aset, Status::ExecutionError("task exceeded retry limit"));
+      return DriveResult::kProcessed;
+    }
+    Status st = Launch(aset, task, pick_node, pick_core, pick_time, false);
+    if (!st.ok()) FailSet(aset, st);
+    return DriveResult::kProcessed;
+  }
+
+  // Straggler mitigation (§2.3): a set with no pending work but idle cores
+  // before its next completion duplicates its slowest running task if it
+  // lags well behind typical committed durations.
+  if (cfg.speculation) {
+    TaskSetState* sset = nullptr;
+    double spec_t = kInf;
+    int spec_node = -1;
+    int spec_core = -1;
+    int spec_task = -1;
+    for (TaskSetState* s : live) {
+      if (!s->pending.empty() || s->committed_durations.size() < 3) continue;
+      double t;
+      int node, core;
+      if (!cluster.EarliestFreeCore(s->stage_start, &t, &node, &core)) continue;
+      if (!(t < next_completion)) continue;
+      if (sset != nullptr &&
+          !(t < spec_t || (t == spec_t && FairBefore(s->job, sset->job)))) {
         continue;
       }
-      // Delay scheduling (Zaharia et al., used by Spark): place a task on
-      // one of its preferred nodes if a core there frees up within the
-      // locality wait, even if some other node has an earlier free core —
-      // cached partitions and DFS replicas are then read locally. Falls
-      // back to the oldest pending task on the globally earliest core.
-      constexpr size_t kLocalityScanLimit = 256;
-      size_t pick = 0;
-      int pick_node = free_node;
-      int pick_core = free_core;
-      double pick_time = assign_t;
-      double best_local = assign_t + cfg.locality_wait_sec + 1e-12;
-      bool found_local = false;
-      size_t scan = std::min(pending.size(), kLocalityScanLimit);
-      for (size_t i = 0; i < scan; ++i) {
-        for (int node : preferred(pending[i])) {
-          if (node < 0 || node >= cluster.num_nodes() || !cluster.alive(node)) {
-            continue;
-          }
-          int core = 0;
-          double avail =
-              std::max(stage_start, cluster.EarliestFreeCoreOnNode(node, &core));
-          if (avail < best_local) {
-            best_local = avail;
-            pick = i;
-            pick_node = node;
-            pick_core = core;
-            pick_time = avail;
-            found_local = true;
-          }
-        }
-        // A preferred core already free now cannot be beaten; stop early.
-        if (found_local && best_local <= assign_t + 1e-12) break;
-      }
-      if (!found_local) pick_time = assign_t;
-      int task = pending[pick];
-      pending.erase(pending.begin() + static_cast<long>(pick));
-      if (retries[static_cast<size_t>(task)] > kMaxTaskRetries) {
-        return Status::ExecutionError("task exceeded retry limit");
-      }
-      SHARK_RETURN_NOT_OK(launch(task, pick_node, pick_core, pick_time, false));
-      continue;
-    }
-
-    // Straggler mitigation (§2.3): with no pending work but cores idle,
-    // duplicate the slowest running task if it lags well behind typical
-    // committed durations.
-    if (pending.empty() && cfg.speculation && assign_t < next_completion &&
-        committed_durations.size() >= 3) {
-      std::vector<double> durs = committed_durations;
-      std::nth_element(durs.begin(), durs.begin() + static_cast<long>(durs.size() / 2),
+      std::vector<double> durs = s->committed_durations;
+      std::nth_element(durs.begin(),
+                       durs.begin() + static_cast<long>(durs.size() / 2),
                        durs.end());
       double median = durs[durs.size() / 2];
       int candidate = -1;
       double worst_remaining = cfg.speculation_multiplier * median;
-      for (const Inflight& f : inflight) {
-        if (f.speculative || has_duplicate[static_cast<size_t>(f.task)]) continue;
-        double remaining = f.finish - assign_t;
+      for (const TaskSetState::Inflight& f : s->inflight) {
+        if (f.speculative || s->has_duplicate[static_cast<size_t>(f.task)]) {
+          continue;
+        }
+        double remaining = f.finish - t;
         if (remaining > worst_remaining) {
           worst_remaining = remaining;
           candidate = f.task;
         }
       }
       if (candidate >= 0) {
-        has_duplicate[static_cast<size_t>(candidate)] = 1;
-        event(assign_t,
-              "speculative duplicate of task " + std::to_string(candidate));
-        SHARK_RETURN_NOT_OK(
-            launch(candidate, free_node, free_core, assign_t, true));
-        continue;
+        sset = s;
+        spec_t = t;
+        spec_node = node;
+        spec_core = core;
+        spec_task = candidate;
       }
     }
-
-    if (inflight.empty()) {
-      return Status::Internal("scheduler stalled with no runnable tasks");
+    if (sset != nullptr) {
+      if (spec_t > time_limit) return DriveResult::kDeferred;
+      sset->has_duplicate[static_cast<size_t>(spec_task)] = 1;
+      sset->Event(spec_t,
+                  "speculative duplicate of task " + std::to_string(spec_task));
+      Status st = Launch(sset, spec_task, spec_node, spec_core, spec_t, true);
+      if (!st.ok()) FailSet(sset, st);
+      return DriveResult::kProcessed;
     }
-
-    // Handle the earliest completion (applying any earlier faults first).
-    double t = next_completion;
-    std::vector<int> killed = cluster.ApplyFaultsUpTo(t);
-    if (!killed.empty()) {
-      process_deaths(killed, t);
-      continue;
-    }
-    Inflight done = std::move(inflight[completion_idx]);
-    inflight.erase(inflight.begin() + static_cast<long>(completion_idx));
-
-    if (state[static_cast<size_t>(done.task)] == TaskState::kCommitted) {
-      // A speculative duplicate already won.
-      if (tracing && done.trace >= 0) {
-        strace()->tasks[static_cast<size_t>(done.trace)].end =
-            TaskEnd::kSuperseded;
-      }
-      continue;
-    }
-    if (!done.outcome.missing_inputs.empty()) {
-      // Shuffle inputs were lost: recompute them from lineage, then re-run.
-      metrics->tasks_rerun_missing += 1;
-      cm.OnTaskMissingInput();
-      retries[static_cast<size_t>(done.task)] += 1;
-      if (retries[static_cast<size_t>(done.task)] > kMaxTaskRetries) {
-        return Status::ExecutionError("task exceeded retry limit (recovery)");
-      }
-      if (tracing && done.trace >= 0) {
-        strace()->tasks[static_cast<size_t>(done.trace)].end =
-            TaskEnd::kMissingInput;
-      }
-      event(t, "task " + std::to_string(done.task) +
-                   " hit missing shuffle input; lineage recovery of " +
-                   std::to_string(done.outcome.missing_inputs.size()) +
-                   " map outputs");
-      // The recovery sub-stage mutates shuffle state and the cache; quiesce
-      // precomputation and apply pending cache effects first.
-      bump_epoch();
-      SHARK_RETURN_NOT_OK(RecoverMissing(done.outcome.missing_inputs, metrics));
-      epoch += 1;  // recovery refreshed shared state
-      task_mem_budget = mm.TaskWorkingSetBudget();
-      state[static_cast<size_t>(done.task)] = TaskState::kPending;
-      pending.push_back(done.task);
-      // Recovery advanced the virtual clock; the re-run queues from there.
-      queued_at[static_cast<size_t>(done.task)] = ctx_->now();
-      continue;
-    }
-    // The winning launch's cache accesses take effect (at the next flush) in
-    // commit order, attributed to the node the task actually ran on.
-    for (CacheOp& op : done.outcome.cache_log) {
-      op.node = done.node;
-      replay_log.push_back(std::move(op));
-    }
-    done.outcome.cache_log.clear();
-    // Replay the winning attempt's reservation log in commit order — the
-    // MemoryManager's peak/denial/spill accounting evolves exactly as if
-    // committed tasks ran one after another. The metrics counters take the
-    // committed deltas, so they agree with the manager's own totals.
-    uint64_t denied_before = mm.denied_reservations();
-    uint64_t spill_bytes_before = mm.committed_spill_bytes();
-    uint64_t spill_parts_before = mm.committed_spill_partitions();
-    mm.CommitTaskOps(done.node, done.outcome.mem_log);
-    done.outcome.mem_log.clear();
-    if (mm.denied_reservations() > denied_before) {
-      cm.OnReservationDenied(mm.denied_reservations() - denied_before);
-    }
-    if (mm.committed_spill_bytes() > spill_bytes_before) {
-      cm.OnSpill(mm.committed_spill_bytes() - spill_bytes_before,
-                 static_cast<uint32_t>(mm.committed_spill_partitions() -
-                                       spill_parts_before));
-    }
-    // Cache traffic is counted from the committed attempt's replayed
-    // counters, never from worker-thread reads — commit order is fixed, so
-    // the totals are deterministic under host parallelism.
-    uint64_t hit_blocks = 0, hit_bytes = 0, miss_blocks = 0, miss_bytes = 0;
-    for (const auto& [rdd, counters] : done.outcome.cache_counters) {
-      hit_blocks += counters.hit_blocks;
-      hit_bytes += counters.hit_bytes;
-      miss_blocks += counters.miss_blocks;
-      miss_bytes += counters.miss_bytes;
-    }
-    if (hit_blocks + miss_blocks > 0) {
-      cm.OnCacheTraffic(hit_blocks, hit_bytes, miss_blocks, miss_bytes);
-    }
-    if (tracing) {
-      StageTrace* st = strace();
-      for (const auto& [rdd, counters] : done.outcome.cache_counters) {
-        st->cache_by_rdd[rdd].Add(counters);
-      }
-    }
-    commit(done.task, std::move(done.outcome), done.node);
-    state[static_cast<size_t>(done.task)] = TaskState::kCommitted;
-    committed += 1;
-    stage_end = std::max(stage_end, done.finish);
-    committed_durations.push_back(done.finish - done.start);
-    committed_partitions.push_back(partitions[static_cast<size_t>(done.task)]);
-    committed_nodes.push_back(done.node);
-    cm.OnTaskCommitted(done.finish - done.start);
-    cm.Sample(t, cluster, static_cast<int>(pending.size()),
-              static_cast<int>(inflight.size()), /*force=*/false);
   }
 
-  // Anything still in flight is a losing speculative duplicate (the loop
-  // only exits once every task committed) — its output is abandoned.
-  if (tracing) {
-    for (const Inflight& f : inflight) {
-      if (f.trace >= 0) {
-        strace()->tasks[static_cast<size_t>(f.trace)].end =
-            TaskEnd::kSuperseded;
-      }
+  if (cset == nullptr) {
+    Status st = Status::Internal("scheduler stalled with no runnable tasks");
+    std::vector<TaskSetState*> doomed = live;
+    for (TaskSetState* s : doomed) FailSet(s, st);
+    return DriveResult::kProcessed;
+  }
+
+  // Handle the earliest completion (applying any earlier faults first).
+  if (next_completion > time_limit) return DriveResult::kDeferred;
+  std::vector<int> killed = cluster.ApplyFaultsUpTo(next_completion);
+  if (!killed.empty()) {
+    ProcessDeaths(killed, next_completion);
+    return DriveResult::kProcessed;
+  }
+  SHARK_RETURN_NOT_OK(ProcessCompletion(cset, completion_idx));
+  return DriveResult::kProcessed;
+}
+
+Result<DagScheduler::DriveResult> DagScheduler::DriveOnce(double time_limit) {
+  return StepOnce(time_limit);
+}
+
+Status DagScheduler::DriveUntilFinalized(TaskSetState* target) {
+  while (!target->finalized) {
+    Result<DriveResult> r = StepOnce(kInf);
+    SHARK_RETURN_NOT_OK(r.status());
+    if (r.value() == DriveResult::kIdle) {
+      return Status::Internal("event loop idle with an unfinalized task set");
     }
   }
-  batch.CancelAndDrain();
-  flush_replay();
-  ctx_->AdvanceTo(stage_end);
-  cm.Sample(stage_end, cluster, 0, 0, /*force=*/true);
-  const StageSkewReport* skew = cm.OnStageEnd(
-      info.label, stage_start, stage_end, committed_durations,
-      committed_partitions, committed_nodes, stage_speculative, stage_failed);
-  SHARK_LOG(kDebug) << "stage " << skew->seq << " [" << info.label << "] t="
-                    << stage_start << ".." << stage_end << " tasks="
-                    << skew->tasks << " dur_skew=" << skew->dur_skew
-                    << " straggler p" << skew->straggler_partition << "@n"
-                    << skew->straggler_node;
-  if (tracing) tc.EndStage(stage_tid, stage_end);
   return Status::OK();
+}
+
+Status DagScheduler::ExecuteTaskSet(
+    const std::vector<int>& partitions,
+    const std::function<std::vector<int>(int)>& preferred, const TaskBody& body,
+    const CommitFn& commit, const LostOutputFn& lost_outputs,
+    JobMetrics* metrics, const StageInfo& info) {
+  if (partitions.empty()) return Status::OK();
+
+  TaskSetState set;
+  set.partitions = partitions;
+  set.preferred = preferred;
+  set.body = body;
+  set.commit = commit;
+  set.lost_outputs = lost_outputs;
+  set.metrics = metrics;
+  set.info = info;
+  RegisterTaskSet(&set);
+
+  Status drive_status = Status::OK();
+  if (set.job->cooperative && coop_hooks_.park && CurrentJobState() != nullptr) {
+    // Cooperative job thread: the JobManager driver owns the loop; sleep
+    // until it finalizes (or fails) this set.
+    coop_hooks_.park(set.job);
+  } else {
+    drive_status = DriveUntilFinalized(&set);
+  }
+  if (!set.finalized) UnregisterTaskSet(&set);
+  SHARK_RETURN_NOT_OK(drive_status);
+  return set.status;
 }
 
 }  // namespace shark

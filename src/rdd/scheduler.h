@@ -15,6 +15,7 @@
 namespace shark {
 
 class ClusterContext;
+struct TaskSetState;
 
 /// Aggregate metrics of one job (action) execution.
 struct JobMetrics {
@@ -33,13 +34,62 @@ struct JobMetrics {
   std::vector<int> result_nodes;
 };
 
+/// Identity and fair-share accounting of one query/job admitted to the
+/// shared event loop. The scheduler never creates these for callers — the
+/// JobManager owns one per cooperative job and installs it via
+/// SetCurrentJobState on the job's thread; plain single-caller use falls
+/// back to the scheduler's built-in default job.
+struct JobState {
+  /// Admission order; fairness tiebreak and deterministic identity.
+  int job_seq = 0;
+  std::string label;
+  /// Inter-query weight: a job with weight 2 is entitled to twice the task
+  /// occupancy of a weight-1 job when both have runnable tasks.
+  double weight = 1.0;
+  /// Accumulated virtual core occupancy (sum of committed+speculative task
+  /// durations as launched). The fair-share policy launches the runnable
+  /// set whose job has the smallest service_seconds / weight.
+  double service_seconds = 0.0;
+  /// True for JobManager-managed jobs whose threads park in ExecuteTaskSet
+  /// and are resumed by the shared event loop via the coop hooks.
+  bool cooperative = false;
+  /// Per-job query-profile recorder; null falls back to the context-global
+  /// collector (single-caller mode). With concurrent profiled queries each
+  /// job's stages land in its own profile instead of whichever query opened
+  /// a profile first.
+  TraceCollector* trace = nullptr;
+  /// Debris ledger: shuffles registered and RDDs cached while this job was
+  /// current. A failing query drops exactly its own entries (watermark-based
+  /// cleanup would be wrong under concurrent admission, where id ranges
+  /// interleave across jobs). Successful queries keep seed semantics —
+  /// results stay resident — and merely truncate the ledger.
+  std::vector<int> owned_shuffle_ids;
+  std::vector<int> owned_cache_rdd_ids;
+};
+
+/// The job the calling thread is executing on behalf of (set by the
+/// JobManager around a cooperative job body), or nullptr on plain callers
+/// and the event-loop driver thread.
+JobState* CurrentJobState();
+void SetCurrentJobState(JobState* job);
+
 /// Runs RDD actions on the simulated cluster: builds stages at shuffle
 /// boundaries, schedules tasks with data locality, and recovers from node
 /// failures by lineage recomputation (§2.3). Deterministic given the
 /// context's seed and fault schedule.
+///
+/// Multiple jobs can be in flight at once: every ExecuteTaskSet call
+/// registers a task set with the shared event loop, which interleaves task
+/// launches across all active sets under a weighted fair-share inter-query
+/// policy. A plain caller (no JobManager) drives the loop itself until its
+/// own set completes — with one active set the loop degenerates exactly to
+/// the historical one-job behavior, so single-job virtual times are
+/// bit-identical. Cooperative jobs park their thread instead and are
+/// resumed by whoever drives the loop (the JobManager driver).
 class DagScheduler {
  public:
-  explicit DagScheduler(ClusterContext* ctx) : ctx_(ctx) {}
+  explicit DagScheduler(ClusterContext* ctx);
+  ~DagScheduler();
 
   DagScheduler(const DagScheduler&) = delete;
   DagScheduler& operator=(const DagScheduler&) = delete;
@@ -59,10 +109,51 @@ class DagScheduler {
   Result<ShuffleStats> EnsureShuffle(
       const std::shared_ptr<ShuffleDependency>& dep);
 
-  /// Metrics of the most recent job.
+  /// Metrics of the most recent job *on this thread's call path*. Safe under
+  /// cooperative multi-job execution because job threads run one at a time
+  /// and read this immediately after their RunJob/EnsureShuffle returns,
+  /// before the next park point hands control away.
   const JobMetrics& last_job() const { return last_job_; }
 
+  // ---- Multi-job event loop (used by JobManager) ---------------------------
+
+  /// What one DriveOnce call did.
+  enum class DriveResult {
+    kProcessed,  // handled one event (launch/death/completion/finalize)
+    kDeferred,   // earliest event is after the time limit; nothing done
+    kIdle,       // no active task sets at all
+  };
+
+  /// Hooks for cooperative jobs. `park` blocks the calling job thread until
+  /// its awaited set finalizes; `resume` (called by the event loop on the
+  /// driving thread) wakes a job whose set just finalized and blocks until
+  /// that job parks again or finishes.
+  struct CoopHooks {
+    std::function<void(JobState*)> park;
+    std::function<void(JobState*)> resume;
+  };
+  void set_coop_hooks(CoopHooks hooks) { coop_hooks_ = std::move(hooks); }
+
+  /// Processes the single earliest pending event across all active task
+  /// sets, if it occurs at or before `time_limit`. Finalizing a set resumes
+  /// its cooperative owner (which may register new sets) before returning.
+  /// Only the JobManager driver (or a plain caller via ExecuteTaskSet's
+  /// internal drive) may call this.
+  Result<DriveResult> DriveOnce(double time_limit);
+
+  /// True while any task set is registered with the event loop.
+  bool HasActiveSets() const { return !active_sets_.empty(); }
+
+  /// Quiesces host-parallel task-body precomputation and applies pending
+  /// committed cache effects. MUST be called before mutating shared engine
+  /// state (block cache, shuffle ledger) from outside the event loop — e.g.
+  /// RddBase::Uncache or ShuffleDependency teardown while other jobs are in
+  /// flight. Cheap no-op when nothing is active.
+  void QuiesceForSharedStateMutation();
+
  private:
+  friend struct TaskSetState;
+
   /// A task body's result. Bodies are pure functions of (partition, shared
   /// state frozen at stage start), so outcomes can be computed ahead of
   /// placement on any host thread; everything that depends on the eventual
@@ -103,7 +194,9 @@ class DagScheduler {
   /// Event-driven execution of one set of tasks (one stage, or a recovery
   /// sub-stage). Handles locality, heartbeat quantization, failures,
   /// missing-input recovery and speculation; records the stage into the
-  /// context's TraceCollector when a profile is active.
+  /// owning job's TraceCollector when a profile is active. Registers the
+  /// set with the shared event loop; plain callers drive the loop until the
+  /// set finalizes, cooperative job threads park instead.
   Status ExecuteTaskSet(const std::vector<int>& partitions,
                         const std::function<std::vector<int>(int)>& preferred,
                         const TaskBody& body, const CommitFn& commit,
@@ -127,6 +220,49 @@ class DagScheduler {
 
   void HandleNodeDeath(int node);
 
+  // ---- shared event loop ---------------------------------------------------
+
+  /// The job new work registered on this thread belongs to: the thread's
+  /// own job, the recovery override, or the plain default job.
+  JobState* ResolveJobForRegistration();
+  /// The profile collector current work records into (per-job when set).
+  TraceCollector& CollectorForCurrentWork();
+  /// Applies committed tasks' cache accesses in commit order.
+  void FlushReplay();
+  /// Computes `task`'s outcome into its slot (worker threads or inline).
+  void ComputeSlot(TaskSetState* set, int task, long at_epoch);
+  /// Yields `task`'s outcome, recomputing inline if the slot is stale.
+  Status ObtainOutcome(TaskSetState* set, int task, TaskOutcome* out);
+  void RegisterTaskSet(TaskSetState* set);
+  void UnregisterTaskSet(TaskSetState* set);
+  /// Drives the loop until `target` finalizes (plain callers and nested
+  /// lineage-recovery stages).
+  Status DriveUntilFinalized(TaskSetState* target);
+  /// One launch/speculation/death/completion event; the loop body.
+  Result<DriveResult> StepOnce(double time_limit);
+  /// Closes a completed set: trace/skew/clock bookkeeping, removal from the
+  /// active list, and resuming a cooperative owner.
+  void FinalizeSet(TaskSetState* set);
+  /// Fails a set (scheduling error): records the status, removes it, and
+  /// resumes a cooperative owner. Never records stage-end bookkeeping.
+  void FailSet(TaskSetState* set, const Status& status);
+  /// Applies node deaths at virtual time `at` across all non-suspended sets.
+  void ProcessDeaths(const std::vector<int>& killed, double at);
+  /// Cancels all precomputation, applies pending cache effects in commit
+  /// order, advances the epoch and re-latches the task memory budget.
+  void BumpEpoch();
+  /// Launches `task` of `set` on (node, core) available at `avail`.
+  Status Launch(TaskSetState* set, int task, int node, int core, double avail,
+                bool speculative);
+  /// Processes the completion of set->inflight[idx] at its finish time.
+  Status ProcessCompletion(TaskSetState* set, size_t idx);
+  /// Global pending/running counts across active sets (timeline samples).
+  int TotalPending() const;
+  int TotalRunning() const;
+  /// True when job `a` should be served before job `b` under the weighted
+  /// fair-share policy.
+  static bool FairBefore(const JobState* a, const JobState* b);
+
   ClusterContext* ctx_;
   JobMetrics last_job_;
   std::map<int, std::weak_ptr<ShuffleDependency>> shuffle_registry_;
@@ -135,6 +271,23 @@ class DagScheduler {
   // Monotonic task-set counter; seeds each task's private rng so results do
   // not depend on host-thread interleaving.
   uint64_t next_stage_seq_ = 0;
+
+  // Task sets currently registered with the event loop, registration order.
+  std::vector<TaskSetState*> active_sets_;
+  // Committed tasks' cache accesses, in commit order, awaiting replay.
+  std::vector<CacheOp> replay_log_;
+  // Frozen-state epoch for host-parallel precomputation: outcomes computed
+  // under an older epoch are recomputed inline at launch.
+  long epoch_ = 0;
+  // Per-task working-set budget, re-latched only at epoch bumps so all
+  // concurrently computed task bodies see one frozen value.
+  uint64_t task_mem_budget_ = 0;
+  // Owning job for sets registered from inside the event loop (lineage
+  // recovery runs on the driving thread, not the job's own thread).
+  JobState* override_job_ = nullptr;
+  // Identity for plain single-caller execution.
+  JobState default_job_;
+  CoopHooks coop_hooks_;
 };
 
 }  // namespace shark

@@ -1,0 +1,144 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace shark {
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+SharkClient::~SharkClient() { Close(); }
+
+Status SharkClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return s;
+  }
+  reader_ = std::make_unique<LineReader>(fd_);
+  return Status::OK();
+}
+
+void SharkClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+Status SharkClient::SendLine(const std::string& line) {
+  if (!connected()) return Status::Internal("not connected");
+  if (!WriteAll(fd_, line + "\n")) {
+    return Status::Internal("connection lost while sending");
+  }
+  return Status::OK();
+}
+
+Status SharkClient::ExpectOk(const std::string& command) {
+  SHARK_RETURN_NOT_OK(SendLine(command));
+  std::string reply;
+  if (!reader_->ReadLine(&reply)) {
+    return Status::Internal("connection closed by server");
+  }
+  if (reply.rfind("OK", 0) == 0) return Status::OK();
+  return Status::ExecutionError(reply);
+}
+
+Result<ClientResult> SharkClient::Query(const std::string& sql) {
+  SHARK_RETURN_NOT_OK(SendLine("QUERY " + sql));
+  std::string header;
+  if (!reader_->ReadLine(&header)) {
+    return Status::Internal("connection closed by server");
+  }
+  if (header.rfind("ERR", 0) == 0) {
+    return Status::ExecutionError(header.size() > 4 ? header.substr(4)
+                                                    : "query failed");
+  }
+  std::istringstream in(header);
+  std::string ok;
+  uint64_t nrows = 0;
+  ClientResult result;
+  in >> ok >> nrows >> result.num_columns >> result.virtual_seconds >>
+      result.queue_delay;
+  if (ok != "OK") {
+    return Status::Internal("malformed reply header: " + header);
+  }
+  result.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    std::string line;
+    if (!reader_->ReadLine(&line)) {
+      return Status::Internal("connection closed mid-result");
+    }
+    result.rows.push_back(SplitTabs(line));
+  }
+  std::string trailer;
+  if (!reader_->ReadLine(&trailer) || trailer != "END") {
+    return Status::Internal("missing END trailer");
+  }
+  return result;
+}
+
+Status SharkClient::SetWeight(double weight) {
+  std::ostringstream cmd;
+  cmd << "SET WEIGHT " << weight;
+  return ExpectOk(cmd.str());
+}
+
+Status SharkClient::SetMemDemand(uint64_t bytes) {
+  return ExpectOk("SET MEMDEMAND " + std::to_string(bytes));
+}
+
+Result<std::map<std::string, std::string>> SharkClient::Stats() {
+  SHARK_RETURN_NOT_OK(SendLine("STATS"));
+  std::map<std::string, std::string> stats;
+  while (true) {
+    std::string line;
+    if (!reader_->ReadLine(&line)) {
+      return Status::Internal("connection closed during STATS");
+    }
+    if (line == "END") return stats;
+    if (line.rfind("ERR", 0) == 0) return Status::ExecutionError(line);
+    std::istringstream in(line);
+    std::string tag, key, value;
+    in >> tag >> key >> value;
+    if (tag == "STAT") stats[key] = value;
+  }
+}
+
+}  // namespace shark

@@ -1,0 +1,57 @@
+#ifndef SHARK_SERVER_CLIENT_H_
+#define SHARK_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/net_util.h"
+
+namespace shark {
+
+/// One query's reply as seen over the wire.
+struct ClientResult {
+  std::vector<std::vector<std::string>> rows;  // tab-split cells
+  int num_columns = 0;
+  double virtual_seconds = 0.0;   // simulated execution time
+  double queue_delay = 0.0;       // admission-control wait (virtual seconds)
+};
+
+/// Minimal blocking client for SharkServer's line protocol. One connection =
+/// one server-side session (its own weight/quota/counters).
+class SharkClient {
+ public:
+  SharkClient() = default;
+  ~SharkClient();
+
+  SharkClient(const SharkClient&) = delete;
+  SharkClient& operator=(const SharkClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Runs one statement; ERR replies surface as ExecutionError.
+  Result<ClientResult> Query(const std::string& sql);
+
+  /// Session knobs (see SharkServer wire protocol).
+  Status SetWeight(double weight);
+  Status SetMemDemand(uint64_t bytes);
+
+  /// STATS as a key -> value map ("session.ok", "server.queries", ...).
+  Result<std::map<std::string, std::string>> Stats();
+
+ private:
+  Status SendLine(const std::string& line);
+  Status ExpectOk(const std::string& command);
+
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_CLIENT_H_

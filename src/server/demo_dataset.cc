@@ -1,0 +1,39 @@
+#include "server/demo_dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace shark {
+
+Status LoadDemoDataset(SharkSession* session, int rankings_rows,
+                       int visits_rows) {
+  Schema rankings({{"pageURL", TypeKind::kString},
+                   {"pageRank", TypeKind::kInt64},
+                   {"avgDuration", TypeKind::kInt64}});
+  std::vector<Row> rrows;
+  rrows.reserve(static_cast<size_t>(rankings_rows));
+  for (int i = 0; i < rankings_rows; ++i) {
+    rrows.push_back(Row({Value::String("url" + std::to_string(i)),
+                         Value::Int64(i), Value::Int64(i % 10)}));
+  }
+  SHARK_RETURN_NOT_OK(
+      session->CreateDfsTable("rankings", rankings, rrows, 4));
+
+  Schema visits({{"destURL", TypeKind::kString},
+                 {"sourceIP", TypeKind::kString},
+                 {"adRevenue", TypeKind::kDouble},
+                 {"visitDate", TypeKind::kDate}});
+  std::vector<Row> vrows;
+  vrows.reserve(static_cast<size_t>(visits_rows));
+  SHARK_ASSIGN_OR_RETURN(Value base, Value::ParseDate("2000-01-10"));
+  int64_t base_date = base.int64_v();
+  for (int i = 0; i < visits_rows; ++i) {
+    vrows.push_back(
+        Row({Value::String("url" + std::to_string(i % 50)),
+             Value::String("ip" + std::to_string(i % 7)),
+             Value::Double(1.0 + (i % 4)), Value::Date(base_date + i % 20)}));
+  }
+  return session->CreateDfsTable("visits", visits, vrows, 4);
+}
+
+}  // namespace shark

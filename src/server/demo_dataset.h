@@ -1,0 +1,20 @@
+#ifndef SHARK_SERVER_DEMO_DATASET_H_
+#define SHARK_SERVER_DEMO_DATASET_H_
+
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace shark {
+
+/// Loads the Pavlo-style demo tables the server and bench_serving query:
+///   rankings(pageURL STRING, pageRank BIGINT, avgDuration BIGINT)
+///   visits(destURL STRING, sourceIP STRING, adRevenue DOUBLE,
+///          visitDate DATE)
+/// Row contents are a pure function of the row counts, so every server run
+/// serves identical data.
+Status LoadDemoDataset(SharkSession* session, int rankings_rows,
+                       int visits_rows);
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_DEMO_DATASET_H_

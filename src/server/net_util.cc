@@ -1,0 +1,47 @@
+#include "server/net_util.h"
+
+#include <cerrno>
+#include <cstddef>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace shark {
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::ReadLine(std::string* line) {
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace shark

@@ -1,0 +1,28 @@
+#ifndef SHARK_SERVER_NET_UTIL_H_
+#define SHARK_SERVER_NET_UTIL_H_
+
+#include <string>
+
+namespace shark {
+
+/// Writes the whole buffer to `fd`, retrying on short writes and EINTR.
+/// Returns false when the peer went away.
+bool WriteAll(int fd, const std::string& data);
+
+/// Buffered line reader over a socket. Lines are '\n'-terminated; the
+/// terminator (and a preceding '\r', for telnet-friendliness) is stripped.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one full line arrives. Returns false on EOF/error.
+  bool ReadLine(std::string* line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_NET_UTIL_H_

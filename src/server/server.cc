@@ -1,0 +1,234 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/net_util.h"
+
+namespace shark {
+
+namespace {
+
+/// ERR payloads must stay on one line.
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return s;
+}
+
+std::string FormatValue(const Value& v) { return OneLine(v.ToString()); }
+
+}  // namespace
+
+SharkServer::SharkServer(std::shared_ptr<SharkSession> session,
+                         Options options)
+    : session_(std::move(session)),
+      options_(options),
+      jobs_(&session_->context(), [&] {
+        JobManager::Options jo;
+        jo.max_concurrent = options.max_concurrent;
+        return jo;
+      }()) {}
+
+SharkServer::~SharkServer() { Stop(); }
+
+Status SharkServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+
+  jobs_.Start();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SharkServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (jobs_.started()) jobs_.Stop();
+}
+
+void SharkServer::AcceptLoop() {
+  while (!stopping_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    uint64_t conn_id = next_conn_id_++;
+    live_fds_.insert(fd);
+    conn_threads_.emplace_back(
+        [this, fd, conn_id] { ServeConnection(fd, conn_id); });
+  }
+}
+
+void SharkServer::ServeConnection(int fd, uint64_t conn_id) {
+  SessionState st;
+  LineReader reader(fd);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "QUIT") {
+      WriteAll(fd, "OK\n");
+      break;
+    } else if (cmd == "QUERY") {
+      std::string sql = line.substr(line.find("QUERY") + 5);
+      size_t start = sql.find_first_not_of(' ');
+      sql = start == std::string::npos ? "" : sql.substr(start);
+      if (!HandleQuery(fd, conn_id, &st, sql)) break;
+    } else if (cmd == "SET") {
+      std::string knob;
+      in >> knob;
+      if (knob == "WEIGHT") {
+        double w = 1.0;
+        if (in >> w && w > 0) {
+          st.weight = w;
+          if (!WriteAll(fd, "OK\n")) break;
+        } else if (!WriteAll(fd, "ERR SET WEIGHT needs a positive number\n")) {
+          break;
+        }
+      } else if (knob == "MEMDEMAND") {
+        uint64_t bytes = 0;
+        if (in >> bytes) {
+          st.mem_demand_bytes = bytes;
+          if (!WriteAll(fd, "OK\n")) break;
+        } else if (!WriteAll(fd, "ERR SET MEMDEMAND needs a byte count\n")) {
+          break;
+        }
+      } else if (!WriteAll(fd, "ERR unknown knob: " + OneLine(knob) + "\n")) {
+        break;
+      }
+    } else if (cmd == "STATS") {
+      if (!HandleStats(fd, st)) break;
+    } else {
+      if (!WriteAll(fd, "ERR unknown command: " + OneLine(cmd) + "\n")) break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(fd);
+}
+
+bool SharkServer::HandleQuery(int fd, uint64_t conn_id, SessionState* st,
+                              const std::string& sql) {
+  st->queries++;
+  total_queries_++;
+  if (options_.max_queries_per_connection != 0 &&
+      st->queries > options_.max_queries_per_connection) {
+    st->errors++;
+    total_errors_++;
+    return WriteAll(fd, "ERR quota exceeded: connection limited to " +
+                            std::to_string(options_.max_queries_per_connection) +
+                            " queries\n");
+  }
+  if (sql.empty()) {
+    st->errors++;
+    total_errors_++;
+    return WriteAll(fd, "ERR empty query\n");
+  }
+
+  // The job body runs on a JobManager thread under the engine baton; the
+  // result travels back through this shared holder.
+  auto holder = std::make_shared<QueryResult>();
+  JobSpec spec;
+  spec.label = "conn" + std::to_string(conn_id) + "#" +
+               std::to_string(st->queries);
+  spec.weight = st->weight;
+  spec.mem_demand_bytes = st->mem_demand_bytes;
+  spec.body = [this, holder, sql]() -> Status {
+    auto r = session_->Sql(sql);
+    SHARK_RETURN_NOT_OK(r.status());
+    *holder = std::move(*r);
+    return Status::OK();
+  };
+  uint64_t ticket = jobs_.Submit(std::move(spec));
+  JobOutcome outcome = jobs_.Await(ticket);
+
+  if (!outcome.status.ok()) {
+    st->errors++;
+    total_errors_++;
+    return WriteAll(fd, "ERR " + OneLine(outcome.status.ToString()) + "\n");
+  }
+  st->ok++;
+  total_ok_++;
+
+  std::ostringstream out;
+  out << "OK " << holder->rows.size() << ' ' << holder->schema.num_fields()
+      << ' ' << holder->metrics.virtual_seconds << ' ' << outcome.queue_delay()
+      << '\n';
+  for (const Row& row : holder->rows) {
+    for (size_t i = 0; i < row.fields.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << FormatValue(row.fields[i]);
+    }
+    out << '\n';
+  }
+  out << "END\n";
+  return WriteAll(fd, out.str());
+}
+
+bool SharkServer::HandleStats(int fd, const SessionState& st) {
+  std::ostringstream out;
+  out << "STAT session.queries " << st.queries << '\n'
+      << "STAT session.ok " << st.ok << '\n'
+      << "STAT session.errors " << st.errors << '\n'
+      << "STAT session.weight " << st.weight << '\n'
+      << "STAT session.mem_demand_bytes " << st.mem_demand_bytes << '\n'
+      << "STAT server.queries " << total_queries_.load() << '\n'
+      << "STAT server.ok " << total_ok_.load() << '\n'
+      << "STAT server.errors " << total_errors_.load() << '\n'
+      << "END\n";
+  return WriteAll(fd, out.str());
+}
+
+}  // namespace shark

@@ -1,0 +1,106 @@
+#ifndef SHARK_SERVER_SERVER_H_
+#define SHARK_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rdd/job_manager.h"
+#include "sql/session.h"
+
+namespace shark {
+
+/// Multi-session SQL front-end: accepts TCP connections, one session per
+/// connection, and multiplexes their queries onto one simulated cluster
+/// through the streaming JobManager (admission control + fair inter-query
+/// scheduling included).
+///
+/// Wire protocol — newline-terminated lines, text only:
+///
+///   client -> server
+///     QUERY <sql>          run one statement
+///     SET WEIGHT <w>       fair-share weight for this session's queries
+///     SET MEMDEMAND <n>    declared admission demand in bytes (0 = bypass)
+///     STATS                session + server counters
+///     QUIT                 close the connection
+///
+///   server -> client
+///     OK <nrows> <ncols> <virtual_seconds> <queue_delay>   (QUERY success)
+///       ...nrows lines of tab-separated values...
+///     END
+///     OK                                                    (SET success)
+///     STAT <key> <value>  ... END                           (STATS)
+///     ERR <one-line message>                                (any failure)
+class SharkServer {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// Forwarded to JobManager: max queries in flight; 0 = unlimited.
+    int max_concurrent = 0;
+    /// Per-connection query quota; further QUERYs get an ERR. 0 = unlimited.
+    uint64_t max_queries_per_connection = 0;
+  };
+
+  SharkServer(std::shared_ptr<SharkSession> session, Options options);
+  ~SharkServer();
+
+  SharkServer(const SharkServer&) = delete;
+  SharkServer& operator=(const SharkServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Queries are served until
+  /// Stop().
+  Status Start();
+
+  /// The bound port (useful with Options::port == 0).
+  int port() const { return port_; }
+
+  /// Stops accepting, severs live connections, drains submitted queries.
+  void Stop();
+
+  /// Total queries received across all connections (including rejected).
+  uint64_t total_queries() const { return total_queries_; }
+
+ private:
+  struct SessionState {
+    uint64_t queries = 0;  // received
+    uint64_t ok = 0;
+    uint64_t errors = 0;   // failed or rejected
+    double weight = 1.0;
+    uint64_t mem_demand_bytes = 0;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t conn_id);
+  bool HandleQuery(int fd, uint64_t conn_id, SessionState* st,
+                   const std::string& sql);
+  bool HandleStats(int fd, const SessionState& st);
+
+  std::shared_ptr<SharkSession> session_;
+  Options options_;
+  JobManager jobs_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by mu_
+  std::set<int> live_fds_;                 // guarded by mu_
+  uint64_t next_conn_id_ = 1;              // guarded by mu_
+
+  std::atomic<uint64_t> total_queries_{0};
+  std::atomic<uint64_t> total_ok_{0};
+  std::atomic<uint64_t> total_errors_{0};
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_SERVER_H_

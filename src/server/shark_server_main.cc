@@ -1,0 +1,87 @@
+// shark_server: serves the simulated Shark engine over a line-based TCP
+// protocol. One connection = one SQL session; concurrent queries share the
+// cluster through the JobManager's admission control and fair scheduling.
+//
+//   shark_server --port 4195 --nodes 4 --cores 2 --max-concurrent 8
+//
+// Prints "LISTENING <port>" once ready (port 0 picks an ephemeral port, which
+// is how bench_serving --loopback and ci.sh attach).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/demo_dataset.h"
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int64_t ArgInt(int argc, char** argv, const char* name, int64_t def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: shark_server [--port N] [--nodes N] [--cores N]\n"
+          "                    [--max-concurrent N] [--quota N]\n"
+          "                    [--rankings-rows N] [--visits-rows N]\n"
+          "Serves the demo dataset; see DESIGN.md §14 for the protocol.\n");
+      return 0;
+    }
+  }
+
+  shark::ClusterConfig cfg;
+  cfg.num_nodes = static_cast<int>(ArgInt(argc, argv, "--nodes", 4));
+  cfg.hardware.cores_per_node =
+      static_cast<int>(ArgInt(argc, argv, "--cores", 2));
+  auto session = std::make_shared<shark::SharkSession>(
+      std::make_shared<shark::ClusterContext>(cfg));
+
+  shark::Status load = shark::LoadDemoDataset(
+      session.get(),
+      static_cast<int>(ArgInt(argc, argv, "--rankings-rows", 1000)),
+      static_cast<int>(ArgInt(argc, argv, "--visits-rows", 3000)));
+  if (!load.ok()) {
+    std::fprintf(stderr, "demo dataset load failed: %s\n",
+                 load.ToString().c_str());
+    return 1;
+  }
+
+  shark::SharkServer::Options opts;
+  opts.port = static_cast<int>(ArgInt(argc, argv, "--port", 0));
+  opts.max_concurrent =
+      static_cast<int>(ArgInt(argc, argv, "--max-concurrent", 0));
+  opts.max_queries_per_connection =
+      static_cast<uint64_t>(ArgInt(argc, argv, "--quota", 0));
+
+  shark::SharkServer server(session, opts);
+  shark::Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    ::usleep(100 * 1000);
+  }
+  server.Stop();
+  return 0;
+}

@@ -184,8 +184,30 @@ ClusterMetrics::ClusterMetrics(int num_nodes, const HardwareModel& hardware)
   cache_evicted_bytes_ =
       c("shark_cache_evicted_bytes_total", "Bytes evicted by per-node LRU");
 
+  jobs_queued_total_ = c("shark_jobs_queued_total",
+                         "Jobs deferred by admission control (any reason)");
+  jobs_queued_memory_ = registry_.RegisterCounter(
+      "shark_jobs_queued_reason_total", "Jobs deferred by admission, by gate",
+      "reason=\"memory\"");
+  jobs_queued_concurrency_ = registry_.RegisterCounter(
+      "shark_jobs_queued_reason_total", "", "reason=\"concurrency\"");
+  jobs_admitted_ = c("shark_jobs_admitted_total",
+                     "Jobs admitted to the shared event loop");
+  jobs_completed_ = c("shark_jobs_completed_total", "Jobs finished OK");
+  jobs_failed_ = c("shark_jobs_failed_total", "Jobs finished with an error");
+  jobs_running_gauge_ = registry_.RegisterGauge(
+      "shark_jobs_running", "Admitted jobs currently in flight");
+  jobs_queued_gauge_ = registry_.RegisterGauge(
+      "shark_jobs_queued", "Jobs waiting in the admission queue");
+
   task_duration_hist_ = registry_.RegisterHistogram(
       "shark_task_duration_seconds", "Committed task durations (virtual)");
+  job_queue_delay_hist_ = registry_.RegisterHistogram(
+      "shark_job_queue_delay_seconds",
+      "Admission-queue wait per admitted job (virtual)");
+  job_latency_hist_ = registry_.RegisterHistogram(
+      "shark_job_latency_seconds",
+      "Admission-to-completion latency per job (virtual)");
 
   // Hardware-model bandwidth constants exported once, so a scrape is
   // self-describing (utilization curves can be read against capacity).
@@ -317,6 +339,37 @@ void ClusterMetrics::OnSpill(uint64_t bytes, uint32_t partitions) {
 
 void ClusterMetrics::OnReservationDenied(uint64_t count) {
   reservations_denied_->Increment(count);
+}
+
+void ClusterMetrics::OnJobQueued(const std::string& reason) {
+  jobs_queued_total_->Increment();
+  if (reason == "memory") {
+    jobs_queued_memory_->Increment();
+  } else {
+    jobs_queued_concurrency_->Increment();
+  }
+}
+
+void ClusterMetrics::OnJobAdmitted(double queue_delay_sec) {
+  jobs_admitted_->Increment();
+  job_queue_delay_hist_->Observe(queue_delay_sec);
+}
+
+void ClusterMetrics::OnJobFinished(bool ok, double latency_sec) {
+  if (ok) {
+    jobs_completed_->Increment();
+  } else {
+    jobs_failed_->Increment();
+  }
+  job_latency_hist_->Observe(latency_sec);
+}
+
+void ClusterMetrics::SetJobsRunning(int64_t running) {
+  jobs_running_gauge_->Set(static_cast<double>(running));
+}
+
+void ClusterMetrics::SetJobsQueued(int64_t queued) {
+  jobs_queued_gauge_->Set(static_cast<double>(queued));
 }
 
 StageSkewReport* ClusterMetrics::OnStageEnd(

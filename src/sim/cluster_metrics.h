@@ -153,6 +153,21 @@ class ClusterMetrics {
   void OnSpill(uint64_t bytes, uint32_t partitions);
   void OnReservationDenied(uint64_t count = 1);
 
+  // ---- Job admission hooks (JobManager, driver thread) --------------------
+
+  /// A job entered the admission queue instead of starting; `reason` is the
+  /// gate that deferred it ("memory" or "concurrency").
+  void OnJobQueued(const std::string& reason);
+  /// A job was admitted after `queue_delay_sec` in the queue (0 when it was
+  /// admitted on arrival).
+  void OnJobAdmitted(double queue_delay_sec);
+  /// An admitted job finished; latency is admission-to-completion virtual
+  /// seconds.
+  void OnJobFinished(bool ok, double latency_sec);
+  /// Live admission-state gauges, kept by the JobManager.
+  void SetJobsRunning(int64_t running);
+  void SetJobsQueued(int64_t queued);
+
   /// Closes a stage: computes the skew report from committed-task
   /// observations and returns it for optional annotation (bucket bytes).
   StageSkewReport* OnStageEnd(const std::string& label, double start_time,
@@ -223,8 +238,19 @@ class ClusterMetrics {
   Counter* cache_miss_bytes_;
   Counter* cache_evicted_blocks_;
   Counter* cache_evicted_bytes_;
+  // Job admission (JobManager).
+  Counter* jobs_queued_total_;
+  Counter* jobs_queued_memory_;
+  Counter* jobs_queued_concurrency_;
+  Counter* jobs_admitted_;
+  Counter* jobs_completed_;
+  Counter* jobs_failed_;
+  Gauge* jobs_running_gauge_;
+  Gauge* jobs_queued_gauge_;
   // Distributions.
   HistogramMetric* task_duration_hist_;
+  HistogramMetric* job_queue_delay_hist_;
+  HistogramMetric* job_latency_hist_;
   // Per-node busy-core gauges, refreshed by PrometheusText.
   std::vector<Gauge*> busy_core_gauges_;
 };

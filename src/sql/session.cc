@@ -10,11 +10,84 @@
 
 namespace shark {
 
+namespace {
+
+/// Brackets one query's engine-state debris. Shuffle registrations and cache
+/// insertions are recorded in the current job's ledger (installing a local
+/// JobState for plain, non-JobManager callers); a failing query drops
+/// exactly what it created — shuffle ledger entries and cached blocks — so
+/// the next query, possibly another session's, sees a clean cluster. A
+/// successful query keeps its state resident (seed semantics) and merely
+/// forgets the ledger entries.
+class QueryDebrisScope {
+ public:
+  explicit QueryDebrisScope(ClusterContext* ctx) : ctx_(ctx) {
+    if (CurrentJobState() == nullptr) {
+      local_.label = "sql";
+      SetCurrentJobState(&local_);
+      installed_ = true;
+    }
+    job_ = CurrentJobState();
+    shuffle_mark_ = job_->owned_shuffle_ids.size();
+    cache_mark_ = job_->owned_cache_rdd_ids.size();
+  }
+
+  ~QueryDebrisScope() {
+    if (installed_) SetCurrentJobState(nullptr);
+  }
+
+  QueryDebrisScope(const QueryDebrisScope&) = delete;
+  QueryDebrisScope& operator=(const QueryDebrisScope&) = delete;
+
+  /// Failure path: releases everything recorded past the entry marks.
+  void DropDebris() {
+    if (job_->owned_shuffle_ids.size() > shuffle_mark_ ||
+        job_->owned_cache_rdd_ids.size() > cache_mark_) {
+      // Other jobs' frozen epochs may be reading the ledger and the cache.
+      ctx_->scheduler().QuiesceForSharedStateMutation();
+      for (size_t i = shuffle_mark_; i < job_->owned_shuffle_ids.size(); ++i) {
+        ctx_->shuffle_manager().DropShuffle(job_->owned_shuffle_ids[i]);
+      }
+      for (size_t i = cache_mark_; i < job_->owned_cache_rdd_ids.size(); ++i) {
+        ctx_->block_manager().DropRdd(job_->owned_cache_rdd_ids[i]);
+      }
+    }
+    Forget();
+  }
+
+  /// Success path: results stay resident, ledger entries are dropped.
+  void Forget() {
+    job_->owned_shuffle_ids.resize(shuffle_mark_);
+    job_->owned_cache_rdd_ids.resize(cache_mark_);
+  }
+
+ private:
+  ClusterContext* ctx_;
+  JobState* job_ = nullptr;
+  JobState local_;
+  bool installed_ = false;
+  size_t shuffle_mark_ = 0;
+  size_t cache_mark_ = 0;
+};
+
+}  // namespace
+
 SharkSession::SharkSession(std::shared_ptr<ClusterContext> ctx)
     : ctx_(std::move(ctx)) {}
 
 Result<QueryResult> SharkSession::Sql(const std::string& query) {
   SHARK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
+  QueryDebrisScope debris(ctx_.get());
+  Result<QueryResult> result = ExecuteStatement(stmt);
+  if (result.ok()) {
+    debris.Forget();
+  } else {
+    debris.DropDebris();
+  }
+  return result;
+}
+
+Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return ExecuteSelect(*stmt.select);
@@ -100,14 +173,23 @@ Result<TableRdd> SharkSession::Sql2Rdd(const std::string& query) {
   if (stmt.kind != StatementKind::kSelect) {
     return Status::InvalidArgument("sql2rdd expects a SELECT");
   }
+  QueryDebrisScope debris(ctx_.get());
   Analyzer analyzer(&catalog_, &udfs_);
-  SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
-  plan = Optimize(plan, &udfs_);
+  Result<PlanPtr> plan = analyzer.AnalyzeSelect(*stmt.select);
+  if (!plan.ok()) return plan.status();
+  PlanPtr optimized = Optimize(*plan, &udfs_);
   Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
-  SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rdd, executor.BuildRdd(plan));
+  Result<RddPtr<Row>> rdd = executor.BuildRdd(optimized);
+  if (!rdd.ok()) {
+    debris.DropDebris();
+    return rdd.status();
+  }
+  // The distributed result stays live; its shuffles/cache now belong to the
+  // caller's RDD graph.
+  debris.Forget();
   TableRdd out;
-  out.rdd = rdd;
-  out.schema = Schema(plan->output);
+  out.rdd = *rdd;
+  out.schema = Schema(optimized->output);
   out.build_metrics = executor.metrics();
   return out;
 }
@@ -237,6 +319,19 @@ Status SharkSession::LoadRowsIntoMemstore(TableInfo* info, RddPtr<Row> rows,
 Status SharkSession::CacheTable(const std::string& name,
                                 const std::string& distribute_column,
                                 const std::string& copartition_with) {
+  QueryDebrisScope debris(ctx_.get());
+  Status status = CacheTableImpl(name, distribute_column, copartition_with);
+  if (status.ok()) {
+    debris.Forget();
+  } else {
+    debris.DropDebris();
+  }
+  return status;
+}
+
+Status SharkSession::CacheTableImpl(const std::string& name,
+                                    const std::string& distribute_column,
+                                    const std::string& copartition_with) {
   SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(name));
   if (info->is_cached()) return Status::OK();
   if (info->dfs_file.empty()) {
@@ -323,35 +418,42 @@ Result<QueryResult> SharkSession::ExecuteCreateTable(
 
   if (cache) {
     SHARK_RETURN_NOT_OK(catalog_.CreateTable(info));
-    SHARK_ASSIGN_OR_RETURN(TableInfo * stored, catalog_.Get(stmt.name));
-    int distribute_key = -1;
-    int num_partitions = rows->num_partitions();
-    if (!stmt.select->distribute_by.empty()) {
-      distribute_key = stored->schema.FieldIndex(stmt.select->distribute_by);
-      if (distribute_key < 0) {
-        return Status::AnalysisError("unknown DISTRIBUTE BY column: " +
-                                     stmt.select->distribute_by);
+    Status load = [&]() -> Status {
+      SHARK_ASSIGN_OR_RETURN(TableInfo * stored, catalog_.Get(stmt.name));
+      int distribute_key = -1;
+      int num_partitions = rows->num_partitions();
+      if (!stmt.select->distribute_by.empty()) {
+        distribute_key = stored->schema.FieldIndex(stmt.select->distribute_by);
+        if (distribute_key < 0) {
+          return Status::AnalysisError("unknown DISTRIBUTE BY column: " +
+                                       stmt.select->distribute_by);
+        }
+        num_partitions = ctx_->cluster().total_cores();
       }
-      num_partitions = ctx_->cluster().total_cores();
+      const TableInfo* align_with = nullptr;
+      if (!copartition.empty()) {
+        SHARK_ASSIGN_OR_RETURN(TableInfo * partner, catalog_.Get(copartition));
+        if (!partner->is_cached() || partner->distribute_key < 0) {
+          return Status::ExecutionError(
+              "copartition partner must be cached with DISTRIBUTE BY: " +
+              copartition);
+        }
+        if (distribute_key < 0) {
+          return Status::AnalysisError(
+              "copartitioned table needs DISTRIBUTE BY");
+        }
+        num_partitions = partner->num_partitions;
+        stored->copartitioned_with = partner->name;
+        align_with = partner;
+      }
+      return LoadRowsIntoMemstore(stored, rows, distribute_key,
+                                  num_partitions, align_with);
+    }();
+    if (!load.ok()) {
+      // A failed CTAS must not leave a phantom, half-loaded table behind.
+      (void)catalog_.DropTable(stmt.name, /*if_exists=*/true);
+      return load;
     }
-    const TableInfo* align_with = nullptr;
-    if (!copartition.empty()) {
-      SHARK_ASSIGN_OR_RETURN(TableInfo * partner, catalog_.Get(copartition));
-      if (!partner->is_cached() || partner->distribute_key < 0) {
-        return Status::ExecutionError(
-            "copartition partner must be cached with DISTRIBUTE BY: " +
-            copartition);
-      }
-      if (distribute_key < 0) {
-        return Status::AnalysisError(
-            "copartitioned table needs DISTRIBUTE BY");
-      }
-      num_partitions = partner->num_partitions;
-      stored->copartitioned_with = partner->name;
-      align_with = partner;
-    }
-    SHARK_RETURN_NOT_OK(LoadRowsIntoMemstore(stored, rows, distribute_key,
-                                             num_partitions, align_with));
   } else {
     std::string file_name = "warehouse/" + ToLower(stmt.name);
     auto saved = ctx_->SaveToDfs(rows, file_name, DfsFormat::kText);

@@ -70,6 +70,10 @@ class SharkSession {
   const QueryMetrics& last_load_metrics() const { return last_load_metrics_; }
 
  private:
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Status CacheTableImpl(const std::string& name,
+                        const std::string& distribute_column,
+                        const std::string& copartition_with);
   Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);

@@ -1,0 +1,372 @@
+// Concurrent-job regression tests: the multi-set event loop, JobManager
+// admission control, cross-job isolation (the "one-job-at-a-time" bugs the
+// serving front-end flushed out), and failing-query cleanup.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdd/context.h"
+#include "rdd/job_manager.h"
+#include "rdd/pair_rdd.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  return cfg;
+}
+
+uint64_t CounterValue(const ClusterContext& ctx, const std::string& name) {
+  for (const auto& [n, v] : ctx.metrics().registry().CounterSnapshot()) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter not registered: " << name;
+  return 0;
+}
+
+std::vector<std::pair<std::string, int64_t>> Words(const std::string& prefix,
+                                                   int n) {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(prefix + std::to_string(i % 7), 1);
+  }
+  return out;
+}
+
+// Two concurrent shuffle jobs over disjoint keyspaces: each must see exactly
+// its own shuffle outputs. Before per-set state isolation, interleaved jobs
+// could read one another's map outputs through shared scheduler state.
+TEST(ConcurrentJobsTest, ShuffleIsolationAcrossInterleavedJobs) {
+  ClusterContext ctx(SmallConfig());
+  JobManager jm(&ctx);
+
+  std::map<std::string, int64_t> got_a;
+  std::map<std::string, int64_t> got_b;
+  std::vector<JobSpec> specs(2);
+  specs[0].label = "job-a";
+  specs[0].body = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("a", 140), 6);
+    auto counts =
+        ReduceByKey(rdd, [](int64_t x, int64_t y) { return x + y; }, 4);
+    auto rows = ctx.Collect(counts);
+    SHARK_RETURN_NOT_OK(rows.status());
+    got_a.insert(rows->begin(), rows->end());
+    return Status::OK();
+  };
+  specs[1].label = "job-b";
+  specs[1].body = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("b", 70), 6);
+    auto counts =
+        ReduceByKey(rdd, [](int64_t x, int64_t y) { return x + y; }, 4);
+    auto rows = ctx.Collect(counts);
+    SHARK_RETURN_NOT_OK(rows.status());
+    got_b.insert(rows->begin(), rows->end());
+    return Status::OK();
+  };
+
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_TRUE(outcomes[1].status.ok()) << outcomes[1].status.ToString();
+
+  // Both jobs ran concurrently (neither waited for the other to finish).
+  EXPECT_FALSE(outcomes[0].queued);
+  EXPECT_FALSE(outcomes[1].queued);
+  EXPECT_LT(outcomes[0].admit_vtime, outcomes[1].finish_vtime);
+  EXPECT_LT(outcomes[1].admit_vtime, outcomes[0].finish_vtime);
+
+  ASSERT_EQ(got_a.size(), 7u);
+  ASSERT_EQ(got_b.size(), 7u);
+  for (const auto& [k, v] : got_a) {
+    EXPECT_EQ(k.substr(0, 1), "a");
+    EXPECT_EQ(v, 20) << k;
+  }
+  for (const auto& [k, v] : got_b) {
+    EXPECT_EQ(k.substr(0, 1), "b");
+    EXPECT_EQ(v, 10) << k;
+  }
+}
+
+// The same query batch must produce identical rows whether executed
+// serially on one session or concurrently through the JobManager.
+TEST(ConcurrentJobsTest, ConcurrentSqlMatchesSerial) {
+  const std::vector<std::string> queries = {
+      "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 50",
+      "SELECT avgDuration, COUNT(*) FROM rankings GROUP BY avgDuration",
+      "SELECT SUM(pageRank) FROM rankings",
+  };
+  auto make_session = [] {
+    auto session = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(SmallConfig()));
+    Schema rankings({{"pageURL", TypeKind::kString},
+                     {"pageRank", TypeKind::kInt64},
+                     {"avgDuration", TypeKind::kInt64}});
+    std::vector<Row> rows;
+    for (int i = 0; i < 100; ++i) {
+      rows.push_back(Row({Value::String("url" + std::to_string(i)),
+                          Value::Int64(i), Value::Int64(i % 10)}));
+    }
+    EXPECT_TRUE(session->CreateDfsTable("rankings", rankings, rows, 4).ok());
+    return session;
+  };
+  auto render = [](const QueryResult& r) {
+    std::vector<std::string> lines;
+    for (const Row& row : r.rows) lines.push_back(row.ToString());
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+
+  // Serial baseline.
+  std::vector<std::vector<std::string>> serial;
+  {
+    auto session = make_session();
+    for (const std::string& q : queries) {
+      auto r = session->Sql(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      serial.push_back(render(*r));
+    }
+  }
+
+  // Concurrent run: all queries admitted at once on a fresh session.
+  auto session = make_session();
+  JobManager jm(&session->context());
+  std::vector<std::vector<std::string>> concurrent(queries.size());
+  std::vector<JobSpec> specs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    specs[i].label = "q" + std::to_string(i);
+    specs[i].body = [&, i]() -> Status {
+      auto r = session->Sql(queries[i]);
+      SHARK_RETURN_NOT_OK(r.status());
+      concurrent[i] = render(*r);
+      return Status::OK();
+    };
+  }
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+    EXPECT_EQ(concurrent[i], serial[i]) << queries[i];
+  }
+}
+
+// A job whose declared memory demand exceeds the cluster headroom queues
+// (with a metrics-visible reason) while a lighter concurrent job runs, and
+// is admitted once the cluster drains.
+TEST(ConcurrentJobsTest, AdmissionMemoryGateQueuesHeavyJob) {
+  ClusterContext ctx(SmallConfig());
+  JobManager jm(&ctx);
+  const uint64_t headroom = ctx.memory_manager().AdmissionHeadroomBytes();
+  ASSERT_GT(headroom, 0u);
+
+  auto work = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("w", 70), 6);
+    auto counts =
+        ReduceByKey(rdd, [](int64_t x, int64_t y) { return x + y; }, 4);
+    return ctx.Collect(counts).status();
+  };
+  std::vector<JobSpec> specs(2);
+  specs[0].label = "light";
+  specs[0].mem_demand_bytes = headroom / 2;
+  specs[0].body = work;
+  specs[1].label = "heavy";
+  specs[1].mem_demand_bytes = headroom;  // no longer fits next to "light"
+  specs[1].body = work;
+
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_TRUE(outcomes[1].status.ok());
+  EXPECT_FALSE(outcomes[0].queued);
+  EXPECT_TRUE(outcomes[1].queued);
+  EXPECT_GT(outcomes[1].queue_delay(), 0.0);
+  // The heavy job started only after the light one finished.
+  EXPECT_GE(outcomes[1].admit_vtime, outcomes[0].finish_vtime);
+
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_queued_total"), 1u);
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_queued_reason_total{reason=\"memory\"}"),
+            1u);
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_admitted_total"), 2u);
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_completed_total"), 2u);
+  // All admission reservations were released at completion.
+  EXPECT_EQ(ctx.memory_manager().admitted_bytes(), 0u);
+}
+
+// max_concurrent serializes jobs even when memory would allow them.
+TEST(ConcurrentJobsTest, AdmissionConcurrencyGate) {
+  ClusterContext ctx(SmallConfig());
+  JobManager::Options opts;
+  opts.max_concurrent = 1;
+  JobManager jm(&ctx, opts);
+
+  auto work = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("w", 70), 4);
+    return ctx.Collect(rdd).status();
+  };
+  std::vector<JobSpec> specs(2);
+  specs[0].label = "first";
+  specs[0].body = work;
+  specs[1].label = "second";
+  specs[1].body = work;
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_TRUE(outcomes[1].status.ok());
+  EXPECT_FALSE(outcomes[0].queued);
+  EXPECT_TRUE(outcomes[1].queued);
+  EXPECT_GE(outcomes[1].admit_vtime, outcomes[0].finish_vtime);
+  EXPECT_EQ(
+      CounterValue(ctx, "shark_jobs_queued_reason_total{reason=\"concurrency\"}"),
+      1u);
+}
+
+// A job demanding more than the whole cluster is force-admitted when
+// nothing else runs — admission never deadlocks.
+TEST(ConcurrentJobsTest, OversizedJobIsForceAdmittedWhenIdle) {
+  ClusterContext ctx(SmallConfig());
+  JobManager jm(&ctx);
+  std::vector<JobSpec> specs(1);
+  specs[0].label = "oversized";
+  specs[0].mem_demand_bytes =
+      ctx.memory_manager().AdmissionHeadroomBytes() * 10;
+  specs[0].body = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("w", 30), 4);
+    return ctx.Collect(rdd).status();
+  };
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_EQ(ctx.memory_manager().admitted_bytes(), 0u);
+}
+
+// One job's task-body failure kills only that job; a concurrent job
+// finishes normally with correct results.
+TEST(ConcurrentJobsTest, PerJobErrorIsolation) {
+  ClusterContext ctx(SmallConfig());
+  JobManager jm(&ctx);
+
+  std::map<std::string, int64_t> got;
+  std::vector<JobSpec> specs(2);
+  specs[0].label = "doomed";
+  specs[0].body = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("x", 70), 6);
+    auto boom = rdd->Map([](const std::pair<std::string, int64_t>& p)
+                             -> std::pair<std::string, int64_t> {
+      if (p.second == 1) throw std::runtime_error("injected task failure");
+      return p;
+    });
+    return ctx.Collect(boom).status();
+  };
+  specs[1].label = "survivor";
+  specs[1].body = [&]() -> Status {
+    auto rdd = ctx.Parallelize(Words("s", 140), 6);
+    auto counts =
+        ReduceByKey(rdd, [](int64_t x, int64_t y) { return x + y; }, 4);
+    auto rows = ctx.Collect(counts);
+    SHARK_RETURN_NOT_OK(rows.status());
+    got.insert(rows->begin(), rows->end());
+    return Status::OK();
+  };
+
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+  EXPECT_FALSE(outcomes[0].status.ok());
+  EXPECT_NE(outcomes[0].status.ToString().find("task body threw"),
+            std::string::npos)
+      << outcomes[0].status.ToString();
+  ASSERT_TRUE(outcomes[1].status.ok()) << outcomes[1].status.ToString();
+  ASSERT_EQ(got.size(), 7u);
+  for (const auto& [k, v] : got) EXPECT_EQ(v, 20) << k;
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_failed_total"), 1u);
+  EXPECT_EQ(CounterValue(ctx, "shark_jobs_completed_total"), 1u);
+  EXPECT_EQ(ctx.memory_manager().admitted_bytes(), 0u);
+
+  // The engine stays usable after the failure.
+  auto again = ctx.Collect(ctx.Parallelize(Words("y", 14), 2));
+  EXPECT_TRUE(again.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Failing-query cleanup (SqlSession error path)
+// ---------------------------------------------------------------------------
+
+class FailingQueryCleanupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(SmallConfig()));
+    Schema schema({{"k", TypeKind::kInt64}, {"v", TypeKind::kInt64}});
+    std::vector<Row> rows;
+    for (int i = 0; i < 200; ++i) {
+      rows.push_back(Row({Value::Int64(i % 16), Value::Int64(i)}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("t", schema, rows, 8).ok());
+    // A UDF that fails only for one group, so earlier tasks commit real
+    // shuffle outputs / cache entries before the query dies.
+    UdfRegistry::UdfInfo boom;
+    boom.return_type = TypeKind::kInt64;
+    boom.fn = [](const std::vector<Value>& args) -> Value {
+      if (!args[0].is_null() && args[0].int64_v() == 13) {
+        throw std::runtime_error("boom");
+      }
+      return args[0];
+    };
+    ASSERT_TRUE(session_->udfs().Register("BOOM", boom).ok());
+  }
+
+  std::vector<uint64_t> UsedBytesPerNode() {
+    MemoryManager& mm = session_->context().memory_manager();
+    std::vector<uint64_t> used;
+    for (int n = 0; n < mm.num_nodes(); ++n) used.push_back(mm.UsedBytes(n));
+    return used;
+  }
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(FailingQueryCleanupTest, FailedSelectReleasesShuffleLedger) {
+  std::vector<uint64_t> baseline = UsedBytesPerNode();
+
+  auto r = session_->Sql(
+      "SELECT BOOM(k), COUNT(*) FROM t GROUP BY k");
+  ASSERT_FALSE(r.ok());
+
+  // Every byte the failed query pinned — shuffle map outputs, cache
+  // insertions — must be released; the next query sees a clean cluster.
+  EXPECT_EQ(UsedBytesPerNode(), baseline);
+  EXPECT_EQ(session_->context().memory_manager().admitted_bytes(), 0u);
+
+  auto ok = session_->Sql("SELECT k, COUNT(*) FROM t GROUP BY k");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows.size(), 16u);
+}
+
+TEST_F(FailingQueryCleanupTest, FailedCtasDropsPhantomTableAndCache) {
+  std::vector<uint64_t> baseline = UsedBytesPerNode();
+
+  auto r = session_->Sql(
+      "CREATE TABLE broken TBLPROPERTIES ('shark.cache'='true') AS "
+      "SELECT k, BOOM(v) AS bv FROM t");
+  ASSERT_FALSE(r.ok());
+
+  // No phantom half-loaded table, no stranded cache blocks.
+  EXPECT_EQ(UsedBytesPerNode(), baseline);
+  auto phantom = session_->Sql("SELECT COUNT(*) FROM broken");
+  EXPECT_FALSE(phantom.ok());
+
+  // The same CTAS without the failing UDF succeeds afterwards.
+  auto ok = session_->Sql(
+      "CREATE TABLE fixed TBLPROPERTIES ('shark.cache'='true') AS "
+      "SELECT k, v FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  auto count = session_->Sql("SELECT COUNT(*) FROM fixed");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0].fields[0].int64_v(), 200);
+}
+
+}  // namespace
+}  // namespace shark

@@ -12,6 +12,7 @@
 
 #include "common/random.h"
 #include "ml/logistic_regression.h"
+#include "rdd/job_manager.h"
 #include "rdd/pair_rdd.h"
 #include "sql/session.h"
 
@@ -382,6 +383,82 @@ TEST(DeterminismTest, MetricsByteIdenticalAcrossHostThreadCounts) {
   EXPECT_TRUE(serial == pool)
       << "metrics diverged (lengths " << serial.size() << " vs "
       << pool.size() << ")";
+}
+
+/// Concurrent-jobs determinism: interleaving N jobs through the JobManager's
+/// batch event loop — including admission queueing — is itself a virtual-time
+/// observable. Per-job arrival/admit/finish stamps and both metrics exports
+/// must be byte-identical across host-thread settings.
+std::string RunConcurrentJobsSuite(int host_threads) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.hardware.cores_per_node = 2;
+  cfg.host_threads = host_threads;
+  auto ctx = std::make_shared<ClusterContext>(cfg);
+  auto session = std::make_unique<SharkSession>(ctx);
+  Dataset data = MakeSales(3000, 77);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+
+  const std::string queries[] = {
+      "SELECT region, product, COUNT(*), SUM(units) FROM sales "
+      "GROUP BY region, product",
+      "SELECT product, COUNT(DISTINCT region) FROM sales GROUP BY product",
+      "SELECT region, units FROM sales WHERE units > 35",
+      "SELECT s.region, COUNT(*) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region WHERE s.units = m.mu GROUP BY s.region",
+  };
+  uint64_t headroom = ctx->memory_manager().AdmissionHeadroomBytes();
+
+  std::vector<JobSpec> specs(6);
+  std::multiset<std::string> row_sets[6];
+  for (int i = 0; i < 6; ++i) {
+    specs[static_cast<size_t>(i)].label = "job" + std::to_string(i);
+    specs[static_cast<size_t>(i)].arrival_vtime = 0.01 * i;
+    specs[static_cast<size_t>(i)].weight = 1.0 + (i % 3);
+    if (i % 3 == 2) {
+      specs[static_cast<size_t>(i)].mem_demand_bytes = headroom / 2;
+    }
+    std::string sql = queries[i % 4];
+    SharkSession* sp = session.get();
+    auto* sink = &row_sets[i];
+    specs[static_cast<size_t>(i)].body = [sp, sql, sink]() -> Status {
+      auto r = sp->Sql(sql);
+      SHARK_RETURN_NOT_OK(r.status());
+      for (const Row& row : r->rows) sink->insert(row.ToString());
+      return Status::OK();
+    };
+  }
+
+  JobManager jm(ctx.get());
+  std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+
+  std::string out;
+  char buf[256];
+  for (const JobOutcome& o : outcomes) {
+    EXPECT_TRUE(o.status.ok()) << o.label << ": " << o.status.ToString();
+    std::snprintf(buf, sizeof(buf), "%s queued=%d arr=%.9f adm=%.9f fin=%.9f\n",
+                  o.label.c_str(), o.queued ? 1 : 0, o.arrival_vtime,
+                  o.admit_vtime, o.finish_vtime);
+    out += buf;
+  }
+  for (const auto& rows : row_sets) {
+    for (const std::string& r : rows) out += r + "\n";
+  }
+  return out + ctx->metrics().PrometheusText(ctx->now(), ctx->cluster()) +
+         "\n" + ctx->metrics().TimelineJson();
+}
+
+TEST(DeterminismTest, ConcurrentJobsIdenticalAcrossHostThreadCounts) {
+  std::string serial = RunConcurrentJobsSuite(1);
+  std::string pool = RunConcurrentJobsSuite(4);
+  ASSERT_FALSE(serial.empty());
+  // The suite must actually interleave and queue jobs.
+  EXPECT_NE(serial.find("shark_jobs_admitted_total"), std::string::npos);
+  EXPECT_TRUE(serial == pool)
+      << "concurrent-job schedule diverged (lengths " << serial.size()
+      << " vs " << pool.size() << ")";
 }
 
 }  // namespace

@@ -59,6 +59,27 @@ cmake --build build -j "$(nproc)" --target shark_fuzz
 build/tools/fuzz/shark_fuzz --replay tests/fuzz_corpus
 build/tools/fuzz/shark_fuzz --seed-start 1 --seeds "${FUZZ_SEEDS:-500}"
 
+echo "=== serving (shark_server loopback + admission floors) ==="
+# bench_serving's sweep drives concurrent sessions through the JobManager's
+# admission control (deterministic virtual-time latencies), then the loopback
+# phase pushes the same mix through a real shark_server TCP socket with 8
+# concurrent client connections. The gate enforces the committed floors:
+# saturation QPS, low-load p99, and zero dropped loopback queries.
+cmake --build build -j "$(nproc)" --target bench_serving shark_server
+build/bench/bench_serving --smoke | tee "$metrics_dir/serving.log"
+tools/bench_gate --serving-floors --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/serving.log"
+
+echo "=== concurrent jobs under ThreadSanitizer ==="
+# The JobManager baton (one mutex handoff per park/resume) and the server's
+# thread-per-connection front-end are the only places engine state crosses
+# host threads; a race here breaks the determinism guarantee silently, so
+# these tests get a dedicated TSan pass before the full-suite one below.
+cmake -B build-tsan -S . -DSHARK_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" --target shark_tests
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  build-tsan/tests/shark_tests --gtest_filter='ConcurrentJobsTest.*:FailingQueryCleanupTest.*:DeterminismTest.ConcurrentJobs*'
+
 echo "=== AddressSanitizer ==="
 tools/check_asan.sh
 

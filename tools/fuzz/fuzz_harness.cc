@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "hive/hive_engine.h"
+#include "rdd/job_manager.h"
 #include "sql/parser.h"
 #include "sql/reference_eval.h"
 #include "sql/session.h"
@@ -1119,6 +1120,55 @@ RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
         fail("tight-memory: rejected: " + res.status().ToString());
       } else {
         std::string diff = CompareRowSets(ref_rows, res->rows, "tight-memory");
+        if (!diff.empty()) fail(diff);
+      }
+    }
+
+    // Concurrent admission: the same query submitted three times at once
+    // through the JobManager (staggered arrivals, one copy declaring a
+    // memory demand so admission control queues it) must match the serial
+    // reference run exactly. Flushes out cross-job shuffle/cache state
+    // leaks that only occur when jobs interleave on the event loop.
+    auto conc_r = BuildSession(c, 0);
+    if (!conc_r.ok()) {
+      fail("concurrent-admission session setup failed: " +
+           conc_r.status().ToString());
+    } else {
+      SharkSession* cs = conc_r->get();
+      uint64_t headroom =
+          cs->context().memory_manager().AdmissionHeadroomBytes();
+      std::vector<QueryResult> results(3);
+      std::vector<JobSpec> specs(3);
+      for (int i = 0; i < 3; ++i) {
+        specs[static_cast<size_t>(i)].label =
+            "conc" + std::to_string(i);
+        specs[static_cast<size_t>(i)].arrival_vtime = 0.001 * i;
+        if (i == 2) {
+          specs[static_cast<size_t>(i)].mem_demand_bytes = headroom;
+        }
+        QueryResult* sink = &results[static_cast<size_t>(i)];
+        specs[static_cast<size_t>(i)].body = [cs, sink,
+                                              &c]() -> Status {
+          auto res = cs->Sql(c.sql);
+          SHARK_RETURN_NOT_OK(res.status());
+          *sink = std::move(*res);
+          return Status::OK();
+        };
+      }
+      JobManager jm(&cs->context());
+      std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].status.ok()) {
+          fail("concurrent-admission job " + std::to_string(i) +
+               " failed: " + outcomes[i].status.ToString());
+          continue;
+        }
+        std::string diff = CompareRowSets(
+            ref_rows, results[i].rows,
+            ("concurrent-admission#" + std::to_string(i)).c_str());
+        if (!diff.empty()) fail(diff);
+        diff = CheckSorted(results[i].rows, c.ordered_by,
+                           "concurrent-admission(order)");
         if (!diff.empty()) fail(diff);
       }
     }
