@@ -3,8 +3,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <set>
 
 namespace shark {
+
+/// Mergeable k-minimum-values (KMV) distinct-count sketch. Feed it 64-bit
+/// hashes of the keys; it keeps the `k` smallest hash values seen. With
+/// fewer than `k` distinct hashes the count is exact; beyond that the
+/// estimate (k-1) / R (R = k-th smallest hash mapped to (0,1]) has relative
+/// standard error ~ 1/sqrt(k-2) (Beyer et al., "On synopses for
+/// distinct-value estimation under multiset operations").
+///
+/// ANALYZE TABLE builds one per column per partition and merges them at the
+/// master, so NDV estimation composes the same way the histogram and
+/// heavy-hitter sketches do.
+class DistinctSketch {
+ public:
+  explicit DistinctSketch(size_t k = 1024) : k_(std::max<size_t>(k, 16)) {}
+
+  void AddHash(uint64_t h) {
+    if (mins_.size() < k_) {
+      mins_.insert(h);
+    } else if (h < *mins_.rbegin()) {
+      // Only grows when h is new; erase the old max if insertion happened.
+      if (mins_.insert(h).second) mins_.erase(std::prev(mins_.end()));
+    }
+  }
+
+  void Merge(const DistinctSketch& other) {
+    for (uint64_t h : other.mins_) AddHash(h);
+  }
+
+  /// Estimated number of distinct hashes fed in.
+  double Estimate() const {
+    if (mins_.size() < k_) return static_cast<double>(mins_.size());
+    // Map the k-th smallest hash to (0,1]; +1 avoids a zero divisor when
+    // hash 0 is present.
+    double r = (static_cast<double>(*mins_.rbegin()) + 1.0) /
+               18446744073709551616.0;  // 2^64
+    return (static_cast<double>(k_) - 1.0) / r;
+  }
+
+  bool exact() const { return mins_.size() < k_; }
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::set<uint64_t> mins_;
+};
 
 /// Estimates how a distinct-value count grows when a sample of `n` draws
 /// (which contained `d` distinct values) is scaled to `n * scale` draws from

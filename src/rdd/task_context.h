@@ -353,7 +353,14 @@ class TaskContext {
   /// whole working set to local disk and read it back once; grace hash pays
   /// a rebuild over the spilled entries, external sort a merge pass.
   uint32_t SpillWorkingSet(uint64_t bytes, uint64_t records, bool sort_merge) {
-    uint64_t slice = std::max<uint64_t>(mem_budget_ - mem_reserved_, 1);
+    // Size spill runs by the task budget, not just the instantaneous
+    // headroom: when an earlier structure already pinned the whole budget,
+    // headroom approaches zero and per-headroom runs would degenerate to one
+    // partition (and one charged seek) per byte. Real grace-hash/external
+    // sort re-uses the operator's memory between runs, so a quarter-budget
+    // floor keeps the run count proportional to bytes/budget.
+    uint64_t headroom = mem_budget_ > mem_reserved_ ? mem_budget_ - mem_reserved_ : 0;
+    uint64_t slice = std::max<uint64_t>(std::max(headroom, mem_budget_ / 4), 1);
     uint64_t parts64 = (bytes + slice - 1) / slice;
     uint32_t parts = static_cast<uint32_t>(
         std::min<uint64_t>(std::max<uint64_t>(parts64, 2), 1u << 20));
@@ -370,9 +377,11 @@ class TaskContext {
     spill_bytes_ += bytes;
     spill_partitions_ += parts;
     mem_log_.push_back(MemOp{MemOp::Kind::kSpill, bytes, false, parts});
-    // One in-memory partition/run stays resident at a time; the operator's
-    // ReleaseAll returns it.
-    GrowWorkingSet(std::min(bytes, slice));
+    // One in-memory partition/run stays resident at a time (the operator's
+    // ReleaseAll returns it); it can only occupy the headroom that is
+    // actually left, even when the runs themselves are sized larger.
+    uint64_t resident = std::min(bytes, headroom);
+    if (resident > 0) GrowWorkingSet(resident);
     return parts;
   }
   int partition_;

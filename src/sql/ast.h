@@ -152,12 +152,20 @@ struct ExplainStmt {
   std::shared_ptr<SelectStmt> select;
 };
 
+/// ANALYZE TABLE <name> [COMPUTE STATISTICS [FOR COLUMNS]]: scans the table
+/// and installs full per-column statistics in the catalog for the
+/// cost-based optimizer.
+struct AnalyzeTableStmt {
+  std::string name;
+};
+
 enum class StatementKind {
   kSelect,
   kCreateTable,
   kDropTable,
   kUncacheTable,
-  kExplain
+  kExplain,
+  kAnalyzeTable
 };
 
 struct Statement {
@@ -167,6 +175,7 @@ struct Statement {
   std::shared_ptr<DropTableStmt> drop_table;
   std::shared_ptr<UncacheTableStmt> uncache_table;
   std::shared_ptr<ExplainStmt> explain;
+  std::shared_ptr<AnalyzeTableStmt> analyze_table;
 };
 
 }  // namespace shark

@@ -14,6 +14,8 @@
 
 namespace shark {
 
+struct TableStatistics;
+
 /// Metastore entry for one table. A table lives on the DFS (`dfs_file`),
 /// in the columnar memory store (`cached_rdd` non-null), or both.
 struct TableInfo {
@@ -42,6 +44,10 @@ struct TableInfo {
   // Rough table-level statistics for the static optimizer's prior beliefs.
   uint64_t approx_rows = 0;
   uint64_t approx_bytes = 0;
+
+  // Full per-column statistics installed by ANALYZE TABLE (null until then).
+  // Describes table *content*, so it survives UNCACHE; DROP discards it.
+  std::shared_ptr<const TableStatistics> column_statistics;
 
   bool is_cached() const { return cached_rdd != nullptr; }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -12,6 +13,7 @@
 #include "sql/aggregates.h"
 #include "sql/expr_compiler.h"
 #include "sql/pde.h"
+#include "sql/planner/join_reorder.h"
 
 namespace shark {
 
@@ -356,7 +358,7 @@ Result<RddPtr<Row>> Executor::BuildRdd(const PlanPtr& plan) {
     case PlanKind::kAggregate:
       return BuildAggregate(*plan);
     case PlanKind::kJoin:
-      return BuildJoin(*plan);
+      return BuildJoin(plan);
     case PlanKind::kSort:
       return BuildSort(*plan);
     case PlanKind::kLimit:
@@ -709,16 +711,93 @@ Result<RddPtr<Row>> Executor::TryCoPartitionedJoin(const LogicalPlan& node) {
                         "joinResidual");
 }
 
-Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
+namespace {
+
+/// The same cost environment the planner priced the plan under, rebuilt from
+/// the executor's context so runtime re-planning uses identical estimates.
+PlanCostEnv MakeCostEnv(ClusterContext* ctx, const Catalog* catalog,
+                        const ExecOptions& options) {
+  PlanCostEnv env;
+  env.catalog = catalog;
+  env.hardware = ctx->cost_model().hardware();
+  env.profile = ctx->profile();
+  env.virtual_scale = ctx->virtual_scale();
+  env.total_cores = ctx->cluster().total_cores();
+  env.broadcast_threshold_bytes = options.broadcast_threshold_bytes;
+  return env;
+}
+
+}  // namespace
+
+double Executor::BeliefBytes(const LogicalPlan& child) const {
+  // Scans keep the catalog's measured size (the Fig 8 static belief);
+  // other subtrees use the planner's cardinality estimate under cbo.
+  // Post-filter selectivity of UDFs stays unknown — exactly the case PDE
+  // addresses (§3.1.1).
+  if (child.kind == PlanKind::kScan) {
+    auto info = catalog_->Get(child.table);
+    if (info.ok()) {
+      return static_cast<double>((*info)->approx_bytes) * ctx_->virtual_scale();
+    }
+  }
+  if (options_.cbo && child.est_rows >= 0) {
+    PlanCostEnv env = MakeCostEnv(ctx_, catalog_, options_);
+    return child.est_rows * EstimateRowBytes(child, env) *
+           ctx_->virtual_scale();
+  }
+  return 1e30;  // unknown: assume large
+}
+
+Result<RddPtr<Row>> Executor::BuildJoin(const PlanPtr& plan) {
+  const LogicalPlan& node = *plan;
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> copart, TryCoPartitionedJoin(node));
   if (copart != nullptr) return copart;
 
+  // Whole-spine adaptive execution with mid-query re-optimization (§4):
+  // eligible inner spines of >= 3 relations are executed step by step in the
+  // cost-based order, re-enumerating the tail when observed cardinalities
+  // drift from the estimates.
+  if (options_.cbo && !options_.force_left_deep &&
+      options_.replan_factor > 0 && options_.pde &&
+      ctx_->profile().pde_enabled &&
+      options_.join_opt != JoinOptimization::kStatic &&
+      node.join_type == JoinType::kInner) {
+    bool applied = false;
+    SHARK_ASSIGN_OR_RETURN(RddPtr<Row> spine, BuildJoinSpine(plan, &applied));
+    if (applied) return spine;
+  }
+
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> left, BuildRdd(node.children[0]));
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> right, BuildRdd(node.children[1]));
+  return BuildJoinPair(
+      left, right, node.left_keys, node.right_keys, node.join_type,
+      node.children[0]->num_output_columns(),
+      node.children[1]->num_output_columns(), node.join_residual,
+      BeliefBytes(*node.children[0]), BeliefBytes(*node.children[1]),
+      StaticReducers(node), nullptr);
+}
 
+Result<RddPtr<Row>> Executor::BuildJoinPair(
+    RddPtr<Row> left, RddPtr<Row> right, std::vector<ExprPtr> left_keys,
+    std::vector<ExprPtr> right_keys, JoinType join_type, int left_width,
+    int right_width, const ExprPtr& residual, double left_belief,
+    double right_belief, int static_reducers, JoinSideObservation* obs) {
   const UdfRegistry* udfs = udfs_;
-  auto lkeys = std::make_shared<std::vector<ExprPtr>>(node.left_keys);
-  auto rkeys = std::make_shared<std::vector<ExprPtr>>(node.right_keys);
+  auto lkeys = std::make_shared<std::vector<ExprPtr>>(std::move(left_keys));
+  auto rkeys = std::make_shared<std::vector<ExprPtr>>(std::move(right_keys));
+
+  auto observe = [obs](bool is_left, uint64_t records, uint64_t bytes) {
+    if (obs == nullptr) return;
+    if (is_left) {
+      obs->left_observed = true;
+      obs->left_records = records;
+      obs->left_bytes = bytes;
+    } else {
+      obs->right_observed = true;
+      obs->right_records = records;
+      obs->right_bytes = bytes;
+    }
+  };
 
   auto key_left = [lkeys, udfs](const Row& r) {
     return std::make_pair(EvalKeyRow(*lkeys, r, udfs), r);
@@ -726,22 +805,6 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
   auto key_right = [rkeys, udfs](const Row& r) {
     return std::make_pair(EvalKeyRow(*rkeys, r, udfs), r);
   };
-
-  // Static size beliefs from the catalog, in virtual bytes (post-filter
-  // selectivity of UDFs is unknown — exactly the case PDE addresses,
-  // §3.1.1).
-  auto table_bytes = [&](const LogicalPlan& child) -> double {
-    if (child.kind == PlanKind::kScan) {
-      auto info = catalog_->Get(child.table);
-      if (info.ok()) {
-        return static_cast<double>((*info)->approx_bytes) *
-               ctx_->virtual_scale();
-      }
-    }
-    return 1e30;  // unknown: assume large
-  };
-  double left_belief = table_bytes(*node.children[0]);
-  double right_belief = table_bytes(*node.children[1]);
 
   const int fine = FineBuckets();
   auto build_map_join = [&](RddPtr<Row> build_rows,
@@ -765,6 +828,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
     } else {
       SHARK_ASSIGN_OR_RETURN(build_side, CollectTracked(build_rows));
     }
+    observe(build_is_left, build_side.size(), ApproxSizeOfRange(build_side));
     JoinTable table;
     const std::vector<ExprPtr>& build_keys = build_is_left ? *lkeys : *rkeys;
     for (Row& r : build_side) {
@@ -791,9 +855,6 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
         "mapJoinProbe"));
   };
 
-  const JoinType join_type = node.join_type;
-  const int left_width = node.children[0]->num_output_columns();
-  const int right_width = node.children[1]->num_output_columns();
   auto shuffle_join = [&, join_type, left_width, right_width](
                           std::shared_ptr<PlainShuffleDep<std::pair<Row, Row>>>
                               ldep,
@@ -844,7 +905,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
   // outer joins always take the shuffle-join path.
   if (join_type != JoinType::kInner) {
     metrics_.join_strategy = "shuffle join (outer)";
-    int reducers = StaticReducers(node);
+    int reducers = static_reducers;
     BucketAssignment assignment;
     std::shared_ptr<PlainShuffleDep<std::pair<Row, Row>>> ldep;
     std::shared_ptr<PlainShuffleDep<std::pair<Row, Row>>> rdep;
@@ -853,6 +914,8 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
       rdep = make_dep(right, false);
       SHARK_ASSIGN_OR_RETURN(ShuffleStats lstats, EnsureShuffleTracked(ldep));
       SHARK_ASSIGN_OR_RETURN(ShuffleStats rstats, EnsureShuffleTracked(rdep));
+      observe(true, lstats.total_records, lstats.total_bytes);
+      observe(false, rstats.total_records, rstats.total_bytes);
       std::vector<uint64_t> combined(lstats.bucket_bytes);
       for (size_t i = 0; i < combined.size(); ++i) {
         combined[i] += rstats.bucket_bytes[i];
@@ -873,7 +936,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
     metrics_.chosen_reducers = reducers;
     SHARK_ASSIGN_OR_RETURN(RddPtr<Row> joined_outer,
                            shuffle_join(ldep, rdep, assignment));
-    return ApplyPredicate(joined_outer, node.join_residual, "joinResidual");
+    return ApplyPredicate(joined_outer, residual, "joinResidual");
   }
 
   RddPtr<Row> joined;
@@ -889,7 +952,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
                                    build_is_left ? right : left, build_is_left));
       } else {
         metrics_.join_strategy = "shuffle join (static)";
-        int reducers = StaticReducers(node);
+        int reducers = static_reducers;
         auto keyed_l = left->Map(key_left, "joinKeyL");
         auto keyed_r = right->Map(key_right, "joinKeyR");
         auto ldep = MakeHashPartitionDep<Row, Row>(keyed_l, reducers);
@@ -906,6 +969,8 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
       auto rdep = make_dep(right, false);
       SHARK_ASSIGN_OR_RETURN(ShuffleStats lstats, EnsureShuffleTracked(ldep));
       SHARK_ASSIGN_OR_RETURN(ShuffleStats rstats, EnsureShuffleTracked(rdep));
+      observe(true, lstats.total_records, lstats.total_bytes);
+      observe(false, rstats.total_records, rstats.total_bytes);
       uint64_t lv = static_cast<uint64_t>(
           static_cast<double>(lstats.total_bytes) * ctx_->virtual_scale());
       uint64_t rv = static_cast<uint64_t>(
@@ -940,6 +1005,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
       bool small_is_left = left_belief <= right_belief;
       auto sdep = make_dep(small_is_left ? left : right, small_is_left);
       SHARK_ASSIGN_OR_RETURN(ShuffleStats sstats, EnsureShuffleTracked(sdep));
+      observe(small_is_left, sstats.total_records, sstats.total_bytes);
       uint64_t sv = static_cast<uint64_t>(
           static_cast<double>(sstats.total_bytes) * ctx_->virtual_scale());
       if (sv <= options_.broadcast_threshold_bytes) {
@@ -950,6 +1016,7 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
       } else {
         auto odep = make_dep(small_is_left ? right : left, !small_is_left);
         SHARK_ASSIGN_OR_RETURN(ShuffleStats ostats, EnsureShuffleTracked(odep));
+        observe(!small_is_left, ostats.total_records, ostats.total_bytes);
         metrics_.join_strategy = "shuffle join (static+adaptive)";
         std::vector<uint64_t> combined(sstats.bucket_bytes);
         for (size_t i = 0; i < combined.size(); ++i) {
@@ -968,7 +1035,293 @@ Result<RddPtr<Row>> Executor::BuildJoin(const LogicalPlan& node) {
       break;
     }
   }
-  return ApplyPredicate(joined, node.join_residual, "joinResidual");
+  return ApplyPredicate(joined, residual, "joinResidual");
+}
+
+Result<RddPtr<Row>> Executor::BuildJoinSpine(const PlanPtr& plan,
+                                             bool* applied) {
+  *applied = false;
+  CardinalityEstimator est(catalog_);
+  JoinGraph g;
+  if (!ExtractJoinGraph(plan, est, &g) || g.leaves.size() < 3) return RddPtr<Row>();
+  const int n = static_cast<int>(g.leaves.size());
+  PlanCostEnv env = MakeCostEnv(ctx_, catalog_, options_);
+
+  JoinOrderResult r = n <= options_.dp_max_relations
+                          ? ChooseJoinOrderDp(g, env)
+                          : ChooseJoinOrderGreedy(g, env);
+  if (r.cost < 0 || static_cast<int>(r.order.size()) != n) return RddPtr<Row>();
+  std::vector<int> order = r.order;
+  *applied = true;
+
+  int total_width = 0;
+  for (const JoinGraphLeaf& l : g.leaves) total_width += l.width;
+  std::vector<Field> global_fields(static_cast<size_t>(total_width));
+  for (const JoinGraphLeaf& l : g.leaves) {
+    for (int w = 0; w < l.width; ++w) {
+      global_fields[static_cast<size_t>(l.slot_begin + w)] =
+          l.plan->output[static_cast<size_t>(w)];
+    }
+  }
+
+  const JoinGraphLeaf& first = g.leaves[static_cast<size_t>(order[0])];
+  SHARK_ASSIGN_OR_RETURN(RddPtr<Row> cur, BuildRdd(first.plan));
+  std::vector<int> local_of_global(static_cast<size_t>(total_width), -1);
+  for (int w = 0; w < first.width; ++w) {
+    local_of_global[static_cast<size_t>(first.slot_begin + w)] = w;
+  }
+  uint32_t mask = 1u << order[0];
+  int cur_width = first.width;
+  std::vector<bool> pred_applied(g.preds.size(), false);
+
+  // Conjunction of not-yet-applied predicates covered by `new_mask`, rebound
+  // to the composite's local layout; accumulates their selectivity product.
+  auto pending_residual = [&](uint32_t new_mask, double* sel) -> ExprPtr {
+    std::vector<ExprPtr> residuals;
+    for (size_t p = 0; p < g.preds.size(); ++p) {
+      if (pred_applied[p]) continue;
+      if ((g.preds[p].leaf_mask & new_mask) != g.preds[p].leaf_mask) continue;
+      pred_applied[p] = true;
+      if (sel != nullptr) *sel *= g.preds[p].selectivity;
+      std::map<int, int> remap;
+      std::set<int> slots;
+      CollectSlots(*g.preds[p].expr, &slots);
+      for (int s : slots) {
+        remap[s] = local_of_global[static_cast<size_t>(s)];
+      }
+      residuals.push_back(RemapSlots(*g.preds[p].expr, remap));
+    }
+    return residuals.empty() ? nullptr : CombineConjuncts(residuals);
+  };
+  if (ExprPtr first_res = pending_residual(mask, nullptr)) {
+    cur = ApplyPredicate(cur, first_res, "joinResidual");
+  }
+
+  // Running composite estimate; observations overwrite it so downstream
+  // step estimates inherit the correction.
+  double cur_rows = g.SubsetRows(mask);
+  double cur_row_width = first.row_width;
+
+  // Re-enumerate the order of `remaining_ids` behind a pinned composite
+  // pseudo-leaf (rows/width as given, covering `comp_mask`). Returns the
+  // chosen order mapped back to original leaf ids, or empty when the
+  // enumerator found nothing valid.
+  auto replan_remaining =
+      [&](double comp_rows, double comp_row_width, uint32_t comp_mask,
+          const std::vector<int>& remaining_ids,
+          const std::vector<bool>& applied) -> std::vector<int> {
+    JoinGraph g2;
+    JoinGraphLeaf comp;
+    comp.rows = comp_rows;
+    comp.row_width = comp_row_width;
+    g2.leaves.push_back(comp);
+    std::vector<int> new_index(static_cast<size_t>(n), -1);
+    for (size_t j = 0; j < remaining_ids.size(); ++j) {
+      new_index[static_cast<size_t>(remaining_ids[j])] =
+          static_cast<int>(j) + 1;
+      g2.leaves.push_back(g.leaves[static_cast<size_t>(remaining_ids[j])]);
+    }
+    for (const JoinGraphEdge& e : g.edges) {
+      const bool a_in = (comp_mask >> e.a) & 1u;
+      const bool b_in = (comp_mask >> e.b) & 1u;
+      if (a_in && b_in) continue;
+      JoinGraphEdge e2 = e;
+      e2.a = a_in ? 0 : new_index[static_cast<size_t>(e.a)];
+      e2.b = b_in ? 0 : new_index[static_cast<size_t>(e.b)];
+      if (e2.a < 0 || e2.b < 0) continue;
+      g2.edges.push_back(e2);
+    }
+    for (size_t p = 0; p < g.preds.size(); ++p) {
+      if (applied[p]) continue;
+      JoinGraphPred p2 = g.preds[p];
+      uint32_t m2 = 0;
+      bool mappable = true;
+      for (int b = 0; b < n; ++b) {
+        if (!((p2.leaf_mask >> b) & 1u)) continue;
+        if ((comp_mask >> b) & 1u) {
+          m2 |= 1u;
+        } else if (new_index[static_cast<size_t>(b)] >= 0) {
+          m2 |= 1u << new_index[static_cast<size_t>(b)];
+        } else {
+          mappable = false;
+        }
+      }
+      if (!mappable) continue;
+      p2.leaf_mask = m2;
+      g2.preds.push_back(p2);
+    }
+    const int n2 = static_cast<int>(g2.leaves.size());
+    JoinOrderResult r2 =
+        n2 <= options_.dp_max_relations
+            ? ChooseJoinOrderDp(g2, env, /*required_first=*/0)
+            : ChooseJoinOrderGreedy(g2, env, /*required_first=*/0);
+    if (r2.cost < 0 || static_cast<int>(r2.order.size()) != n2 ||
+        r2.order[0] != 0) {
+      return {};
+    }
+    std::vector<int> out;
+    out.reserve(remaining_ids.size());
+    for (int j = 1; j < n2; ++j) {
+      out.push_back(
+          remaining_ids[static_cast<size_t>(r2.order[static_cast<size_t>(j)] - 1)]);
+    }
+    return out;
+  };
+
+  // Each leaf's cardinality can be corrected (and its step aborted) at most
+  // once; after the correction the re-enumeration sees the observed rows, so
+  // the bound only guards against estimator pathologies.
+  int aborts_left = n;
+  for (int i = 1; i < n;) {
+    const int li = order[i];
+    const JoinGraphLeaf& leaf = g.leaves[static_cast<size_t>(li)];
+
+    std::vector<ExprPtr> lkeys;
+    std::vector<ExprPtr> rkeys;
+    double step_sel = 1.0;
+    for (const JoinGraphEdge& e : g.edges) {
+      int comp_slot, leaf_slot;
+      if (e.a == li && ((mask >> e.b) & 1u)) {
+        leaf_slot = e.a_slot;
+        comp_slot = e.b_slot;
+      } else if (e.b == li && ((mask >> e.a) & 1u)) {
+        leaf_slot = e.b_slot;
+        comp_slot = e.a_slot;
+      } else {
+        continue;
+      }
+      step_sel *= e.selectivity;
+      lkeys.push_back(
+          MakeSlot(local_of_global[static_cast<size_t>(comp_slot)],
+                   global_fields[static_cast<size_t>(comp_slot)].type));
+      rkeys.push_back(
+          MakeSlot(leaf_slot - leaf.slot_begin,
+                   global_fields[static_cast<size_t>(leaf_slot)].type));
+    }
+    if (lkeys.empty()) {
+      // DP/greedy orders are connected by construction.
+      return Status::Internal("join spine step has no equi-key");
+    }
+
+    SHARK_ASSIGN_OR_RETURN(RddPtr<Row> leaf_rdd, BuildRdd(leaf.plan));
+
+    const uint32_t new_mask = mask | (1u << li);
+    // Snapshot the state this step mutates: an aborted step must leave no
+    // trace (its join pair is still lazy — only the pre-shuffle map stages
+    // have run, and those are sunk either way).
+    const std::vector<int> log_saved = local_of_global;
+    const std::vector<bool> preds_saved = pred_applied;
+    for (int w = 0; w < leaf.width; ++w) {
+      local_of_global[static_cast<size_t>(leaf.slot_begin + w)] =
+          cur_width + w;
+    }
+    ExprPtr residual = pending_residual(new_mask, &step_sel);
+
+    double comp_belief = cur_rows * cur_row_width * ctx_->virtual_scale();
+    JoinSideObservation obsv;
+    RddPtr<Row> prev = cur;
+    SHARK_ASSIGN_OR_RETURN(
+        cur, BuildJoinPair(cur, leaf_rdd, std::move(lkeys), std::move(rkeys),
+                           JoinType::kInner, cur_width, leaf.width, residual,
+                           comp_belief, BeliefBytes(*leaf.plan),
+                           StaticReducers(*plan), &obsv));
+
+    // Fold observed input sizes back into the estimates (§4's statistics
+    // feedback) and measure how far off the beliefs were.
+    double deviation = 1.0;
+    double comp_in = std::max(cur_rows, 1.0);
+    if (obsv.left_observed) {
+      double actual = std::max<double>(static_cast<double>(obsv.left_records),
+                                       1.0);
+      deviation = std::max(deviation,
+                           std::max(actual / comp_in, comp_in / actual));
+      comp_in = actual;
+    }
+    double leaf_in = std::max(leaf.rows, 1.0);
+    if (obsv.right_observed) {
+      double actual = std::max<double>(static_cast<double>(obsv.right_records),
+                                       1.0);
+      deviation = std::max(deviation,
+                           std::max(actual / leaf_in, leaf_in / actual));
+      leaf_in = actual;
+      g.leaves[static_cast<size_t>(li)].rows = actual;
+    }
+
+    const int remaining = n - 1 - i;
+    if (deviation > options_.replan_factor && remaining >= 1 &&
+        aborts_left > 0) {
+      // Mid-query re-optimization. The pair above is still lazy: the
+      // adaptive join only ran its pre-shuffle map stages to observe input
+      // sizes, so the expensive reduce/probe work has not started. Put the
+      // current leaf back into the pool with its observed cardinality and
+      // re-enumerate; if the corrected order leads with a different leaf,
+      // abandon the pair and take that order instead.
+      std::vector<int> pool(order.begin() + i, order.end());
+      std::vector<int> corrected = replan_remaining(
+          obsv.left_observed ? comp_in : cur_rows, cur_row_width, mask, pool,
+          preds_saved);
+      if (!corrected.empty() && corrected[0] != li) {
+        --aborts_left;
+        cur = prev;
+        local_of_global = log_saved;
+        pred_applied = preds_saved;
+        if (obsv.left_observed) cur_rows = comp_in;
+        std::copy(corrected.begin(), corrected.end(), order.begin() + i);
+        metrics_.replans += 1;
+        continue;  // redo position i with the corrected order
+      }
+      if (remaining >= 2) {
+        // Same leading leaf even with corrected cardinalities: keep the pair
+        // and re-enumerate just the tail behind the joined composite.
+        double joined_rows = std::max(1.0, comp_in * leaf_in * step_sel);
+        std::vector<int> tail(order.begin() + i + 1, order.end());
+        std::vector<int> reordered =
+            replan_remaining(joined_rows, cur_row_width + leaf.row_width,
+                             new_mask, tail, pred_applied);
+        if (!reordered.empty()) {
+          std::copy(reordered.begin(), reordered.end(),
+                    order.begin() + i + 1);
+          metrics_.replans += 1;
+        }
+      }
+    }
+
+    cur_rows = std::max(1.0, comp_in * leaf_in * step_sel);
+    cur_row_width += leaf.row_width;
+    cur_width += leaf.width;
+    mask = new_mask;
+    ++i;
+  }
+
+  // The spine's execution order concatenated columns in join order; restore
+  // the node's declared layout when they differ.
+  bool identity = true;
+  for (int s = 0; s < total_width; ++s) {
+    if (local_of_global[static_cast<size_t>(s)] != s) {
+      identity = false;
+      break;
+    }
+  }
+  if (!identity) {
+    auto remap = std::make_shared<std::vector<int>>(local_of_global);
+    cur = RddPtr<Row>(cur->MapPartitions(
+        [remap](int, const std::vector<Row>& in, TaskContext* tctx) {
+          std::vector<Row> out;
+          out.reserve(in.size());
+          for (const Row& r : in) {
+            Row o;
+            o.fields.reserve(remap->size());
+            for (int src : *remap) {
+              o.fields.push_back(r.fields[static_cast<size_t>(src)]);
+            }
+            out.push_back(std::move(o));
+          }
+          tctx->work().rows_processed += in.size();
+          return out;
+        },
+        "joinRestore"));
+  }
+  return cur;
 }
 
 Result<RddPtr<Row>> Executor::BuildSort(const LogicalPlan& node) {
@@ -1102,7 +1455,7 @@ std::vector<std::string> NodeStageKeys(const LogicalPlan& node) {
     case PlanKind::kJoin:
       return {"joinKey",        "shuffleJoin",     "joinOutput",
               "mapJoinProbe",   "gatherSmallSide", "copartitionJoin",
-              "joinResidual"};
+              "joinResidual",   "joinRestore"};
     case PlanKind::kSort:
       return {"sortPartial", "sortGather", "sortFinal"};
     case PlanKind::kLimit:
@@ -1174,6 +1527,16 @@ void AppendAnalyzed(
   *out += pad + node.NodeString() + "\n";
   auto it = by_node.find(&node);
   if (it != by_node.end()) {
+    // Estimated vs observed cardinality: the last stage matched to this
+    // operator carries its output rows (earlier ones are map sides).
+    if (node.est_rows >= 0 && !it->second.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s  est_rows=%.0f actual_rows=%llu\n",
+                    pad.c_str(), node.est_rows,
+                    static_cast<unsigned long long>(
+                        it->second.back()->rows_out()));
+      *out += buf;
+    }
     for (const StageTrace* st : it->second) {
       *out += StageAnnotation(*st, indent + 1, profile);
     }

@@ -64,6 +64,20 @@ struct ExecOptions {
   /// Broadcast (map join) threshold on the built table's virtual bytes.
   uint64_t broadcast_threshold_bytes = 1ULL << 30;
 
+  /// Cost-based optimization: ANALYZE statistics drive DP join reordering in
+  /// the planner and estimator-informed size beliefs in the executor.
+  bool cbo = true;
+  /// Forces the query's written left-deep join order (naive baseline for the
+  /// bench and the fuzz plan-variant oracle). Also disables re-planning.
+  bool force_left_deep = false;
+  /// Mid-query re-optimization (PDE, §4): after a join step's shuffle stage,
+  /// re-enumerate the remaining join order when observed cardinality deviates
+  /// from the estimate by more than this factor (either direction).
+  /// 0 disables re-planning.
+  double replan_factor = 4.0;
+  /// DP budget for join reordering; larger spines use the greedy order.
+  int dp_max_relations = 10;
+
   /// Host threads computing task bodies: -1 = inherit the context's setting,
   /// 0 = one per hardware thread, 1 = serial reference path. Only host
   /// wall-clock changes — virtual-time results are identical either way.
@@ -84,6 +98,8 @@ struct QueryMetrics {
   int partitions_pruned = 0;
   std::string join_strategy;
   int chosen_reducers = 0;
+  /// Mid-query join-order re-optimizations triggered by PDE statistics.
+  int replans = 0;
 
   void AddJob(const JobMetrics& job);
 };
@@ -125,9 +141,46 @@ class Executor {
   Result<RddPtr<Row>> BuildFilter(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildProject(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildAggregate(const LogicalPlan& node);
-  Result<RddPtr<Row>> BuildJoin(const LogicalPlan& node);
+  Result<RddPtr<Row>> BuildJoin(const PlanPtr& plan);
   Result<RddPtr<Row>> BuildSort(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildLimit(const LogicalPlan& node);
+
+  /// Pre-shuffle sizes of one join step's inputs as observed by the master
+  /// (§3.1's PDE statistics). A side is observed only when the chosen
+  /// strategy actually pre-shuffled or gathered it.
+  struct JoinSideObservation {
+    bool left_observed = false;
+    bool right_observed = false;
+    uint64_t left_records = 0;
+    uint64_t right_records = 0;
+    uint64_t left_bytes = 0;
+    uint64_t right_bytes = 0;
+  };
+
+  /// Joins two already-built row RDDs with the static+adaptive strategy
+  /// selection. Beliefs are in virtual bytes; `obs` (may be null) receives
+  /// observed pre-shuffle input sizes for mid-query re-optimization.
+  Result<RddPtr<Row>> BuildJoinPair(RddPtr<Row> left, RddPtr<Row> right,
+                                    std::vector<ExprPtr> left_keys,
+                                    std::vector<ExprPtr> right_keys,
+                                    JoinType join_type, int left_width,
+                                    int right_width, const ExprPtr& residual,
+                                    double left_belief, double right_belief,
+                                    int static_reducers,
+                                    JoinSideObservation* obs);
+
+  /// Adaptive execution of an inner-join spine with mid-query
+  /// re-optimization (§4): executes the cost-based join order step by step,
+  /// feeds observed pre-shuffle cardinalities back into the estimates, and
+  /// re-enumerates the remaining order when they deviate by more than
+  /// `replan_factor`. Sets *applied=false (returning null) when the spine is
+  /// not eligible.
+  Result<RddPtr<Row>> BuildJoinSpine(const PlanPtr& plan, bool* applied);
+
+  /// Static size belief for a join input in virtual bytes: catalog bytes for
+  /// scans, the planner's cardinality estimate otherwise (under cbo), 1e30
+  /// when unknown.
+  double BeliefBytes(const LogicalPlan& child) const;
 
   /// Co-partitioned join fast path (§3.4); returns null when not applicable.
   Result<RddPtr<Row>> TryCoPartitionedJoin(const LogicalPlan& node);

@@ -1,5 +1,7 @@
 #include "sql/logical_plan.h"
 
+#include <cstdio>
+
 namespace shark {
 
 namespace {
@@ -104,6 +106,15 @@ std::string LogicalPlan::NodeString() const {
       break;
     case PlanKind::kUnion:
       break;
+  }
+  if (est_rows >= 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " est_rows=%.0f", est_rows);
+    out += buf;
+    if (est_cost_sec >= 0.0) {
+      std::snprintf(buf, sizeof(buf), " est_cost=%.3fs", est_cost_sec);
+      out += buf;
+    }
   }
   return out;
 }

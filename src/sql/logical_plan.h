@@ -85,6 +85,14 @@ struct LogicalPlan {
   // kSort fused limit / kLimit
   int64_t limit = -1;
 
+  // Planner annotations (-1 = not estimated). `est_rows` is in real rows —
+  // the same units the executor observes at runtime; `est_cost_sec` is the
+  // cumulative virtual seconds of this subtree under the simulator's own
+  // cost model, so EXPLAIN's estimates are directly comparable to measured
+  // virtual times.
+  double est_rows = -1.0;
+  double est_cost_sec = -1.0;
+
   int num_output_columns() const { return static_cast<int>(output.size()); }
 
   /// One-line rendering of this node alone (no children, no newline) —

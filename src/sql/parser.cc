@@ -44,8 +44,22 @@ class Parser {
       SHARK_ASSIGN_OR_RETURN(explain->select, ParseSelect());
       stmt.kind = StatementKind::kExplain;
       stmt.explain = explain;
+    } else if (MatchKeyword("ANALYZE")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      auto analyze = std::make_shared<AnalyzeTableStmt>();
+      SHARK_ASSIGN_OR_RETURN(analyze->name, ExpectIdentifier());
+      // Hive-compatible trailing clause; statistics are always per-column.
+      if (MatchKeyword("COMPUTE")) {
+        SHARK_RETURN_NOT_OK(ExpectKeyword("STATISTICS"));
+        if (MatchKeyword("FOR")) {
+          SHARK_RETURN_NOT_OK(ExpectKeyword("COLUMNS"));
+        }
+      }
+      stmt.kind = StatementKind::kAnalyzeTable;
+      stmt.analyze_table = analyze;
     } else {
-      return ErrorHere("expected SELECT, CREATE, DROP, UNCACHE or EXPLAIN");
+      return ErrorHere(
+          "expected SELECT, CREATE, DROP, UNCACHE, ANALYZE or EXPLAIN");
     }
     MatchSymbol(";");
     if (!AtEnd()) return ErrorHere("trailing input after statement");

@@ -1,0 +1,450 @@
+#include "sql/planner/join_reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "sql/expr.h"
+
+namespace shark {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTieEps = 1e-9;
+
+int PopCount(uint32_t v) {
+  int c = 0;
+  for (; v != 0; v &= v - 1) ++c;
+  return c;
+}
+
+}  // namespace
+
+double JoinGraph::SubsetRows(uint32_t mask) const {
+  double rows = 1.0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if ((mask >> i) & 1u) rows *= std::max(leaves[i].rows, 1.0);
+  }
+  for (const JoinGraphEdge& e : edges) {
+    if (((mask >> e.a) & 1u) && ((mask >> e.b) & 1u)) rows *= e.selectivity;
+  }
+  for (const JoinGraphPred& p : preds) {
+    if ((p.leaf_mask & mask) == p.leaf_mask) rows *= p.selectivity;
+  }
+  return std::max(rows, 1.0);
+}
+
+double JoinGraph::SubsetBytes(uint32_t mask) const {
+  double width = 0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if ((mask >> i) & 1u) width += leaves[i].row_width;
+  }
+  return SubsetRows(mask) * std::max(width, 8.0);
+}
+
+bool JoinGraph::Connected(uint32_t mask, int leaf) const {
+  for (const JoinGraphEdge& e : edges) {
+    if (e.a == leaf && ((mask >> e.b) & 1u)) return true;
+    if (e.b == leaf && ((mask >> e.a) & 1u)) return true;
+  }
+  return false;
+}
+
+double JoinOrderCost(const JoinGraph& g, const PlanCostEnv& env,
+                     const std::vector<int>& order) {
+  if (order.empty()) return -1.0;
+  uint32_t mask = 1u << order[0];
+  double cost = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    int l = order[i];
+    if (!g.Connected(mask, l)) return -1.0;
+    uint32_t next = mask | (1u << l);
+    cost += JoinStepCostSeconds(env, g.SubsetRows(mask), g.SubsetBytes(mask),
+                                g.leaves[static_cast<size_t>(l)].rows,
+                                g.leaves[static_cast<size_t>(l)].bytes(),
+                                g.SubsetRows(next));
+    mask = next;
+  }
+  return cost;
+}
+
+JoinOrderResult ChooseJoinOrderDp(const JoinGraph& g, const PlanCostEnv& env,
+                                  int required_first) {
+  int n = static_cast<int>(g.leaves.size());
+  if (n == 0) return {};
+  if (n == 1) {
+    if (required_first > 0) return {};
+    return {{0}, 0.0};
+  }
+  if (n > 20) return ChooseJoinOrderGreedy(g, env, required_first);
+
+  uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  std::vector<double> dp_cost(full + 1, kInf);
+  std::vector<int> dp_last(full + 1, -1);
+  std::vector<uint32_t> dp_prev(full + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    if (required_first >= 0 && i != required_first) continue;
+    dp_cost[1u << i] = 0.0;
+  }
+  // Extending a set only adds bits, so ascending mask order visits every
+  // subset before its supersets.
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (dp_cost[mask] == kInf) continue;
+    double base_rows = g.SubsetRows(mask);
+    double base_bytes = g.SubsetBytes(mask);
+    for (int l = 0; l < n; ++l) {
+      if ((mask >> l) & 1u) continue;
+      if (!g.Connected(mask, l)) continue;
+      uint32_t next = mask | (1u << l);
+      double step = JoinStepCostSeconds(
+          env, base_rows, base_bytes, g.leaves[static_cast<size_t>(l)].rows,
+          g.leaves[static_cast<size_t>(l)].bytes(), g.SubsetRows(next));
+      double total = dp_cost[mask] + step;
+      bool better = total < dp_cost[next] - kTieEps;
+      // Tied plans keep the original written order: prefer the larger last
+      // index (the original left-deep tree joins leaves in index order).
+      bool tied_pref = std::abs(total - dp_cost[next]) <= kTieEps &&
+                       l > dp_last[next];
+      if (better || tied_pref) {
+        dp_cost[next] = std::min(total, dp_cost[next]);
+        dp_last[next] = l;
+        dp_prev[next] = mask;
+      }
+    }
+  }
+  if (dp_cost[full] == kInf) return {};
+  JoinOrderResult out;
+  out.cost = dp_cost[full];
+  uint32_t mask = full;
+  while (PopCount(mask) > 1) {
+    out.order.push_back(dp_last[mask]);
+    mask = dp_prev[mask];
+  }
+  for (int i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) out.order.push_back(i);
+  }
+  std::reverse(out.order.begin(), out.order.end());
+  return out;
+}
+
+JoinOrderResult ChooseJoinOrderGreedy(const JoinGraph& g,
+                                      const PlanCostEnv& env,
+                                      int required_first) {
+  int n = static_cast<int>(g.leaves.size());
+  if (n == 0) return {};
+  int start = required_first;
+  if (start < 0) {
+    start = 0;
+    for (int i = 1; i < n; ++i) {
+      if (g.leaves[static_cast<size_t>(i)].rows <
+          g.leaves[static_cast<size_t>(start)].rows) {
+        start = i;
+      }
+    }
+  }
+  std::vector<int> order = {start};
+  uint32_t mask = 1u << start;
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    double best_rows = kInf;
+    for (int l = 0; l < n; ++l) {
+      if ((mask >> l) & 1u) continue;
+      if (!g.Connected(mask, l)) continue;
+      double rows = g.SubsetRows(mask | (1u << l));
+      if (rows < best_rows) {
+        best_rows = rows;
+        best = l;
+      }
+    }
+    if (best < 0) return {};  // disconnected graph
+    order.push_back(best);
+    mask |= 1u << best;
+  }
+  JoinOrderResult out;
+  out.order = order;
+  out.cost = JoinOrderCost(g, env, order);
+  return out;
+}
+
+JoinOrderResult ChooseJoinOrderExhaustive(const JoinGraph& g,
+                                          const PlanCostEnv& env,
+                                          int required_first) {
+  int n = static_cast<int>(g.leaves.size());
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  JoinOrderResult best;
+  do {
+    if (required_first >= 0 && perm[0] != required_first) continue;
+    double cost = JoinOrderCost(g, env, perm);
+    if (cost < 0) continue;  // disconnected somewhere along the prefix
+    if (best.cost < 0 || cost < best.cost - kTieEps) {
+      best.cost = cost;
+      best.order = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+namespace {
+
+/// Recursive spine flattening. Returns the subtree's output width; leaves,
+/// raw (unpriced) edges and residuals accumulate in the collector.
+struct SpineCollector {
+  std::vector<PlanPtr> leaf_plans;
+  std::vector<int> leaf_begin;
+  struct RawEdge {
+    int a_slot;
+    int b_slot;
+  };
+  std::vector<RawEdge> raw_edges;
+  std::vector<ExprPtr> raw_preds;  // bound to global slots
+  bool ok = true;
+};
+
+bool AllKeysAreSlots(const LogicalPlan& join) {
+  for (const ExprPtr& k : join.left_keys) {
+    if (k->kind != ExprKind::kSlot) return false;
+  }
+  for (const ExprPtr& k : join.right_keys) {
+    if (k->kind != ExprKind::kSlot) return false;
+  }
+  return true;
+}
+
+int Flatten(const PlanPtr& node, int base, SpineCollector* col) {
+  if (node->kind == PlanKind::kJoin && node->join_type == JoinType::kInner &&
+      AllKeysAreSlots(*node)) {
+    int wl = Flatten(node->children[0], base, col);
+    int wr = Flatten(node->children[1], base + wl, col);
+    for (size_t i = 0; i < node->left_keys.size(); ++i) {
+      col->raw_edges.push_back({base + node->left_keys[i]->slot,
+                                base + wl + node->right_keys[i]->slot});
+    }
+    if (node->join_residual != nullptr) {
+      std::map<int, int> shift;
+      for (int s = 0; s < wl + wr; ++s) shift[s] = base + s;
+      for (const ExprPtr& c : SplitConjuncts(node->join_residual)) {
+        col->raw_preds.push_back(RemapSlots(*c, shift));
+      }
+    }
+    return wl + wr;
+  }
+  col->leaf_plans.push_back(node);
+  col->leaf_begin.push_back(base);
+  return node->num_output_columns();
+}
+
+int LeafOfSlot(const std::vector<JoinGraphLeaf>& leaves, int slot) {
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (slot >= leaves[i].slot_begin &&
+        slot < leaves[i].slot_begin + leaves[i].width) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool ExtractJoinGraph(const PlanPtr& root, const CardinalityEstimator& est,
+                      JoinGraph* out) {
+  if (root->kind != PlanKind::kJoin || root->join_type != JoinType::kInner ||
+      !AllKeysAreSlots(*root)) {
+    return false;
+  }
+  SpineCollector col;
+  Flatten(root, 0, &col);
+  if (col.leaf_plans.size() < 2 || col.leaf_plans.size() > 31) return false;
+
+  JoinGraph g;
+  std::vector<SlotStats> global_stats;
+  for (size_t i = 0; i < col.leaf_plans.size(); ++i) {
+    JoinGraphLeaf leaf;
+    leaf.plan = col.leaf_plans[i];
+    leaf.slot_begin = col.leaf_begin[i];
+    leaf.width = leaf.plan->num_output_columns();
+    std::vector<SlotStats> slots;
+    leaf.rows = est.AnnotateWithSlots(leaf.plan.get(), &slots);
+    leaf.row_width = CardinalityEstimator::RowWidth(slots);
+    global_stats.insert(global_stats.end(), slots.begin(), slots.end());
+    g.leaves.push_back(std::move(leaf));
+  }
+
+  for (const SpineCollector::RawEdge& re : col.raw_edges) {
+    JoinGraphEdge e;
+    e.a = LeafOfSlot(g.leaves, re.a_slot);
+    e.b = LeafOfSlot(g.leaves, re.b_slot);
+    if (e.a < 0 || e.b < 0 || e.a == e.b) return false;
+    e.a_slot = re.a_slot;
+    e.b_slot = re.b_slot;
+    e.selectivity = CardinalityEstimator::JoinKeySelectivity(
+        global_stats[static_cast<size_t>(re.a_slot)],
+        global_stats[static_cast<size_t>(re.b_slot)],
+        g.leaves[static_cast<size_t>(e.a)].rows,
+        g.leaves[static_cast<size_t>(e.b)].rows);
+    g.edges.push_back(e);
+  }
+
+  for (const ExprPtr& p : col.raw_preds) {
+    JoinGraphPred pred;
+    pred.expr = p;
+    std::set<int> slots;
+    CollectSlots(*p, &slots);
+    for (int s : slots) {
+      int l = LeafOfSlot(g.leaves, s);
+      if (l < 0) return false;
+      pred.leaf_mask |= 1u << l;
+    }
+    pred.selectivity = est.SelectivityOf(*p, global_stats);
+    g.preds.push_back(std::move(pred));
+  }
+
+  *out = std::move(g);
+  return true;
+}
+
+PlanPtr BuildOrderedJoinTree(const JoinGraph& g,
+                             const std::vector<int>& order) {
+  int n = static_cast<int>(g.leaves.size());
+  if (static_cast<int>(order.size()) != n || n < 2) return nullptr;
+
+  int total_width = 0;
+  for (const JoinGraphLeaf& l : g.leaves) total_width += l.width;
+  std::vector<Field> global_fields(static_cast<size_t>(total_width));
+  for (const JoinGraphLeaf& l : g.leaves) {
+    for (int w = 0; w < l.width; ++w) {
+      global_fields[static_cast<size_t>(l.slot_begin + w)] =
+          l.plan->output[static_cast<size_t>(w)];
+    }
+  }
+
+  const JoinGraphLeaf& first = g.leaves[static_cast<size_t>(order[0])];
+  PlanPtr composite = first.plan;
+  std::vector<int> local_of_global(static_cast<size_t>(total_width), -1);
+  for (int w = 0; w < first.width; ++w) {
+    local_of_global[static_cast<size_t>(first.slot_begin + w)] = w;
+  }
+  uint32_t mask = 1u << order[0];
+  std::vector<bool> pred_applied(g.preds.size(), false);
+
+  for (int i = 1; i < n; ++i) {
+    int li = order[i];
+    const JoinGraphLeaf& leaf = g.leaves[static_cast<size_t>(li)];
+
+    PlanPtr join = MakePlan(PlanKind::kJoin);
+    join->join_type = JoinType::kInner;
+    for (const JoinGraphEdge& e : g.edges) {
+      int comp_slot, leaf_slot;
+      if (e.a == li && ((mask >> e.b) & 1u)) {
+        leaf_slot = e.a_slot;
+        comp_slot = e.b_slot;
+      } else if (e.b == li && ((mask >> e.a) & 1u)) {
+        leaf_slot = e.b_slot;
+        comp_slot = e.a_slot;
+      } else {
+        continue;
+      }
+      join->left_keys.push_back(
+          MakeSlot(local_of_global[static_cast<size_t>(comp_slot)],
+                   global_fields[static_cast<size_t>(comp_slot)].type));
+      join->right_keys.push_back(
+          MakeSlot(leaf_slot - leaf.slot_begin,
+                   global_fields[static_cast<size_t>(leaf_slot)].type));
+    }
+    if (join->left_keys.empty()) return nullptr;  // would be a cross join
+
+    join->children = {composite, leaf.plan};
+    join->output = composite->output;
+    join->output.insert(join->output.end(), leaf.plan->output.begin(),
+                        leaf.plan->output.end());
+
+    int comp_width = composite->num_output_columns();
+    for (int w = 0; w < leaf.width; ++w) {
+      local_of_global[static_cast<size_t>(leaf.slot_begin + w)] =
+          comp_width + w;
+    }
+    mask |= 1u << li;
+
+    std::vector<ExprPtr> residuals;
+    for (size_t p = 0; p < g.preds.size(); ++p) {
+      if (pred_applied[p]) continue;
+      if ((g.preds[p].leaf_mask & mask) != g.preds[p].leaf_mask) continue;
+      pred_applied[p] = true;
+      std::map<int, int> remap;
+      std::set<int> slots;
+      CollectSlots(*g.preds[p].expr, &slots);
+      for (int s : slots) {
+        remap[s] = local_of_global[static_cast<size_t>(s)];
+      }
+      residuals.push_back(RemapSlots(*g.preds[p].expr, remap));
+    }
+    if (!residuals.empty()) {
+      join->join_residual = CombineConjuncts(residuals);
+    }
+    composite = join;
+  }
+
+  bool identity = true;
+  for (int s = 0; s < total_width; ++s) {
+    if (local_of_global[static_cast<size_t>(s)] != s) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) return composite;
+
+  // Restore the original column order so the reordered tree is a drop-in
+  // replacement for the spine it replaces.
+  PlanPtr project = MakePlan(PlanKind::kProject);
+  project->children = {composite};
+  project->output = global_fields;
+  for (int s = 0; s < total_width; ++s) {
+    project->project_exprs.push_back(
+        MakeSlot(local_of_global[static_cast<size_t>(s)],
+                 global_fields[static_cast<size_t>(s)].type));
+  }
+  return project;
+}
+
+PlanPtr ReorderJoins(PlanPtr plan, const CardinalityEstimator& est,
+                     const PlanCostEnv& env, int dp_max_relations,
+                     int* reordered) {
+  if (plan->kind == PlanKind::kJoin && plan->join_type == JoinType::kInner) {
+    JoinGraph g;
+    if (ExtractJoinGraph(plan, est, &g) && g.leaves.size() >= 3) {
+      JoinOrderResult r =
+          static_cast<int>(g.leaves.size()) <= dp_max_relations
+              ? ChooseJoinOrderDp(g, env)
+              : ChooseJoinOrderGreedy(g, env);
+      bool identity = true;
+      for (size_t i = 0; i < r.order.size(); ++i) {
+        if (r.order[i] != static_cast<int>(i)) {
+          identity = false;
+          break;
+        }
+      }
+      if (r.cost >= 0 && !identity) {
+        for (JoinGraphLeaf& leaf : g.leaves) {
+          leaf.plan =
+              ReorderJoins(leaf.plan, est, env, dp_max_relations, reordered);
+        }
+        PlanPtr rebuilt = BuildOrderedJoinTree(g, r.order);
+        if (rebuilt != nullptr) {
+          if (reordered != nullptr) ++*reordered;
+          return rebuilt;
+        }
+      }
+    }
+  }
+  for (PlanPtr& c : plan->children) {
+    c = ReorderJoins(c, est, env, dp_max_relations, reordered);
+  }
+  return plan;
+}
+
+}  // namespace shark

@@ -1,0 +1,117 @@
+#ifndef SHARK_SQL_PLANNER_JOIN_REORDER_H_
+#define SHARK_SQL_PLANNER_JOIN_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/logical_plan.h"
+#include "sql/stats/cardinality_estimator.h"
+#include "sql/stats/plan_cost.h"
+
+namespace shark {
+
+/// One relation in a join graph: a plan subtree (null for synthetic graphs in
+/// tests and for the executor's composite pseudo-leaves) plus its estimated
+/// size. `slot_begin`/`width` give the leaf's global slot range in the
+/// concatenation of all leaves in original order.
+struct JoinGraphLeaf {
+  PlanPtr plan;
+  int slot_begin = 0;
+  int width = 0;
+  double rows = 0;
+  double row_width = 16.0;  // avg bytes per row
+  double bytes() const { return rows * row_width; }
+};
+
+/// An equi-join edge between leaves `a` and `b`; key slots are global.
+struct JoinGraphEdge {
+  int a = 0;
+  int b = 0;
+  int a_slot = 0;
+  int b_slot = 0;
+  double selectivity = 1.0;
+};
+
+/// A residual predicate applying once all leaves in `leaf_mask` are joined.
+struct JoinGraphPred {
+  uint32_t leaf_mask = 0;
+  ExprPtr expr;  // bound to global slots; null for synthetic graphs
+  double selectivity = 1.0;
+};
+
+/// Numeric join graph. Cardinalities are derived from the leaves' estimated
+/// rows and the edges'/predicates' selectivities, so the DP enumerator is
+/// unit-testable with synthetic graphs — no plans or catalog needed.
+struct JoinGraph {
+  std::vector<JoinGraphLeaf> leaves;
+  std::vector<JoinGraphEdge> edges;
+  std::vector<JoinGraphPred> preds;
+
+  /// Estimated output rows of joining exactly the leaves in `mask`:
+  /// product of leaf rows times every applicable edge/pred selectivity.
+  double SubsetRows(uint32_t mask) const;
+
+  /// Estimated output bytes: SubsetRows times the summed member row widths.
+  double SubsetBytes(uint32_t mask) const;
+
+  /// True if `leaf` shares an equi-join edge with some member of `mask`.
+  bool Connected(uint32_t mask, int leaf) const;
+};
+
+/// A left-deep join order (leaf indices, first = deepest) and its total
+/// estimated cost in virtual seconds (join steps only; leaf costs are common
+/// to every order and excluded).
+struct JoinOrderResult {
+  std::vector<int> order;
+  double cost = -1.0;  // -1: no valid order found
+};
+
+/// Cost of one specific left-deep order under the graph's estimates.
+double JoinOrderCost(const JoinGraph& g, const PlanCostEnv& env,
+                     const std::vector<int>& order);
+
+/// DPsize over left-deep trees: dp[mask] = best (cost, last leaf) reached by
+/// extending a connected smaller set. Ties prefer the larger last index,
+/// which keeps the original written order when costs are equal.
+/// `required_first` pins the deepest leaf (the executor's already-built
+/// composite during PDE re-planning); -1 leaves it free.
+JoinOrderResult ChooseJoinOrderDp(const JoinGraph& g, const PlanCostEnv& env,
+                                  int required_first = -1);
+
+/// Greedy fallback (GOO-style) for spines larger than the DP budget: start
+/// from the smallest relation and repeatedly append the connected leaf that
+/// minimizes the intermediate result.
+JoinOrderResult ChooseJoinOrderGreedy(const JoinGraph& g,
+                                      const PlanCostEnv& env,
+                                      int required_first = -1);
+
+/// Exhaustive n! enumeration of connected left-deep orders — the test oracle
+/// the DP must match on small graphs.
+JoinOrderResult ChooseJoinOrderExhaustive(const JoinGraph& g,
+                                          const PlanCostEnv& env,
+                                          int required_first = -1);
+
+/// Extracts the inner-join spine rooted at `root` into a join graph: leaves
+/// are the non-join (or non-inner, or non-plain-slot-keyed) subtrees, edges
+/// come from equi-key pairs, residual predicates become graph predicates.
+/// Leaf cardinalities come from `est`. Returns false (graph untouched) when
+/// the spine has fewer than two leaves or uses non-slot keys.
+bool ExtractJoinGraph(const PlanPtr& root, const CardinalityEstimator& est,
+                      JoinGraph* out);
+
+/// Rebuilds a left-deep tree over `g.leaves` in `order`, rebinding keys and
+/// residuals to the new layout, and restoring the original column order with
+/// a final Project when the order changed. Returns null if the order would
+/// require a cross join (disconnected step).
+PlanPtr BuildOrderedJoinTree(const JoinGraph& g, const std::vector<int>& order);
+
+/// Reorders every eligible inner-join spine (>= 3 leaves) in `plan` using
+/// the DP enumerator (greedy above `dp_max_relations`). `reordered` (may be
+/// null) counts rebuilt spines.
+PlanPtr ReorderJoins(PlanPtr plan, const CardinalityEstimator& est,
+                     const PlanCostEnv& env, int dp_max_relations,
+                     int* reordered);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_PLANNER_JOIN_REORDER_H_

@@ -1,0 +1,27 @@
+#include "sql/planner/planner.h"
+
+#include "sql/planner/join_reorder.h"
+#include "sql/stats/cardinality_estimator.h"
+
+namespace shark {
+
+PlanPtr PlanQuery(PlanPtr plan, const UdfRegistry* udfs,
+                  const PlanCostEnv& env, const PlannerOptions& options) {
+  plan = ApplyRewriteRules(std::move(plan), udfs);
+  CardinalityEstimator estimator(env.catalog);
+  if (options.cbo && !options.force_left_deep) {
+    int reordered = 0;
+    plan = ReorderJoins(std::move(plan), estimator, env,
+                        options.dp_max_relations, &reordered);
+    if (reordered > 0) {
+      // Reordering changed the slot layout above the scans; re-derive the
+      // needed-column sets.
+      PruneAllColumns(plan.get());
+    }
+  }
+  estimator.Annotate(plan.get());
+  CostPlan(plan.get(), env);
+  return plan;
+}
+
+}  // namespace shark

@@ -1,0 +1,31 @@
+#ifndef SHARK_SQL_PLANNER_PLANNER_H_
+#define SHARK_SQL_PLANNER_PLANNER_H_
+
+#include "sql/planner/rules.h"
+#include "sql/stats/plan_cost.h"
+
+namespace shark {
+
+/// Planner behaviour knobs (mirrored by ExecOptions so sessions control
+/// them per query).
+struct PlannerOptions {
+  /// Cost-based join reordering (DP enumerator). Off = rules only, keeping
+  /// the query's written join order.
+  bool cbo = true;
+  /// Forces the written left-deep order even with cbo on — the naive
+  /// baseline the bench and the fuzz plan-variant oracle compare against.
+  bool force_left_deep = false;
+  /// DP budget: spines with more relations fall back to the greedy order.
+  int dp_max_relations = 10;
+};
+
+/// The two-phase planner (§2.4 + the PDE statistics work): rewrite rules
+/// (fold/pushdown/prune), then cost-based join reordering driven by ANALYZE
+/// statistics, then row/cost annotation of the final tree so EXPLAIN shows
+/// est_rows/est_cost on every node.
+PlanPtr PlanQuery(PlanPtr plan, const UdfRegistry* udfs,
+                  const PlanCostEnv& env, const PlannerOptions& options);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_PLANNER_PLANNER_H_

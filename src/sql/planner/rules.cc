@@ -1,5 +1,6 @@
-#include "sql/optimizer.h"
+#include "sql/planner/rules.h"
 
+#include <map>
 #include <set>
 
 #include "common/logging.h"
@@ -265,12 +266,16 @@ void PruneColumns(LogicalPlan* plan, const std::set<int>& needed) {
 
 }  // namespace
 
-PlanPtr Optimize(PlanPtr plan, const UdfRegistry* udfs) {
-  FoldPlanConstants(plan.get(), udfs);
-  plan = PushPredicates(plan, {});
+void PruneAllColumns(LogicalPlan* plan) {
   std::set<int> all;
   for (int i = 0; i < plan->num_output_columns(); ++i) all.insert(i);
-  PruneColumns(plan.get(), all);
+  PruneColumns(plan, all);
+}
+
+PlanPtr ApplyRewriteRules(PlanPtr plan, const UdfRegistry* udfs) {
+  FoldPlanConstants(plan.get(), udfs);
+  plan = PushPredicates(plan, {});
+  PruneAllColumns(plan.get());
   return plan;
 }
 

@@ -1,0 +1,27 @@
+#ifndef SHARK_SQL_PLANNER_RULES_H_
+#define SHARK_SQL_PLANNER_RULES_H_
+
+#include "sql/expr.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+/// Phase one of the planner: the rewrite-rule engine (the static half of
+/// Shark's optimizer, §2.4) — constant folding, predicate pushdown (through
+/// projects and joins, into scans where map pruning consumes it), and column
+/// pruning (the scan reads only needed columns from the columnar store).
+/// Rules are semantics-preserving and run before cost-based join reordering.
+PlanPtr ApplyRewriteRules(PlanPtr plan, const UdfRegistry* udfs);
+
+/// Re-runs only the column-pruning rule (used after join reordering changes
+/// the slot layout above the scans).
+void PruneAllColumns(LogicalPlan* plan);
+
+/// Back-compat alias for callers that only want rule-based optimization.
+inline PlanPtr Optimize(PlanPtr plan, const UdfRegistry* udfs) {
+  return ApplyRewriteRules(std::move(plan), udfs);
+}
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_PLANNER_RULES_H_

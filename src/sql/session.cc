@@ -6,7 +6,9 @@
 #include "rdd/pair_rdd.h"
 #include "common/string_util.h"
 #include "sql/analyzer.h"
-#include "sql/optimizer.h"
+#include "sql/planner/planner.h"
+#include "sql/stats/analyze.h"
+#include "sql/stats/table_stats.h"
 
 namespace shark {
 
@@ -104,14 +106,54 @@ Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt) {
     }
     case StatementKind::kExplain:
       return ExecuteExplain(*stmt.explain);
+    case StatementKind::kAnalyzeTable:
+      return ExecuteAnalyzeTable(*stmt.analyze_table);
   }
   return Status::Internal("unknown statement kind");
+}
+
+PlanPtr SharkSession::PlanSelect(PlanPtr plan) {
+  PlanCostEnv env;
+  env.catalog = &catalog_;
+  env.hardware = ctx_->cost_model().hardware();
+  env.profile = ctx_->profile();
+  env.virtual_scale = ctx_->virtual_scale();
+  env.total_cores = ctx_->cluster().total_cores();
+  env.broadcast_threshold_bytes = options_.broadcast_threshold_bytes;
+  PlannerOptions popts;
+  popts.cbo = options_.cbo;
+  popts.force_left_deep = options_.force_left_deep;
+  popts.dp_max_relations = options_.dp_max_relations;
+  return PlanQuery(std::move(plan), &udfs_, env, popts);
+}
+
+Result<QueryResult> SharkSession::ExecuteAnalyzeTable(
+    const AnalyzeTableStmt& stmt) {
+  SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(stmt.name));
+  QueryMetrics metrics;
+  SHARK_ASSIGN_OR_RETURN(auto stats,
+                         RunAnalyzeTable(ctx_.get(), info, &metrics));
+
+  QueryResult result;
+  result.metrics = metrics;
+  Schema schema;
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"table", TypeKind::kString}));
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"rows", TypeKind::kInt64}));
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"columns", TypeKind::kInt64}));
+  result.schema = schema;
+  Row row;
+  row.fields.push_back(Value::String(info->name));
+  row.fields.push_back(Value::Int64(static_cast<int64_t>(stats->row_count)));
+  row.fields.push_back(
+      Value::Int64(static_cast<int64_t>(stats->columns.size())));
+  result.rows.push_back(std::move(row));
+  return result;
 }
 
 Result<QueryResult> SharkSession::ExecuteExplain(const ExplainStmt& stmt) {
   Analyzer analyzer(&catalog_, &udfs_);
   SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
-  plan = Optimize(plan, &udfs_);
+  plan = PlanSelect(plan);
 
   std::string rendered;
   QueryResult result;
@@ -163,7 +205,7 @@ Result<QueryResult> SharkSession::ExecuteExplain(const ExplainStmt& stmt) {
 Result<QueryResult> SharkSession::ExecuteSelect(const SelectStmt& stmt) {
   Analyzer analyzer(&catalog_, &udfs_);
   SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(stmt));
-  plan = Optimize(plan, &udfs_);
+  plan = PlanSelect(plan);
   Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
   return executor.Execute(plan);
 }
@@ -177,7 +219,7 @@ Result<TableRdd> SharkSession::Sql2Rdd(const std::string& query) {
   Analyzer analyzer(&catalog_, &udfs_);
   Result<PlanPtr> plan = analyzer.AnalyzeSelect(*stmt.select);
   if (!plan.ok()) return plan.status();
-  PlanPtr optimized = Optimize(*plan, &udfs_);
+  PlanPtr optimized = PlanSelect(*plan);
   Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
   Result<RddPtr<Row>> rdd = executor.BuildRdd(optimized);
   if (!rdd.ok()) {
@@ -201,7 +243,7 @@ Result<std::string> SharkSession::Explain(const std::string& query) {
   }
   Analyzer analyzer(&catalog_, &udfs_);
   SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
-  plan = Optimize(plan, &udfs_);
+  plan = PlanSelect(plan);
   return plan->ToString();
 }
 
@@ -407,7 +449,7 @@ Result<QueryResult> SharkSession::ExecuteCreateTable(
   // CTAS: build the select's RDD, then either cache it or write it to DFS.
   Analyzer analyzer(&catalog_, &udfs_);
   SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(*stmt.select));
-  plan = Optimize(plan, &udfs_);
+  plan = PlanSelect(plan);
   Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
   SHARK_ASSIGN_OR_RETURN(RddPtr<Row> rows, executor.BuildRdd(plan));
 

@@ -71,6 +71,11 @@ class SharkSession {
 
  private:
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteAnalyzeTable(const AnalyzeTableStmt& stmt);
+
+  /// Runs the full two-phase planner (rules + cost-based join reordering)
+  /// under this session's options and cluster cost environment.
+  PlanPtr PlanSelect(PlanPtr plan);
   Status CacheTableImpl(const std::string& name,
                         const std::string& distribute_column,
                         const std::string& copartition_with);

@@ -1,0 +1,27 @@
+#ifndef SHARK_SQL_STATS_ANALYZE_H_
+#define SHARK_SQL_STATS_ANALYZE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "sql/catalog.h"
+#include "sql/stats/table_stats.h"
+
+namespace shark {
+
+class ClusterContext;
+struct QueryMetrics;
+
+/// Runs ANALYZE TABLE as a distributed job: every partition of the cached
+/// columnar table (or the DFS file for uncached tables) is scanned by a task
+/// that builds per-column sketches — histogram, heavy hitters, KMV distinct
+/// sketch — which the master merges into one TableStatistics. The scan is
+/// charged through the normal cost model, so ANALYZE costs virtual time like
+/// any other query. On success the statistics are installed in the catalog
+/// entry (`info->column_statistics`).
+Result<std::shared_ptr<const TableStatistics>> RunAnalyzeTable(
+    ClusterContext* ctx, TableInfo* info, QueryMetrics* metrics);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_STATS_ANALYZE_H_

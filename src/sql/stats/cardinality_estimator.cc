@@ -1,0 +1,333 @@
+#include "sql/stats/cardinality_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/expr.h"
+
+namespace shark {
+
+namespace {
+
+const SlotStats* SlotOf(const Expr& e, const std::vector<SlotStats>& slots) {
+  if (e.kind != ExprKind::kSlot) return nullptr;
+  if (e.slot < 0 || e.slot >= static_cast<int>(slots.size())) return nullptr;
+  return &slots[static_cast<size_t>(e.slot)];
+}
+
+bool LiteralNumeric(const Expr& e, double* out) {
+  if (e.kind != ExprKind::kLiteral) return false;
+  return ValueAsNumeric(e.literal, out);
+}
+
+}  // namespace
+
+double CardinalityEstimator::ConjunctionSelectivity(
+    std::vector<double> sels) {
+  if (sels.empty()) return 1.0;
+  std::sort(sels.begin(), sels.end());
+  double out = 1.0;
+  double exponent = 1.0;
+  for (double s : sels) {
+    out *= std::pow(std::clamp(s, 0.0, 1.0), exponent);
+    exponent *= 0.5;
+  }
+  return out;
+}
+
+double CardinalityEstimator::GroupOutputRows(double input_rows,
+                                             double key_ndv) {
+  if (input_rows <= 0) return 0.0;
+  if (key_ndv <= 1.0) return 1.0;
+  return key_ndv * (1.0 - std::exp(-input_rows / key_ndv));
+}
+
+double CardinalityEstimator::JoinKeySelectivity(const SlotStats& l,
+                                                const SlotStats& r,
+                                                double left_rows,
+                                                double right_rows) {
+  auto side_ndv = [](const SlotStats& s, double rows) {
+    double ndv = s.column != nullptr && s.column->ndv > 0 ? s.column->ndv
+                                                          : rows;
+    return std::max(std::min(ndv, std::max(rows, 1.0)), 1.0);
+  };
+  double ndv_l = side_ndv(l, left_rows);
+  double ndv_r = side_ndv(r, right_rows);
+  return 1.0 / std::max(ndv_l, ndv_r);
+}
+
+double CardinalityEstimator::RowWidth(const std::vector<SlotStats>& slots) {
+  double width = 0;
+  for (const SlotStats& s : slots) {
+    width += s.column != nullptr ? s.column->avg_width : 16.0;
+  }
+  return std::max(width, 8.0);
+}
+
+double CardinalityEstimator::SelectivityOf(
+    const Expr& pred, const std::vector<SlotStats>& slots) const {
+  switch (pred.kind) {
+    case ExprKind::kLiteral: {
+      if (pred.literal.is_null()) return 0.0;
+      if (pred.literal.kind() == TypeKind::kBool) {
+        return pred.literal.bool_v() ? 1.0 : 0.0;
+      }
+      return 1.0;
+    }
+    case ExprKind::kUnary:
+      if (pred.unary_op == UnaryOp::kNot) {
+        return 1.0 - SelectivityOf(*pred.children[0], slots);
+      }
+      return kDefaultRange;
+    case ExprKind::kBinary:
+      break;  // handled below
+    case ExprKind::kBetween: {
+      const SlotStats* s = SlotOf(*pred.children[0], slots);
+      double lo, hi;
+      double sel = kDefaultRange;
+      if (s != nullptr && s->column != nullptr &&
+          LiteralNumeric(*pred.children[1], &lo) &&
+          LiteralNumeric(*pred.children[2], &hi)) {
+        sel = s->column->RangeSelectivity(true, lo, true, hi);
+      }
+      return pred.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kInList: {
+      const SlotStats* s = SlotOf(*pred.children[0], slots);
+      double sel = 0.0;
+      bool from_stats = s != nullptr && s->column != nullptr;
+      for (size_t i = 1; i < pred.children.size(); ++i) {
+        if (from_stats && pred.children[i]->kind == ExprKind::kLiteral) {
+          sel += s->column->EqualitySelectivity(pred.children[i]->literal);
+        } else {
+          sel += kDefaultEq;
+        }
+      }
+      sel = std::min(sel, 1.0);
+      return pred.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kIsNull: {
+      const SlotStats* s = SlotOf(*pred.children[0], slots);
+      double nf = s != nullptr && s->column != nullptr
+                      ? s->column->NullFraction()
+                      : kDefaultEq;
+      return pred.negated ? 1.0 - nf : nf;
+    }
+    case ExprKind::kLike:
+      return pred.negated ? 1.0 - kDefaultLike : kDefaultLike;
+    default:
+      return kDefaultRange;
+  }
+
+  const Expr& l = *pred.children[0];
+  const Expr& r = *pred.children[1];
+  switch (pred.binary_op) {
+    case BinaryOp::kAnd: {
+      std::vector<double> sels;
+      for (const ExprPtr& c : SplitConjuncts(CloneExpr(pred))) {
+        sels.push_back(SelectivityOf(*c, slots));
+      }
+      return ConjunctionSelectivity(std::move(sels));
+    }
+    case BinaryOp::kOr: {
+      double a = SelectivityOf(l, slots);
+      double b = SelectivityOf(r, slots);
+      return std::clamp(a + b - a * b, 0.0, 1.0);
+    }
+    case BinaryOp::kEq: {
+      const SlotStats* s = SlotOf(l, slots);
+      const Expr* lit = &r;
+      if (s == nullptr) {
+        s = SlotOf(r, slots);
+        lit = &l;
+      }
+      if (s != nullptr && s->column != nullptr &&
+          lit->kind == ExprKind::kLiteral) {
+        return s->column->EqualitySelectivity(lit->literal);
+      }
+      return kDefaultEq;
+    }
+    case BinaryOp::kNe: {
+      ExprPtr eq = MakeBinary(BinaryOp::kEq, pred.children[0],
+                              pred.children[1]);
+      return std::clamp(1.0 - SelectivityOf(*eq, slots), 0.0, 1.0);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      // Normalize to slot-op-literal; flip the comparison when the literal
+      // is on the left.
+      const SlotStats* s = SlotOf(l, slots);
+      const Expr* lit = &r;
+      bool upper = pred.binary_op == BinaryOp::kLt ||
+                   pred.binary_op == BinaryOp::kLe;
+      if (s == nullptr) {
+        s = SlotOf(r, slots);
+        lit = &l;
+        upper = !upper;
+      }
+      double bound;
+      if (s != nullptr && s->column != nullptr &&
+          LiteralNumeric(*lit, &bound)) {
+        return upper ? s->column->RangeSelectivity(false, 0, true, bound)
+                     : s->column->RangeSelectivity(true, bound, false, 0);
+      }
+      return kDefaultRange;
+    }
+    default:
+      return kDefaultRange;
+  }
+}
+
+double CardinalityEstimator::Annotate(LogicalPlan* plan) const {
+  std::vector<SlotStats> slots;
+  return AnnotateWithSlots(plan, &slots);
+}
+
+double CardinalityEstimator::AnnotateWithSlots(
+    LogicalPlan* plan, std::vector<SlotStats>* slots) const {
+  double rows = AnnotateNode(plan, slots);
+  plan->est_rows = rows;
+  return rows;
+}
+
+double CardinalityEstimator::AnnotateNode(LogicalPlan* plan,
+                                          std::vector<SlotStats>* slots) const {
+  slots->clear();
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      const TableStatistics* stats = nullptr;
+      double table_rows = kDefaultTableRows;
+      if (catalog_ != nullptr) {
+        auto info = catalog_->Get(plan->table);
+        if (info.ok()) {
+          if ((*info)->column_statistics != nullptr) {
+            stats = (*info)->column_statistics.get();
+            table_rows = stats->row_count;
+          } else if ((*info)->approx_rows > 0) {
+            table_rows = static_cast<double>((*info)->approx_rows);
+          }
+        }
+      }
+      for (size_t c = 0; c < plan->output.size(); ++c) {
+        SlotStats s;
+        s.table_rows = table_rows;
+        if (stats != nullptr && c < stats->columns.size()) {
+          s.column = &stats->columns[c];
+        }
+        slots->push_back(s);
+      }
+      double rows = table_rows;
+      if (plan->scan_predicate != nullptr) {
+        rows *= SelectivityOf(*plan->scan_predicate, *slots);
+      }
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kFilter: {
+      std::vector<SlotStats> child;
+      double in = AnnotateWithSlots(plan->children[0].get(), &child);
+      *slots = child;
+      double rows = in * SelectivityOf(*plan->predicate, child);
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kProject: {
+      std::vector<SlotStats> child;
+      double in = AnnotateWithSlots(plan->children[0].get(), &child);
+      for (const ExprPtr& e : plan->project_exprs) {
+        const SlotStats* s = SlotOf(*e, child);
+        slots->push_back(s != nullptr ? *s : SlotStats{});
+      }
+      plan->est_rows = in;
+      return in;
+    }
+    case PlanKind::kAggregate: {
+      std::vector<SlotStats> child;
+      double in = AnnotateWithSlots(plan->children[0].get(), &child);
+      double rows;
+      if (plan->group_exprs.empty()) {
+        rows = 1.0;
+      } else {
+        double key_ndv = 1.0;
+        for (const ExprPtr& g : plan->group_exprs) {
+          const SlotStats* s = SlotOf(*g, child);
+          double ndv = s != nullptr && s->column != nullptr &&
+                               s->column->ndv > 0
+                           ? s->column->ndv
+                           : std::sqrt(std::max(in, 1.0));
+          key_ndv *= std::max(std::min(ndv, std::max(in, 1.0)), 1.0);
+        }
+        key_ndv = std::min(key_ndv, std::max(in, 1.0));
+        rows = GroupOutputRows(in, key_ndv);
+      }
+      for (const ExprPtr& g : plan->group_exprs) {
+        const SlotStats* s = SlotOf(*g, child);
+        slots->push_back(s != nullptr ? *s : SlotStats{});
+      }
+      for (size_t i = 0; i < plan->agg_calls.size(); ++i) {
+        slots->push_back(SlotStats{});
+      }
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kJoin: {
+      std::vector<SlotStats> lslots, rslots;
+      double lrows = AnnotateWithSlots(plan->children[0].get(), &lslots);
+      double rrows = AnnotateWithSlots(plan->children[1].get(), &rslots);
+      std::vector<double> key_sels;
+      for (size_t k = 0; k < plan->left_keys.size(); ++k) {
+        const SlotStats* ls = SlotOf(*plan->left_keys[k], lslots);
+        const SlotStats* rs = SlotOf(*plan->right_keys[k], rslots);
+        key_sels.push_back(JoinKeySelectivity(
+            ls != nullptr ? *ls : SlotStats{},
+            rs != nullptr ? *rs : SlotStats{}, lrows, rrows));
+      }
+      double rows = lrows * rrows;
+      for (double s : key_sels) rows *= s;
+      *slots = lslots;
+      slots->insert(slots->end(), rslots.begin(), rslots.end());
+      if (plan->join_residual != nullptr) {
+        rows *= SelectivityOf(*plan->join_residual, *slots);
+      }
+      // Outer joins null-extend the preserved side: at least that many rows.
+      if (plan->join_type == JoinType::kLeftOuter) rows = std::max(rows, lrows);
+      if (plan->join_type == JoinType::kRightOuter) {
+        rows = std::max(rows, rrows);
+      }
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kSort: {
+      double in = AnnotateWithSlots(plan->children[0].get(), slots);
+      double rows = plan->limit >= 0
+                        ? std::min(in, static_cast<double>(plan->limit))
+                        : in;
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kLimit: {
+      double in = AnnotateWithSlots(plan->children[0].get(), slots);
+      double rows = plan->limit >= 0
+                        ? std::min(in, static_cast<double>(plan->limit))
+                        : in;
+      plan->est_rows = rows;
+      return rows;
+    }
+    case PlanKind::kUnion: {
+      double total = 0;
+      for (size_t i = 0; i < plan->children.size(); ++i) {
+        std::vector<SlotStats> child;
+        total += AnnotateWithSlots(plan->children[i].get(), &child);
+        if (i == 0) *slots = child;
+      }
+      plan->est_rows = total;
+      return total;
+    }
+  }
+  plan->est_rows = 0;
+  return 0;
+}
+
+}  // namespace shark

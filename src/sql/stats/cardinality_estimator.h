@@ -1,0 +1,77 @@
+#ifndef SHARK_SQL_STATS_CARDINALITY_ESTIMATOR_H_
+#define SHARK_SQL_STATS_CARDINALITY_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/catalog.h"
+#include "sql/logical_plan.h"
+#include "sql/stats/table_stats.h"
+
+namespace shark {
+
+/// What the estimator knows about one output slot of a plan node: the base
+/// table's column statistics (if the slot traces back to a scanned column
+/// through plain-slot projections and joins) and the base table's row count.
+/// Selectivities are computed against base statistics under the usual
+/// attribute-independence assumption.
+struct SlotStats {
+  const ColumnStatistics* column = nullptr;
+  double table_rows = -1.0;
+};
+
+/// Folds ANALYZE statistics (or catalog priors when a table was never
+/// analyzed) into per-node row estimates: equality predicates via heavy
+/// hitters / NDV, ranges via histograms, conjunctions with exponential
+/// backoff, join output sizes via 1/max(ndv) containment, and group-by
+/// output via the saturating distinct-count curve. All estimates are in
+/// real rows — directly comparable to observed runtime cardinalities, which
+/// is what PDE re-planning exploits.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Annotates est_rows on every node bottom-up; returns the root estimate.
+  double Annotate(LogicalPlan* plan) const;
+
+  /// Like Annotate, also yielding the root's per-slot statistics.
+  double AnnotateWithSlots(LogicalPlan* plan,
+                           std::vector<SlotStats>* slots) const;
+
+  /// Selectivity in [0,1] of `pred` over rows described by `slots`.
+  double SelectivityOf(const Expr& pred,
+                       const std::vector<SlotStats>& slots) const;
+
+  /// Combined selectivity of conjuncts with exponential backoff: sorted
+  /// ascending, s0 * s1^(1/2) * s2^(1/4) * ... — acknowledges correlation
+  /// instead of multiplying everything outright.
+  static double ConjunctionSelectivity(std::vector<double> sels);
+
+  /// Expected group count when `input_rows` draws hit `key_ndv` keys:
+  /// K * (1 - exp(-n/K)) — saturates instead of growing linearly.
+  static double GroupOutputRows(double input_rows, double key_ndv);
+
+  /// Equi-join selectivity of one key pair: 1 / max(ndv_l, ndv_r), NDVs
+  /// capped by the side cardinalities; unknown NDV assumes a unique key.
+  static double JoinKeySelectivity(const SlotStats& l, const SlotStats& r,
+                                   double left_rows, double right_rows);
+
+  /// Average row width in bytes for output rows described by `slots`.
+  static double RowWidth(const std::vector<SlotStats>& slots);
+
+  /// Default row count assumed for tables with no statistics at all.
+  static constexpr double kDefaultTableRows = 1000.0;
+  /// Default selectivities when no statistics apply.
+  static constexpr double kDefaultEq = 0.1;
+  static constexpr double kDefaultRange = 1.0 / 3.0;
+  static constexpr double kDefaultLike = 0.25;
+
+ private:
+  double AnnotateNode(LogicalPlan* plan, std::vector<SlotStats>* slots) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_STATS_CARDINALITY_ESTIMATOR_H_

@@ -1,0 +1,179 @@
+#include "sql/stats/plan_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/stats/table_stats.h"
+
+namespace shark {
+
+namespace {
+
+uint64_t U64(double v) {
+  return v <= 0 ? 0 : static_cast<uint64_t>(v);
+}
+
+double Rows(const LogicalPlan& plan) { return std::max(plan.est_rows, 0.0); }
+
+}  // namespace
+
+double WorkToSeconds(const PlanCostEnv& env, const TaskWork& work,
+                     int stages) {
+  CostModel model(env.hardware);
+  double core_sec = model.WorkSeconds(work, env.profile, env.virtual_scale);
+  double t = core_sec / std::max(env.total_cores, 1);
+  // Each stage pays launch overhead once across the wave of parallel tasks.
+  t += static_cast<double>(stages) *
+       (env.profile.task_launch_overhead_sec + 0.01);
+  return t;
+}
+
+double EstimateRowBytes(const LogicalPlan& plan, const PlanCostEnv& env) {
+  if (plan.kind == PlanKind::kScan && env.catalog != nullptr) {
+    auto info = env.catalog->Get(plan.table);
+    if (info.ok()) {
+      const TableInfo* t = *info;
+      if (t->column_statistics != nullptr &&
+          t->column_statistics->AvgRowBytes() > 0) {
+        return t->column_statistics->AvgRowBytes();
+      }
+      if (t->approx_rows > 0 && t->approx_bytes > 0) {
+        return static_cast<double>(t->approx_bytes) /
+               static_cast<double>(t->approx_rows);
+      }
+    }
+  }
+  if (!plan.children.empty() && plan.kind != PlanKind::kAggregate) {
+    double total = 0;
+    for (const PlanPtr& c : plan.children) {
+      total += EstimateRowBytes(*c, env);
+    }
+    if (plan.kind == PlanKind::kJoin || plan.kind == PlanKind::kUnion) {
+      return plan.kind == PlanKind::kUnion
+                 ? total / static_cast<double>(plan.children.size())
+                 : total;
+    }
+    return total / static_cast<double>(plan.children.size());
+  }
+  return 16.0 * std::max(plan.num_output_columns(), 1);
+}
+
+double JoinStepCostSeconds(const PlanCostEnv& env, double left_rows,
+                           double left_bytes, double right_rows,
+                           double right_bytes, double out_rows) {
+  double small_bytes = std::min(left_bytes, right_bytes);
+  double small_rows = left_bytes <= right_bytes ? left_rows : right_rows;
+  double probe_rows = left_bytes <= right_bytes ? right_rows : left_rows;
+  double threshold =
+      static_cast<double>(env.broadcast_threshold_bytes);
+
+  TaskWork broadcast;
+  // Gather the build side to the master, broadcast it, probe in place.
+  broadcast.net_read_bytes = U64(2.0 * small_bytes);
+  broadcast.hash_records = U64(small_rows + probe_rows);
+  broadcast.rows_processed = U64(probe_rows + out_rows);
+  double broadcast_cost = WorkToSeconds(env, broadcast, /*stages=*/2);
+
+  TaskWork shuffle;
+  // Both sides serialized, moved across the network and co-grouped.
+  shuffle.ser_bytes = U64(left_bytes + right_bytes);
+  shuffle.net_read_bytes = U64(left_bytes + right_bytes);
+  shuffle.hash_records = U64(left_rows + right_rows);
+  shuffle.rows_processed = U64(left_rows + right_rows + out_rows);
+  double shuffle_cost = WorkToSeconds(env, shuffle, /*stages=*/3);
+
+  bool can_broadcast = small_bytes * env.virtual_scale <= threshold;
+  return can_broadcast ? std::min(broadcast_cost, shuffle_cost)
+                       : shuffle_cost;
+}
+
+double CostPlan(LogicalPlan* plan, const PlanCostEnv& env) {
+  double children_cost = 0;
+  for (const PlanPtr& c : plan->children) {
+    children_cost += CostPlan(c.get(), env);
+  }
+
+  TaskWork work;
+  int stages = 0;
+  double out_rows = Rows(*plan);
+  double out_bytes = out_rows * EstimateRowBytes(*plan, env);
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      double table_rows = out_rows;
+      double table_bytes = out_bytes;
+      bool cached = false;
+      DfsFormat format = DfsFormat::kText;
+      if (env.catalog != nullptr) {
+        auto info = env.catalog->Get(plan->table);
+        if (info.ok()) {
+          cached = (*info)->is_cached();
+          format = (*info)->format;
+          if ((*info)->approx_rows > 0) {
+            table_rows = static_cast<double>((*info)->approx_rows);
+          }
+          if ((*info)->approx_bytes > 0) {
+            table_bytes = static_cast<double>((*info)->approx_bytes);
+          }
+        }
+      }
+      if (cached) {
+        // Column pruning: only the needed columns' bytes are decoded.
+        double frac = plan->output.empty()
+                          ? 1.0
+                          : static_cast<double>(std::max<size_t>(
+                                plan->needed_columns.size(), 1)) /
+                                static_cast<double>(plan->output.size());
+        work.mem_read_bytes = U64(table_bytes * frac);
+      } else {
+        work.disk_read_bytes = U64(table_bytes);
+        if (format == DfsFormat::kText) {
+          work.text_deser_bytes = U64(table_bytes);
+        } else {
+          work.binary_deser_bytes = U64(table_bytes);
+        }
+      }
+      work.rows_processed = U64(table_rows);
+      stages = 1;
+      break;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kLimit:
+      work.rows_processed = U64(Rows(*plan->children[0]));
+      break;
+    case PlanKind::kAggregate: {
+      double in_rows = Rows(*plan->children[0]);
+      work.hash_records = U64(in_rows + out_rows);
+      work.ser_bytes = U64(out_bytes);
+      work.net_read_bytes = U64(out_bytes);
+      work.rows_processed = U64(in_rows);
+      stages = 2;
+      break;
+    }
+    case PlanKind::kJoin: {
+      const LogicalPlan& l = *plan->children[0];
+      const LogicalPlan& r = *plan->children[1];
+      double lb = Rows(l) * EstimateRowBytes(l, env);
+      double rb = Rows(r) * EstimateRowBytes(r, env);
+      double step = JoinStepCostSeconds(env, Rows(l), lb, Rows(r), rb,
+                                        out_rows);
+      plan->est_cost_sec = children_cost + step;
+      return plan->est_cost_sec;
+    }
+    case PlanKind::kSort: {
+      double in_rows = Rows(*plan->children[0]);
+      double in_bytes =
+          in_rows * EstimateRowBytes(*plan->children[0], env);
+      work.sort_records = U64(in_rows);
+      work.net_read_bytes = U64(in_bytes);
+      stages = 2;
+      break;
+    }
+    case PlanKind::kUnion:
+      break;
+  }
+  plan->est_cost_sec = children_cost + WorkToSeconds(env, work, stages);
+  return plan->est_cost_sec;
+}
+
+}  // namespace shark

@@ -1,0 +1,50 @@
+#ifndef SHARK_SQL_STATS_PLAN_COST_H_
+#define SHARK_SQL_STATS_PLAN_COST_H_
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+#include "sql/catalog.h"
+#include "sql/logical_plan.h"
+
+namespace shark {
+
+/// Everything the planner needs to price a plan in the simulator's currency.
+/// The hardware model, engine profile and virtual scale are the exact values
+/// the discrete-event scheduler charges with, so EXPLAIN's est_cost and the
+/// measured virtual seconds are directly comparable numbers.
+struct PlanCostEnv {
+  const Catalog* catalog = nullptr;
+  HardwareModel hardware;
+  EngineProfile profile;
+  double virtual_scale = 1.0;
+  int total_cores = 8;
+  uint64_t broadcast_threshold_bytes = 1ULL << 30;
+};
+
+/// Converts estimated operator work into virtual seconds under ideal
+/// parallelism: core-occupancy seconds / total cores, plus per-stage
+/// scheduling overhead.
+double WorkToSeconds(const PlanCostEnv& env, const TaskWork& work, int stages);
+
+/// Cost of one join step for the DP enumerator: joining a left composite of
+/// (rows, bytes) with a right input of (rows, bytes) producing `out_rows`.
+/// Picks the cheaper of broadcast (when a side fits under the threshold in
+/// virtual bytes) and shuffle — mirroring the executor's runtime choice.
+double JoinStepCostSeconds(const PlanCostEnv& env, double left_rows,
+                           double left_bytes, double right_rows,
+                           double right_bytes, double out_rows);
+
+/// Estimated average output row width in bytes for a plan node (column
+/// statistics for scans when available, a flat per-column default
+/// otherwise).
+double EstimateRowBytes(const LogicalPlan& plan, const PlanCostEnv& env);
+
+/// Annotates `est_cost_sec` cumulatively (node + subtree) over a plan whose
+/// `est_rows` were already filled by the CardinalityEstimator; returns the
+/// root cost in virtual seconds.
+double CostPlan(LogicalPlan* plan, const PlanCostEnv& env);
+
+}  // namespace shark
+
+#endif  // SHARK_SQL_STATS_PLAN_COST_H_

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sql/analyzer.h"
-#include "sql/optimizer.h"
+#include "sql/planner/rules.h"
 #include "sql/parser.h"
 
 namespace shark {

@@ -1,0 +1,284 @@
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sql/planner/join_reorder.h"
+#include "sql/session.h"
+#include "sql/stats/table_stats.h"
+
+namespace shark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DP enumerator vs exhaustive oracle on synthetic graphs
+// ---------------------------------------------------------------------------
+
+JoinGraph RandomGraph(int n, std::mt19937* rng) {
+  JoinGraph g;
+  std::uniform_real_distribution<double> logrows(1.0, 6.0);
+  for (int i = 0; i < n; ++i) {
+    JoinGraphLeaf leaf;
+    leaf.rows = std::pow(10.0, logrows(*rng));
+    leaf.row_width = 8.0 + 8.0 * static_cast<double>(i % 4);
+    g.leaves.push_back(leaf);
+  }
+  // Spanning chain keeps the graph connected; extra random edges add cycles.
+  std::uniform_real_distribution<double> sel(1e-6, 1e-2);
+  for (int i = 1; i < n; ++i) {
+    g.edges.push_back(JoinGraphEdge{i - 1, i, 0, 0, sel(*rng)});
+  }
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (int e = 0; e < n / 2; ++e) {
+    int a = pick(*rng), b = pick(*rng);
+    if (a != b) g.edges.push_back(JoinGraphEdge{a, b, 0, 0, sel(*rng)});
+  }
+  return g;
+}
+
+TEST(JoinOrderTest, DpMatchesExhaustiveOnSmallGraphs) {
+  PlanCostEnv env;
+  std::mt19937 rng(42);
+  for (int n = 3; n <= 5; ++n) {
+    for (int trial = 0; trial < 20; ++trial) {
+      JoinGraph g = RandomGraph(n, &rng);
+      JoinOrderResult dp = ChooseJoinOrderDp(g, env);
+      JoinOrderResult ex = ChooseJoinOrderExhaustive(g, env);
+      ASSERT_GE(dp.cost, 0.0);
+      ASSERT_GE(ex.cost, 0.0);
+      EXPECT_NEAR(dp.cost, ex.cost, 1e-9 + 1e-9 * ex.cost)
+          << "n=" << n << " trial=" << trial;
+      // The order the DP returns must actually cost what it claims.
+      EXPECT_NEAR(JoinOrderCost(g, env, dp.order), dp.cost,
+                  1e-9 + 1e-9 * dp.cost);
+    }
+  }
+}
+
+TEST(JoinOrderTest, DpHonorsRequiredFirst) {
+  PlanCostEnv env;
+  std::mt19937 rng(7);
+  JoinGraph g = RandomGraph(4, &rng);
+  for (int first = 0; first < 4; ++first) {
+    JoinOrderResult r = ChooseJoinOrderDp(g, env, first);
+    ASSERT_EQ(r.order.size(), 4u);
+    EXPECT_EQ(r.order[0], first);
+    JoinOrderResult ex = ChooseJoinOrderExhaustive(g, env, first);
+    EXPECT_NEAR(r.cost, ex.cost, 1e-9 + 1e-9 * ex.cost);
+  }
+}
+
+TEST(JoinOrderTest, TiedCostsKeepWrittenOrder) {
+  // Identical leaves on a symmetric chain: every direction costs the same,
+  // so the tie-break must reproduce the written order 0,1,2.
+  JoinGraph g;
+  for (int i = 0; i < 3; ++i) {
+    JoinGraphLeaf leaf;
+    leaf.rows = 1000;
+    leaf.row_width = 16;
+    g.leaves.push_back(leaf);
+  }
+  g.edges.push_back(JoinGraphEdge{0, 1, 0, 0, 1e-3});
+  g.edges.push_back(JoinGraphEdge{1, 2, 0, 0, 1e-3});
+  PlanCostEnv env;
+  JoinOrderResult r = ChooseJoinOrderDp(g, env);
+  ASSERT_EQ(r.order.size(), 3u);
+  EXPECT_EQ(r.order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(JoinOrderTest, GreedyProducesValidConnectedOrder) {
+  PlanCostEnv env;
+  std::mt19937 rng(13);
+  JoinGraph g = RandomGraph(8, &rng);
+  JoinOrderResult r = ChooseJoinOrderGreedy(g, env);
+  ASSERT_EQ(r.order.size(), 8u);
+  EXPECT_GE(r.cost, 0.0);  // JoinOrderCost rejects disconnected orders
+  std::set<int> seen(r.order.begin(), r.order.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(JoinOrderTest, DisconnectedGraphHasNoOrder) {
+  JoinGraph g;
+  for (int i = 0; i < 3; ++i) {
+    JoinGraphLeaf leaf;
+    leaf.rows = 100;
+    g.leaves.push_back(leaf);
+  }
+  g.edges.push_back(JoinGraphEdge{0, 1, 0, 0, 0.01});  // leaf 2 unreachable
+  PlanCostEnv env;
+  EXPECT_LT(ChooseJoinOrderDp(g, env).cost, 0.0);
+  EXPECT_LT(ChooseJoinOrderGreedy(g, env).cost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Planner + executor integration over a star schema
+// ---------------------------------------------------------------------------
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    session_ =
+        std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+    std::mt19937 rng(5);
+
+    Schema sales({{"cid", TypeKind::kInt64},
+                  {"pid", TypeKind::kInt64},
+                  {"sid", TypeKind::kInt64},
+                  {"amt", TypeKind::kDouble}});
+    std::vector<Row> srows;
+    std::uniform_int_distribution<int> cid(0, 1999), pid(0, 499), sid(0, 99);
+    for (int i = 0; i < 10000; ++i) {
+      srows.push_back(Row({Value::Int64(cid(rng)), Value::Int64(pid(rng)),
+                           Value::Int64(sid(rng)), Value::Double(i * 0.5)}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("sales", sales, srows, 8).ok());
+
+    // age uniform 0..99: "age < 1" is ~1% selective, far from the 1/3
+    // default the planner assumes without statistics.
+    Schema customers({{"ck", TypeKind::kInt64}, {"age", TypeKind::kInt64}});
+    std::vector<Row> crows;
+    std::uniform_int_distribution<int> age(0, 99);
+    for (int i = 0; i < 2000; ++i) {
+      crows.push_back(Row({Value::Int64(i), Value::Int64(age(rng))}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("customers", customers, crows, 4).ok());
+
+    // price uniform 0..999: "price < 500" is ~50% selective.
+    Schema products({{"pk", TypeKind::kInt64}, {"price", TypeKind::kInt64}});
+    std::vector<Row> prows;
+    std::uniform_int_distribution<int> price(0, 999);
+    for (int i = 0; i < 500; ++i) {
+      prows.push_back(Row({Value::Int64(i), Value::Int64(price(rng))}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("products", products, prows, 4).ok());
+
+    Schema stores({{"sk", TypeKind::kInt64}, {"region", TypeKind::kInt64}});
+    std::vector<Row> trows;
+    for (int i = 0; i < 100; ++i) {
+      trows.push_back(Row({Value::Int64(i), Value::Int64(i % 7)}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("stores", stores, trows, 2).ok());
+  }
+
+  std::multiset<std::string> Rows(const QueryResult& r) {
+    std::multiset<std::string> out;
+    for (const Row& row : r.rows) out.insert(row.ToString());
+    return out;
+  }
+
+  const std::string star_query_ =
+      "SELECT amt, age, price FROM sales "
+      "JOIN customers ON sales.cid = customers.ck "
+      "JOIN products ON sales.pid = products.pk "
+      "WHERE customers.age < 1 AND products.price < 500";
+
+  // Four-way star: enough leaves that a mid-spine re-plan still has at
+  // least two tables left to reorder after the first observation.
+  const std::string star4_query_ =
+      "SELECT amt, age, price, region FROM sales "
+      "JOIN customers ON sales.cid = customers.ck "
+      "JOIN products ON sales.pid = products.pk "
+      "JOIN stores ON sales.sid = stores.sk "
+      "WHERE customers.age < 1 AND products.price < 500";
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(PlannerTest, ExplainShowsEstimatedRowsAndCost) {
+  auto ex = session_->Explain("SELECT amt FROM sales WHERE amt > 100.0");
+  ASSERT_TRUE(ex.ok()) << ex.status().ToString();
+  EXPECT_NE(ex->find("est_rows="), std::string::npos) << *ex;
+  EXPECT_NE(ex->find("est_cost="), std::string::npos) << *ex;
+}
+
+TEST_F(PlannerTest, AnalyzeFlipsJoinOrderInExplain) {
+  auto before = session_->Explain(star_query_);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  for (const char* t : {"sales", "customers", "products"}) {
+    ASSERT_TRUE(session_->Sql(std::string("ANALYZE TABLE ") + t).ok());
+  }
+  auto after = session_->Explain(star_query_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  // Without statistics both filters look 1/3-selective, so the smaller
+  // products table is joined first. ANALYZE reveals age<1 keeps ~20
+  // customers vs ~250 products, flipping the order: the customers scan now
+  // prints before the products scan (deeper = joined earlier).
+  size_t cust_before = before->find("customers");
+  size_t prod_before = before->find("products");
+  size_t cust_after = after->find("customers");
+  size_t prod_after = after->find("products");
+  ASSERT_NE(cust_before, std::string::npos);
+  ASSERT_NE(prod_before, std::string::npos);
+  EXPECT_GT(cust_before, prod_before) << *before;
+  EXPECT_LT(cust_after, prod_after) << *after;
+}
+
+TEST_F(PlannerTest, CboAndForcedLeftDeepAgreeOnResults) {
+  for (const char* t : {"sales", "customers", "products"}) {
+    ASSERT_TRUE(session_->Sql(std::string("ANALYZE TABLE ") + t).ok());
+  }
+  session_->options().force_left_deep = true;
+  auto naive = session_->Sql(star_query_);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  session_->options().force_left_deep = false;
+  auto cbo = session_->Sql(star_query_);
+  ASSERT_TRUE(cbo.ok()) << cbo.status().ToString();
+  EXPECT_EQ(Rows(*naive), Rows(*cbo));
+}
+
+TEST_F(PlannerTest, ExplainAnalyzeShowsEstimatedVsActualRows) {
+  for (const char* t : {"sales", "customers", "products"}) {
+    ASSERT_TRUE(session_->Sql(std::string("ANALYZE TABLE ") + t).ok());
+  }
+  auto r = session_->Sql("EXPLAIN ANALYZE " + star_query_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->rows.empty());
+  std::string text;
+  for (const Row& row : r->rows) text += row.fields[0].str() + "\n";
+  EXPECT_NE(text.find("est_rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("actual_rows="), std::string::npos) << text;
+}
+
+TEST_F(PlannerTest, StaleStatisticsTriggerMidQueryReplan) {
+  for (const char* t : {"sales", "customers", "products", "stores"}) {
+    ASSERT_TRUE(session_->Sql(std::string("ANALYZE TABLE ") + t).ok());
+  }
+  // Poison the customers statistics: claim 2 rows when the filter really
+  // keeps ~20 of 2000. The DP then joins "tiny" customers first; the first
+  // join observes the real size and re-plans the remaining tables.
+  auto info = session_->catalog().Get("customers");
+  ASSERT_TRUE(info.ok());
+  Schema tiny_schema({{"ck", TypeKind::kInt64}, {"age", TypeKind::kInt64}});
+  std::vector<Row> tiny;
+  for (int i = 0; i < 2; ++i) {
+    tiny.push_back(Row({Value::Int64(i), Value::Int64(0)}));
+  }
+  (*info)->column_statistics = std::make_shared<const TableStatistics>(
+      BuildStatisticsFromRows(tiny_schema, tiny));
+
+  session_->options().replan_factor = 3.0;
+  auto r = session_->Sql(star4_query_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->metrics.replans, 1);
+
+  // Results stay correct despite the re-plan.
+  session_->options().force_left_deep = true;
+  auto naive = session_->Sql(star4_query_);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(Rows(*naive), Rows(*r));
+}
+
+TEST_F(PlannerTest, ReplanDisabledWhenFactorZero) {
+  session_->options().replan_factor = 0.0;
+  auto r = session_->Sql(star_query_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->metrics.replans, 0);
+}
+
+}  // namespace
+}  // namespace shark

@@ -1,0 +1,273 @@
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/cardinality.h"
+#include "sql/session.h"
+#include "sql/stats/cardinality_estimator.h"
+#include "sql/stats/table_stats.h"
+
+namespace shark {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// KMV distinct sketch
+// ---------------------------------------------------------------------------
+
+TEST(DistinctSketchTest, ExactBelowK) {
+  DistinctSketch s(1024);
+  for (uint64_t i = 0; i < 800; ++i) s.AddHash(Mix64(i));
+  EXPECT_TRUE(s.exact());
+  EXPECT_DOUBLE_EQ(s.Estimate(), 800.0);
+}
+
+TEST(DistinctSketchTest, ErrorBoundAboveK) {
+  // KMV with k=1024 has relative standard error ~ 1/sqrt(k-2) ~ 3.1%; allow
+  // four sigma.
+  for (uint64_t n : {10000ULL, 100000ULL}) {
+    DistinctSketch s(1024);
+    for (uint64_t i = 0; i < n; ++i) s.AddHash(Mix64(i));
+    EXPECT_FALSE(s.exact());
+    double est = s.Estimate();
+    EXPECT_NEAR(est, static_cast<double>(n), 0.125 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(DistinctSketchTest, DuplicatesDoNotInflate) {
+  DistinctSketch s(256);
+  for (uint64_t pass = 0; pass < 5; ++pass) {
+    for (uint64_t i = 0; i < 100; ++i) s.AddHash(Mix64(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Estimate(), 100.0);
+}
+
+TEST(DistinctSketchTest, MergeMatchesUnion) {
+  DistinctSketch a(1024), b(1024), whole(1024);
+  for (uint64_t i = 0; i < 30000; ++i) {
+    uint64_t h = Mix64(i);
+    whole.AddHash(h);
+    (i % 2 == 0 ? a : b).AddHash(h);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), whole.Estimate());
+}
+
+// ---------------------------------------------------------------------------
+// Column statistics built from rows
+// ---------------------------------------------------------------------------
+
+std::vector<Row> UniformRows(int n, int domain, std::mt19937* rng) {
+  std::uniform_int_distribution<int> d(0, domain - 1);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row({Value::Int64(d(*rng))}));
+  }
+  return rows;
+}
+
+TEST(TableStatisticsTest, HistogramRangeSelectivityTracksExactCounts) {
+  std::mt19937 rng(7);
+  Schema schema({{"v", TypeKind::kInt64}});
+  std::vector<Row> rows = UniformRows(20000, 1000, &rng);
+  TableStatistics stats = BuildStatisticsFromRows(schema, rows);
+  ASSERT_EQ(stats.columns.size(), 1u);
+  const ColumnStatistics& col = stats.columns[0];
+  EXPECT_DOUBLE_EQ(stats.row_count, 20000.0);
+  EXPECT_TRUE(col.has_range);
+
+  struct Range {
+    double lo, hi;
+  };
+  for (const Range& r : {Range{0, 99}, Range{250, 749}, Range{900, 999}}) {
+    double exact = 0;
+    for (const Row& row : rows) {
+      double v = static_cast<double>(row.fields[0].AsInt64());
+      if (v >= r.lo && v <= r.hi) exact += 1;
+    }
+    double est =
+        col.RangeSelectivity(true, r.lo, true, r.hi) * stats.row_count;
+    // Equi-depth histogram over a uniform domain: within 20% + a small
+    // absolute slack for bucket-boundary rounding.
+    EXPECT_NEAR(est, exact, 0.2 * exact + 200.0)
+        << "range [" << r.lo << "," << r.hi << "]";
+  }
+}
+
+TEST(TableStatisticsTest, EqualityUsesHeavyHittersForSkew) {
+  // 5000 rows of value 1, one row each of 2..1001: a heavy hitter must not
+  // be estimated at the average frequency.
+  Schema schema({{"v", TypeKind::kInt64}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(Row({Value::Int64(1)}));
+  for (int i = 2; i <= 1001; ++i) rows.push_back(Row({Value::Int64(i)}));
+  TableStatistics stats = BuildStatisticsFromRows(schema, rows);
+  const ColumnStatistics& col = stats.columns[0];
+
+  double hot = col.EqualitySelectivity(Value::Int64(1)) * stats.row_count;
+  EXPECT_NEAR(hot, 5000.0, 500.0);
+  double cold = col.EqualitySelectivity(Value::Int64(500)) * stats.row_count;
+  EXPECT_LT(cold, 50.0);
+}
+
+TEST(TableStatisticsTest, NullFractionAndRange) {
+  Schema schema({{"v", TypeKind::kDouble}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 60; ++i) rows.push_back(Row({Value::Double(i * 0.5)}));
+  for (int i = 0; i < 40; ++i) rows.push_back(Row({Value::Null()}));
+  TableStatistics stats = BuildStatisticsFromRows(schema, rows);
+  const ColumnStatistics& col = stats.columns[0];
+  EXPECT_DOUBLE_EQ(col.NullFraction(), 0.4);
+  EXPECT_TRUE(col.has_range);
+  EXPECT_DOUBLE_EQ(col.min_value, 0.0);
+  EXPECT_DOUBLE_EQ(col.max_value, 29.5);
+  // NULLs never match an equality or range predicate.
+  EXPECT_LE(col.EqualitySelectivity(Value::Double(1.0)), 0.6);
+  EXPECT_LE(col.RangeSelectivity(true, 0.0, true, 1000.0), 0.6 + 1e-9);
+}
+
+TEST(TableStatisticsTest, PartitionSketchMergeMatchesSinglePass) {
+  std::mt19937 rng(11);
+  Schema schema({{"a", TypeKind::kInt64}, {"b", TypeKind::kDouble}});
+  std::vector<Row> rows;
+  std::uniform_int_distribution<int> d(0, 499);
+  for (int i = 0; i < 8000; ++i) {
+    rows.push_back(Row({Value::Int64(d(rng)), Value::Double(d(rng) * 0.25)}));
+  }
+
+  PartitionSketch whole;
+  whole.AddRows(schema, rows);
+
+  // Same rows in four partitions, merged pairwise like the ANALYZE master.
+  std::vector<PartitionSketch> parts(4);
+  for (size_t p = 0; p < 4; ++p) {
+    std::vector<Row> chunk(rows.begin() + static_cast<long>(p) * 2000,
+                           rows.begin() + static_cast<long>(p + 1) * 2000);
+    parts[p].AddRows(schema, chunk);
+  }
+  PartitionSketch merged = parts[0];
+  for (size_t p = 1; p < 4; ++p) merged.Merge(parts[p]);
+
+  TableStatistics sw = whole.Finish();
+  TableStatistics sm = merged.Finish();
+  EXPECT_DOUBLE_EQ(sm.row_count, sw.row_count);
+  EXPECT_DOUBLE_EQ(sm.total_bytes, sw.total_bytes);
+  ASSERT_EQ(sm.columns.size(), sw.columns.size());
+  for (size_t c = 0; c < sm.columns.size(); ++c) {
+    EXPECT_NEAR(sm.columns[c].ndv, sw.columns[c].ndv,
+                0.05 * sw.columns[c].ndv + 1.0);
+    EXPECT_DOUBLE_EQ(sm.columns[c].min_value, sw.columns[c].min_value);
+    EXPECT_DOUBLE_EQ(sm.columns[c].max_value, sw.columns[c].max_value);
+    // Range estimates from the merged histogram stay close to single-pass.
+    double lo = sw.columns[c].min_value;
+    double hi = (sw.columns[c].min_value + sw.columns[c].max_value) / 2;
+    EXPECT_NEAR(sm.columns[c].RangeSelectivity(true, lo, true, hi),
+                sw.columns[c].RangeSelectivity(true, lo, true, hi), 0.1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator math
+// ---------------------------------------------------------------------------
+
+TEST(CardinalityEstimatorTest, ConjunctionBackoff) {
+  // Sorted ascending: s0 * s1^(1/2) * s2^(1/4).
+  double s = CardinalityEstimator::ConjunctionSelectivity({0.5, 0.1, 0.25});
+  EXPECT_NEAR(s, 0.1 * std::sqrt(0.25) * std::pow(0.5, 0.25), 1e-12);
+  EXPECT_DOUBLE_EQ(CardinalityEstimator::ConjunctionSelectivity({}), 1.0);
+}
+
+TEST(CardinalityEstimatorTest, GroupOutputSaturates) {
+  EXPECT_NEAR(CardinalityEstimator::GroupOutputRows(1e9, 100.0), 100.0, 1e-3);
+  // Few draws over a huge domain: roughly one group per row.
+  EXPECT_NEAR(CardinalityEstimator::GroupOutputRows(10.0, 1e9), 10.0, 0.1);
+}
+
+TEST(CardinalityEstimatorTest, JoinCardinalityOnForeignKey) {
+  // fact(k FK -> dim.k): 50000 fact rows, 1000 dim rows with unique keys.
+  // Containment gives |fact| * |dim| / max(ndv) = |fact| matches.
+  Schema dim_schema({{"k", TypeKind::kInt64}});
+  std::vector<Row> dim_rows;
+  for (int i = 0; i < 1000; ++i) dim_rows.push_back(Row({Value::Int64(i)}));
+  TableStatistics dim = BuildStatisticsFromRows(dim_schema, dim_rows);
+
+  std::mt19937 rng(3);
+  Schema fact_schema({{"k", TypeKind::kInt64}});
+  std::vector<Row> fact_rows = UniformRows(50000, 1000, &rng);
+  TableStatistics fact = BuildStatisticsFromRows(fact_schema, fact_rows);
+
+  SlotStats fs{&fact.columns[0], fact.row_count};
+  SlotStats ds{&dim.columns[0], dim.row_count};
+  double sel =
+      CardinalityEstimator::JoinKeySelectivity(fs, ds, 50000.0, 1000.0);
+  double est = 50000.0 * 1000.0 * sel;
+  // Every fact row matches exactly one dim row: 50000 output rows.
+  EXPECT_NEAR(est, 50000.0, 0.15 * 50000.0);
+}
+
+// ---------------------------------------------------------------------------
+// ANALYZE TABLE end to end
+// ---------------------------------------------------------------------------
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    session_ =
+        std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+    Schema schema({{"k", TypeKind::kInt64}, {"v", TypeKind::kDouble}});
+    std::vector<Row> rows;
+    for (int i = 0; i < 3000; ++i) {
+      rows.push_back(Row({Value::Int64(i % 300), Value::Double(i * 1.5)}));
+    }
+    ASSERT_TRUE(session_->CreateDfsTable("t", schema, rows, 4).ok());
+  }
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(AnalyzeTest, AnalyzePopulatesCatalogStatistics) {
+  auto r = session_->Sql("ANALYZE TABLE t COMPUTE STATISTICS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].fields[0].str(), "t");
+  EXPECT_EQ(r->rows[0].fields[1].AsInt64(), 3000);
+  EXPECT_GT(r->metrics.virtual_seconds, 0.0);  // charged like a query
+
+  auto info = session_->catalog().Get("t");
+  ASSERT_TRUE(info.ok());
+  ASSERT_NE((*info)->column_statistics, nullptr);
+  const TableStatistics& stats = *(*info)->column_statistics;
+  EXPECT_DOUBLE_EQ(stats.row_count, 3000.0);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  EXPECT_NEAR(stats.columns[0].ndv, 300.0, 15.0);
+  EXPECT_NEAR(stats.columns[1].ndv, 3000.0, 150.0);
+}
+
+TEST_F(AnalyzeTest, AnalyzeWorksOnCachedTables) {
+  ASSERT_TRUE(session_->CacheTable("t").ok());
+  auto r = session_->Sql("ANALYZE TABLE t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto info = session_->catalog().Get("t");
+  ASSERT_TRUE(info.ok());
+  ASSERT_NE((*info)->column_statistics, nullptr);
+  EXPECT_DOUBLE_EQ((*info)->column_statistics->row_count, 3000.0);
+}
+
+TEST_F(AnalyzeTest, AnalyzeUnknownTableFails) {
+  EXPECT_FALSE(session_->Sql("ANALYZE TABLE nope").ok());
+}
+
+}  // namespace
+}  // namespace shark

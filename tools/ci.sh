@@ -51,6 +51,20 @@ build/bench/bench_fig05_pavlo_scan_agg --vector-smoke \
 tools/bench_gate --vector-floors --baseline bench/bench_baseline.json \
   --current "$metrics_dir/vector.log"
 
+echo "=== cost-based optimizer (join bench + floors) ==="
+# bench_joins runs star and chain multi-join queries in every planning mode
+# (naive written order, ANALYZE'd CBO, stale statistics with and without PDE
+# re-planning); the gate enforces the committed floors: CBO >= 2x over the
+# naive order on at least one query, stale+replan within 1.5x of the best
+# static plan, and at least one mid-query re-plan actually firing. The
+# ANALYZE runs route every column through the src/common/histogram merge
+# path, which the UBSan ctest pass below re-covers under
+# -fsanitize=undefined via stats_test and planner_test.
+cmake --build build -j "$(nproc)" --target bench_joins
+build/bench/bench_joins --smoke | tee "$metrics_dir/joins.log"
+tools/bench_gate --join-floors --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/joins.log"
+
 echo "=== differential fuzz (fixed seeds) ==="
 # Deterministic: same seeds every run, bounded runtime. Replays the minimized
 # regression corpus, then sweeps a fixed seed range through Shark vs Hive vs

@@ -1109,6 +1109,32 @@ RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
       }
     }
 
+    // Statistics must never change results, only plans: ANALYZE every
+    // table, then re-run with the cost-based optimizer choosing the order
+    // (DP + PDE re-planning), with the written left-deep order forced, and
+    // with re-planning at its hairtrigger setting. The stats-free baseline
+    // run above doubles as the stats-off half of the metamorphic pair.
+    bool analyzed_ok = true;
+    for (const TableSpec& t : c.tables) {
+      auto ares = shark->Sql("ANALYZE TABLE " + t.name);
+      if (!ares.ok()) {
+        fail("ANALYZE TABLE " + t.name +
+             " failed: " + ares.status().ToString());
+        analyzed_ok = false;
+      }
+    }
+    if (analyzed_ok) {
+      run_variant(c.sql, "analyzed+cbo");
+      bool orig_ld = shark->options().force_left_deep;
+      shark->options().force_left_deep = true;
+      run_variant(c.sql, "analyzed+left_deep");
+      shark->options().force_left_deep = orig_ld;
+      double orig_rf = shark->options().replan_factor;
+      shark->options().replan_factor = 1.0001;
+      run_variant(c.sql, "analyzed+replan_eager");
+      shark->options().replan_factor = orig_rf;
+    }
+
     // Tight memory budget: spill paths must not change results.
     auto tight_r = BuildSession(c, opts.tight_mem_bytes);
     if (!tight_r.ok()) {
