@@ -1,0 +1,160 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shark {
+
+namespace {
+
+// Fanout chosen so the nasty-value property tests exercise multi-level
+// trees with a few thousand keys while real indexes stay shallow.
+constexpr size_t kMaxKeys = 63;
+
+bool Less(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+// First position in `keys` whose key is > `key` (upper bound under
+// Value::Compare). New duplicates land after existing ones in a leaf.
+size_t UpperBound(const std::vector<Value>& keys, const Value& key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key, Less) - keys.begin());
+}
+
+// First position whose key is >= `key` (lower bound under Value::Compare).
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key, Less) - keys.begin());
+}
+
+bool SatisfiesHi(const Value& key, const Value* hi, bool hi_inclusive) {
+  if (hi == nullptr) return true;
+  int c = key.Compare(*hi);
+  return c < 0 || (c == 0 && hi_inclusive);
+}
+
+}  // namespace
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  // Leaf: keys[i] pairs with postings[i]. Internal: children.size() ==
+  // keys.size() + 1 and every key in children[i] is <= keys[i] (duplicates
+  // of a separator may sit on either side; scans walk the leaf chain).
+  std::vector<Value> keys;
+  std::vector<IndexPosting> postings;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf chain, left to right
+};
+
+BTreeIndex::BTreeIndex() = default;
+BTreeIndex::~BTreeIndex() = default;
+
+void BTreeIndex::Insert(const Value& key, IndexPosting posting) {
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    height_ = 1;
+  }
+  SplitResult split = InsertInto(root_.get(), key, posting);
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    height_++;
+  }
+  size_++;
+  approx_bytes_ += ApproxSizeOf(key) + sizeof(IndexPosting) + 8;
+}
+
+BTreeIndex::SplitResult BTreeIndex::InsertInto(Node* node, const Value& key,
+                                               IndexPosting posting) {
+  SplitResult result;
+  if (node->leaf) {
+    size_t pos = UpperBound(node->keys, key);
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(pos), key);
+    node->postings.insert(
+        node->postings.begin() + static_cast<ptrdiff_t>(pos), posting);
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                         node->keys.end());
+      right->postings.assign(
+          node->postings.begin() + static_cast<ptrdiff_t>(mid),
+          node->postings.end());
+      node->keys.resize(mid);
+      node->postings.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      result.split = true;
+      result.separator = right->keys.front();
+      result.right = std::move(right);
+    }
+    return result;
+  }
+
+  size_t ci = UpperBound(node->keys, key);
+  SplitResult child_split = InsertInto(node->children[ci].get(), key, posting);
+  if (child_split.split) {
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(ci),
+                      std::move(child_split.separator));
+    node->children.insert(
+        node->children.begin() + static_cast<ptrdiff_t>(ci + 1),
+        std::move(child_split.right));
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = false;
+      result.separator = std::move(node->keys[mid]);
+      right->keys.assign(
+          std::make_move_iterator(node->keys.begin() +
+                                  static_cast<ptrdiff_t>(mid + 1)),
+          std::make_move_iterator(node->keys.end()));
+      right->children.assign(
+          std::make_move_iterator(node->children.begin() +
+                                  static_cast<ptrdiff_t>(mid + 1)),
+          std::make_move_iterator(node->children.end()));
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      result.split = true;
+      result.right = std::move(right);
+    }
+  }
+  return result;
+}
+
+std::vector<IndexPosting> BTreeIndex::Scan(const Value* lo, bool lo_inclusive,
+                                           const Value* hi,
+                                           bool hi_inclusive) const {
+  std::vector<IndexPosting> out;
+  if (root_ == nullptr) return out;
+
+  // Descend to the leftmost leaf that can contain a qualifying key. The
+  // landing leaf may still start below the bound (duplicates of a separator
+  // can sit left of it), so the chain walk below re-checks the lower bound
+  // until the first hit.
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t ci = lo == nullptr ? 0 : LowerBound(node->keys, *lo);
+    node = node->children[ci].get();
+  }
+
+  bool lo_done = lo == nullptr;
+  for (; node != nullptr; node = node->next) {
+    size_t begin = 0;
+    if (!lo_done) {
+      begin = lo_inclusive ? LowerBound(node->keys, *lo)
+                           : UpperBound(node->keys, *lo);
+      if (begin >= node->keys.size()) continue;
+      lo_done = true;
+    }
+    for (size_t i = begin; i < node->keys.size(); ++i) {
+      if (!SatisfiesHi(node->keys[i], hi, hi_inclusive)) return out;
+      out.push_back(node->postings[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace shark

@@ -1,0 +1,93 @@
+#ifndef SHARK_INDEX_BTREE_H_
+#define SHARK_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace shark {
+
+/// One index entry: where a key's row lives in the cached columnar store.
+struct IndexPosting {
+  int32_t partition = 0;
+  uint32_t row = 0;
+};
+
+inline bool operator==(const IndexPosting& a, const IndexPosting& b) {
+  return a.partition == b.partition && a.row == b.row;
+}
+
+/// In-memory B+-tree over the engine's `Value` total order.
+///
+/// Keys are ordered exactly by `Value::Compare` — NULL first, then numerics
+/// (int64/double compared exactly across types) with NaN after every other
+/// numeric, then strings — so a range scan over the tree agrees with the
+/// scalar comparison semantics the rest of the engine uses. Duplicate keys
+/// are allowed (multimap semantics); a Scan returns every posting whose key
+/// falls inside the bound, in key order, deterministically for a given
+/// insert sequence.
+///
+/// The tree is built once on the master (CREATE INDEX collects per-partition
+/// key vectors) and is immutable afterwards, but Insert stays incremental so
+/// the shadow-model property tests can drive it key by key.
+class BTreeIndex {
+ public:
+  BTreeIndex();
+  ~BTreeIndex();
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(const Value& key, IndexPosting posting);
+
+  /// Range scan: null bound = open end. `lo_inclusive`/`hi_inclusive` select
+  /// >= vs > and <= vs < against `Value::Compare`.
+  std::vector<IndexPosting> Scan(const Value* lo, bool lo_inclusive,
+                                 const Value* hi, bool hi_inclusive) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Deterministic footprint estimate used for MemoryManager charging:
+  /// per-entry key bytes (ApproxSizeOf) plus posting + node overhead.
+  uint64_t MemoryBytes() const { return 64 + approx_bytes_; }
+
+ private:
+  struct Node;
+
+  // Result of inserting into a subtree: set when the child split and a new
+  // right sibling (with its separator key) must be linked into the parent.
+  struct SplitResult {
+    bool split = false;
+    Value separator;
+    std::unique_ptr<Node> right;
+  };
+
+  SplitResult InsertInto(Node* node, const Value& key, IndexPosting posting);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 0;
+  uint64_t approx_bytes_ = 0;
+};
+
+/// Per-partition key column collected by the CREATE INDEX build job:
+/// keys[row] is the indexed column's value for that row. Shipped to the
+/// master via Collect, where the tree is assembled in partition order.
+struct IndexBuildBlock {
+  int32_t partition = 0;
+  std::vector<Value> keys;
+};
+
+inline uint64_t ApproxSizeOf(const std::shared_ptr<IndexBuildBlock>& block) {
+  uint64_t total = 32;
+  if (block != nullptr) {
+    for (const Value& v : block->keys) total += ApproxSizeOf(v);
+  }
+  return total;
+}
+
+}  // namespace shark
+
+#endif  // SHARK_INDEX_BTREE_H_

@@ -19,9 +19,11 @@ MemoryManager::MemoryManager(int num_nodes, uint64_t capacity_bytes_per_node,
 uint64_t MemoryManager::UsedBytes(int node) const {
   uint64_t used = shuffle_bytes_[static_cast<size_t>(node)];
   if (cache_usage_) used += cache_usage_(node);
-  // Admitted jobs' declared demand, spread evenly, presses on every node:
-  // concurrent queries see less working-set headroom and shuffle fit.
+  // Admitted jobs' declared demand and index footprints, spread evenly,
+  // press on every node: concurrent queries see less working-set headroom
+  // and shuffle fit.
   used += admitted_bytes_ / static_cast<uint64_t>(num_nodes());
+  used += index_bytes_total_ / static_cast<uint64_t>(num_nodes());
   return used;
 }
 
@@ -64,6 +66,14 @@ uint64_t MemoryManager::total_shuffle_bytes() const {
   uint64_t total = 0;
   for (uint64_t b : shuffle_bytes_) total += b;
   return total;
+}
+
+void MemoryManager::AddIndexBytes(uint64_t bytes) {
+  index_bytes_total_ += bytes;
+}
+
+void MemoryManager::ReleaseIndexBytes(uint64_t bytes) {
+  index_bytes_total_ -= std::min(index_bytes_total_, bytes);
 }
 
 uint64_t MemoryManager::TaskWorkingSetBudget() const {
@@ -111,6 +121,7 @@ std::string MemoryManager::DebugString() const {
   std::string out = "MemoryManager capacity/node=" +
                     FormatBytes(capacity_per_node_) +
                     " shuffle=" + FormatBytes(total_shuffle_bytes()) +
+                    " index=" + FormatBytes(index_bytes_total_) +
                     " task-budget=" + FormatBytes(TaskWorkingSetBudget()) +
                     " denied=" + std::to_string(denied_reservations_) +
                     " spilled=" + FormatBytes(committed_spill_bytes_);

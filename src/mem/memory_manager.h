@@ -70,6 +70,17 @@ class MemoryManager {
   uint64_t shuffle_bytes(int node) const;
   uint64_t total_shuffle_bytes() const;
 
+  // ---- Consumer 2b: secondary indexes ------------------------------------
+  //
+  // A CREATE INDEX materializes a B+-tree on the master and charges its
+  // footprint here like cache blocks: spread evenly across nodes, counted in
+  // UsedBytes so admission control and working-set budgets see index
+  // pressure. DROP INDEX / DROP TABLE / UNCACHE release the reservation.
+
+  void AddIndexBytes(uint64_t bytes);
+  void ReleaseIndexBytes(uint64_t bytes);
+  uint64_t total_index_bytes() const { return index_bytes_total_; }
+
   // ---- Consumer 3: per-task operator working sets ------------------------
 
   /// Budget one task may claim for operator working sets, derived from the
@@ -127,6 +138,7 @@ class MemoryManager {
   CacheUsageFn cache_usage_;
   std::vector<uint64_t> shuffle_bytes_;
   std::vector<uint64_t> peak_task_bytes_;
+  uint64_t index_bytes_total_ = 0;
   uint64_t admitted_bytes_ = 0;
   uint64_t denied_reservations_ = 0;
   uint64_t committed_spill_bytes_ = 0;

@@ -147,6 +147,23 @@ struct UncacheTableStmt {
   std::string name;
 };
 
+/// CREATE INDEX <name> ON <table> (<column>): builds a B+-tree over the
+/// cached table's column and registers it in the catalog.
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+/// DROP INDEX [IF EXISTS] <name> [ON <table>]: without ON the index name is
+/// resolved across all tables (error only when the name is missing and not
+/// IF EXISTS).
+struct DropIndexStmt {
+  std::string index_name;
+  std::string table;  // empty = search all tables
+  bool if_exists = false;
+};
+
 struct ExplainStmt {
   bool analyze = false;  // EXPLAIN ANALYZE executes and annotates the plan
   std::shared_ptr<SelectStmt> select;
@@ -165,7 +182,9 @@ enum class StatementKind {
   kDropTable,
   kUncacheTable,
   kExplain,
-  kAnalyzeTable
+  kAnalyzeTable,
+  kCreateIndex,
+  kDropIndex
 };
 
 struct Statement {
@@ -176,6 +195,8 @@ struct Statement {
   std::shared_ptr<UncacheTableStmt> uncache_table;
   std::shared_ptr<ExplainStmt> explain;
   std::shared_ptr<AnalyzeTableStmt> analyze_table;
+  std::shared_ptr<CreateIndexStmt> create_index;
+  std::shared_ptr<DropIndexStmt> drop_index;
 };
 
 }  // namespace shark

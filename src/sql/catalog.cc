@@ -19,6 +19,11 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
     if (if_exists) return Status::OK();
     return Status::NotFound("table not found: " + name);
   }
+  // Drop dependent objects before the entry itself so a later CREATE TABLE
+  // with the same name can never resolve stale state: clearing `indexes`
+  // releases each tree's MemoryManager reservation through its RAII handle,
+  // and erasing the entry discards column_statistics/partition_stats.
+  it->second.indexes.clear();
   if (it->second.cached_rdd != nullptr) it->second.cached_rdd->Uncache();
   tables_.erase(it);
   return Status::OK();
@@ -38,6 +43,14 @@ Result<const TableInfo*> Catalog::Get(const std::string& name) const {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return static_cast<const TableInfo*>(&it->second);
+}
+
+TableInfo* Catalog::FindTableOfIndex(const std::string& index_name) {
+  std::string key = ToLower(index_name);
+  for (auto& [tkey, info] : tables_) {
+    if (info.indexes.count(key) > 0) return &info;
+  }
+  return nullptr;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -15,6 +15,23 @@
 namespace shark {
 
 struct TableStatistics;
+class BTreeIndex;
+
+/// One secondary index over a cached table's column. The tree holds
+/// (partition, row) postings into the columnar store, so it is only valid
+/// while the table stays cached: UNCACHE and DROP discard it.
+///
+/// `reservation` is an RAII handle whose deleter returns the tree's
+/// footprint to the MemoryManager — destroying the IndexInfo (DROP INDEX,
+/// DROP TABLE, UNCACHE, failed CTAS cleanup) always releases the charge,
+/// with no per-path bookkeeping.
+struct IndexInfo {
+  std::string name;       // original case
+  int column = -1;        // schema position of the indexed column
+  std::shared_ptr<const BTreeIndex> tree;
+  uint64_t memory_bytes = 0;
+  std::shared_ptr<void> reservation;
+};
 
 /// Metastore entry for one table. A table lives on the DFS (`dfs_file`),
 /// in the columnar memory store (`cached_rdd` non-null), or both.
@@ -49,7 +66,20 @@ struct TableInfo {
   // Describes table *content*, so it survives UNCACHE; DROP discards it.
   std::shared_ptr<const TableStatistics> column_statistics;
 
+  // Secondary indexes keyed by lower-cased index name (same convention as
+  // the catalog's table map). Postings point into cached_rdd's partitions,
+  // so UNCACHE clears this map along with the RDD.
+  std::map<std::string, IndexInfo> indexes;
+
   bool is_cached() const { return cached_rdd != nullptr; }
+
+  /// Index over schema position `column`, or null. Planner-facing lookup.
+  const IndexInfo* IndexOnColumn(int column) const {
+    for (const auto& [key, idx] : indexes) {
+      if (idx.column == column) return &idx;
+    }
+    return nullptr;
+  }
 };
 
 /// The system catalog (Hive metastore analog). Lives on the master.
@@ -61,6 +91,11 @@ class Catalog {
   Result<TableInfo*> Get(const std::string& name);
   Result<const TableInfo*> Get(const std::string& name) const;
   std::vector<std::string> TableNames() const;
+
+  /// Table owning an index whose name lower-cases to `index_name`'s, or
+  /// null. Used by DROP INDEX without an ON clause; map order makes the
+  /// search deterministic.
+  TableInfo* FindTableOfIndex(const std::string& index_name);
 
  private:
   std::map<std::string, TableInfo> tables_;  // lower-cased names

@@ -8,7 +8,9 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/vectorized/column_batch.h"
 #include "exec/vectorized/vec_exec.h"
+#include "index/btree.h"
 #include "rdd/pair_rdd.h"
 #include "sql/aggregates.h"
 #include "sql/expr_compiler.h"
@@ -351,6 +353,8 @@ Result<RddPtr<Row>> Executor::BuildRdd(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kScan:
       return BuildScan(*plan);
+    case PlanKind::kIndexScan:
+      return BuildIndexScan(*plan);
     case PlanKind::kFilter:
       return BuildFilter(*plan);
     case PlanKind::kProject:
@@ -466,6 +470,185 @@ Result<RddPtr<Row>> Executor::BuildScan(const LogicalPlan& node) {
     SHARK_ASSIGN_OR_RETURN(rows, ctx_->FromDfs<Row>(info->dfs_file));
   }
   return ApplyPredicate(rows, node.scan_predicate, "scanFilter:" + node.table);
+}
+
+Result<RddPtr<Row>> Executor::BuildIndexScan(const LogicalPlan& node) {
+  SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_->Get(node.table));
+  const IndexInfo* index = nullptr;
+  auto idx_it = info->indexes.find(ToLower(node.index_name));
+  if (idx_it != info->indexes.end()) index = &idx_it->second;
+  if (!info->is_cached() || !ctx_->profile().memory_store || index == nullptr ||
+      index->tree == nullptr || !options_.use_indexes) {
+    // The index vanished between planning and execution (DROP INDEX, UNCACHE)
+    // or indexes are disabled: the residual predicate is the full original
+    // scan predicate, so a plain scan is semantically identical.
+    return BuildScan(node);
+  }
+
+  // Master-side probe. Postings are sorted by (partition, row) so the gather
+  // order — and every charge — is independent of B+-tree internals.
+  const Value* lo =
+      node.index_lo != nullptr ? &node.index_lo->literal : nullptr;
+  const Value* hi =
+      node.index_hi != nullptr ? &node.index_hi->literal : nullptr;
+  std::vector<IndexPosting> postings = index->tree->Scan(
+      lo, node.index_lo_inclusive, hi, node.index_hi_inclusive);
+  std::sort(postings.begin(), postings.end(),
+            [](const IndexPosting& a, const IndexPosting& b) {
+              return a.partition != b.partition ? a.partition < b.partition
+                                                : a.row < b.row;
+            });
+
+  // Only partitions holding a matching posting get a gather task (the index
+  // subsumes map pruning for the sargable range).
+  const int total = info->cached_rdd->num_partitions();
+  std::vector<int> selected;
+  auto rows_by_pos = std::make_shared<std::vector<std::vector<uint32_t>>>();
+  for (const IndexPosting& post : postings) {
+    if (post.partition < 0 || post.partition >= total) continue;
+    if (selected.empty() || selected.back() != post.partition) {
+      selected.push_back(post.partition);
+      rows_by_pos->emplace_back();
+    }
+    rows_by_pos->back().push_back(post.row);
+  }
+  // Never prune to zero partitions (same convention as PruneCachedScan).
+  if (selected.empty() && total > 0) {
+    selected.push_back(0);
+    rows_by_pos->emplace_back();
+  }
+  metrics_.partitions_scanned += static_cast<int>(selected.size());
+  metrics_.partitions_pruned += total - static_cast<int>(selected.size());
+  RddPtr<TablePartitionPtr> base = info->cached_rdd;
+  if (static_cast<int>(selected.size()) != total) {
+    base = std::make_shared<PartitionSubsetRdd<TablePartitionPtr>>(
+        info->cached_rdd, selected, "prunedIndexScan:" + node.table);
+  }
+
+  // Scan contract: full table arity out, NULL for undecoded columns.
+  const size_t arity = info->schema.fields().size();
+  auto needed = std::make_shared<std::vector<int>>();
+  if (node.needed_columns.empty()) {
+    for (size_t c = 0; c < arity; ++c) needed->push_back(static_cast<int>(c));
+  } else {
+    *needed = node.needed_columns;
+  }
+  auto needed_mask = std::make_shared<std::vector<uint8_t>>(arity, 0);
+  for (int c : *needed) {
+    if (c >= 0 && static_cast<size_t>(c) < arity) {
+      (*needed_mask)[static_cast<size_t>(c)] = 1;
+    }
+  }
+  // Tree-descent cost, charged once per gather task. Row ids index the
+  // concatenation of a block's partitions, mirroring the build job.
+  const uint64_t probe_rows = static_cast<uint64_t>(index->tree->height()) + 1;
+
+  RddPtr<Row> rows;
+  if (options_.vectorized) {
+    // Vectorized gather: decode the needed columns once, gather the selected
+    // rows batch-at-a-time. Host-side only — charges match the scalar path
+    // cell for cell (MaterializeRow reproduces ToRows' values exactly).
+    auto fields =
+        std::make_shared<const std::vector<Field>>(info->schema.fields());
+    const std::string table = node.table;
+    rows = base->MapPartitions(
+        [rows_by_pos, needed, needed_mask, fields, table, probe_rows](
+            int p, const std::vector<TablePartitionPtr>& parts,
+            TaskContext* tctx) {
+          static const std::vector<uint32_t> kNone;
+          const std::vector<uint32_t>& want =
+              static_cast<size_t>(p) < rows_by_pos->size()
+                  ? (*rows_by_pos)[static_cast<size_t>(p)]
+                  : kNone;
+          std::vector<Row> out;
+          out.reserve(want.size());
+          uint64_t bytes = 0;
+          size_t offset = 0, wi = 0;
+          for (const TablePartitionPtr& part : parts) {
+            if (part == nullptr) continue;
+            const size_t n = part->num_rows();
+            vec::SelVector sel;
+            while (wi < want.size() && want[wi] < offset + n) {
+              sel.push_back(static_cast<int32_t>(want[wi] - offset));
+              ++wi;
+            }
+            if (!sel.empty()) {
+              vec::ColumnBatch batch;
+              Status st =
+                  vec::DecodePartition(*part, *fields, *needed, table, &batch);
+              if (st.ok()) {
+                vec::ColumnBatch picked = vec::GatherBatch(batch, sel);
+                for (size_t i = 0; i < picked.num_rows; ++i) {
+                  Row r = vec::MaterializeRow(picked, i);
+                  for (int c : *needed) {
+                    bytes += ApproxSizeOf(r.fields[static_cast<size_t>(c)]);
+                  }
+                  out.push_back(std::move(r));
+                }
+              } else {
+                // Per-row fallback with identical charges.
+                for (int32_t s : sel) {
+                  Row r = part->GetRow(static_cast<size_t>(s));
+                  for (size_t c = 0; c < r.fields.size(); ++c) {
+                    if (c < needed_mask->size() && (*needed_mask)[c] == 0) {
+                      r.fields[c] = Value::Null();
+                    }
+                  }
+                  for (int c : *needed) {
+                    bytes += ApproxSizeOf(r.fields[static_cast<size_t>(c)]);
+                  }
+                  out.push_back(std::move(r));
+                }
+              }
+            }
+            offset += n;
+          }
+          tctx->work().rows_processed += probe_rows + 2 * out.size();
+          tctx->work().mem_read_bytes += bytes;
+          return out;
+        },
+        "vecIndexGather:" + node.table);
+  } else {
+    rows = base->MapPartitions(
+        [rows_by_pos, needed, needed_mask, probe_rows](
+            int p, const std::vector<TablePartitionPtr>& parts,
+            TaskContext* tctx) {
+          static const std::vector<uint32_t> kNone;
+          const std::vector<uint32_t>& want =
+              static_cast<size_t>(p) < rows_by_pos->size()
+                  ? (*rows_by_pos)[static_cast<size_t>(p)]
+                  : kNone;
+          std::vector<Row> out;
+          out.reserve(want.size());
+          uint64_t bytes = 0;
+          size_t offset = 0, wi = 0;
+          for (const TablePartitionPtr& part : parts) {
+            if (part == nullptr) continue;
+            const size_t n = part->num_rows();
+            while (wi < want.size() && want[wi] < offset + n) {
+              Row r = part->GetRow(static_cast<size_t>(want[wi] - offset));
+              for (size_t c = 0; c < r.fields.size(); ++c) {
+                if (c < needed_mask->size() && (*needed_mask)[c] == 0) {
+                  r.fields[c] = Value::Null();
+                }
+              }
+              for (int c : *needed) {
+                bytes += ApproxSizeOf(r.fields[static_cast<size_t>(c)]);
+              }
+              out.push_back(std::move(r));
+              ++wi;
+            }
+            offset += n;
+          }
+          tctx->work().rows_processed += probe_rows + 2 * out.size();
+          tctx->work().mem_read_bytes += bytes;
+          return out;
+        },
+        "indexGather:" + node.table);
+  }
+  // Residual re-check: the tree range over-approximates, the full original
+  // predicate makes the result exact (and identical to a plain scan).
+  return ApplyPredicate(rows, node.scan_predicate, "indexFilter:" + node.table);
 }
 
 Result<RddPtr<Row>> Executor::BuildFilter(const LogicalPlan& node) {
@@ -1446,6 +1629,12 @@ std::vector<std::string> NodeStageKeys(const LogicalPlan& node) {
       return {"memScan:" + node.table,       "scanFilter:" + node.table,
               "prunedScan:" + node.table,    "dfs:warehouse/" + ToLower(node.table),
               "vecScanFilter:" + node.table, "vecScanProject:" + node.table};
+    case PlanKind::kIndexScan:
+      return {"indexGather:" + node.table,  "vecIndexGather:" + node.table,
+              "prunedIndexScan:" + node.table, "indexFilter:" + node.table,
+              // Fallback path when the index vanished before execution.
+              "memScan:" + node.table, "scanFilter:" + node.table,
+              "prunedScan:" + node.table};
     case PlanKind::kFilter:
       return {"filter"};
     case PlanKind::kProject:

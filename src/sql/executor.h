@@ -48,6 +48,12 @@ struct ExecOptions {
   /// expression has no batch kernel support or the scan is not memstore-backed.
   bool vectorized = true;
 
+  /// Sargability rule: allow the planner to flip Scans on indexed cached
+  /// tables into IndexRangeScan (B+-tree probe + row gather) when the cost
+  /// model prefers it. Off = always full columnar scans — the fuzz
+  /// indexed-on/off metamorphic variant toggles this.
+  bool use_indexes = true;
+
   /// Fine-grained shuffle buckets (0: 2x total cores).
   int fine_buckets = 0;
   /// Reducer count when PDE is off (0: total cores, unless
@@ -138,6 +144,7 @@ class Executor {
   Result<QueryResult> ExecuteInner(const PlanPtr& plan);
 
   Result<RddPtr<Row>> BuildScan(const LogicalPlan& node);
+  Result<RddPtr<Row>> BuildIndexScan(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildFilter(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildProject(const LogicalPlan& node);
   Result<RddPtr<Row>> BuildAggregate(const LogicalPlan& node);

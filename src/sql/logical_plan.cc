@@ -24,6 +24,8 @@ const char* PlanKindName(PlanKind kind) {
       return "Limit";
     case PlanKind::kUnion:
       return "UnionAll";
+    case PlanKind::kIndexScan:
+      return "IndexRangeScan";
   }
   return "?";
 }
@@ -106,6 +108,18 @@ std::string LogicalPlan::NodeString() const {
       break;
     case PlanKind::kUnion:
       break;
+    case PlanKind::kIndexScan: {
+      out += " " + table + " index=" + index_name;
+      std::string lo = index_lo != nullptr ? index_lo->ToString() : "-inf";
+      std::string hi = index_hi != nullptr ? index_hi->ToString() : "+inf";
+      out += " range=" + std::string(index_lo_inclusive ? "[" : "(") + lo +
+             ", " + hi + (index_hi_inclusive ? "]" : ")");
+      if (scan_predicate != nullptr) {
+        out += " residual=" + scan_predicate->ToString();
+      }
+      out += " cols=" + std::to_string(needed_columns.size());
+      break;
+    }
   }
   if (est_rows >= 0.0) {
     char buf[64];

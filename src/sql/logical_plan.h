@@ -18,7 +18,8 @@ enum class PlanKind : uint8_t {
   kJoin,
   kSort,
   kLimit,
-  kUnion,  // UNION ALL (bag semantics)
+  kUnion,      // UNION ALL (bag semantics)
+  kIndexScan,  // IndexRangeScan: B+-tree probe + row gather over a cached table
 };
 
 /// One aggregate call in an Aggregate node.
@@ -57,10 +58,22 @@ struct LogicalPlan {
   /// Output columns of this node.
   std::vector<Field> output;
 
-  // kScan
+  // kScan / kIndexScan
   std::string table;
   ExprPtr scan_predicate;           // pushed-down filter (may be null)
   std::vector<int> needed_columns;  // columns actually read
+
+  // kIndexScan. The probed range [index_lo, index_hi] (literal expressions,
+  // null = open end) only has to over-approximate the predicate: the full
+  // `scan_predicate` is re-applied as a residual filter after the gather, so
+  // results match the plain scan exactly regardless of NULL/NaN ordering.
+  std::string index_name;
+  int index_column = -1;
+  ExprPtr index_lo;
+  ExprPtr index_hi;
+  bool index_lo_inclusive = true;
+  bool index_hi_inclusive = true;
+  double est_index_matches = -1.0;  // estimated postings in the range
 
   // kFilter
   ExprPtr predicate;

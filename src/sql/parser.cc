@@ -22,13 +22,25 @@ class Parser {
       stmt.kind = StatementKind::kSelect;
       stmt.select = select;
     } else if (MatchKeyword("CREATE")) {
-      SHARK_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
-      stmt.kind = StatementKind::kCreateTable;
-      stmt.create_table = create;
+      if (PeekKeyword("INDEX")) {
+        SHARK_ASSIGN_OR_RETURN(auto create_index, ParseCreateIndex());
+        stmt.kind = StatementKind::kCreateIndex;
+        stmt.create_index = create_index;
+      } else {
+        SHARK_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+        stmt.kind = StatementKind::kCreateTable;
+        stmt.create_table = create;
+      }
     } else if (MatchKeyword("DROP")) {
-      SHARK_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
-      stmt.kind = StatementKind::kDropTable;
-      stmt.drop_table = drop;
+      if (PeekKeyword("INDEX")) {
+        SHARK_ASSIGN_OR_RETURN(auto drop_index, ParseDropIndex());
+        stmt.kind = StatementKind::kDropIndex;
+        stmt.drop_index = drop_index;
+      } else {
+        SHARK_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
+        stmt.kind = StatementKind::kDropTable;
+        stmt.drop_table = drop;
+      }
     } else if (MatchKeyword("UNCACHE")) {
       SHARK_RETURN_NOT_OK(ExpectKeyword("TABLE"));
       auto uncache = std::make_shared<UncacheTableStmt>();
@@ -357,6 +369,34 @@ class Parser {
       stmt->if_exists = true;
     }
     SHARK_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    return stmt;
+  }
+
+  // CREATE INDEX <name> ON <table> ( <column> )
+  Result<std::shared_ptr<CreateIndexStmt>> ParseCreateIndex() {
+    SHARK_RETURN_NOT_OK(ExpectKeyword("INDEX"));
+    auto stmt = std::make_shared<CreateIndexStmt>();
+    SHARK_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier());
+    SHARK_RETURN_NOT_OK(ExpectKeyword("ON"));
+    SHARK_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    SHARK_RETURN_NOT_OK(ExpectSymbol("("));
+    SHARK_ASSIGN_OR_RETURN(stmt->column, ExpectIdentifier());
+    SHARK_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  // DROP INDEX [IF EXISTS] <name> [ON <table>]
+  Result<std::shared_ptr<DropIndexStmt>> ParseDropIndex() {
+    SHARK_RETURN_NOT_OK(ExpectKeyword("INDEX"));
+    auto stmt = std::make_shared<DropIndexStmt>();
+    if (MatchKeyword("IF")) {
+      SHARK_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    SHARK_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier());
+    if (MatchKeyword("ON")) {
+      SHARK_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    }
     return stmt;
   }
 

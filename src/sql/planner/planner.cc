@@ -19,6 +19,11 @@ PlanPtr PlanQuery(PlanPtr plan, const UdfRegistry* udfs,
       PruneAllColumns(plan.get());
     }
   }
+  if (options.use_indexes) {
+    // After reordering (scan positions are final), give each scan its shot
+    // at an index range probe; the rule costs both alternatives itself.
+    ApplyIndexScans(&plan, env);
+  }
   estimator.Annotate(plan.get());
   CostPlan(plan.get(), env);
   return plan;

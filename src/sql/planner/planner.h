@@ -17,6 +17,10 @@ struct PlannerOptions {
   bool force_left_deep = false;
   /// DP budget: spines with more relations fall back to the greedy order.
   int dp_max_relations = 10;
+  /// Sargability rule: allow Scan -> IndexRangeScan conversion when the
+  /// cost model prefers the index. Off = always full columnar scans (the
+  /// baseline the fuzz indexed-on/off variant compares against).
+  bool use_indexes = true;
 };
 
 /// The two-phase planner (§2.4 + the PDE statistics work): rewrite rules

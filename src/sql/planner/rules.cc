@@ -4,6 +4,9 @@
 #include <set>
 
 #include "common/logging.h"
+#include "sql/catalog.h"
+#include "sql/stats/cardinality_estimator.h"
+#include "sql/stats/plan_cost.h"
 
 namespace shark {
 
@@ -113,7 +116,10 @@ PlanPtr PushPredicates(PlanPtr plan, std::vector<ExprPtr> conjuncts) {
       for (auto& c : conjuncts) merged.push_back(c);
       return PushPredicates(plan->children[0], std::move(merged));
     }
-    case PlanKind::kScan: {
+    case PlanKind::kScan:
+    case PlanKind::kIndexScan: {
+      // An extra conjunct only narrows the result, so an index scan's probed
+      // range stays a superset of the (now stricter) residual predicate.
       std::vector<ExprPtr> all = SplitConjuncts(plan->scan_predicate);
       for (auto& c : conjuncts) all.push_back(c);
       plan->scan_predicate = CombineConjuncts(all);
@@ -190,6 +196,15 @@ void PruneColumns(LogicalPlan* plan, const std::set<int>& needed) {
       if (plan->scan_predicate != nullptr) {
         CollectSlots(*plan->scan_predicate, &cols);
       }
+      plan->needed_columns.assign(cols.begin(), cols.end());
+      return;
+    }
+    case PlanKind::kIndexScan: {
+      std::set<int> cols = needed;
+      if (plan->scan_predicate != nullptr) {
+        CollectSlots(*plan->scan_predicate, &cols);
+      }
+      if (plan->index_column >= 0) cols.insert(plan->index_column);
       plan->needed_columns.assign(cols.begin(), cols.end());
       return;
     }
@@ -277,6 +292,183 @@ PlanPtr ApplyRewriteRules(PlanPtr plan, const UdfRegistry* udfs) {
   plan = PushPredicates(plan, {});
   PruneAllColumns(plan.get());
   return plan;
+}
+
+namespace {
+
+/// Accumulated sargable range on one indexed column: the intersection of
+/// every `=`, `<`, `<=`, `>`, `>=` and BETWEEN conjunct, closed under AND.
+/// Bounds are literal values compared with Value::Compare, so tightening is
+/// exact for any key type the index can hold.
+struct SargRange {
+  bool has_lo = false, has_hi = false;
+  Value lo, hi;
+  bool lo_inclusive = true, hi_inclusive = true;
+  int conjuncts = 0;
+
+  void TightenLo(const Value& v, bool inclusive) {
+    if (!has_lo) {
+      has_lo = true;
+      lo = v;
+      lo_inclusive = inclusive;
+    } else {
+      int c = v.Compare(lo);
+      if (c > 0 || (c == 0 && !inclusive)) {
+        lo = v;
+        lo_inclusive = inclusive;
+      }
+    }
+    conjuncts++;
+  }
+  void TightenHi(const Value& v, bool inclusive) {
+    if (!has_hi) {
+      has_hi = true;
+      hi = v;
+      hi_inclusive = inclusive;
+    } else {
+      int c = v.Compare(hi);
+      if (c < 0 || (c == 0 && !inclusive)) {
+        hi = v;
+        hi_inclusive = inclusive;
+      }
+    }
+    conjuncts++;
+  }
+};
+
+/// Folds one conjunct into `range` when it is a sargable comparison between
+/// slot `column` and a non-NULL literal. NULL-literal comparisons never
+/// match any row, so they contribute nothing to the range (the residual
+/// filter rejects everything anyway).
+void AccumulateSargable(const Expr& conj, int column, SargRange* range) {
+  if (conj.kind == ExprKind::kBetween && !conj.negated &&
+      conj.children[0]->kind == ExprKind::kSlot &&
+      conj.children[0]->slot == column &&
+      conj.children[1]->kind == ExprKind::kLiteral &&
+      conj.children[2]->kind == ExprKind::kLiteral &&
+      !conj.children[1]->literal.is_null() &&
+      !conj.children[2]->literal.is_null()) {
+    range->TightenLo(conj.children[1]->literal, true);
+    range->TightenHi(conj.children[2]->literal, true);
+    return;
+  }
+  if (conj.kind != ExprKind::kBinary) return;
+  BinaryOp op = conj.binary_op;
+  if (op != BinaryOp::kEq && op != BinaryOp::kLt && op != BinaryOp::kLe &&
+      op != BinaryOp::kGt && op != BinaryOp::kGe) {
+    return;
+  }
+  const Expr& l = *conj.children[0];
+  const Expr& r = *conj.children[1];
+  const Expr* lit = nullptr;
+  if (l.kind == ExprKind::kSlot && l.slot == column &&
+      r.kind == ExprKind::kLiteral) {
+    lit = &r;
+  } else if (r.kind == ExprKind::kSlot && r.slot == column &&
+             l.kind == ExprKind::kLiteral) {
+    lit = &l;
+    // Mirror `lit OP slot` into `slot OP' lit`.
+    if (op == BinaryOp::kLt) {
+      op = BinaryOp::kGt;
+    } else if (op == BinaryOp::kLe) {
+      op = BinaryOp::kGe;
+    } else if (op == BinaryOp::kGt) {
+      op = BinaryOp::kLt;
+    } else if (op == BinaryOp::kGe) {
+      op = BinaryOp::kLe;
+    }
+  } else {
+    return;
+  }
+  if (lit->literal.is_null()) return;
+  switch (op) {
+    case BinaryOp::kEq:
+      range->TightenLo(lit->literal, true);
+      range->TightenHi(lit->literal, true);
+      break;
+    case BinaryOp::kLt:
+      range->TightenHi(lit->literal, false);
+      break;
+    case BinaryOp::kLe:
+      range->TightenHi(lit->literal, true);
+      break;
+    case BinaryOp::kGt:
+      range->TightenLo(lit->literal, false);
+      break;
+    case BinaryOp::kGe:
+      range->TightenLo(lit->literal, true);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Builds the IndexRangeScan alternative for `scan`, or null when no index
+/// applies. The node keeps the FULL scan predicate as residual: the probed
+/// range only has to over-approximate it, which sidesteps every NULL/NaN
+/// ordering subtlety — the residual re-check guarantees result identity
+/// with the plain scan.
+PlanPtr MakeIndexScanCandidate(const LogicalPlan& scan, const Catalog& catalog) {
+  if (scan.scan_predicate == nullptr) return nullptr;
+  auto info = catalog.Get(scan.table);
+  if (!info.ok() || !(*info)->is_cached() || (*info)->indexes.empty()) {
+    return nullptr;
+  }
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(scan.scan_predicate);
+  // First indexed column (in index-name order) with a sargable range wins;
+  // multi-index intersection is a possible refinement.
+  for (const auto& [key, index] : (*info)->indexes) {
+    SargRange range;
+    for (const ExprPtr& c : conjuncts) {
+      AccumulateSargable(*c, index.column, &range);
+    }
+    if (!range.has_lo && !range.has_hi) continue;
+    PlanPtr node = MakePlan(PlanKind::kIndexScan);
+    node->output = scan.output;
+    node->table = scan.table;
+    node->scan_predicate = scan.scan_predicate;
+    node->needed_columns = scan.needed_columns;
+    node->index_name = index.name;
+    node->index_column = index.column;
+    if (range.has_lo) node->index_lo = MakeLiteral(range.lo);
+    if (range.has_hi) node->index_hi = MakeLiteral(range.hi);
+    node->index_lo_inclusive = range.lo_inclusive;
+    node->index_hi_inclusive = range.hi_inclusive;
+    return node;
+  }
+  return nullptr;
+}
+
+int ApplyIndexScansImpl(PlanPtr* slot, const PlanCostEnv& env,
+                        const CardinalityEstimator& estimator) {
+  int converted = 0;
+  for (PlanPtr& child : (*slot)->children) {
+    converted += ApplyIndexScansImpl(&child, env, estimator);
+  }
+  if ((*slot)->kind != PlanKind::kScan || env.catalog == nullptr) {
+    return converted;
+  }
+  PlanPtr candidate = MakeIndexScanCandidate(**slot, *env.catalog);
+  if (candidate == nullptr) return converted;
+  // Cost both leaf alternatives under the simulator's own model; the index
+  // only wins when the probe + gather beats decoding the columnar region,
+  // so low-selectivity predicates keep the scan.
+  estimator.Annotate(slot->get());
+  CostPlan(slot->get(), env);
+  estimator.Annotate(candidate.get());
+  CostPlan(candidate.get(), env);
+  if (candidate->est_cost_sec < (*slot)->est_cost_sec) {
+    *slot = candidate;
+    converted++;
+  }
+  return converted;
+}
+
+}  // namespace
+
+int ApplyIndexScans(PlanPtr* plan, const PlanCostEnv& env) {
+  CardinalityEstimator estimator(env.catalog);
+  return ApplyIndexScansImpl(plan, env, estimator);
 }
 
 }  // namespace shark

@@ -17,6 +17,17 @@ PlanPtr ApplyRewriteRules(PlanPtr plan, const UdfRegistry* udfs);
 /// the slot layout above the scans).
 void PruneAllColumns(LogicalPlan* plan);
 
+struct PlanCostEnv;
+
+/// Sargability rule: rewrites Scan nodes whose pushed predicate contains
+/// `=`, `<`, `<=`, `>`, `>=` or BETWEEN conjuncts (closed under AND) on an
+/// indexed column of a cached table into IndexRangeScan nodes — but only
+/// when the cost model says the B+-tree probe + row gather beats the
+/// columnar scan for the estimated selectivity. The full scan predicate is
+/// kept as a residual filter, so results are identical either way. Returns
+/// the number of scans converted.
+int ApplyIndexScans(PlanPtr* plan, const PlanCostEnv& env);
+
 /// Back-compat alias for callers that only want rule-based optimization.
 inline PlanPtr Optimize(PlanPtr plan, const UdfRegistry* udfs) {
   return ApplyRewriteRules(std::move(plan), udfs);

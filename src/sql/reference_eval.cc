@@ -188,6 +188,10 @@ Result<std::vector<Row>> ReferenceEvalPlan(const LogicalPlan& plan,
   switch (plan.kind) {
     case PlanKind::kScan:
       return EvalScan(plan, catalog, dfs, udfs);
+    case PlanKind::kIndexScan:
+      // No index structures here: the residual predicate is the full scan
+      // predicate, so a plain scan is semantically identical.
+      return EvalScan(plan, catalog, dfs, udfs);
     case PlanKind::kFilter: {
       std::vector<Row> out;
       for (Row& r : child_rows[0]) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "index/btree.h"
+#include "mem/memory_manager.h"
 #include "rdd/pair_rdd.h"
 #include "common/string_util.h"
 #include "sql/analyzer.h"
@@ -96,8 +98,22 @@ Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt) {
     case StatementKind::kCreateTable:
       return ExecuteCreateTable(*stmt.create_table);
     case StatementKind::kDropTable: {
+      std::string dfs_file;
+      if (auto info = catalog_.Get(stmt.drop_table->name); info.ok()) {
+        dfs_file = (*info)->dfs_file;
+      }
       SHARK_RETURN_NOT_OK(
           catalog_.DropTable(stmt.drop_table->name, stmt.drop_table->if_exists));
+      // Managed-table semantics: dropping the table drops its DFS storage,
+      // so a later CREATE TABLE under the same name starts from scratch
+      // instead of colliding with the orphaned file.
+      if (!dfs_file.empty()) {
+        Status removed = ctx_->dfs().DeleteFile(dfs_file);
+        if (!removed.ok()) {
+          SHARK_LOG(kWarn) << "DROP TABLE could not delete DFS storage '"
+                           << dfs_file << "': " << removed.ToString();
+        }
+      }
       return QueryResult{};
     }
     case StatementKind::kUncacheTable: {
@@ -108,6 +124,10 @@ Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt) {
       return ExecuteExplain(*stmt.explain);
     case StatementKind::kAnalyzeTable:
       return ExecuteAnalyzeTable(*stmt.analyze_table);
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case StatementKind::kDropIndex:
+      return ExecuteDropIndex(*stmt.drop_index);
   }
   return Status::Internal("unknown statement kind");
 }
@@ -124,6 +144,7 @@ PlanPtr SharkSession::PlanSelect(PlanPtr plan) {
   popts.cbo = options_.cbo;
   popts.force_left_deep = options_.force_left_deep;
   popts.dp_max_relations = options_.dp_max_relations;
+  popts.use_indexes = options_.use_indexes;
   return PlanQuery(std::move(plan), &udfs_, env, popts);
 }
 
@@ -418,6 +439,9 @@ Status SharkSession::UncacheTable(const std::string& name) {
     info->cached_rdd->Uncache();
     info->cached_rdd = nullptr;
     info->partition_stats.clear();
+    // Index postings point into the dropped columnar partitions; clearing
+    // the map releases each tree's memory reservation via its RAII handle.
+    info->indexes.clear();
   }
   return Status::OK();
 }
@@ -492,8 +516,15 @@ Result<QueryResult> SharkSession::ExecuteCreateTable(
                                   num_partitions, align_with);
     }();
     if (!load.ok()) {
-      // A failed CTAS must not leave a phantom, half-loaded table behind.
-      (void)catalog_.DropTable(stmt.name, /*if_exists=*/true);
+      // A failed CTAS must not leave a phantom, half-loaded table behind —
+      // including any index someone declared on it in the meantime (DropTable
+      // clears dependent indexes). The cleanup status is advisory, but an
+      // unexpected failure here would leak catalog state, so surface it.
+      Status cleanup = catalog_.DropTable(stmt.name, /*if_exists=*/true);
+      if (!cleanup.ok()) {
+        SHARK_LOG(kWarn) << "failed-CTAS cleanup could not drop table '"
+                        << stmt.name << "': " << cleanup.ToString();
+      }
       return load;
     }
   } else {
@@ -512,6 +543,112 @@ Result<QueryResult> SharkSession::ExecuteCreateTable(
   QueryResult result;
   result.metrics = last_load_metrics_;
   return result;
+}
+
+Result<QueryResult> SharkSession::ExecuteCreateIndex(
+    const CreateIndexStmt& stmt) {
+  SHARK_ASSIGN_OR_RETURN(TableInfo * info, catalog_.Get(stmt.table));
+  if (!info->is_cached()) {
+    return Status::ExecutionError(
+        "CREATE INDEX requires a cached table (postings reference columnar "
+        "partitions): " + stmt.table);
+  }
+  int column = info->schema.FieldIndex(stmt.column);
+  if (column < 0) {
+    return Status::AnalysisError("unknown column in CREATE INDEX: " +
+                                 stmt.column);
+  }
+  std::string key = ToLower(stmt.index_name);
+  if (info->indexes.count(key) > 0) {
+    return Status::AlreadyExists("index exists: " + stmt.index_name);
+  }
+  if (catalog_.FindTableOfIndex(stmt.index_name) != nullptr) {
+    return Status::AlreadyExists("index exists on another table: " +
+                                 stmt.index_name);
+  }
+
+  // Build job: each partition ships its key column to the master, charged
+  // like a one-column scan of that partition.
+  using BlockPtr = std::shared_ptr<IndexBuildBlock>;
+  RddPtr<BlockPtr> blocks = info->cached_rdd->MapPartitions(
+      [column](int partition, const std::vector<TablePartitionPtr>& in,
+               TaskContext* tctx) {
+        auto block = std::make_shared<IndexBuildBlock>();
+        block->partition = partition;
+        for (const TablePartitionPtr& part : in) {
+          if (part == nullptr) continue;
+          tctx->work().mem_read_bytes +=
+              part->ColumnBytes(static_cast<size_t>(column));
+          tctx->work().rows_processed += part->num_rows();
+          for (size_t r = 0; r < part->num_rows(); ++r) {
+            Row row = part->GetRow(r);
+            block->keys.push_back(row.fields[static_cast<size_t>(column)]);
+          }
+        }
+        return std::vector<BlockPtr>{block};
+      },
+      "indexBuild:" + info->name);
+
+  double start = ctx_->now();
+  SHARK_ASSIGN_OR_RETURN(std::vector<BlockPtr> parts, ctx_->Collect(blocks));
+  QueryMetrics metrics;
+  metrics.AddJob(ctx_->scheduler().last_job());
+  metrics.virtual_seconds += ctx_->now() - start;
+
+  // Master-side assembly in (partition, row) order — deterministic for a
+  // given cached layout regardless of which task finished first.
+  std::sort(parts.begin(), parts.end(),
+            [](const BlockPtr& a, const BlockPtr& b) {
+              return a->partition < b->partition;
+            });
+  auto tree = std::make_shared<BTreeIndex>();
+  for (const BlockPtr& block : parts) {
+    for (size_t r = 0; r < block->keys.size(); ++r) {
+      tree->Insert(block->keys[r],
+                   IndexPosting{block->partition, static_cast<uint32_t>(r)});
+    }
+  }
+
+  IndexInfo index;
+  index.name = stmt.index_name;
+  index.column = column;
+  index.memory_bytes = tree->MemoryBytes();
+  index.tree = tree;
+  MemoryManager* mm = &ctx_->memory_manager();
+  mm->AddIndexBytes(index.memory_bytes);
+  uint64_t charged = index.memory_bytes;
+  index.reservation = std::shared_ptr<void>(
+      nullptr, [mm, charged](void*) { mm->ReleaseIndexBytes(charged); });
+  info->indexes.emplace(std::move(key), std::move(index));
+
+  QueryResult result;
+  result.metrics = metrics;
+  Schema schema;
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"index", TypeKind::kString}));
+  SHARK_RETURN_NOT_OK(schema.AddField(Field{"keys", TypeKind::kInt64}));
+  result.schema = schema;
+  Row row;
+  row.fields.push_back(Value::String(stmt.index_name));
+  row.fields.push_back(Value::Int64(static_cast<int64_t>(tree->size())));
+  result.rows.push_back(std::move(row));
+  return result;
+}
+
+Result<QueryResult> SharkSession::ExecuteDropIndex(const DropIndexStmt& stmt) {
+  TableInfo* info = nullptr;
+  if (!stmt.table.empty()) {
+    SHARK_ASSIGN_OR_RETURN(info, catalog_.Get(stmt.table));
+    if (info->indexes.count(ToLower(stmt.index_name)) == 0) info = nullptr;
+  } else {
+    info = catalog_.FindTableOfIndex(stmt.index_name);
+  }
+  if (info == nullptr) {
+    if (stmt.if_exists) return QueryResult{};
+    return Status::NotFound("index not found: " + stmt.index_name);
+  }
+  // Erasing the IndexInfo releases its memory reservation (RAII handle).
+  info->indexes.erase(ToLower(stmt.index_name));
+  return QueryResult{};
 }
 
 }  // namespace shark

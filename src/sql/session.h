@@ -83,6 +83,12 @@ class SharkSession {
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
 
+  /// Builds a B+-tree over a cached table's column (a collect job over the
+  /// columnar partitions, charged like a one-column scan) and registers it
+  /// in the catalog with a MemoryManager reservation.
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> ExecuteDropIndex(const DropIndexStmt& stmt);
+
   /// Marshals a row RDD into cached columnar partitions; registers stats.
   /// If `align_with` is non-null, load tasks prefer the node holding the
   /// partner's corresponding cached partition (co-partitioned placement).

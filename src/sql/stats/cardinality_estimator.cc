@@ -225,6 +225,64 @@ double CardinalityEstimator::AnnotateNode(LogicalPlan* plan,
       plan->est_rows = rows;
       return rows;
     }
+    case PlanKind::kIndexScan: {
+      const TableStatistics* stats = nullptr;
+      double table_rows = kDefaultTableRows;
+      if (catalog_ != nullptr) {
+        auto info = catalog_->Get(plan->table);
+        if (info.ok()) {
+          if ((*info)->column_statistics != nullptr) {
+            stats = (*info)->column_statistics.get();
+            table_rows = stats->row_count;
+          } else if ((*info)->approx_rows > 0) {
+            table_rows = static_cast<double>((*info)->approx_rows);
+          }
+        }
+      }
+      for (size_t c = 0; c < plan->output.size(); ++c) {
+        SlotStats s;
+        s.table_rows = table_rows;
+        if (stats != nullptr && c < stats->columns.size()) {
+          s.column = &stats->columns[c];
+        }
+        slots->push_back(s);
+      }
+      // Postings the B+-tree probe returns: selectivity of the probed range
+      // alone, before the residual filter re-checks the full predicate.
+      const ColumnStatistics* col =
+          stats != nullptr &&
+                  plan->index_column >= 0 &&
+                  static_cast<size_t>(plan->index_column) <
+                      stats->columns.size()
+              ? &stats->columns[static_cast<size_t>(plan->index_column)]
+              : nullptr;
+      bool point = plan->index_lo != nullptr && plan->index_hi != nullptr &&
+                   plan->index_lo_inclusive && plan->index_hi_inclusive &&
+                   plan->index_lo->kind == ExprKind::kLiteral &&
+                   plan->index_hi->kind == ExprKind::kLiteral &&
+                   plan->index_lo->literal == plan->index_hi->literal;
+      double range_sel = point ? kDefaultEq : kDefaultRange;
+      if (col != nullptr) {
+        double lo = 0, hi = 0;
+        bool has_lo = plan->index_lo != nullptr &&
+                      LiteralNumeric(*plan->index_lo, &lo);
+        bool has_hi = plan->index_hi != nullptr &&
+                      LiteralNumeric(*plan->index_hi, &hi);
+        if (point) {
+          range_sel = col->EqualitySelectivity(plan->index_lo->literal);
+        } else if (has_lo || has_hi) {
+          range_sel = col->RangeSelectivity(has_lo, lo, has_hi, hi);
+        }
+      }
+      plan->est_index_matches = table_rows * std::clamp(range_sel, 0.0, 1.0);
+      double rows = table_rows;
+      if (plan->scan_predicate != nullptr) {
+        rows *= SelectivityOf(*plan->scan_predicate, *slots);
+      }
+      rows = std::min(rows, plan->est_index_matches);
+      plan->est_rows = rows;
+      return rows;
+    }
     case PlanKind::kFilter: {
       std::vector<SlotStats> child;
       double in = AnnotateWithSlots(plan->children[0].get(), &child);

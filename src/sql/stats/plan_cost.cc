@@ -29,7 +29,8 @@ double WorkToSeconds(const PlanCostEnv& env, const TaskWork& work,
 }
 
 double EstimateRowBytes(const LogicalPlan& plan, const PlanCostEnv& env) {
-  if (plan.kind == PlanKind::kScan && env.catalog != nullptr) {
+  if ((plan.kind == PlanKind::kScan || plan.kind == PlanKind::kIndexScan) &&
+      env.catalog != nullptr) {
     auto info = env.catalog->Get(plan.table);
     if (info.ok()) {
       const TableInfo* t = *info;
@@ -133,6 +134,24 @@ double CostPlan(LogicalPlan* plan, const PlanCostEnv& env) {
         }
       }
       work.rows_processed = U64(table_rows);
+      stages = 1;
+      break;
+    }
+    case PlanKind::kIndexScan: {
+      double table_rows = out_rows;
+      if (env.catalog != nullptr) {
+        auto info = env.catalog->Get(plan->table);
+        if (info.ok() && (*info)->approx_rows > 0) {
+          table_rows = static_cast<double>((*info)->approx_rows);
+        }
+      }
+      double matched = plan->est_index_matches >= 0 ? plan->est_index_matches
+                                                    : table_rows;
+      // B+-tree probe (log descent) plus per-posting row materialization and
+      // the residual filter pass; the gather touches only the matched rows'
+      // bytes instead of the whole column region.
+      work.rows_processed = U64(std::log2(table_rows + 2.0) + matched * 2.0);
+      work.mem_read_bytes = U64(matched * EstimateRowBytes(*plan, env));
       stages = 1;
       break;
     }

@@ -345,6 +345,58 @@ TEST_F(FailingQueryCleanupTest, FailedSelectReleasesShuffleLedger) {
   EXPECT_EQ(ok->rows.size(), 16u);
 }
 
+// A CTAS that fails AFTER an index was declared on the phantom table: the
+// cleanup's DropTable must release the index's MemoryManager reservation
+// along with the table, never leaving a charge against a table that no
+// longer exists.
+TEST_F(FailingQueryCleanupTest, FailedCtasReleasesIndexOnPhantomTable) {
+  // Serial host execution so the planting UDF touches the catalog without
+  // racing task bodies.
+  session_->options().host_threads = 1;
+  MemoryManager* mm = &session_->context().memory_manager();
+  SharkSession* session = session_.get();
+  auto planted = std::make_shared<bool>(false);
+  UdfRegistry::UdfInfo plant;
+  plant.return_type = TypeKind::kInt64;
+  plant.fn = [session, mm, planted](const std::vector<Value>& args) -> Value {
+    if (!*planted) {
+      // First task body: the phantom table already exists in the catalog —
+      // declare an index on it, reserving index memory like CREATE INDEX.
+      *planted = true;
+      auto info = session->catalog().Get("broken");
+      if (info.ok()) {
+        const uint64_t bytes = 1 << 20;
+        mm->AddIndexBytes(bytes);
+        IndexInfo idx;
+        idx.name = "idx_phantom";
+        idx.column = 0;
+        idx.memory_bytes = bytes;
+        idx.reservation = std::shared_ptr<void>(
+            nullptr, [mm, bytes](void*) { mm->ReleaseIndexBytes(bytes); });
+        (*info)->indexes.emplace("idx_phantom", std::move(idx));
+      }
+    }
+    if (!args[0].is_null() && args[0].int64_v() == 13) {
+      throw std::runtime_error("boom");
+    }
+    return args[0];
+  };
+  ASSERT_TRUE(session_->udfs().Register("PLANT_BOOM", plant).ok());
+
+  std::vector<uint64_t> baseline = UsedBytesPerNode();
+  auto r = session_->Sql(
+      "CREATE TABLE broken TBLPROPERTIES ('shark.cache'='true') AS "
+      "SELECT k, PLANT_BOOM(v) AS bv FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(*planted);
+
+  // The phantom table AND its index reservation are gone.
+  EXPECT_EQ(mm->total_index_bytes(), 0u);
+  EXPECT_EQ(UsedBytesPerNode(), baseline);
+  EXPECT_FALSE(session_->Sql("SELECT COUNT(*) FROM broken").ok());
+  EXPECT_FALSE(session_->Sql("DROP INDEX idx_phantom").ok());
+}
+
 TEST_F(FailingQueryCleanupTest, FailedCtasDropsPhantomTableAndCache) {
   std::vector<uint64_t> baseline = UsedBytesPerNode();
 

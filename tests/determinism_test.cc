@@ -117,6 +117,81 @@ TEST(DeterminismTest, SqlSuiteIdenticalAcrossHostThreadCounts) {
   }
 }
 
+/// The indexed suite: CREATE INDEX runs a build job, then selective queries
+/// execute through IndexRangeScan gathers. Both the build and the gather
+/// charge virtual time, so everything must stay bit-identical across host
+/// thread counts — and across the scalar/vectorized gather paths, which are
+/// host-side variants of the same charges.
+std::vector<QueryTrace> RunIndexedSuite(int host_threads, bool vectorized) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.hardware.cores_per_node = 2;
+  cfg.host_threads = host_threads;
+  auto session =
+      std::make_unique<SharkSession>(std::make_shared<ClusterContext>(cfg));
+  session->options().vectorized = vectorized;
+  Dataset data = MakeSales(3000, 77);
+  EXPECT_TRUE(
+      session->CreateDfsTable("sales", data.schema, data.rows, 8).ok());
+  EXPECT_TRUE(session->CacheTable("sales").ok());
+
+  std::vector<QueryTrace> traces;
+  auto run = [&](const std::string& sql) {
+    auto r = session->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    QueryTrace t;
+    if (r.ok()) {
+      for (const Row& row : r->rows) t.rows.insert(row.ToString());
+      t.virtual_seconds = r->metrics.virtual_seconds;
+      t.jobs = r->metrics.jobs;
+      t.stages = r->metrics.stages;
+      t.tasks = r->metrics.tasks;
+      t.chosen_reducers = r->metrics.chosen_reducers;
+    }
+    traces.push_back(std::move(t));
+  };
+  run("ANALYZE TABLE sales");
+  run("CREATE INDEX idx_units ON sales(units)");
+  run("CREATE INDEX idx_region ON sales(region)");
+  const std::string queries[] = {
+      "SELECT region, units FROM sales WHERE units = 7",
+      "SELECT COUNT(*), SUM(price) FROM sales WHERE units BETWEEN 38 AND 40",
+      "SELECT product, COUNT(*) FROM sales WHERE region = 'east' "
+      "GROUP BY product",
+      "SELECT s.region, COUNT(*) FROM sales s "
+      "JOIN (SELECT region, MAX(units) AS mu FROM sales GROUP BY region) m "
+      "ON s.region = m.region WHERE s.units = m.mu GROUP BY s.region",
+  };
+  for (const auto& q : queries) run(q);
+  run("DROP INDEX idx_units");
+  for (const auto& q : queries) run(q);
+  return traces;
+}
+
+TEST(DeterminismTest, IndexedSuiteIdenticalAcrossHostThreadCounts) {
+  std::vector<QueryTrace> serial = RunIndexedSuite(1, /*vectorized=*/true);
+  std::vector<QueryTrace> parallel = RunIndexedSuite(8, /*vectorized=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i])
+        << "indexed query " << i << " diverged: virtual "
+        << serial[i].virtual_seconds << " vs " << parallel[i].virtual_seconds
+        << ", tasks " << serial[i].tasks << " vs " << parallel[i].tasks;
+  }
+}
+
+TEST(DeterminismTest, IndexedGatherChargesIdenticalScalarVsVectorized) {
+  std::vector<QueryTrace> vec = RunIndexedSuite(4, /*vectorized=*/true);
+  std::vector<QueryTrace> scalar = RunIndexedSuite(4, /*vectorized=*/false);
+  ASSERT_EQ(vec.size(), scalar.size());
+  for (size_t i = 0; i < vec.size(); ++i) {
+    EXPECT_TRUE(vec[i] == scalar[i])
+        << "indexed query " << i << " diverged: virtual "
+        << vec[i].virtual_seconds << " vs " << scalar[i].virtual_seconds
+        << ", tasks " << vec[i].tasks << " vs " << scalar[i].tasks;
+  }
+}
+
 /// One ML pipeline: cached logistic regression. Weight vectors and the
 /// per-iteration virtual times must match exactly — gradients are summed in
 /// the scheduler's deterministic commit order, not host completion order.

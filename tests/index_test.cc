@@ -1,0 +1,383 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/btree.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// B+-tree property tests against a std::multimap shadow model
+// ---------------------------------------------------------------------------
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+using ShadowModel = std::multimap<Value, IndexPosting, ValueLess>;
+
+std::vector<IndexPosting> ShadowScan(const ShadowModel& shadow, const Value* lo,
+                                     bool lo_inclusive, const Value* hi,
+                                     bool hi_inclusive) {
+  std::vector<IndexPosting> out;
+  for (const auto& [key, posting] : shadow) {
+    if (lo != nullptr) {
+      int c = key.Compare(*lo);
+      if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+    }
+    if (hi != nullptr) {
+      int c = key.Compare(*hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) continue;
+    }
+    out.push_back(posting);
+  }
+  return out;
+}
+
+// Duplicate keys come back in a deterministic but tree-internal order, so
+// compare as (partition, row)-sorted sets — exactly how the executor consumes
+// postings.
+std::vector<IndexPosting> Canonical(std::vector<IndexPosting> postings) {
+  std::sort(postings.begin(), postings.end(),
+            [](const IndexPosting& a, const IndexPosting& b) {
+              return a.partition != b.partition ? a.partition < b.partition
+                                                : a.row < b.row;
+            });
+  return postings;
+}
+
+/// Values chosen to stress Value::Compare's corners: NULL, NaN, signed
+/// zeros, infinities, int64/double cross-type keys past 2^53, empty strings.
+std::vector<Value> NastyPool() {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  return {
+      Value::Null(),
+      Value::Double(kNan),
+      Value::Double(-kNan),
+      Value::Double(0.0),
+      Value::Double(-0.0),
+      Value::Int64(0),
+      Value::Double(kInf),
+      Value::Double(-kInf),
+      Value::Int64(std::numeric_limits<int64_t>::min()),
+      Value::Int64(std::numeric_limits<int64_t>::max()),
+      Value::Int64((1LL << 53) + 1),
+      Value::Double(9007199254740992.0),  // 2^53
+      Value::Double(9007199254740994.0),
+      Value::Int64((1LL << 53) + 3),
+      Value::Int64(-7),
+      Value::Double(-7.0),
+      Value::Double(-6.5),
+      Value::Int64(42),
+      Value::Double(42.0),
+      Value::String(""),
+      Value::String("a"),
+      Value::String("aa"),
+      Value::String("z"),
+  };
+}
+
+TEST(BTreeIndexTest, MatchesMultimapOnNastyValues) {
+  std::mt19937 rng(20260809);
+  const std::vector<Value> pool = NastyPool();
+  std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  BTreeIndex tree;
+  ShadowModel shadow;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    const Value& key = pool[pick(rng)];
+    IndexPosting posting{static_cast<int32_t>(i % 17), i};
+    tree.Insert(key, posting);
+    shadow.emplace(key, posting);
+  }
+  ASSERT_EQ(tree.size(), shadow.size());
+  EXPECT_GT(tree.height(), 1);
+
+  for (int trial = 0; trial < 400; ++trial) {
+    const Value lo_v = pool[pick(rng)];
+    const Value hi_v = pool[pick(rng)];
+    const bool has_lo = coin(rng) == 1;
+    const bool has_hi = coin(rng) == 1;
+    const bool lo_inc = coin(rng) == 1;
+    const bool hi_inc = coin(rng) == 1;
+    const Value* lo = has_lo ? &lo_v : nullptr;
+    const Value* hi = has_hi ? &hi_v : nullptr;
+    std::vector<IndexPosting> got =
+        Canonical(tree.Scan(lo, lo_inc, hi, hi_inc));
+    std::vector<IndexPosting> want =
+        Canonical(ShadowScan(shadow, lo, lo_inc, hi, hi_inc));
+    ASSERT_EQ(got, want) << "trial " << trial << " lo=" << lo_v.ToString()
+                         << (lo_inc ? " inc" : " exc") << " hi="
+                         << hi_v.ToString() << (hi_inc ? " inc" : " exc")
+                         << " has_lo=" << has_lo << " has_hi=" << has_hi;
+  }
+}
+
+TEST(BTreeIndexTest, DuplicateHeavyEqualityScan) {
+  BTreeIndex tree;
+  ShadowModel shadow;
+  // 2000 entries over just 3 distinct keys: every leaf split lands between
+  // duplicates of the separator.
+  const std::vector<Value> keys = {Value::Int64(1), Value::Int64(2),
+                                   Value::String("dup")};
+  for (uint32_t i = 0; i < 2000; ++i) {
+    const Value& key = keys[i % keys.size()];
+    IndexPosting posting{static_cast<int32_t>(i % 5), i};
+    tree.Insert(key, posting);
+    shadow.emplace(key, posting);
+  }
+  for (const Value& key : keys) {
+    std::vector<IndexPosting> got =
+        Canonical(tree.Scan(&key, true, &key, true));
+    std::vector<IndexPosting> want =
+        Canonical(ShadowScan(shadow, &key, true, &key, true));
+    EXPECT_EQ(got, want) << key.ToString();
+    EXPECT_EQ(got.size(), shadow.count(key));
+  }
+}
+
+TEST(BTreeIndexTest, OpenAndEmptyRanges) {
+  BTreeIndex tree;
+  for (uint32_t i = 0; i < 100; ++i) {
+    tree.Insert(Value::Int64(static_cast<int64_t>(i)), IndexPosting{0, i});
+  }
+  // Fully open scan returns everything.
+  EXPECT_EQ(tree.Scan(nullptr, true, nullptr, true).size(), 100u);
+  // Inverted range returns nothing.
+  Value lo = Value::Int64(50), hi = Value::Int64(10);
+  EXPECT_TRUE(tree.Scan(&lo, true, &hi, true).empty());
+  // Exclusive point range returns nothing.
+  Value k = Value::Int64(50);
+  EXPECT_TRUE(tree.Scan(&k, false, &k, false).empty());
+  EXPECT_EQ(tree.Scan(&k, true, &k, true).size(), 1u);
+  // Memory estimate is positive and grows with content.
+  EXPECT_GT(tree.MemoryBytes(), 100u * 16u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end SQL tests
+// ---------------------------------------------------------------------------
+
+class IndexSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.hardware.cores_per_node = 2;
+    session_ = std::make_unique<SharkSession>(
+        std::make_shared<ClusterContext>(cfg));
+    RegisterRankings();
+  }
+
+  void RegisterRankings() {
+    Schema rankings({{"pageURL", TypeKind::kString},
+                     {"pageRank", TypeKind::kInt64},
+                     {"avgDuration", TypeKind::kInt64}});
+    std::vector<Row> rrows;
+    for (int i = 0; i < 400; ++i) {
+      rrows.push_back(Row({Value::String("url" + std::to_string(i)),
+                           Value::Int64(i % 100), Value::Int64(i % 10)}));
+    }
+    ASSERT_TRUE(
+        session_->CreateDfsTable("rankings", rankings, rrows, 8).ok());
+  }
+
+  QueryResult MustQuery(const std::string& sql) {
+    auto r = session_->Sql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << sql;
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::string MustExplain(const std::string& sql) {
+    auto r = session_->Explain(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << sql;
+    return r.ok() ? *r : std::string();
+  }
+
+  static std::vector<std::string> SortedRows(const QueryResult& r) {
+    std::vector<std::string> out;
+    out.reserve(r.rows.size());
+    for (const Row& row : r.rows) out.push_back(row.ToString());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  uint64_t IndexBytes() {
+    return session_->context().memory_manager().total_index_bytes();
+  }
+
+  std::unique_ptr<SharkSession> session_;
+};
+
+TEST_F(IndexSqlTest, CreateIndexRequiresCachedTable) {
+  auto r = session_->Sql("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IndexSqlTest, QueryParityWithAndWithoutIndex) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  const std::vector<std::string> queries = {
+      "SELECT pageURL, pageRank FROM rankings WHERE pageRank = 42",
+      "SELECT pageURL FROM rankings WHERE pageRank < 7",
+      "SELECT pageURL, avgDuration FROM rankings "
+      "WHERE pageRank BETWEEN 90 AND 95 AND avgDuration > 2",
+      "SELECT COUNT(*), SUM(avgDuration) FROM rankings WHERE pageRank >= 97",
+      // Range that matches nothing.
+      "SELECT pageURL FROM rankings WHERE pageRank > 1000",
+  };
+  std::vector<std::vector<std::string>> before;
+  for (const std::string& q : queries) before.push_back(SortedRows(MustQuery(q)));
+
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_GT(IndexBytes(), 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(SortedRows(MustQuery(queries[i])), before[i])
+        << "query: " << queries[i];
+  }
+
+  // Scalar path must agree too (vectorized off).
+  session_->options().vectorized = false;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(SortedRows(MustQuery(queries[i])), before[i])
+        << "scalar, query: " << queries[i];
+  }
+}
+
+TEST_F(IndexSqlTest, ExplainFlipsToIndexRangeScan) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  MustQuery("ANALYZE TABLE rankings");
+  const std::string q =
+      "SELECT pageURL FROM rankings WHERE pageRank = 42";
+  EXPECT_EQ(MustExplain(q).find("IndexRangeScan"), std::string::npos);
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_NE(MustExplain(q).find("IndexRangeScan"), std::string::npos);
+  // Unselective ranges stay on the columnar scan (the CBO says so).
+  EXPECT_EQ(
+      MustExplain("SELECT pageURL FROM rankings WHERE pageRank >= 0")
+          .find("IndexRangeScan"),
+      std::string::npos);
+  // With indexes disabled the plan reverts.
+  session_->options().use_indexes = false;
+  EXPECT_EQ(MustExplain(q).find("IndexRangeScan"), std::string::npos);
+}
+
+TEST_F(IndexSqlTest, DropIndexReleasesMemory) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_GT(IndexBytes(), 0u);
+  // Duplicate name is rejected.
+  EXPECT_FALSE(session_->Sql("CREATE INDEX idx_rank ON rankings(pageURL)").ok());
+  MustQuery("DROP INDEX idx_rank");
+  EXPECT_EQ(IndexBytes(), 0u);
+  // Gone: plain DROP fails, IF EXISTS succeeds.
+  EXPECT_FALSE(session_->Sql("DROP INDEX idx_rank").ok());
+  MustQuery("DROP INDEX IF EXISTS idx_rank");
+}
+
+// Satellite: DROP TABLE must atomically drop dependent indexes — recreating
+// the table under the same name must not resolve stale index metadata or
+// charge stale memory.
+TEST_F(IndexSqlTest, DropTableDropsDependentIndexes) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  MustQuery("ANALYZE TABLE rankings");
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_GT(IndexBytes(), 0u);
+
+  MustQuery("DROP TABLE rankings");
+  EXPECT_EQ(IndexBytes(), 0u);
+
+  // Same name, fresh table: no stale index or statistics may survive.
+  RegisterRankings();
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  const std::string q = "SELECT pageURL FROM rankings WHERE pageRank = 42";
+  EXPECT_EQ(MustExplain(q).find("IndexRangeScan"), std::string::npos);
+  QueryResult r = MustQuery(q);
+  EXPECT_EQ(r.rows.size(), 4u);
+  // The old index name is free again.
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_GT(IndexBytes(), 0u);
+}
+
+TEST_F(IndexSqlTest, UncacheTableDropsIndexes) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  MustQuery("CREATE INDEX idx_rank ON rankings(pageRank)");
+  EXPECT_GT(IndexBytes(), 0u);
+  ASSERT_TRUE(session_->UncacheTable("rankings").ok());
+  EXPECT_EQ(IndexBytes(), 0u);
+  EXPECT_EQ(MustExplain("SELECT pageURL FROM rankings WHERE pageRank = 42")
+                .find("IndexRangeScan"),
+            std::string::npos);
+}
+
+// Satellite: mixed-case identifiers must round-trip through every catalog
+// door — CREATE INDEX / ANALYZE / EXPLAIN / DROP INDEX.
+TEST_F(IndexSqlTest, MixedCaseIdentifierMatrix) {
+  ASSERT_TRUE(session_->CacheTable("rankings").ok());
+  MustQuery("ANALYZE TABLE RaNkInGs");
+  MustQuery("CREATE INDEX IdxRank ON RANKINGS(PageRank)");
+  EXPECT_NE(
+      MustExplain("SELECT PAGEURL FROM Rankings WHERE PAGERANK = 42")
+          .find("IndexRangeScan"),
+      std::string::npos);
+  QueryResult r =
+      MustQuery("SELECT pageURL FROM RANKINGS WHERE PageRank = 42");
+  EXPECT_EQ(r.rows.size(), 4u);
+  // Second spelling of the same index name collides.
+  EXPECT_FALSE(session_->Sql("CREATE INDEX IDXRANK ON rankings(pageURL)").ok());
+  MustQuery("DROP INDEX idxrank ON RankingS");
+  EXPECT_EQ(IndexBytes(), 0u);
+  MustQuery("CREATE INDEX idxrank ON rankings(pageURL)");
+  MustQuery("DROP INDEX IdxRank");
+  EXPECT_EQ(IndexBytes(), 0u);
+}
+
+// NULL and NaN keys: the sargable range never has to produce them for
+// comparison predicates (NULL compares to nothing, NaN re-checked by the
+// residual), so indexed and unindexed plans must agree exactly.
+TEST_F(IndexSqlTest, NullAndNanKeysAgreeWithScan) {
+  Schema nasty({{"k", TypeKind::kDouble}, {"tag", TypeKind::kString}});
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(Row({Value::Double(static_cast<double>(i % 10)),
+                        Value::String("v" + std::to_string(i))}));
+  }
+  rows.push_back(Row({Value::Null(), Value::String("null1")}));
+  rows.push_back(Row({Value::Null(), Value::String("null2")}));
+  rows.push_back(Row({Value::Double(kNan), Value::String("nan")}));
+  rows.push_back(Row({Value::Double(kInf), Value::String("inf")}));
+  rows.push_back(Row({Value::Double(-kInf), Value::String("ninf")}));
+  rows.push_back(Row({Value::Double(-0.0), Value::String("nzero")}));
+  ASSERT_TRUE(session_->CreateDfsTable("nasty", nasty, rows, 4).ok());
+  ASSERT_TRUE(session_->CacheTable("nasty").ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT tag FROM nasty WHERE k = 0.0",
+      "SELECT tag FROM nasty WHERE k <= 1.5",
+      "SELECT tag FROM nasty WHERE k > 8.0",
+      "SELECT tag FROM nasty WHERE k BETWEEN 2.0 AND 4.0",
+  };
+  std::vector<std::vector<std::string>> before;
+  for (const std::string& q : queries) before.push_back(SortedRows(MustQuery(q)));
+  MustQuery("CREATE INDEX idx_k ON nasty(k)");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(SortedRows(MustQuery(queries[i])), before[i])
+        << "query: " << queries[i];
+  }
+}
+
+}  // namespace
+}  // namespace shark

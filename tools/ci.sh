@@ -84,6 +84,18 @@ build/bench/bench_serving --smoke | tee "$metrics_dir/serving.log"
 tools/bench_gate --serving-floors --baseline bench/bench_baseline.json \
   --current "$metrics_dir/serving.log"
 
+echo "=== secondary indexes (lookup bench + floors) ==="
+# bench_lookup compares the B+-tree IndexRangeScan against the full columnar
+# scan across selectivity points (virtual-time deterministic), then sweeps
+# open-loop point lookups through the JobManager with indexes on vs off. The
+# gate enforces the committed floors: the selective point must plan as an
+# IndexRangeScan and beat the scan by >= 5x, the indexed sweep must lift
+# saturation QPS by >= 10x, and indexed p99 must stay under the ceiling.
+cmake --build build -j "$(nproc)" --target bench_lookup
+build/bench/bench_lookup --smoke | tee "$metrics_dir/lookup.log"
+tools/bench_gate --index-floors --baseline bench/bench_baseline.json \
+  --current "$metrics_dir/lookup.log"
+
 echo "=== concurrent jobs under ThreadSanitizer ==="
 # The JobManager baton (one mutex handoff per park/resume) and the server's
 # thread-per-connection front-end are the only places engine state crosses
@@ -92,7 +104,7 @@ echo "=== concurrent jobs under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DSHARK_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" --target shark_tests
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  build-tsan/tests/shark_tests --gtest_filter='ConcurrentJobsTest.*:FailingQueryCleanupTest.*:DeterminismTest.ConcurrentJobs*'
+  build-tsan/tests/shark_tests --gtest_filter='ConcurrentJobsTest.*:FailingQueryCleanupTest.*:DeterminismTest.ConcurrentJobs*:DeterminismTest.Indexed*:IndexSqlTest.*'
 
 echo "=== AddressSanitizer ==="
 tools/check_asan.sh

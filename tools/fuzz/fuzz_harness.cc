@@ -1104,8 +1104,37 @@ RunOutcome RunCase(const FuzzCase& c, const RunOptions& opts) {
       run_variant(c.sql, orig_vec ? "cached+vectorized=off"
                                   : "cached+vectorized=on");
       shark->options().vectorized = orig_vec;
+
+      // Secondary indexes must never change results, only plans: index every
+      // column of every table (B+-tree over the full nasty-value domain),
+      // re-run with the planner free to pick IndexRangeScan, with the gather
+      // path inverted, and with indexes disabled again as the control.
+      bool indexed_ok = true;
       for (const TableSpec& t : c.tables) {
-        (void)shark->UncacheTable(t.name);
+        for (size_t ci = 0; ci < t.schema.fields().size(); ++ci) {
+          auto ires = shark->Sql("CREATE INDEX fzidx_" + t.name + "_" +
+                                 std::to_string(ci) + " ON " + t.name + "(" +
+                                 t.schema.fields()[ci].name + ")");
+          if (!ires.ok()) {
+            fail("CREATE INDEX on " + t.name + "(" +
+                 t.schema.fields()[ci].name +
+                 ") failed: " + ires.status().ToString());
+            indexed_ok = false;
+          }
+        }
+      }
+      if (indexed_ok) {
+        run_variant(c.sql, "cached+indexed");
+        shark->options().vectorized = !orig_vec;
+        run_variant(c.sql, "cached+indexed+vec_inverted");
+        shark->options().vectorized = orig_vec;
+        bool orig_idx = shark->options().use_indexes;
+        shark->options().use_indexes = false;
+        run_variant(c.sql, "cached+index_off");
+        shark->options().use_indexes = orig_idx;
+      }
+      for (const TableSpec& t : c.tables) {
+        (void)shark->UncacheTable(t.name);  // also drops the indexes
       }
     }
 

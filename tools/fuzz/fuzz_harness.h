@@ -108,6 +108,7 @@ struct RunOutcome {
 /// Runs the case through the three oracles (Shark, Hive, reference
 /// evaluator) and the metamorphic variants (cached vs uncached, vectorized
 /// batch path vs scalar interpreter over the cached columnar store,
+/// secondary indexes on every column vs indexes disabled,
 /// host_threads 1 vs 4, tight vs ample memory, conjunct order, join
 /// commutation),
 /// comparing all results against the reference as multisets with exact
