@@ -79,7 +79,7 @@ struct SweepPoint {
 /// weight and every 7th query declares a working-set demand so admission
 /// control actually queues under pressure.
 SweepPoint RunSweepPoint(int sessions, double offered_qps, int num_queries,
-                         uint32_t seed) {
+                         uint32_t seed, bool collect_query_metrics = true) {
   auto session = MakeServingSession();
   ClusterContext& ctx = session->context();
   uint64_t headroom = ctx.memory_manager().AdmissionHeadroomBytes();
@@ -93,6 +93,8 @@ SweepPoint RunSweepPoint(int sessions, double offered_qps, int num_queries,
     JobSpec& spec = specs[static_cast<size_t>(i)];
     int client = i % sessions;
     spec.label = "c" + std::to_string(client) + "#" + std::to_string(i);
+    spec.query_id = "q" + std::to_string(i);
+    spec.session = "c" + std::to_string(client);
     spec.arrival_vtime = at;
     spec.weight = 1.0 + (client % 2);  // half the clients are "premium"
     if (i % 7 == 3) spec.mem_demand_bytes = headroom / 3;
@@ -101,7 +103,9 @@ SweepPoint RunSweepPoint(int sessions, double offered_qps, int num_queries,
     spec.body = [sp, sql]() -> Status { return sp->Sql(sql).status(); };
   }
 
-  JobManager jm(&ctx);
+  JobManager::Options jopts;
+  jopts.collect_query_metrics = collect_query_metrics;
+  JobManager jm(&ctx, jopts);
   std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
 
   SweepPoint point;
@@ -219,6 +223,60 @@ void RunLoopback(int clients, int queries_per_client) {
   std::printf("BENCH_serving.json %s\n", w.str().c_str());
 }
 
+/// Observability-plane overhead: one fixed open-loop configuration executed
+/// with query-metric collection on and off, interleaved min-of-3 wall-clock
+/// on each side. The virtual-time results must be bit-identical (the plane
+/// only ever observes the schedule), and the host-time overhead should stay
+/// within a few percent (3% is the design target; the committed gate ceiling
+/// is looser because tiny smoke workloads are wall-clock noisy).
+void RunObsOverhead(bool smoke) {
+  const int sessions = 8;
+  const double rate = 16.0;
+  const int num_queries = smoke ? 48 : 120;
+  const uint32_t seed = 9000;
+
+  double wall_on = 1e300, wall_off = 1e300;
+  SweepPoint on, off;
+  for (int i = 0; i < 3; ++i) {
+    {
+      WallTimer t;
+      on = RunSweepPoint(sessions, rate, num_queries, seed,
+                         /*collect_query_metrics=*/true);
+      wall_on = std::min(wall_on, t.ElapsedMs());
+    }
+    {
+      WallTimer t;
+      off = RunSweepPoint(sessions, rate, num_queries, seed,
+                          /*collect_query_metrics=*/false);
+      wall_off = std::min(wall_off, t.ElapsedMs());
+    }
+  }
+  const bool identical = on.p50 == off.p50 && on.p99 == off.p99 &&
+                         on.achieved_qps == off.achieved_qps &&
+                         on.queued_frac == off.queued_frac &&
+                         on.completed_counter == off.completed_counter;
+  const double ratio = wall_off > 0 ? wall_on / wall_off : 0.0;
+  std::printf("\nobservability plane: %d queries, host %.0fms on / %.0fms off "
+              "(ratio %.3f, target <= 1.03), virtual results %s\n",
+              num_queries, wall_on, wall_off, ratio,
+              identical ? "identical" : "DIVERGED");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("serving");
+  w.Key("mode").String("obs");
+  w.Key("sessions").Int(sessions);
+  w.Key("queries").Int(num_queries);
+  w.Key("wall_on_ms").FixedDouble(wall_on, 1);
+  w.Key("wall_off_ms").FixedDouble(wall_off, 1);
+  w.Key("overhead_ratio").FixedDouble(ratio, 4);
+  w.Key("target_overhead_ratio").FixedDouble(1.03, 2);
+  w.Key("virtual_identical").Bool(identical);
+  w.Key("p99_latency").FixedDouble(on.p99, 6);
+  w.EndObject();
+  std::printf("BENCH_serving_obs.json %s\n", w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,5 +327,6 @@ int main(int argc, char** argv) {
   }
 
   RunLoopback(/*clients=*/8, /*queries_per_client=*/smoke ? 3 : 6);
+  if (!loopback_only) RunObsOverhead(smoke);
   return 0;
 }

@@ -35,12 +35,58 @@ const char* KindName(int kind) {
 
 }  // namespace
 
+std::string PrometheusEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  auto valid = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':') {
+      return true;
+    }
+    return !first && c >= '0' && c <= '9';
+  };
+  if (!valid(name[0], /*first=*/true) && name[0] >= '0' && name[0] <= '9') {
+    out += '_';
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    out += valid(name[i], /*first=*/out.empty()) ? name[i] : '_';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Label(const std::string& key,
+                                   const std::string& value) {
+  return SanitizeMetricName(key) + "=\"" + PrometheusEscape(value) + "\"";
+}
+
 Counter* MetricsRegistry::RegisterCounter(const std::string& name,
                                           const std::string& help,
                                           const std::string& labels) {
   Entry e;
   e.kind = Kind::kCounter;
-  e.name = name;
+  e.name = SanitizeMetricName(name);
   e.help = help;
   e.labels = labels;
   e.counter = std::make_unique<Counter>();
@@ -54,7 +100,7 @@ Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
                                       const std::string& labels) {
   Entry e;
   e.kind = Kind::kGauge;
-  e.name = name;
+  e.name = SanitizeMetricName(name);
   e.help = help;
   e.labels = labels;
   e.gauge = std::make_unique<Gauge>();
@@ -77,7 +123,7 @@ HistogramMetric* MetricsRegistry::RegisterHistogram(const std::string& name,
                                                     const std::string& labels) {
   Entry e;
   e.kind = Kind::kHistogram;
-  e.name = name;
+  e.name = SanitizeMetricName(name);
   e.help = help;
   e.labels = labels;
   e.histogram = std::make_unique<HistogramMetric>();
@@ -87,37 +133,58 @@ HistogramMetric* MetricsRegistry::RegisterHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::TextExposition() const {
+  // Families render contiguously (all children under one HELP/TYPE header)
+  // in first-registration order — lazily registered children (e.g.
+  // per-session series) would otherwise scatter a family across the output.
   std::string out;
   std::set<std::string> headered;
-  for (const Entry& e : entries_) {
-    if (headered.insert(e.name).second) {
-      if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
-      out += "# TYPE " + e.name + " " +
-             KindName(static_cast<int>(e.kind)) + "\n";
-    }
-    std::string series = e.name;
-    if (!e.labels.empty()) series += "{" + e.labels + "}";
-    switch (e.kind) {
-      case Kind::kCounter:
-        out += series + " " + std::to_string(e.counter->value()) + "\n";
-        break;
-      case Kind::kGauge:
-        out += series + " " + SampleValue(e.gauge->Value()) + "\n";
-        break;
-      case Kind::kHistogram: {
-        const ApproxHistogram& h = e.histogram->histogram();
-        const char* sep = e.labels.empty() ? "" : ",";
-        std::string base = e.labels;
-        for (double q : {0.5, 0.95, 0.99}) {
-          char qbuf[16];
-          std::snprintf(qbuf, sizeof(qbuf), "%.2f", q);
-          double v = h.total_count() > 0 ? h.EstimateQuantile(q) : 0.0;
-          out += e.name + "{" + base + sep + "quantile=\"" + qbuf + "\"} " +
-                 SampleValue(v) + "\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (headered.count(entries_[i].name)) continue;
+    for (size_t j = i; j < entries_.size(); ++j) {
+      if (entries_[j].name != entries_[i].name) continue;
+      const Entry& e = entries_[j];
+      if (headered.insert(e.name).second) {
+        // HELP text escapes backslash and newline (but not quotes) per the
+        // exposition format.
+        std::string help;
+        help.reserve(e.help.size());
+        for (char c : e.help) {
+          if (c == '\\') {
+            help += "\\\\";
+          } else if (c == '\n') {
+            help += "\\n";
+          } else {
+            help += c;
+          }
         }
-        out += e.name + "_count" + (base.empty() ? "" : "{" + base + "}") +
-               " " + std::to_string(h.total_count()) + "\n";
-        break;
+        if (!help.empty()) out += "# HELP " + e.name + " " + help + "\n";
+        out += "# TYPE " + e.name + " " +
+               KindName(static_cast<int>(e.kind)) + "\n";
+      }
+      std::string series = e.name;
+      if (!e.labels.empty()) series += "{" + e.labels + "}";
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += series + " " + std::to_string(e.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += series + " " + SampleValue(e.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const ApproxHistogram& h = e.histogram->histogram();
+          const char* sep = e.labels.empty() ? "" : ",";
+          std::string base = e.labels;
+          for (double q : {0.5, 0.95, 0.99}) {
+            char qbuf[16];
+            std::snprintf(qbuf, sizeof(qbuf), "%.2f", q);
+            double v = h.total_count() > 0 ? h.EstimateQuantile(q) : 0.0;
+            out += e.name + "{" + base + sep + "quantile=\"" + qbuf + "\"} " +
+                   SampleValue(v) + "\n";
+          }
+          out += e.name + "_count" + (base.empty() ? "" : "{" + base + "}") +
+                 " " + std::to_string(h.total_count()) + "\n";
+          break;
+        }
       }
     }
   }

@@ -11,6 +11,15 @@
 
 namespace shark {
 
+/// Escapes a Prometheus label value for the text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n.
+std::string PrometheusEscape(const std::string& value);
+
+/// Maps a string onto the Prometheus metric-name alphabet
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character becomes '_', and a
+/// leading digit gets a '_' prefix. Empty input becomes "_".
+std::string SanitizeMetricName(const std::string& name);
+
 /// Monotonically increasing count (tasks launched, bytes fetched, spills).
 /// Mutated only from the scheduler's single-threaded event loop, so a plain
 /// integer suffices and every read is deterministic.
@@ -63,6 +72,11 @@ class MetricsRegistry {
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Renders one label pair with the value escaped per the exposition format
+  /// (use for untrusted values like session names): Label("session", "a\"b")
+  /// == "session=\"a\\\"b\"". The key is sanitized like a metric name.
+  static std::string Label(const std::string& key, const std::string& value);
 
   Counter* RegisterCounter(const std::string& name, const std::string& help,
                            const std::string& labels = "");

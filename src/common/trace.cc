@@ -216,7 +216,8 @@ std::string QueryProfile::ToString() const {
   std::string out;
   out += "query profile: " + Sec(start_time) + "s .. " + Sec(end_time) +
          "s (" + Sec(duration()) + "s), " + std::to_string(stages.size()) +
-         " stages, " + std::to_string(result_rows) + " result rows\n";
+         " stages, " + std::to_string(result_rows) + " result rows" +
+         (query_id.empty() ? "" : " id=" + query_id) + "\n";
   for (const StageTrace& s : stages) {
     out += "  stage " + std::to_string(s.id);
     if (s.parent >= 0) out += " (recovery under " + std::to_string(s.parent) + ")";
@@ -302,6 +303,10 @@ std::string QueryProfile::ToChromeTrace() const {
   }
   emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
        "\"args\":{\"name\":\"driver\"}}");
+  if (!query_id.empty()) {
+    emit("{\"name\":\"query_id\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"query_id\":\"" + JsonEscape(query_id) + "\"}}");
+  }
   for (const auto& [node, max_core] : node_cores) {
     emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
          std::to_string(node + 1) + ",\"tid\":0,\"args\":{\"name\":\"node " +
@@ -365,10 +370,16 @@ std::string QueryProfile::ToChromeTrace() const {
 bool TraceCollector::BeginQuery(double now) {
   if (profile_ != nullptr) return false;  // nested query shares the profile
   profile_ = std::make_shared<QueryProfile>();
+  profile_->query_id = query_id_;
   profile_->start_time = now;
   open_.clear();
   last_ended_ = -1;
   return true;
+}
+
+void TraceCollector::set_query_id(const std::string& id) {
+  query_id_ = id;
+  if (profile_ != nullptr) profile_->query_id = id;
 }
 
 std::shared_ptr<QueryProfile> TraceCollector::EndQuery(double now) {

@@ -119,6 +119,10 @@ struct StageTrace {
 /// both renderings below) is byte-for-byte identical across host_threads
 /// settings and across runs with the same seed and fault schedule.
 struct QueryProfile {
+  /// Stable identifier assigned by the submitter (server / client trace id);
+  /// empty for queries run outside the serving path. Rendered only when set,
+  /// so profiles without an id are byte-identical to pre-id builds.
+  std::string query_id;
   double start_time = 0.0;
   double end_time = 0.0;
   uint64_t result_rows = 0;
@@ -162,6 +166,12 @@ class TraceCollector {
   bool active() const { return profile_ != nullptr; }
   QueryProfile* profile() { return profile_.get(); }
 
+  /// Trace id stamped onto profiles: the next BeginQuery (and the active
+  /// profile, if any) records it as QueryProfile::query_id. Set by the
+  /// JobManager when it admits a job carrying a query_id.
+  void set_query_id(const std::string& id);
+  const std::string& query_id() const { return query_id_; }
+
   /// Opens a stage (nested under the innermost open stage, if any) and
   /// returns its id. Requires active().
   int BeginStage(const std::string& label, bool is_map_stage, int shuffle_id,
@@ -179,6 +189,7 @@ class TraceCollector {
   std::shared_ptr<QueryProfile> profile_;
   std::vector<int> open_;  // stack of open stage ids
   int last_ended_ = -1;
+  std::string query_id_;
 };
 
 }  // namespace shark

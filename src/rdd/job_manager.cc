@@ -1,6 +1,7 @@
 #include "rdd/job_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -31,6 +32,10 @@ struct JobManager::JobRun {
   double arrival = 0.0;
   double admit = 0.0;
   double finish = 0.0;
+  /// Streaming mode stamps Submit() time for wall-clock latency; batch mode
+  /// leaves it unset so outcomes stay a pure virtual-time function.
+  bool host_timed = false;
+  std::chrono::steady_clock::time_point host_start;
 };
 
 JobManager::JobManager(ClusterContext* ctx, Options options)
@@ -133,6 +138,7 @@ void JobManager::Admit(JobRun* run) {
   run->state.weight = run->spec.weight > 0 ? run->spec.weight : 1.0;
   run->state.cooperative = true;
   run->state.trace = &run->trace;
+  run->trace.set_query_id(run->spec.query_id);
   ctx_->memory_manager().ReserveAdmission(run->spec.mem_demand_bytes);
   ctx_->metrics().OnJobAdmitted(now - run->arrival);
   {
@@ -152,11 +158,27 @@ JobOutcome JobManager::Reap(JobRun* run) {
   ctx_->metrics().OnJobFinished(run->result.ok(), run->finish - run->admit);
   JobOutcome out;
   out.label = run->spec.label;
+  out.query_id = run->spec.query_id;
+  out.session = run->spec.session;
   out.status = run->result;
   out.queued = run->queued;
   out.arrival_vtime = run->arrival;
   out.admit_vtime = run->admit;
   out.finish_vtime = run->finish;
+  if (run->host_timed) {
+    out.host_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - run->host_start)
+                           .count();
+  }
+  if (options_.collect_query_metrics) {
+    // Driver thread, event-loop order: the virtual quantities are
+    // deterministic; host latency (streaming only) feeds a histogram that
+    // batch-mode expositions never see.
+    ctx_->metrics().OnQueryComplete(run->spec.session, run->result.ok(),
+                                    run->finish - run->arrival,
+                                    run->admit - run->arrival,
+                                    out.host_seconds);
+  }
   return out;
 }
 
@@ -295,6 +317,8 @@ uint64_t JobManager::Submit(JobSpec spec) {
   auto run = std::make_unique<JobRun>();
   run->ticket = next_ticket_++;
   run->spec = std::move(spec);
+  run->host_timed = true;
+  run->host_start = std::chrono::steady_clock::now();
   const uint64_t ticket = run->ticket;
   inbox_.push_back(std::move(run));
   cv_.notify_all();
@@ -319,6 +343,34 @@ void JobManager::Stop() {
   }
   if (driver_.joinable()) driver_.join();
   started_ = false;
+  // Any inspection that raced the shutdown runs here: the engine is
+  // quiescent once the driver has joined.
+  std::deque<InspectReq*> leftovers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    leftovers.swap(inspects_);
+  }
+  for (InspectReq* req : leftovers) {
+    (*req->fn)();
+    std::lock_guard<std::mutex> lk(mu_);
+    req->done = true;
+    cv_.notify_all();
+  }
+}
+
+void JobManager::Inspect(const std::function<void()>& fn) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (started_) {
+      InspectReq req{&fn, false};
+      inspects_.push_back(&req);
+      cv_.notify_all();
+      cv_.wait(lk, [&req] { return req.done; });
+      return;
+    }
+  }
+  // Batch / idle mode: no driver thread owns the engine, the caller does.
+  fn();
 }
 
 void JobManager::StreamLoop() {
@@ -327,11 +379,12 @@ void JobManager::StreamLoop() {
   std::deque<JobRun*> arrivals;
   std::vector<JobRun*> running;
   for (;;) {
+    std::deque<InspectReq*> inspections;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [&] {
         return !inbox_.empty() || !running.empty() || !queue.empty() ||
-               !arrivals.empty() || stop_requested_;
+               !arrivals.empty() || !inspects_.empty() || stop_requested_;
       });
       while (!inbox_.empty()) {
         owned.push_back(std::move(inbox_.front()));
@@ -342,10 +395,19 @@ void JobManager::StreamLoop() {
         run->arrival = ctx_->now();
         arrivals.push_back(run);
       }
-      if (stop_requested_ && arrivals.empty() && queue.empty() &&
-          running.empty()) {
+      inspections.swap(inspects_);
+      if (stop_requested_ && inspections.empty() && arrivals.empty() &&
+          queue.empty() && running.empty()) {
         break;  // fully drained
       }
+    }
+    // Inspections run with the baton held by this thread and every job
+    // thread parked, so they can read any engine state race-free.
+    for (InspectReq* req : inspections) {
+      (*req->fn)();
+      std::lock_guard<std::mutex> lk(mu_);
+      req->done = true;
+      cv_.notify_all();
     }
     const bool progressed =
         AdmitAndReap(&queue, &arrivals, &running, [&](JobRun* run) {

@@ -23,6 +23,13 @@ class ClusterContext;
 /// One query/job submitted to the JobManager.
 struct JobSpec {
   std::string label;
+  /// Stable query identifier for observability: stamped onto the job's
+  /// TraceCollector (so QueryProfile / chrome traces carry it) and echoed in
+  /// the JobOutcome. Empty = unidentified (metrics still collected).
+  std::string query_id;
+  /// Owning session name for per-session SLO attribution
+  /// (ClusterMetrics::OnQueryComplete); empty = server-wide series only.
+  std::string session;
   /// Virtual arrival time (batch mode). Earlier arrivals are considered for
   /// admission first; ties resolve in submission order. Streaming mode
   /// ignores this and stamps the virtual clock at dequeue.
@@ -41,11 +48,16 @@ struct JobSpec {
 /// Completion record of one job.
 struct JobOutcome {
   std::string label;
+  std::string query_id;  // echoed from the spec
+  std::string session;   // echoed from the spec
   Status status;
   bool queued = false;          // deferred by admission control
   double arrival_vtime = 0.0;
   double admit_vtime = 0.0;
   double finish_vtime = 0.0;
+  /// Wall-clock submit-to-completion seconds; < 0 in batch mode (never
+  /// measured there, keeping batch outcomes a pure virtual-time function).
+  double host_seconds = -1.0;
   double queue_delay() const { return admit_vtime - arrival_vtime; }
   double latency() const { return finish_vtime - arrival_vtime; }
 };
@@ -72,6 +84,11 @@ class JobManager {
   struct Options {
     /// Maximum jobs running concurrently; 0 = unlimited (memory gate only).
     int max_concurrent = 0;
+    /// Feed every completion into the query SLO histograms
+    /// (ClusterMetrics::OnQueryComplete). Purely additive virtual-time
+    /// observables in batch mode (wall-clock latencies are recorded only in
+    /// streaming mode), so enabling it does not perturb virtual times.
+    bool collect_query_metrics = true;
   };
 
   explicit JobManager(ClusterContext* ctx) : JobManager(ctx, Options()) {}
@@ -99,6 +116,13 @@ class JobManager {
   /// Drains everything already submitted, then stops the driver thread.
   void Stop();
   bool started() const { return started_; }
+
+  /// Runs `fn` on the streaming driver thread at a baton-safe point (no job
+  /// thread is executing) and blocks until it returns — the safe way for
+  /// observability threads (HTTP /metrics, STATS) to read engine state like
+  /// the MetricsRegistry while queries run. Outside streaming mode `fn`
+  /// runs inline on the caller. Must not race with Stop().
+  void Inspect(const std::function<void()>& fn);
 
  private:
   struct JobRun;
@@ -138,6 +162,11 @@ class JobManager {
   uint64_t next_ticket_ = 1;
   std::deque<std::unique_ptr<JobRun>> inbox_;       // guarded by mu_
   std::map<uint64_t, JobOutcome> done_outcomes_;    // guarded by mu_
+  struct InspectReq {
+    const std::function<void()>* fn;
+    bool done = false;  // guarded by mu_
+  };
+  std::deque<InspectReq*> inspects_;                // guarded by mu_
   std::thread driver_;
 };
 

@@ -82,6 +82,16 @@ Status SharkClient::ExpectOk(const std::string& command) {
 
 Result<ClientResult> SharkClient::Query(const std::string& sql) {
   SHARK_RETURN_NOT_OK(SendLine("QUERY " + sql));
+  return ReadQueryReply();
+}
+
+Result<ClientResult> SharkClient::QueryWithId(const std::string& query_id,
+                                              const std::string& sql) {
+  SHARK_RETURN_NOT_OK(SendLine("QUERYID " + query_id + " " + sql));
+  return ReadQueryReply();
+}
+
+Result<ClientResult> SharkClient::ReadQueryReply() {
   std::string header;
   if (!reader_->ReadLine(&header)) {
     return Status::Internal("connection closed by server");
@@ -94,8 +104,8 @@ Result<ClientResult> SharkClient::Query(const std::string& sql) {
   std::string ok;
   uint64_t nrows = 0;
   ClientResult result;
-  in >> ok >> nrows >> result.num_columns >> result.virtual_seconds >>
-      result.queue_delay;
+  in >> ok >> result.query_id >> nrows >> result.num_columns >>
+      result.virtual_seconds >> result.queue_delay;
   if (ok != "OK") {
     return Status::Internal("malformed reply header: " + header);
   }

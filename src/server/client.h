@@ -16,6 +16,7 @@ namespace shark {
 struct ClientResult {
   std::vector<std::vector<std::string>> rows;  // tab-split cells
   int num_columns = 0;
+  std::string query_id;           // stable id; look it up at /queries/<id>
   double virtual_seconds = 0.0;   // simulated execution time
   double queue_delay = 0.0;       // admission-control wait (virtual seconds)
 };
@@ -34,8 +35,14 @@ class SharkClient {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
-  /// Runs one statement; ERR replies surface as ExecutionError.
+  /// Runs one statement; ERR replies surface as ExecutionError. The server
+  /// assigns the query id (echoed in ClientResult::query_id).
   Result<ClientResult> Query(const std::string& sql);
+
+  /// Same, but under a client-chosen query id (QUERYID command) so the
+  /// caller can correlate its own traces with the server's query log.
+  Result<ClientResult> QueryWithId(const std::string& query_id,
+                                   const std::string& sql);
 
   /// Session knobs (see SharkServer wire protocol).
   Status SetWeight(double weight);
@@ -47,6 +54,7 @@ class SharkClient {
  private:
   Status SendLine(const std::string& line);
   Status ExpectOk(const std::string& command);
+  Result<ClientResult> ReadQueryReply();
 
   int fd_ = -1;
   std::unique_ptr<LineReader> reader_;

@@ -1,0 +1,243 @@
+#include "server/http.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/net_util.h"
+
+namespace shark {
+
+namespace {
+
+/// Caps on one request: a hostile peer cannot make the listener buffer more
+/// than this per line, or send an unbounded header block.
+constexpr size_t kMaxLineBytes = 16 * 1024;
+constexpr int kMaxHeaderLines = 64;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+bool WriteResponse(int fd, const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    ReasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return WriteAll(fd, out);
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpListener::HttpListener(Handler handler) : handler_(std::move(handler)) {}
+
+HttpListener::~HttpListener() { Stop(); }
+
+Status HttpListener::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpListener::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpListener::AcceptLoop() {
+  while (!stopping_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    live_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpListener::ServeConnection(int fd) {
+  LineReader reader(fd, kMaxLineBytes);
+  std::string line;
+  HttpResponse resp;
+  bool respond = true;
+  if (!reader.ReadLine(&line)) {
+    if (reader.overflowed()) {
+      resp.status = 431;
+      resp.body = "request line too large\n";
+    } else {
+      respond = false;  // peer vanished before sending anything
+    }
+  } else {
+    // Request line: METHOD SP target SP HTTP/x.y — anything else is a 400.
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0 || sp2 == sp1 + 1) {
+      resp.status = 400;
+      resp.body = "malformed request line\n";
+    } else {
+      HttpRequest req;
+      req.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      size_t qmark = target.find('?');
+      req.path = target.substr(0, qmark);
+      if (qmark != std::string::npos) req.query = target.substr(qmark + 1);
+
+      // Drain headers up to the blank line; we need none of them.
+      bool ok = true;
+      for (int i = 0; i <= kMaxHeaderLines; ++i) {
+        if (!reader.ReadLine(&line)) {
+          resp.status = reader.overflowed() ? 431 : 400;
+          resp.body = reader.overflowed() ? "header too large\n"
+                                          : "truncated request\n";
+          ok = false;
+          break;
+        }
+        if (line.empty()) break;
+        if (i == kMaxHeaderLines) {
+          resp.status = 431;
+          resp.body = "too many header fields\n";
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        if (req.method != "GET") {
+          resp.status = 405;
+          resp.body = "only GET is supported\n";
+        } else {
+          handler_(req, &resp);
+        }
+      }
+    }
+  }
+  if (respond) WriteResponse(fd, resp);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(fd);
+}
+
+Result<std::string> HttpGet(int port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(errno));
+  }
+  if (!WriteAll(fd, "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                    "Connection: close\r\n\r\n")) {
+    ::close(fd);
+    return Status::Internal("send failed");
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos) return Status::Internal("short HTTP response");
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp > eol) {
+    return Status::Internal("malformed HTTP status line");
+  }
+  int status = std::atoi(raw.c_str() + sp + 1);
+  size_t body = raw.find("\r\n\r\n");
+  if (body == std::string::npos) return Status::Internal("no HTTP body");
+  if (status != 200) {
+    return Status::InvalidArgument("HTTP " + std::to_string(status) + ": " +
+                                   raw.substr(body + 4));
+  }
+  return raw.substr(body + 4);
+}
+
+}  // namespace shark

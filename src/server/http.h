@@ -1,0 +1,76 @@
+#ifndef SHARK_SERVER_HTTP_H_
+#define SHARK_SERVER_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shark {
+
+/// One parsed GET request: "/queries?n=5" splits into path "/queries" and
+/// query "n=5".
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;  // raw query string, no leading '?'
+
+  /// Value of `key` in the query string ("" when absent). No %-decoding —
+  /// the observability endpoints only take numbers and identifiers.
+  std::string QueryParam(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal HTTP/1.0-style listener for the observability plane: loopback
+/// only, GET only, one response per connection (Connection: close). Built
+/// on net_util like the SQL front-end; thread-per-connection with the same
+/// Stop() discipline (sever live sockets, join). Hardened against abuse:
+/// request lines and headers are size-capped (431), malformed request lines
+/// get a 400, non-GET methods a 405.
+class HttpListener {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpResponse*)>;
+
+  explicit HttpListener(Handler handler);
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and starts serving.
+  Status Start(int port);
+  int port() const { return port_; }
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by mu_
+  std::set<int> live_fds_;                 // guarded by mu_
+};
+
+/// Blocking HTTP GET against 127.0.0.1:`port` (shark_top, tests). Returns
+/// the response body on 200, an error Status otherwise.
+Result<std::string> HttpGet(int port, const std::string& target);
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_HTTP_H_

@@ -28,13 +28,22 @@ bool WriteAll(int fd, const std::string& data) {
 }
 
 bool LineReader::ReadLine(std::string* line) {
+  overflowed_ = false;
   while (true) {
     size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
+      if (max_line_bytes_ > 0 && nl > max_line_bytes_) {
+        overflowed_ = true;
+        return false;
+      }
       *line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       if (!line->empty() && line->back() == '\r') line->pop_back();
       return true;
+    }
+    if (max_line_bytes_ > 0 && buffer_.size() > max_line_bytes_) {
+      overflowed_ = true;
+      return false;
     }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

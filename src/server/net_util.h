@@ -1,6 +1,7 @@
 #ifndef SHARK_SERVER_NET_UTIL_H_
 #define SHARK_SERVER_NET_UTIL_H_
 
+#include <cstddef>
 #include <string>
 
 namespace shark {
@@ -13,13 +14,22 @@ bool WriteAll(int fd, const std::string& data);
 /// terminator (and a preceding '\r', for telnet-friendliness) is stripped.
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  /// `max_line_bytes` caps one line's length (0 = unlimited): a longer line
+  /// makes ReadLine fail with overflowed() set, so servers can bound memory
+  /// against hostile peers and answer with a protocol error.
+  explicit LineReader(int fd, size_t max_line_bytes = 0)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
-  /// Blocks until one full line arrives. Returns false on EOF/error.
+  /// Blocks until one full line arrives. Returns false on EOF/error/overflow.
   bool ReadLine(std::string* line);
+
+  /// True when the last ReadLine failure was an over-long line, not EOF.
+  bool overflowed() const { return overflowed_; }
 
  private:
   int fd_;
+  size_t max_line_bytes_;
+  bool overflowed_ = false;
   std::string buffer_;
 };
 

@@ -1,0 +1,155 @@
+#include "server/query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json_writer.h"
+
+namespace shark {
+
+namespace {
+
+/// Shared body of both JSON renderings; `detail` adds the heavyweight
+/// fields (analyzed plan, chrome trace) the listing omits.
+void EntryJson(const QueryLogEntry& e, bool detail, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("query_id").String(e.query_id);
+  w->Key("session").String(e.session);
+  w->Key("sql").String(e.sql);
+  w->Key("status").String(e.status);
+  if (!e.error.empty()) w->Key("error").String(e.error);
+  w->Key("queued").Bool(e.queued);
+  w->Key("queue_delay").Double(e.queue_delay);
+  w->Key("virtual_seconds").Double(e.virtual_seconds);
+  w->Key("latency").Double(e.latency);
+  w->Key("host_ms").FixedDouble(e.host_ms, 3);
+  w->Key("rows").UInt(e.rows);
+  w->Key("bytes").UInt(e.bytes);
+  w->Key("stages").Int(e.stages);
+  w->Key("tasks").Int(e.tasks);
+  w->Key("tasks_failed").Int(e.tasks_failed);
+  w->Key("recovered_map_tasks").Int(e.recovered_map_tasks);
+  w->Key("replans").Int(e.replans);
+  w->Key("spill_bytes").UInt(e.spill_bytes);
+  w->Key("slow").Bool(e.slow);
+  // Slow queries carry their EXPLAIN ANALYZE rendering everywhere (that is
+  // the slow-query log); the chrome trace is detail-only (it is large).
+  if (!e.analyzed_plan.empty()) {
+    w->Key("analyzed_plan").String(e.analyzed_plan);
+  }
+  if (detail && e.profile != nullptr) {
+    w->Key("chrome_trace").Raw(e.profile->ToChromeTrace());
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+QueryLog::QueryLog(Options options) : options_(std::move(options)) {
+  if (!options_.jsonl_path.empty()) {
+    sink_.open(options_.jsonl_path, std::ios::out | std::ios::app);
+  }
+}
+
+void QueryLog::Begin(QueryLogEntry entry) {
+  entry.status = "running";
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > options_.capacity) entries_.pop_front();
+}
+
+bool QueryLog::Complete(QueryLogEntry entry) {
+  const bool slow = options_.slow_virtual_seconds >= 0.0 &&
+                    entry.latency >= options_.slow_virtual_seconds &&
+                    entry.status != "rejected";
+  entry.slow = slow;
+  if (!slow) entry.analyzed_plan.clear();  // only slow entries keep the plan
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (slow) ++slow_;
+  AppendSinkLocked(entry);
+  auto it = std::find_if(entries_.rbegin(), entries_.rend(),
+                         [&](const QueryLogEntry& e) {
+                           return e.query_id == entry.query_id;
+                         });
+  if (it != entries_.rend()) {
+    *it = std::move(entry);
+  } else {
+    entries_.push_back(std::move(entry));
+    while (entries_.size() > options_.capacity) entries_.pop_front();
+  }
+  return slow;
+}
+
+bool QueryLog::Lookup(const std::string& query_id, QueryLogEntry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(entries_.rbegin(), entries_.rend(),
+                         [&](const QueryLogEntry& e) {
+                           return e.query_id == query_id;
+                         });
+  if (it == entries_.rend()) return false;
+  *out = *it;
+  return true;
+}
+
+std::vector<QueryLogEntry> QueryLog::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogEntry> out;
+  out.reserve(std::min(n, entries_.size()));
+  for (auto it = entries_.rbegin(); it != entries_.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+uint64_t QueryLog::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+uint64_t QueryLog::slow_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::string QueryLog::RecentJson(size_t n) const {
+  std::vector<QueryLogEntry> recent = Recent(n);
+  uint64_t completed, slow;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed = completed_;
+    slow = slow_;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("server").BeginObject();
+  w.Key("completed").UInt(completed);
+  w.Key("slow_queries").UInt(slow);
+  w.Key("slow_threshold").Double(options_.slow_virtual_seconds);
+  w.EndObject();
+  w.Key("queries").BeginArray();
+  for (const QueryLogEntry& e : recent) EntryJson(e, /*detail=*/false, &w);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool QueryLog::LookupJson(const std::string& query_id, std::string* out) const {
+  QueryLogEntry e;
+  if (!Lookup(query_id, &e)) return false;
+  JsonWriter w;
+  EntryJson(e, /*detail=*/true, &w);
+  *out = w.TakeString();
+  return true;
+}
+
+void QueryLog::AppendSinkLocked(const QueryLogEntry& entry) {
+  if (!sink_.is_open()) return;
+  JsonWriter w;
+  EntryJson(entry, /*detail=*/false, &w);
+  sink_ << w.str() << '\n';
+  sink_.flush();
+}
+
+}  // namespace shark

@@ -1,0 +1,99 @@
+#ifndef SHARK_SERVER_QUERY_LOG_H_
+#define SHARK_SERVER_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace shark {
+
+/// One query's structured log record. Created ("running") when the server
+/// accepts the query, completed when the job finishes; finished entries keep
+/// the QueryProfile (chrome-trace export on demand) and — for slow queries —
+/// the full EXPLAIN ANALYZE rendering.
+struct QueryLogEntry {
+  std::string query_id;
+  std::string session;  // "conn<id>"
+  std::string sql;
+  std::string status;  // "running" | "ok" | "error" | "rejected"
+  std::string error;   // one-line message for error/rejected entries
+  bool queued = false;
+  double queue_delay = 0.0;      // admission wait, virtual seconds
+  double virtual_seconds = 0.0;  // executor-measured query time
+  double latency = 0.0;          // arrival-to-completion, virtual seconds
+  double host_ms = 0.0;          // wall-clock submit-to-completion
+  uint64_t rows = 0;             // result rows
+  uint64_t bytes = 0;            // committed task output bytes (all stages)
+  int stages = 0;
+  int tasks = 0;
+  int tasks_failed = 0;
+  int recovered_map_tasks = 0;
+  int replans = 0;
+  uint64_t spill_bytes = 0;
+  bool slow = false;
+  std::string analyzed_plan;  // slow queries only (EXPLAIN ANALYZE render)
+  std::shared_ptr<const QueryProfile> profile;  // finished queries
+};
+
+/// The server's persistent structured query log: a mutex-guarded ring
+/// buffer (lookup by id + newest-first listing for /queries) plus an
+/// optional JSONL sink appended on every completion. A query whose virtual
+/// latency reaches the slow threshold is promoted to the slow-query log:
+/// counted, kept with its EXPLAIN ANALYZE rendering, and flagged in both
+/// JSON renderings.
+class QueryLog {
+ public:
+  struct Options {
+    /// Ring-buffer capacity (completed + in-flight entries retained).
+    size_t capacity = 256;
+    /// Promote queries with virtual latency >= this to the slow-query log;
+    /// < 0 disables promotion (0 promotes everything — useful in tests).
+    double slow_virtual_seconds = 1.0;
+    /// Append one JSON object per completed query here; empty = no sink.
+    std::string jsonl_path;
+  };
+
+  explicit QueryLog(Options options);
+
+  /// Records an accepted query as "running" (visible to Lookup/Recent).
+  void Begin(QueryLogEntry entry);
+
+  /// Finalizes the entry with `entry.query_id` (or inserts it, for queries
+  /// rejected before Begin) and appends it to the JSONL sink. Returns true
+  /// if the entry was promoted to the slow-query log.
+  bool Complete(QueryLogEntry entry);
+
+  bool Lookup(const std::string& query_id, QueryLogEntry* out) const;
+  /// Newest-first listing of up to `n` entries.
+  std::vector<QueryLogEntry> Recent(size_t n) const;
+
+  uint64_t completed() const;
+  uint64_t slow_queries() const;
+  double slow_threshold() const { return options_.slow_virtual_seconds; }
+
+  /// `{"server":{...},"queries":[...]}` for GET /queries?n=K.
+  std::string RecentJson(size_t n) const;
+  /// Detail JSON for GET /queries/<id>: adds the analyzed plan and the
+  /// embedded chrome-trace document. False when the id is unknown.
+  bool LookupJson(const std::string& query_id, std::string* out) const;
+
+ private:
+  void AppendSinkLocked(const QueryLogEntry& entry);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<QueryLogEntry> entries_;  // oldest..newest, guarded by mu_
+  uint64_t completed_ = 0;             // guarded by mu_
+  uint64_t slow_ = 0;                  // guarded by mu_
+  std::ofstream sink_;                 // guarded by mu_
+};
+
+}  // namespace shark
+
+#endif  // SHARK_SERVER_QUERY_LOG_H_

@@ -30,6 +30,20 @@ int64_t ArgInt(int argc, char** argv, const char* name, int64_t def) {
   return def;
 }
 
+double ArgDouble(int argc, char** argv, const char* name, double def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return def;
+}
+
+const char* ArgStr(int argc, char** argv, const char* name, const char* def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return def;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,7 +53,10 @@ int main(int argc, char** argv) {
           "usage: shark_server [--port N] [--nodes N] [--cores N]\n"
           "                    [--max-concurrent N] [--quota N]\n"
           "                    [--rankings-rows N] [--visits-rows N]\n"
-          "Serves the demo dataset; see DESIGN.md §14 for the protocol.\n");
+          "                    [--obs-port N] [--query-log PATH]\n"
+          "                    [--slow-virtual-seconds S] [--log-capacity N]\n"
+          "Serves the demo dataset; see DESIGN.md §14 for the protocol and\n"
+          "§17 for the observability endpoints (--obs-port -1 disables).\n");
       return 0;
     }
   }
@@ -67,6 +84,12 @@ int main(int argc, char** argv) {
       static_cast<int>(ArgInt(argc, argv, "--max-concurrent", 0));
   opts.max_queries_per_connection =
       static_cast<uint64_t>(ArgInt(argc, argv, "--quota", 0));
+  opts.obs_port = static_cast<int>(ArgInt(argc, argv, "--obs-port", 0));
+  opts.query_log_path = ArgStr(argc, argv, "--query-log", "");
+  opts.slow_query_virtual_seconds =
+      ArgDouble(argc, argv, "--slow-virtual-seconds", 1.0);
+  opts.query_log_capacity =
+      static_cast<size_t>(ArgInt(argc, argv, "--log-capacity", 256));
 
   shark::SharkServer server(session, opts);
   shark::Status s = server.Start();
@@ -75,6 +98,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("LISTENING %d\n", server.port());
+  if (server.obs_port() >= 0) {
+    std::printf("OBS_LISTENING %d\n", server.obs_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -1,0 +1,71 @@
+// shark_top: live view of a running shark_server, in the spirit of top(1).
+// Polls the observability endpoint's /top route and redraws the terminal.
+//
+//   shark_top --port <obs_port> [--interval-ms 1000] [--once | --iterations N]
+//
+// --port is the OBSERVABILITY port (shark_server prints "OBS_LISTENING <p>"
+// at startup), not the SQL port. --once prints a single frame and exits,
+// which is what scripts and tests use.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "server/http.h"
+
+namespace {
+
+int64_t ArgInt(int argc, char** argv, const char* name, int64_t def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--help")) {
+    std::printf(
+        "usage: shark_top --port OBS_PORT [--interval-ms N]\n"
+        "                 [--once | --iterations N]\n"
+        "Polls shark_server's observability endpoint (/top) and renders a\n"
+        "live sessions/queries table. --once prints one frame and exits.\n");
+    return 0;
+  }
+  int port = static_cast<int>(ArgInt(argc, argv, "--port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "shark_top: --port OBS_PORT is required\n");
+    return 2;
+  }
+  int64_t interval_ms = ArgInt(argc, argv, "--interval-ms", 1000);
+  int64_t iterations = ArgInt(argc, argv, "--iterations", 0);  // 0 = forever
+  if (HasFlag(argc, argv, "--once")) iterations = 1;
+
+  for (int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    auto frame = shark::HttpGet(port, "/top");
+    if (!frame.ok()) {
+      std::fprintf(stderr, "shark_top: %s\n",
+                   frame.status().ToString().c_str());
+      return 1;
+    }
+    if (iterations != 1) {
+      std::printf("\x1b[2J\x1b[H");  // clear screen, home cursor
+    }
+    std::fputs(frame->c_str(), stdout);
+    std::fflush(stdout);
+    if (iterations == 0 || i + 1 < iterations) {
+      ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    }
+  }
+  return 0;
+}

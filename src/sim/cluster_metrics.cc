@@ -200,6 +200,8 @@ ClusterMetrics::ClusterMetrics(int num_nodes, const HardwareModel& hardware)
   jobs_queued_gauge_ = registry_.RegisterGauge(
       "shark_jobs_queued", "Jobs waiting in the admission queue");
 
+  server_queries_ = MakeQuerySloSeries("");
+
   task_duration_hist_ = registry_.RegisterHistogram(
       "shark_task_duration_seconds", "Committed task durations (virtual)");
   job_queue_delay_hist_ = registry_.RegisterHistogram(
@@ -362,6 +364,94 @@ void ClusterMetrics::OnJobFinished(bool ok, double latency_sec) {
     jobs_failed_->Increment();
   }
   job_latency_hist_->Observe(latency_sec);
+}
+
+ClusterMetrics::QuerySloSeries ClusterMetrics::MakeQuerySloSeries(
+    const std::string& labels) {
+  QuerySloSeries s;
+  s.completed = registry_.RegisterCounter(
+      "shark_queries_completed_total",
+      labels.empty() ? "Queries finished OK" : "", labels);
+  s.failed = registry_.RegisterCounter(
+      "shark_queries_failed_total",
+      labels.empty() ? "Queries finished with an error" : "", labels);
+  s.latency = registry_.RegisterHistogram(
+      "shark_query_latency_seconds",
+      labels.empty() ? "Arrival-to-completion query latency (virtual)" : "",
+      labels);
+  s.queued = registry_.RegisterHistogram(
+      "shark_query_queued_seconds",
+      labels.empty() ? "Admission-queue wait per query (virtual)" : "",
+      labels);
+  s.host = registry_.RegisterHistogram(
+      "shark_query_host_seconds",
+      labels.empty() ? "End-to-end wall-clock query latency (streaming serving)"
+                     : "",
+      labels);
+  return s;
+}
+
+SessionSloSnapshot ClusterMetrics::SnapshotSeries(const QuerySloSeries& s) {
+  SessionSloSnapshot out;
+  out.completed = s.completed->value();
+  out.failed = s.failed->value();
+  auto q = [](const HistogramMetric* h, double quantile) {
+    const ApproxHistogram& hist = h->histogram();
+    return hist.total_count() > 0 ? hist.EstimateQuantile(quantile) : 0.0;
+  };
+  out.latency_p50 = q(s.latency, 0.50);
+  out.latency_p95 = q(s.latency, 0.95);
+  out.latency_p99 = q(s.latency, 0.99);
+  out.queued_p50 = q(s.queued, 0.50);
+  out.queued_p99 = q(s.queued, 0.99);
+  out.host_p50 = q(s.host, 0.50);
+  out.host_p99 = q(s.host, 0.99);
+  return out;
+}
+
+void ClusterMetrics::OnQueryComplete(const std::string& session, bool ok,
+                                     double latency_sec,
+                                     double queue_delay_sec,
+                                     double host_seconds) {
+  auto feed = [&](QuerySloSeries& s) {
+    if (ok) {
+      s.completed->Increment();
+    } else {
+      s.failed->Increment();
+    }
+    s.latency->Observe(latency_sec);
+    s.queued->Observe(queue_delay_sec);
+    if (host_seconds >= 0.0) s.host->Observe(host_seconds);
+  };
+  feed(server_queries_);
+  if (session.empty()) return;
+  auto it = session_queries_.find(session);
+  if (it == session_queries_.end()) {
+    it = session_queries_
+             .emplace(session, MakeQuerySloSeries(
+                                   MetricsRegistry::Label("session", session)))
+             .first;
+  }
+  feed(it->second);
+}
+
+SessionSloSnapshot ClusterMetrics::ServerSlo() const {
+  return SnapshotSeries(server_queries_);
+}
+
+bool ClusterMetrics::SessionSlo(const std::string& session,
+                                SessionSloSnapshot* out) const {
+  auto it = session_queries_.find(session);
+  if (it == session_queries_.end()) return false;
+  *out = SnapshotSeries(it->second);
+  return true;
+}
+
+std::vector<std::string> ClusterMetrics::SloSessions() const {
+  std::vector<std::string> out;
+  out.reserve(session_queries_.size());
+  for (const auto& [name, series] : session_queries_) out.push_back(name);
+  return out;
 }
 
 void ClusterMetrics::SetJobsRunning(int64_t running) {

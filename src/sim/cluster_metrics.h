@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,22 @@ struct StageSkewReport {
   uint64_t bucket_max = 0;
   double bucket_skew = 0.0;     // max / mean
   int culprit_bucket = -1;      // index of the fattest bucket
+};
+
+/// Point-in-time SLO readout for one session (or the whole server): live
+/// quantiles over the query latency / queued-time histograms. Virtual
+/// quantities are deterministic; host quantiles stay 0 unless wall-clock
+/// latencies were recorded (streaming serving only).
+struct SessionSloSnapshot {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double latency_p50 = 0.0;  // arrival-to-completion, virtual seconds
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double queued_p50 = 0.0;  // admission-queue wait, virtual seconds
+  double queued_p99 = 0.0;
+  double host_p50 = 0.0;  // wall-clock seconds (streaming mode only)
+  double host_p99 = 0.0;
 };
 
 /// Computes duration quantiles/culprits from committed-task observations.
@@ -168,6 +185,24 @@ class ClusterMetrics {
   void SetJobsRunning(int64_t running);
   void SetJobsQueued(int64_t queued);
 
+  // ---- Query SLO hooks (JobManager, driver thread) ------------------------
+
+  /// A query finished: feeds the server-wide and (when `session` is
+  /// non-empty) per-session latency SLO histograms. `latency_sec` is
+  /// arrival-to-completion and `queue_delay_sec` the admission wait, both
+  /// virtual seconds (deterministic); `host_seconds` is wall-clock
+  /// end-to-end time, or < 0 when not measured (batch mode), keeping the
+  /// exposition bit-identical across host_threads settings.
+  void OnQueryComplete(const std::string& session, bool ok, double latency_sec,
+                       double queue_delay_sec, double host_seconds);
+
+  /// Server-wide SLO quantiles over every completed query.
+  SessionSloSnapshot ServerSlo() const;
+  /// Per-session SLO quantiles; false if the session never completed a query.
+  bool SessionSlo(const std::string& session, SessionSloSnapshot* out) const;
+  /// Sessions with at least one completed query, in name order.
+  std::vector<std::string> SloSessions() const;
+
   /// Closes a stage: computes the skew report from committed-task
   /// observations and returns it for optional annotation (bucket bytes).
   StageSkewReport* OnStageEnd(const std::string& label, double start_time,
@@ -251,6 +286,20 @@ class ClusterMetrics {
   HistogramMetric* task_duration_hist_;
   HistogramMetric* job_queue_delay_hist_;
   HistogramMetric* job_latency_hist_;
+  // Query SLO series: one set server-wide, one per session (registered
+  // lazily on first completion — deterministic, since completions happen in
+  // event-loop order on the driver thread).
+  struct QuerySloSeries {
+    Counter* completed = nullptr;
+    Counter* failed = nullptr;
+    HistogramMetric* latency = nullptr;  // virtual arrival-to-completion
+    HistogramMetric* queued = nullptr;   // virtual admission wait
+    HistogramMetric* host = nullptr;     // wall-clock (streaming only)
+  };
+  QuerySloSeries MakeQuerySloSeries(const std::string& labels);
+  static SessionSloSnapshot SnapshotSeries(const QuerySloSeries& s);
+  QuerySloSeries server_queries_;
+  std::map<std::string, QuerySloSeries> session_queries_;
   // Per-node busy-core gauges, refreshed by PrometheusText.
   std::vector<Gauge*> busy_core_gauges_;
 };

@@ -80,9 +80,15 @@ SharkSession::SharkSession(std::shared_ptr<ClusterContext> ctx)
     : ctx_(std::move(ctx)) {}
 
 Result<QueryResult> SharkSession::Sql(const std::string& query) {
+  return Sql(query, nullptr);
+}
+
+Result<QueryResult> SharkSession::Sql(const std::string& query,
+                                      std::string* analyzed_plan) {
+  if (analyzed_plan != nullptr) analyzed_plan->clear();
   SHARK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
   QueryDebrisScope debris(ctx_.get());
-  Result<QueryResult> result = ExecuteStatement(stmt);
+  Result<QueryResult> result = ExecuteStatement(stmt, analyzed_plan);
   if (result.ok()) {
     debris.Forget();
   } else {
@@ -91,10 +97,11 @@ Result<QueryResult> SharkSession::Sql(const std::string& query) {
   return result;
 }
 
-Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt) {
+Result<QueryResult> SharkSession::ExecuteStatement(const Statement& stmt,
+                                                   std::string* analyzed_plan) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select);
+      return ExecuteSelect(*stmt.select, analyzed_plan);
     case StatementKind::kCreateTable:
       return ExecuteCreateTable(*stmt.create_table);
     case StatementKind::kDropTable: {
@@ -223,12 +230,17 @@ Result<QueryResult> SharkSession::ExecuteExplain(const ExplainStmt& stmt) {
   return result;
 }
 
-Result<QueryResult> SharkSession::ExecuteSelect(const SelectStmt& stmt) {
+Result<QueryResult> SharkSession::ExecuteSelect(const SelectStmt& stmt,
+                                                std::string* analyzed_plan) {
   Analyzer analyzer(&catalog_, &udfs_);
   SHARK_ASSIGN_OR_RETURN(PlanPtr plan, analyzer.AnalyzeSelect(stmt));
   plan = PlanSelect(plan);
   Executor executor(ctx_.get(), &catalog_, &udfs_, options_);
-  return executor.Execute(plan);
+  Result<QueryResult> result = executor.Execute(plan);
+  if (result.ok() && analyzed_plan != nullptr && result->profile != nullptr) {
+    *analyzed_plan = RenderAnalyzedPlan(*plan, *result->profile);
+  }
+  return result;
 }
 
 Result<TableRdd> SharkSession::Sql2Rdd(const std::string& query) {

@@ -39,6 +39,12 @@ class SharkSession {
   /// empty result (with load metrics for CTAS).
   Result<QueryResult> Sql(const std::string& query);
 
+  /// Like Sql, but for profiled SELECTs also renders the EXPLAIN ANALYZE
+  /// report (plan annotated with the recorded profile) into *analyzed_plan —
+  /// the slow-query log attaches this without re-running the query.
+  /// Left empty for non-SELECT statements and unprofiled runs.
+  Result<QueryResult> Sql(const std::string& query, std::string* analyzed_plan);
+
   /// Runs a SELECT but returns the distributed result instead of collecting.
   Result<TableRdd> Sql2Rdd(const std::string& query);
 
@@ -70,7 +76,8 @@ class SharkSession {
   const QueryMetrics& last_load_metrics() const { return last_load_metrics_; }
 
  private:
-  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       std::string* analyzed_plan);
   Result<QueryResult> ExecuteAnalyzeTable(const AnalyzeTableStmt& stmt);
 
   /// Runs the full two-phase planner (rules + cost-based join reordering)
@@ -79,7 +86,8 @@ class SharkSession {
   Status CacheTableImpl(const std::string& name,
                         const std::string& distribute_column,
                         const std::string& copartition_with);
-  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    std::string* analyzed_plan);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteExplain(const ExplainStmt& stmt);
 

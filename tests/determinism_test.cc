@@ -463,8 +463,14 @@ TEST(DeterminismTest, MetricsByteIdenticalAcrossHostThreadCounts) {
 /// Concurrent-jobs determinism: interleaving N jobs through the JobManager's
 /// batch event loop — including admission queueing — is itself a virtual-time
 /// observable. Per-job arrival/admit/finish stamps and both metrics exports
-/// must be byte-identical across host-thread settings.
-std::string RunConcurrentJobsSuite(int host_threads) {
+/// must be byte-identical across host-thread settings. The observability
+/// plane (per-query SLO series, query-id stamping) rides this path, so the
+/// suite runs with it on by default; `collect_query_metrics=false` re-runs
+/// the identical schedule with the plane dark to prove it never perturbs
+/// virtual time.
+std::string RunConcurrentJobsSuite(int host_threads,
+                                   bool collect_query_metrics = true,
+                                   bool include_metrics_text = true) {
   ClusterConfig cfg;
   cfg.num_nodes = 5;
   cfg.hardware.cores_per_node = 2;
@@ -490,6 +496,8 @@ std::string RunConcurrentJobsSuite(int host_threads) {
   std::multiset<std::string> row_sets[6];
   for (int i = 0; i < 6; ++i) {
     specs[static_cast<size_t>(i)].label = "job" + std::to_string(i);
+    specs[static_cast<size_t>(i)].query_id = "jid" + std::to_string(i);
+    specs[static_cast<size_t>(i)].session = "sess" + std::to_string(i % 2);
     specs[static_cast<size_t>(i)].arrival_vtime = 0.01 * i;
     specs[static_cast<size_t>(i)].weight = 1.0 + (i % 3);
     if (i % 3 == 2) {
@@ -506,21 +514,26 @@ std::string RunConcurrentJobsSuite(int host_threads) {
     };
   }
 
-  JobManager jm(ctx.get());
+  JobManager::Options jopts;
+  jopts.collect_query_metrics = collect_query_metrics;
+  JobManager jm(ctx.get(), jopts);
   std::vector<JobOutcome> outcomes = jm.RunJobs(std::move(specs));
 
   std::string out;
   char buf[256];
   for (const JobOutcome& o : outcomes) {
     EXPECT_TRUE(o.status.ok()) << o.label << ": " << o.status.ToString();
-    std::snprintf(buf, sizeof(buf), "%s queued=%d arr=%.9f adm=%.9f fin=%.9f\n",
-                  o.label.c_str(), o.queued ? 1 : 0, o.arrival_vtime,
-                  o.admit_vtime, o.finish_vtime);
+    std::snprintf(buf, sizeof(buf),
+                  "%s id=%s sess=%s queued=%d arr=%.9f adm=%.9f fin=%.9f\n",
+                  o.label.c_str(), o.query_id.c_str(), o.session.c_str(),
+                  o.queued ? 1 : 0, o.arrival_vtime, o.admit_vtime,
+                  o.finish_vtime);
     out += buf;
   }
   for (const auto& rows : row_sets) {
     for (const std::string& r : rows) out += r + "\n";
   }
+  if (!include_metrics_text) return out;
   return out + ctx->metrics().PrometheusText(ctx->now(), ctx->cluster()) +
          "\n" + ctx->metrics().TimelineJson();
 }
@@ -529,11 +542,30 @@ TEST(DeterminismTest, ConcurrentJobsIdenticalAcrossHostThreadCounts) {
   std::string serial = RunConcurrentJobsSuite(1);
   std::string pool = RunConcurrentJobsSuite(4);
   ASSERT_FALSE(serial.empty());
-  // The suite must actually interleave and queue jobs.
+  // The suite must actually interleave and queue jobs, and the plane's
+  // lazily registered per-session SLO series must land identically (they
+  // register in event-loop completion order).
   EXPECT_NE(serial.find("shark_jobs_admitted_total"), std::string::npos);
+  EXPECT_NE(serial.find("session=\"sess0\""), std::string::npos);
   EXPECT_TRUE(serial == pool)
       << "concurrent-job schedule diverged (lengths " << serial.size()
       << " vs " << pool.size() << ")";
+}
+
+/// The observability plane is strictly additive: running the exact same
+/// schedule with query-metric collection disabled produces bit-identical
+/// job outcomes, rows and virtual-time stamps.
+TEST(DeterminismTest, ObservabilityPlaneDoesNotPerturbVirtualTime) {
+  std::string plane_on =
+      RunConcurrentJobsSuite(4, /*collect_query_metrics=*/true,
+                             /*include_metrics_text=*/false);
+  std::string plane_off =
+      RunConcurrentJobsSuite(4, /*collect_query_metrics=*/false,
+                             /*include_metrics_text=*/false);
+  ASSERT_FALSE(plane_on.empty());
+  EXPECT_TRUE(plane_on == plane_off)
+      << "observability plane perturbed the schedule (lengths "
+      << plane_on.size() << " vs " << plane_off.size() << ")";
 }
 
 }  // namespace

@@ -99,6 +99,82 @@ TEST(MetricsRegistryTest, TextExpositionHistogramSummary) {
 }
 
 // ---------------------------------------------------------------------------
+// Prometheus exposition escaping / sanitization
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusEscapeTest, EscapesQuotesBackslashesAndNewlines) {
+  EXPECT_EQ(PrometheusEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscape("two\nlines"), "two\\nlines");
+  EXPECT_EQ(PrometheusEscape("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(SanitizeMetricNameTest, MapsInvalidCharactersToUnderscore) {
+  EXPECT_EQ(SanitizeMetricName("shark_ok_total"), "shark_ok_total");
+  EXPECT_EQ(SanitizeMetricName("shark:recorded"), "shark:recorded");
+  EXPECT_EQ(SanitizeMetricName("shark.dotted-name"), "shark_dotted_name");
+  EXPECT_EQ(SanitizeMetricName("has spaces"), "has_spaces");
+  EXPECT_EQ(SanitizeMetricName("9starts_with_digit"), "_9starts_with_digit");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+// Regression: a session name containing quotes, backslashes and a newline
+// must produce a parseable exposition — one escaped label value, no raw
+// newline splitting the sample line.
+TEST(MetricsRegistryTest, LabelValuesWithQuotesAreEscaped) {
+  MetricsRegistry reg;
+  const std::string session = "we\"ird\\name\nsession";
+  reg.RegisterCounter("shark_sessions_total", "per-session",
+                      MetricsRegistry::Label("session", session))
+      ->Increment(3);
+  std::string text = reg.TextExposition();
+  EXPECT_NE(
+      text.find(
+          "shark_sessions_total{session=\"we\\\"ird\\\\name\\nsession\"} 3\n"),
+      std::string::npos)
+      << text;
+  // No sample line was split by the raw newline: every line is either a
+  // comment or starts with the metric name.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t eol = text.find('\n', start);
+    std::string line = text.substr(start, eol - start);
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 ||
+                line.rfind("shark_sessions_total", 0) == 0)
+        << "stray line: " << line;
+    start = eol + 1;
+  }
+}
+
+TEST(MetricsRegistryTest, RegisteredNamesAreSanitized) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("bad name.total", "spaces and dots")->Increment();
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("bad_name_total 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("bad name"), std::string::npos);
+}
+
+// Families render contiguously even when children register late (the
+// per-session SLO series do exactly this).
+TEST(MetricsRegistryTest, LateFamilyChildrenStayGrouped) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("shark_fam_total", "family", "k=\"a\"")->Increment(1);
+  reg.RegisterCounter("shark_other_total", "interloper")->Increment(9);
+  reg.RegisterCounter("shark_fam_total", "", "k=\"b\"")->Increment(2);
+  std::string text = reg.TextExposition();
+  size_t a = text.find("shark_fam_total{k=\"a\"} 1\n");
+  size_t b = text.find("shark_fam_total{k=\"b\"} 2\n");
+  size_t other = text.find("shark_other_total 9\n");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(other, std::string::npos);
+  // Both children precede the interloper that registered between them.
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, other);
+}
+
+// ---------------------------------------------------------------------------
 // ClusterTimeline
 // ---------------------------------------------------------------------------
 

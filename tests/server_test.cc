@@ -1,0 +1,440 @@
+// Serving observability plane: net_util hardening, the HTTP listener, the
+// query log, query-id propagation client -> server -> profile, the pinned
+// STATS key set, and /metrics cross-checked against JobOutcome values.
+
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/client.h"
+#include "server/http.h"
+#include "server/net_util.h"
+#include "server/server.h"
+#include "sql/session.h"
+
+namespace shark {
+namespace {
+
+std::shared_ptr<SharkSession> MakeSession() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.hardware.cores_per_node = 2;
+  auto session = std::make_shared<SharkSession>(
+      std::make_shared<ClusterContext>(cfg));
+  Schema rankings({{"pageURL", TypeKind::kString},
+                   {"pageRank", TypeKind::kInt64},
+                   {"avgDuration", TypeKind::kInt64}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(Row({Value::String("url" + std::to_string(i)),
+                        Value::Int64(i), Value::Int64(i % 10)}));
+  }
+  EXPECT_TRUE(session->CreateDfsTable("rankings", rankings, rows, 4).ok());
+  return session;
+}
+
+/// Connects to 127.0.0.1:port, sends `payload` verbatim, reads to EOF.
+std::string RawExchange(int port, const std::string& payload,
+                        bool read_reply = true) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  WriteAll(fd, payload);
+  std::string reply;
+  if (read_reply) {
+    char chunk[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      reply.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// LineReader hardening
+// ---------------------------------------------------------------------------
+
+TEST(LineReaderTest, SplitsLinesAndStripsCr) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteAll(fds[0], "alpha\r\nbeta\n"));
+  ::shutdown(fds[0], SHUT_WR);
+  LineReader reader(fds[1]);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "beta");
+  EXPECT_FALSE(reader.ReadLine(&line));
+  EXPECT_FALSE(reader.overflowed());  // EOF, not an oversized line
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(LineReaderTest, OversizedLineTripsTheCap) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteAll(fds[0], std::string(64, 'x') + "\n"));
+  LineReader reader(fds[1], /*max_line_bytes=*/16);
+  std::string line;
+  EXPECT_FALSE(reader.ReadLine(&line));
+  EXPECT_TRUE(reader.overflowed());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(LineReaderTest, UncappedReaderTakesLongLines) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string big(100000, 'y');
+  ASSERT_TRUE(WriteAll(fds[0], big + "\n"));
+  LineReader reader(fds[1]);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, big);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// HttpListener hardening (standalone, no engine behind it)
+// ---------------------------------------------------------------------------
+
+class HttpListenerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    listener_ = std::make_unique<HttpListener>(
+        [](const HttpRequest& req, HttpResponse* resp) {
+          if (req.path == "/ping") {
+            resp->body = "pong n=" + req.QueryParam("n");
+          } else {
+            resp->status = 404;
+            resp->body = "nope";
+          }
+        });
+    ASSERT_TRUE(listener_->Start(0).ok());
+  }
+
+  std::unique_ptr<HttpListener> listener_;
+};
+
+TEST_F(HttpListenerTest, ServesGetWithQueryParams) {
+  auto body = HttpGet(listener_->port(), "/ping?n=7");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(*body, "pong n=7");
+  auto missing = HttpGet(listener_->port(), "/elsewhere");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("HTTP 404"), std::string::npos);
+}
+
+TEST_F(HttpListenerTest, MalformedRequestLineGets400) {
+  EXPECT_NE(RawExchange(listener_->port(), "GARBAGE\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(listener_->port(), "GET /x\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST_F(HttpListenerTest, OversizedRequestLineGets431) {
+  std::string huge = "GET /" + std::string(64 * 1024, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(RawExchange(listener_->port(), huge).find("HTTP/1.1 431"),
+            std::string::npos);
+}
+
+TEST_F(HttpListenerTest, TooManyHeaderFieldsGets431) {
+  std::string req = "GET /ping HTTP/1.1\r\n";
+  for (int i = 0; i < 200; ++i) {
+    req += "X-Flood-" + std::to_string(i) + ": 1\r\n";
+  }
+  req += "\r\n";
+  EXPECT_NE(RawExchange(listener_->port(), req).find("HTTP/1.1 431"),
+            std::string::npos);
+}
+
+TEST_F(HttpListenerTest, NonGetMethodGets405) {
+  EXPECT_NE(RawExchange(listener_->port(),
+                        "POST /ping HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST_F(HttpListenerTest, SurvivesConnectionDropMidResponse) {
+  // Peers that send a request and vanish before reading the response, or
+  // connect and say nothing, must not take the listener down.
+  for (int i = 0; i < 4; ++i) {
+    RawExchange(listener_->port(), "GET /ping HTTP/1.1\r\n\r\n",
+                /*read_reply=*/false);
+    RawExchange(listener_->port(), "", /*read_reply=*/false);
+  }
+  auto body = HttpGet(listener_->port(), "/ping?n=1");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(*body, "pong n=1");
+}
+
+// ---------------------------------------------------------------------------
+// SharkServer observability plane
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SharkServer::Options opts;
+    opts.slow_query_virtual_seconds = 0.0;  // promote everything to slow
+    server_ = std::make_unique<SharkServer>(MakeSession(), opts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GE(server_->obs_port(), 0);
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Close();
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<SharkServer> server_;
+  SharkClient client_;
+};
+
+TEST_F(ServerTest, ServerAssignsQueryIds) {
+  auto r1 = client_.Query("SELECT COUNT(*) FROM rankings");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = client_.Query("SELECT COUNT(*) FROM rankings");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r1->query_id.empty());
+  EXPECT_FALSE(r2->query_id.empty());
+  EXPECT_NE(r1->query_id, r2->query_id);
+}
+
+TEST_F(ServerTest, QueryIdRoundTripToDetailJson) {
+  auto r = client_.QueryWithId(
+      "trace-42", "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 90");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->query_id, "trace-42");
+  EXPECT_EQ(r->rows.size(), 9u);
+
+  auto body = HttpGet(server_->obs_port(), "/queries/trace-42");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  // The detail JSON carries the full slow-query record: SQL text, session,
+  // admission wait, virtual + host latency, the EXPLAIN ANALYZE rendering
+  // and the chrome trace.
+  EXPECT_NE(body->find("\"query_id\":\"trace-42\""), std::string::npos);
+  EXPECT_NE(body->find("\"session\":\"conn1\""), std::string::npos);
+  EXPECT_NE(body->find("WHERE pageRank > 90"), std::string::npos);
+  EXPECT_NE(body->find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body->find("\"queue_delay\":"), std::string::npos);
+  EXPECT_NE(body->find("\"virtual_seconds\":"), std::string::npos);
+  EXPECT_NE(body->find("\"host_ms\":"), std::string::npos);
+  EXPECT_NE(body->find("\"rows\":9"), std::string::npos);
+  EXPECT_NE(body->find("\"slow\":true"), std::string::npos);
+  EXPECT_NE(body->find("\"analyzed_plan\":"), std::string::npos);
+  EXPECT_NE(body->find("\"chrome_trace\":"), std::string::npos);
+  // The profile itself is stamped with the query id.
+  EXPECT_NE(body->find("trace-42"), std::string::npos);
+
+  auto missing = HttpGet(server_->obs_port(), "/queries/no-such-id");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("HTTP 404"), std::string::npos);
+}
+
+TEST_F(ServerTest, RecentQueriesListing) {
+  ASSERT_TRUE(client_.QueryWithId("a1", "SELECT COUNT(*) FROM rankings").ok());
+  ASSERT_TRUE(client_.QueryWithId("a2", "SELECT COUNT(*) FROM rankings").ok());
+  auto body = HttpGet(server_->obs_port(), "/queries?n=1");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  // Newest first, capped at n.
+  EXPECT_NE(body->find("\"query_id\":\"a2\""), std::string::npos);
+  EXPECT_EQ(body->find("\"query_id\":\"a1\""), std::string::npos);
+  EXPECT_NE(body->find("\"completed\":2"), std::string::npos);
+  EXPECT_NE(body->find("\"slow_threshold\":0"), std::string::npos);
+}
+
+TEST_F(ServerTest, StatsPinnedKeySet) {
+  ASSERT_TRUE(client_.Query("SELECT COUNT(*) FROM rankings").ok());
+  auto stats = client_.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const std::set<std::string> expected = {
+      "session.queries",         "session.ok",
+      "session.errors",          "session.weight",
+      "session.mem_demand_bytes", "session.latency_p50",
+      "session.latency_p95",     "session.latency_p99",
+      "session.queued_p50",      "session.queued_p99",
+      "server.queries",          "server.ok",
+      "server.errors",           "server.latency_p50",
+      "server.latency_p95",      "server.latency_p99",
+      "server.queued_p50",       "server.queued_p99",
+      "server.slow_queries",
+  };
+  std::set<std::string> got;
+  for (const auto& [k, v] : *stats) got.insert(k);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ((*stats)["session.queries"], "1");
+  EXPECT_EQ((*stats)["session.ok"], "1");
+  EXPECT_EQ((*stats)["server.slow_queries"], "1");  // threshold 0
+  // One completed query: its virtual latency is the p50 and the p99.
+  EXPECT_EQ((*stats)["session.latency_p50"], (*stats)["session.latency_p99"]);
+  EXPECT_NE((*stats)["session.latency_p99"], "0");
+}
+
+TEST_F(ServerTest, MetricsCrossCheckAgainstJobOutcome) {
+  ASSERT_TRUE(client_.QueryWithId("xq", "SELECT COUNT(*) FROM rankings").ok());
+
+  QueryLogEntry entry;
+  ASSERT_TRUE(server_->query_log().Lookup("xq", &entry));
+  ASSERT_GT(entry.latency, 0.0);
+
+  auto text = HttpGet(server_->obs_port(), "/metrics");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Exactly one query on session conn1: the exported per-session p99 gauge
+  // must equal that query's JobOutcome latency bit-for-bit (single-sample
+  // quantiles are exact, and %.17g round-trips doubles).
+  const std::string needle =
+      "shark_query_latency_seconds{session=\"conn1\",quantile=\"0.99\"} ";
+  size_t pos = text->find(needle);
+  ASSERT_NE(pos, std::string::npos) << *text;
+  double p99 = std::stod(text->substr(pos + needle.size()));
+  EXPECT_DOUBLE_EQ(p99, entry.latency);
+  EXPECT_NE(text->find("shark_queries_completed_total{session=\"conn1\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, FailedQueryIsLoggedAsError) {
+  auto r = client_.QueryWithId("bad", "SELECT nope FROM missing");
+  ASSERT_FALSE(r.ok());
+  QueryLogEntry entry;
+  ASSERT_TRUE(server_->query_log().Lookup("bad", &entry));
+  EXPECT_EQ(entry.status, "error");
+  EXPECT_FALSE(entry.error.empty());
+}
+
+TEST_F(ServerTest, TopRendersSessionsAndQueries) {
+  ASSERT_TRUE(client_.QueryWithId("t1", "SELECT COUNT(*) FROM rankings").ok());
+  auto body = HttpGet(server_->obs_port(), "/top");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_NE(body->find("shark_server: queries=1"), std::string::npos);
+  EXPECT_NE(body->find("conn1"), std::string::npos);
+  EXPECT_NE(body->find("t1"), std::string::npos);
+  EXPECT_NE(body->find("SELECT COUNT(*)"), std::string::npos);
+
+  auto health = HttpGet(server_->obs_port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, "ok\n");
+}
+
+TEST(ServerQuotaTest, RejectionsAreLoggedAsRejected) {
+  SharkServer::Options opts;
+  opts.max_queries_per_connection = 1;
+  SharkServer server(MakeSession(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  SharkClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM rankings").ok());
+  auto r = client.QueryWithId("over", "SELECT COUNT(*) FROM rankings");
+  ASSERT_FALSE(r.ok());
+  QueryLogEntry entry;
+  ASSERT_TRUE(server.query_log().Lookup("over", &entry));
+  EXPECT_EQ(entry.status, "rejected");
+  EXPECT_FALSE(entry.slow);  // rejections never promote to the slow log
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerSinkTest, JsonlSinkRecordsCompletions) {
+  const std::string path =
+      ::testing::TempDir() + "/shark_query_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    SharkServer::Options opts;
+    opts.query_log_path = path;
+    SharkServer server(MakeSession(), opts);
+    ASSERT_TRUE(server.Start().ok());
+    SharkClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(client.QueryWithId("s1", "SELECT COUNT(*) FROM rankings").ok());
+    client.Close();
+    server.Stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"query_id\":\"s1\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// 8 sessions hammering queries while scrapers pull /metrics and /queries
+// concurrently: every query and every scrape must succeed (and the whole
+// dance must be TSan-clean — this test rides in the dedicated TSan pass).
+TEST_F(ServerTest, QueryStormWithConcurrentScrapes) {
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 3;
+  std::atomic<int> query_failures{0};
+  std::atomic<int> scrape_failures{0};
+  std::atomic<bool> storm_done{false};
+
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&, s] {
+      while (!storm_done) {
+        auto text = HttpGet(server_->obs_port(),
+                            s == 0 ? "/metrics" : "/queries?n=8");
+        if (!text.ok()) scrape_failures++;
+      }
+    });
+  }
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SharkClient cl;
+      if (!cl.Connect("127.0.0.1", server_->port()).ok()) {
+        query_failures += kQueriesPerClient;
+        return;
+      }
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        auto r = cl.QueryWithId(
+            "storm-" + std::to_string(c) + "-" + std::to_string(q),
+            "SELECT avgDuration, COUNT(*) FROM rankings GROUP BY avgDuration");
+        if (!r.ok() || r->rows.size() != 10) query_failures++;
+      }
+      cl.Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  storm_done = true;
+  for (auto& t : scrapers) t.join();
+
+  EXPECT_EQ(query_failures, 0);
+  EXPECT_EQ(scrape_failures, 0);
+
+  // Every storm query is addressable by id afterwards.
+  QueryLogEntry entry;
+  ASSERT_TRUE(server_->query_log().Lookup("storm-0-0", &entry));
+  EXPECT_EQ(entry.status, "ok");
+  auto text = HttpGet(server_->obs_port(), "/metrics");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("shark_queries_completed_total "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shark

@@ -84,6 +84,17 @@ build/bench/bench_serving --smoke | tee "$metrics_dir/serving.log"
 tools/bench_gate --serving-floors --baseline bench/bench_baseline.json \
   --current "$metrics_dir/serving.log"
 
+echo "=== observability plane (endpoint schema + determinism) ==="
+# tools/obs_check starts shark_server with the HTTP observability listener on
+# an ephemeral port, drives a loopback workload (including a client-supplied
+# QUERYID), and asserts /healthz, /metrics (tiny stdlib Prometheus parser,
+# per-session latency gauges), /queries?n + /queries/<id> JSON schema, the
+# pinned STATS key set, and the JSONL query-log sink. The serving floors gate
+# above already re-checked virtual-time determinism with the plane enabled
+# (BENCH_serving_obs.json: virtual_identical must be true, plane overhead
+# under the committed ceiling).
+tools/obs_check build/src/shark_server
+
 echo "=== secondary indexes (lookup bench + floors) ==="
 # bench_lookup compares the B+-tree IndexRangeScan against the full columnar
 # scan across selectivity points (virtual-time deterministic), then sweeps
@@ -104,7 +115,7 @@ echo "=== concurrent jobs under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DSHARK_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" --target shark_tests
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  build-tsan/tests/shark_tests --gtest_filter='ConcurrentJobsTest.*:FailingQueryCleanupTest.*:DeterminismTest.ConcurrentJobs*:DeterminismTest.Indexed*:IndexSqlTest.*'
+  build-tsan/tests/shark_tests --gtest_filter='ConcurrentJobsTest.*:FailingQueryCleanupTest.*:DeterminismTest.ConcurrentJobs*:DeterminismTest.Indexed*:DeterminismTest.Observability*:IndexSqlTest.*:ServerTest.*:HttpListenerTest.*'
 
 echo "=== AddressSanitizer ==="
 tools/check_asan.sh
